@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's figures/claims and prints the
+reproduced artefact (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them).  Heavy simulations use ``benchmark.pedantic`` with one round so the
+timing is of the full experiment, not a hot-loop microbenchmark.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

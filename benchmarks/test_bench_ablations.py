@@ -1,0 +1,46 @@
+"""Benchmarks for the DESIGN.md ablations."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import ablations
+
+
+def test_bench_mm_rtt_inflation(benchmark):
+    """The (1 + δ)ξ inflation is load-bearing for reset safety."""
+    result = benchmark.pedantic(ablations.run_mm_inflation, rounds=1)
+    assert result.violations_with == 0
+    assert result.violations_without > 0
+    print(
+        f"\nMM inflation ablation: paper rule 0 unsafe resets, raw-ξ "
+        f"variant {result.violations_without}/{result.resets_checked}"
+    )
+
+
+def test_bench_im_design_variants(benchmark):
+    """Each IM deviation inflates the steady-state error."""
+    variants = benchmark.pedantic(ablations.run_im_variants, rounds=1)
+    by_name = {v.name: v for v in variants}
+    assert by_name["widen-both-edges"].ratio_to_paper > 1.0
+    assert by_name["no-self-interval"].ratio_to_paper > 1.0
+    assert by_name["trailing-reset"].ratio_to_paper > 1.0
+    print("\nIM variant ablation (steady-state mean error):")
+    print(
+        render_table(
+            ["variant", "mean error (s)", "×paper"],
+            [[v.name, v.mean_error, v.ratio_to_paper] for v in variants],
+        )
+    )
+
+
+def test_bench_tau_sensitivity(benchmark):
+    """Steady-state error and asynchronism degrade with the poll period."""
+    rows = benchmark.pedantic(ablations.run_tau_sweep, rounds=1)
+    assert rows[-1].mean_error > rows[0].mean_error
+    print("\nτ sensitivity (IM):")
+    print(
+        render_table(
+            ["τ (s)", "mean error (s)", "max asynchronism (s)"],
+            [[r.tau, r.mean_error, r.max_asynchronism] for r in rows],
+        )
+    )

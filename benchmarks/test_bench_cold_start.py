@@ -1,0 +1,27 @@
+"""Benchmark: cold-start convergence from operator-set clocks."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import cold_start
+
+
+def test_bench_cold_start(benchmark):
+    """Both algorithms pull a ±15 s service together within ~1 round while
+    staying correct throughout (honest initial errors)."""
+    results = benchmark.pedantic(
+        cold_start.run, kwargs=dict(horizon=2400.0), rounds=1
+    )
+    for result in results:
+        assert result.correct_throughout
+        assert result.settle_rounds is not None and result.settle_rounds <= 3.0
+    print("\nCold start:")
+    print(
+        render_table(
+            ["policy", "initial asyn (s)", "settle (rounds)", "steady asyn (s)"],
+            [
+                [r.policy, r.initial_asynchronism, r.settle_rounds, r.steady_asynchronism]
+                for r in results
+            ],
+        )
+    )

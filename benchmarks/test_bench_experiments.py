@@ -1,0 +1,74 @@
+"""Benchmarks for the paper's narrated experiments: correctness suite, the
+ten-times-slower claim, the 4%-fast recovery anecdote, and the partition
+breakdown."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import correctness, drift_recovery, partition, tenfold
+
+
+def test_bench_correctness_suite(benchmark):
+    """Theorems 1 & 5 as a randomized suite: zero violations expected."""
+    runs = benchmark.pedantic(
+        correctness.run_suite,
+        kwargs=dict(seeds=(0, 1), sizes=(3, 6), horizon=1200.0),
+        rounds=1,
+    )
+    assert all(run.correct for run in runs)
+    print(f"\nCorrectness suite: {len(runs)} runs, 0 violations.")
+    control = correctness.run_invalid_bound_control(horizon=1200.0)
+    assert control.violations > 0
+    print(
+        f"Invalid-bound control: {control.violations}/{control.samples} "
+        "violating samples (as the paper warns)."
+    )
+
+
+def test_bench_tenfold_error_growth(benchmark):
+    """Section 4: 'the error grew ten times slower' under IM than MM."""
+    result = benchmark.pedantic(
+        tenfold.run, kwargs=dict(horizon=4.0 * 3600.0, samples=80), rounds=1
+    )
+    assert 7.0 < result.ratio < 13.0
+    print(
+        f"\nError growth: MM {result.mm.slope:.2e} s/s vs IM "
+        f"{result.im.slope:.2e} s/s -> ratio {result.ratio:.1f} (paper: ~10)"
+    )
+
+
+def test_bench_recovery_anecdote(benchmark):
+    """Section 3: the 4%-fast clock, inconsistency, third-server recovery."""
+    result = benchmark.pedantic(
+        drift_recovery.run, kwargs=dict(tau=300.0, horizon=7200.0), rounds=1
+    )
+    assert result.inconsistencies > 0
+    assert result.recoveries > 0
+    assert result.b_kept_bounded
+    print(
+        f"\nRecovery anecdote: {result.inconsistencies} inconsistencies, "
+        f"{result.recoveries} recoveries, worst offset "
+        f"{result.worst_offset_b:.2f} s"
+    )
+    rows = drift_recovery.sweep_tau(taus=(60.0, 300.0, 900.0), horizon=3600.0)
+    print(
+        render_table(
+            ["τ (s)", "recoveries", "worst offset (s)"],
+            [[r.tau, r.recoveries, r.worst_offset] for r in rows],
+        )
+    )
+    assert rows[-1].worst_offset > rows[0].worst_offset
+
+
+def test_bench_partition_breakdown(benchmark):
+    """Section 5: recovery breaks down with two bad neighbours; the
+    service partitions into consistency groups (the Figure 4 state)."""
+    result = benchmark.pedantic(partition.run, rounds=1)
+    assert result.partitioned
+    assert result.poisoned_recoveries > 0
+    assert result.diagnosis_correct
+    print(
+        f"\nPartition breakdown: {len(result.groups)} consistency groups, "
+        f"{result.poisoned_recoveries}/{result.total_recoveries} poisoned "
+        f"recoveries, consonance suspects = {result.suspects}"
+    )

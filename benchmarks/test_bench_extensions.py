@@ -1,0 +1,38 @@
+"""Benchmarks for the extension experiments: churn robustness and the
+Section 5 rate-tracking fix for arbiter poisoning."""
+
+from __future__ import annotations
+
+from repro.experiments import churn, partition
+
+
+def test_bench_churn_robustness(benchmark):
+    """Membership churn: present servers stay correct; rejoiners
+    reconverge within a handful of poll periods."""
+    result = benchmark.pedantic(
+        churn.run, kwargs=dict(horizon=3600.0), rounds=1
+    )
+    assert result.departures > 0 and result.rejoins > 0
+    assert result.present_violations == 0
+    assert result.worst_reconvergence < 10.0
+    print(
+        f"\nChurn: {result.departures} departures / {result.rejoins} rejoins; "
+        f"0 violations; worst reconvergence {result.worst_reconvergence:.1f} τ; "
+        f"median error {result.median_error:.4f} s "
+        f"(control {result.control_median_error:.4f} s)"
+    )
+
+
+def test_bench_rate_tracking_fix(benchmark):
+    """Section 5 operationalised: excluding dissonant arbiters eliminates
+    recovery poisoning and rescues the dragged server."""
+    comparison = benchmark.pedantic(partition.run_comparison, rounds=1)
+    assert comparison.poisoning_eliminated
+    assert comparison.g1_rescued
+    print(
+        f"\nRate-tracking fix: poisoned recoveries "
+        f"{comparison.without.poisoned_recoveries} -> "
+        f"{comparison.with_tracking.poisoned_recoveries}; "
+        f"G1 offset {comparison.without.g1_final_offset:.2f} s -> "
+        f"{comparison.with_tracking.g1_final_offset:.3f} s"
+    )

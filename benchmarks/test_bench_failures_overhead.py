@@ -1,0 +1,74 @@
+"""Benchmarks for the failure-injection matrix, the overhead sweeps, and
+the frequency-discipline comparison."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import discipline, failures, overhead
+
+
+def test_bench_failure_matrix(benchmark):
+    """Section 1.1's failure menu under MM/IM ± recovery."""
+    outcomes = benchmark.pedantic(
+        failures.run_matrix, kwargs=dict(horizon=2400.0), rounds=1
+    )
+    mm_cells = [o for o in outcomes if o.policy == "MM"]
+    assert all(o.healthy_correct for o in mm_cells)
+    print("\nFailure matrix:")
+    print(
+        render_table(
+            ["failure", "policy", "recovery", "healthy ok", "faulty |offset|"],
+            [
+                [o.failure, o.policy, o.recovery, o.healthy_correct, o.faulty_final_offset]
+                for o in outcomes
+            ],
+        )
+    )
+
+
+def test_bench_overhead_tradeoff(benchmark):
+    """Messages per server-hour vs steady error across τ."""
+    rows = benchmark.pedantic(
+        overhead.sweep_tau, kwargs=dict(taus=(30.0, 60.0, 120.0, 240.0)), rounds=1
+    )
+    assert rows[-1].worst_offset > rows[0].worst_offset
+    print("\nCost vs accuracy:")
+    print(
+        render_table(
+            ["τ (s)", "msgs/server/h", "mean E (s)", "worst |offset| (s)"],
+            [
+                [r.tau, r.messages_per_server_hour, r.mean_error, r.worst_offset]
+                for r in rows
+            ],
+        )
+    )
+
+
+def test_bench_loss_robustness(benchmark):
+    """Correctness survives heavy packet loss; the error floor rises."""
+    rows = benchmark.pedantic(
+        overhead.sweep_loss, kwargs=dict(losses=(0.0, 0.2, 0.5, 0.8)), rounds=1
+    )
+    assert all(r.correct for r in rows)
+    print("\nLoss robustness:")
+    print(
+        render_table(
+            ["loss", "reply rate", "mean E (s)", "worst |offset| (s)"],
+            [[r.loss, r.reply_rate, r.mean_error, r.worst_offset] for r in rows],
+        )
+    )
+
+
+def test_bench_frequency_discipline(benchmark):
+    """The Section 5 loop closed: discipline shrinks true offsets."""
+    result = benchmark.pedantic(
+        discipline.run, kwargs=dict(horizon=4.0 * 3600.0), rounds=1
+    )
+    assert result.offset_improvement > 2.0
+    print(
+        f"\nDiscipline: worst offset {result.plain.worst_true_offset:.2e} s "
+        f"-> {result.disciplined.worst_true_offset:.2e} s "
+        f"(×{result.offset_improvement:.1f}); claimed errors unchanged "
+        f"({result.plain.mean_claimed_error:.2e} vs "
+        f"{result.disciplined.mean_claimed_error:.2e})"
+    )

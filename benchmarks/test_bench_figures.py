@@ -1,0 +1,54 @@
+"""Benchmarks regenerating Figures 1–4.
+
+Each test re-runs the corresponding experiment under pytest-benchmark,
+asserts the paper's claim, and prints the reproduced diagram.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1, figure2, figure3, figure4
+
+
+def test_bench_figure1_error_growth(benchmark):
+    """Figure 1 — growth of maximum errors of three correct servers."""
+    result = benchmark(figure1.run)
+    assert result.all_correct
+    print("\nFigure 1 — Growth of Maximum Errors")
+    for snap, diagram in zip(result.snapshots, result.diagrams):
+        print(f"t = {snap.time:.0f} s")
+        print(diagram)
+
+
+def test_bench_figure2_intersections(benchmark):
+    """Figure 2 — the two intersection cases + Theorem 6."""
+    result = benchmark(figure2.run)
+    assert result.theorem6_holds
+    assert result.nested.same_server_edges
+    assert not result.overlapping.same_server_edges
+    print("\nFigure 2 — Intersections of Maximum Errors")
+    print("nested case:")
+    print(result.nested.diagram)
+    print("overlapping case:")
+    print(result.overlapping.diagram)
+
+
+def test_bench_figure3_mm_vs_im_recovery(benchmark):
+    """Figure 3 — MM recovers correctness, IM locks onto S2 ∩ S3."""
+    result = benchmark(figure3.run)
+    assert result.consistent
+    assert result.mm_correct and not result.im_correct
+    print("\nFigure 3 — consistent but partially incorrect state")
+    print(result.diagram)
+    print(f"MM -> {result.mm_source} (correct={result.mm_correct}); "
+          f"IM -> {result.im_source} (correct={result.im_correct})")
+
+
+def test_bench_figure4_consistency_groups(benchmark):
+    """Figure 4 — the inconsistent six-server service and its 3 groups."""
+    result = benchmark(figure4.run)
+    assert not result.globally_consistent
+    assert len(result.groups) == 3
+    print("\nFigure 4 — An Inconsistent Time Service")
+    print(result.diagram)
+    for group in result.groups:
+        print(f"group {{{', '.join(group.members)}}} ∩ = {group.intersection}")

@@ -1,0 +1,100 @@
+"""Microbenchmarks of the core algorithms and the simulation substrate.
+
+These are genuine hot loops (unlike the experiment benchmarks, which time a
+whole scenario once): interval intersection, Marzullo's sweep, the event
+engine, and a full service round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.im import IMPolicy
+from repro.core.intervals import TimeInterval, intersect_all
+from repro.core.marzullo import marzullo, ntp_select
+from repro.core.mm import MMPolicy
+from repro.core.sync import LocalState, Reply
+from repro.simulation.engine import SimulationEngine
+
+from repro.experiments.scenarios import MeshScenario, build_mesh_service
+
+
+def _random_intervals(n: int, seed: int = 0) -> list[TimeInterval]:
+    rng = np.random.default_rng(seed)
+    los = rng.uniform(0.0, 100.0, n)
+    widths = rng.uniform(0.1, 50.0, n)
+    return [TimeInterval(lo, lo + w) for lo, w in zip(los, widths)]
+
+
+def test_bench_intersect_all_1000(benchmark):
+    ivs = _random_intervals(1000)
+    # Overlapping family: shift everything to share [49, 51].
+    ivs = [iv.hull(TimeInterval(49.0, 51.0)) for iv in ivs]
+    result = benchmark(intersect_all, ivs)
+    assert result is not None
+
+
+def test_bench_marzullo_sweep_1000(benchmark):
+    ivs = _random_intervals(1000)
+    result = benchmark(marzullo, ivs)
+    assert result.count >= 1
+
+
+def test_bench_ntp_select_100(benchmark):
+    ivs = _random_intervals(100, seed=3)
+    benchmark(ntp_select, ivs)
+
+
+def test_bench_mm_reply_evaluation(benchmark):
+    policy = MMPolicy()
+    state = LocalState(clock_value=100.0, error=1.0, delta=1e-5)
+    reply = Reply(server="S2", clock_value=100.1, error=0.4, rtt_local=0.05)
+    outcome = benchmark(policy.on_reply, state, reply)
+    assert outcome.consistent
+
+
+def test_bench_im_round_32_replies(benchmark):
+    policy = IMPolicy()
+    state = LocalState(clock_value=100.0, error=1.0, delta=1e-5)
+    rng = np.random.default_rng(1)
+    replies = [
+        Reply(
+            server=f"S{k}",
+            clock_value=100.0 + rng.uniform(-0.1, 0.1),
+            error=0.5,
+            rtt_local=rng.uniform(0.0, 0.1),
+        )
+        for k in range(32)
+    ]
+    outcome = benchmark(policy.on_round_complete, state, replies)
+    assert outcome.consistent
+
+
+def test_bench_engine_100k_events(benchmark):
+    def run_events():
+        engine = SimulationEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for k in range(100_000):
+            engine.schedule_at(float(k), tick)
+        engine.run()
+        return count
+
+    assert benchmark.pedantic(run_events, rounds=1) == 100_000
+
+
+def test_bench_service_hour_8_servers(benchmark):
+    """End-to-end throughput: one simulated hour of an 8-server IM mesh."""
+
+    def run_service():
+        scenario = MeshScenario(n=8, delta=1e-5, tau=60.0, seed=0)
+        service = build_mesh_service(scenario, IMPolicy())
+        service.run_until(3600.0)
+        return service.snapshot()
+
+    snap = benchmark.pedantic(run_service, rounds=1)
+    assert snap.all_correct

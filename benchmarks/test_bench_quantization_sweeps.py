@@ -1,0 +1,46 @@
+"""Benchmarks: tick-granularity study and the joint parameter sweep."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import quantization
+from repro.sweeps import ParameterGrid, mesh_steady_state, run_sweep
+
+
+def test_bench_quantization(benchmark):
+    """Read-out granularity: cumulative floor bias vs budgeted bookkeeping."""
+    rows = benchmark.pedantic(
+        quantization.run, kwargs=dict(horizon=1200.0), rounds=1
+    )
+    assert all(r.naive_violations > 0 for r in rows)
+    assert all(r.budgeted_violations == 0 for r in rows)
+    print("\nTick granularity:")
+    print(
+        render_table(
+            ["tick (s)", "naive violations", "budgeted violations", "budgeted mean E"],
+            [
+                [r.tick, r.naive_violations, r.budgeted_violations, r.budgeted_mean_error]
+                for r in rows
+            ],
+        )
+    )
+
+
+def test_bench_parameter_surface(benchmark):
+    """The MM/IM response surface over (n, τ, ξ)."""
+
+    def run_surface():
+        grid = ParameterGrid.of(
+            policy=["MM", "IM"],
+            n=[3, 8],
+            tau=[30.0, 120.0],
+            one_way=[0.005, 0.05],
+        )
+        return run_sweep(mesh_steady_state, grid, replications=1, base_seed=3)
+
+    result = benchmark.pedantic(run_surface, rounds=1)
+    assert not result.failures
+    rows = result.aggregate()
+    assert all(row["correct"] == 1.0 for row in rows)
+    print("\nResponse surface (steady state):")
+    print(result.to_table())

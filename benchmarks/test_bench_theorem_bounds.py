@@ -1,0 +1,86 @@
+"""Benchmarks for Theorems 2, 3 and 7 — bound compliance sweeps."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments.scenarios import MeshScenario
+from repro.experiments.theorem_bounds import (
+    _default_deltas,
+    run_im_bounds,
+    run_mm_bounds,
+)
+
+
+def test_bench_theorem2_mm_error_bound(benchmark):
+    """Theorem 2: E_i < E_M + ξ + δ_i(τ + 2ξ) on an MM mesh."""
+    scenario = MeshScenario(n=5, deltas=_default_deltas(5, 1e-5), tau=60.0, seed=0)
+    result = benchmark.pedantic(
+        run_mm_bounds, args=(scenario,), kwargs=dict(horizon=1800.0), rounds=1
+    )
+    assert result.theorem2 is not None and result.theorem2.holds
+    print(
+        f"\nTheorem 2: holds over {result.theorem2.samples} samples; "
+        f"max measured/bound = {result.theorem2.max_ratio:.3f}"
+    )
+
+
+def test_bench_theorem3_mm_asynchronism_bound(benchmark):
+    """Theorem 3: |C_i - C_j| < 2E_M + 2ξ + (δ_i + δ_j)(τ + 2ξ)."""
+    scenario = MeshScenario(n=5, deltas=_default_deltas(5, 1e-5), tau=60.0, seed=0)
+    result = benchmark.pedantic(
+        run_mm_bounds, args=(scenario,), kwargs=dict(horizon=1800.0), rounds=1
+    )
+    assert result.theorem3 is not None and result.theorem3.holds
+    print(
+        f"\nTheorem 3: holds over worst pair; "
+        f"max measured/bound = {result.theorem3.max_ratio:.3f}"
+    )
+
+
+def test_bench_theorem7_im_asynchronism_bound(benchmark):
+    """Theorem 7: |C_i - C_j| <= ξ + (δ_i + δ_j)τ on an IM mesh."""
+    scenario = MeshScenario(n=5, deltas=_default_deltas(5, 1e-5), tau=60.0, seed=0)
+    result = benchmark.pedantic(
+        run_im_bounds, args=(scenario,), kwargs=dict(horizon=1800.0), rounds=1
+    )
+    assert result.theorem7 is not None and result.theorem7.holds
+    print(
+        f"\nTheorem 7: holds over worst pair; "
+        f"max measured/bound = {result.theorem7.max_ratio:.3f}"
+    )
+
+
+def test_bench_bounds_sweep_table(benchmark):
+    """The full n × τ sweep table for all three bounds."""
+
+    def sweep_small():
+        rows = []
+        for n in (3, 6):
+            for tau in (30.0, 120.0):
+                scenario = MeshScenario(
+                    n=n, deltas=_default_deltas(n, 1e-5), tau=tau, seed=0
+                )
+                mm = run_mm_bounds(scenario, horizon=1200.0, samples=60)
+                im = run_im_bounds(scenario, horizon=1200.0, samples=60)
+                rows.append(
+                    [
+                        f"n={n} τ={tau:g}",
+                        mm.theorem2.holds,
+                        mm.theorem2.max_ratio,
+                        mm.theorem3.holds,
+                        mm.theorem3.max_ratio,
+                        im.theorem7.holds,
+                        im.theorem7.max_ratio,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep_small, rounds=1)
+    assert all(row[1] and row[3] and row[5] for row in rows)
+    print("\nBound-compliance sweep (measured/bound ratios, all < 1):")
+    print(
+        render_table(
+            ["scenario", "T2", "T2 ratio", "T3", "T3 ratio", "T7", "T7 ratio"],
+            rows,
+        )
+    )

@@ -1,0 +1,48 @@
+"""Benchmarks for Theorem 4 (convergence) and Theorem 8 (expected error)."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import theorem4, theorem8
+
+
+def test_bench_theorem4_convergence(benchmark):
+    """Theorem 4: the min-error holder ends up in S_min, within t_x^0."""
+    result = benchmark.pedantic(theorem4.run, rounds=1)
+    assert result.report.converged
+    assert result.within_bound
+    print(
+        f"\nTheorem 4: converged at t = {result.report.measured_time:.0f} s "
+        f"(predicted worst case {result.report.predicted_time:.0f} s)"
+    )
+
+
+def test_bench_theorem8_error_vs_n(benchmark):
+    """Theorem 8: lim E(e) = e0 as n grows."""
+    result = benchmark.pedantic(
+        theorem8.run_monte_carlo, kwargs=dict(trials=4000), rounds=1
+    )
+    assert result.monotone_decreasing
+    print("\nTheorem 8 — E(intersection half-width) vs n "
+          f"(e0 = {result.e0}, δΔ = {result.delta * result.elapsed:g}):")
+    rows = [
+        [n, result.mean_error[n], result.mean_error[n] / result.e0]
+        for n in sorted(result.mean_error)
+    ]
+    print(render_table(["n", "E(e)", "E(e)/e0"], rows))
+
+
+def test_bench_theorem8_overspecification(benchmark):
+    """The prose corollary: error growth equals the overspecification."""
+    rows = benchmark.pedantic(
+        theorem8.run_overspecified, kwargs=dict(trials=4000), rounds=1
+    )
+    for row in rows:
+        assert abs(row.measured_excess - row.limit_growth) < 0.02
+    print("\nOverspecified bounds — measured vs predicted growth:")
+    print(
+        render_table(
+            ["actual/claimed", "predicted", "measured"],
+            [[r.fraction, r.limit_growth, r.measured_excess] for r in rows],
+        )
+    )

@@ -1,0 +1,29 @@
+"""Benchmark: the topology / distance-from-reference study."""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.experiments import topology_study
+
+
+def test_bench_topology_gradient(benchmark):
+    """Error grows with hop distance from the standard; mesh/star are flat."""
+    results = benchmark.pedantic(
+        topology_study.run_all, kwargs=dict(n=9, horizon=2400.0), rounds=1
+    )
+    by_shape = {r.shape: r for r in results}
+    assert all(r.all_correct for r in results)
+    assert by_shape["line"].gradient > 0
+    assert by_shape["mesh"].gradient == 0.0
+    print("\nTopology study (per-hop mean error):")
+    for result in results:
+        rows = [
+            [row.hops, row.servers, row.mean_error, row.worst_offset]
+            for row in result.by_hops
+        ]
+        print(f"{result.shape} (gradient {result.gradient:.2e} s/hop):")
+        print(
+            render_table(
+                ["hops", "servers", "mean E (s)", "worst |offset| (s)"], rows
+            )
+        )

@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration: make ``src/`` importable in-place.
+
+The offline environment lacks ``wheel``, so PEP-660 editable installs are
+unavailable; this keeps ``pip install -e .`` optional for running the test
+suite from a checkout.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

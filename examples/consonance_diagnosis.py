@@ -1,0 +1,94 @@
+"""Diagnosing a sick service by its clock *rates* (Section 5 in action).
+
+A service can be inconsistent without revealing who is wrong — Figure 4's
+moral.  The paper's proposal: examine the *rates*.  Two clocks whose
+separation rate exceeds the sum of their claimed drift bounds cannot both
+be honest about their bounds, and unlike consistency, a rate measurement
+directly implicates the fast-moving party when compared across many peers.
+
+This example runs a mesh where one server's oscillator silently degrades
+(an :class:`AgingClock` that ramps far past its claimed bound) and another
+suffers a step failure to a racing rate.  Rate-tracking servers watch their
+neighbours; the printed operator report shows the consonance diagnosis
+naming the culprits — before and after the intervals themselves have
+visibly partitioned.
+
+Run:
+    python examples/consonance_diagnosis.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import MMPolicy, ServerSpec, ThirdServerRecovery, UniformDelay, build_service, full_mesh
+from repro.analysis.report import service_report
+from repro.clocks import AgingClock, DriftingClock, RacingClock
+
+DELTA = 1e-5  # claimed by everyone (~0.9 s/day)
+
+
+def aging_factory(rng, name):
+    """An oscillator that silently degrades: the skew ramps 1e-7 per
+    second, crossing the claimed bound within a minute and reaching 50×
+    the bound by the second checkpoint."""
+    return AgingClock(initial_skew=5e-6, aging_rate=1e-7, terminal_skew=1e-3)
+
+
+def racing_factory(rng, name):
+    """A clock that steps to a racing rate at t = 1200 s."""
+    return RacingClock(DriftingClock(1e-6), fail_at=1200.0, racing_skew=2e-3)
+
+
+def main() -> None:
+    names = [f"S{k + 1}" for k in range(6)]
+    specs = []
+    for k, name in enumerate(names):
+        if name == "S5":
+            specs.append(
+                ServerSpec(name, delta=DELTA, clock_factory=aging_factory,
+                           rate_tracking=True)
+            )
+        elif name == "S6":
+            specs.append(
+                ServerSpec(name, delta=DELTA, clock_factory=racing_factory,
+                           rate_tracking=True)
+            )
+        else:
+            specs.append(
+                ServerSpec(name, delta=DELTA, skew=(k - 2) * 2e-6,
+                           rate_tracking=True)
+            )
+    service = build_service(
+        full_mesh(6),
+        specs,
+        policy=MMPolicy(),
+        tau=60.0,
+        seed=31,
+        lan_delay=UniformDelay(0.01),
+        recovery_factory=lambda name: ThirdServerRecovery(),
+        trace_enabled=True,
+    )
+
+    for checkpoint in (900.0, 2400.0, 5400.0):
+        service.run_until(checkpoint)
+        print("=" * 74)
+        print(service_report(service, include_diagram=False))
+        print()
+
+    print("=" * 74)
+    print(
+        "Two detection paths fire: S6's raw racing rate is flagged by a\n"
+        "majority of its peers, while S5 — whose drift is masked from its\n"
+        "peers because recovery keeps yanking it back — convicts *itself*:\n"
+        "its own free-running timescale sees every neighbour recede\n"
+        "coherently.  Exactly the Section 5 argument for maintaining\n"
+        "consonance alongside consistency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Ordering distributed events with interval timestamps.
+
+The paper's introduction names event ordering as a primary use of a time
+service.  Point timestamps from drifting clocks silently order events
+wrongly; interval timestamps — the very pair `<C, E>` a Marzullo-Owicki
+server reports — are honest: disjoint intervals give a *certain* order,
+overlapping ones admit they cannot tell.
+
+The scenario: three application nodes, each stamping its events at its
+local time server.  A burst of events a few milliseconds apart (inside the
+uncertainty) and a sequence of well-separated events are both stamped with
+(a) naive point timestamps and (b) interval timestamps, then checked
+against the oracle's true order.  Finally the TrueTime-style commit-wait
+shows how long a writer must pause to make its timestamp order certain.
+
+Run:
+    python examples/event_ordering.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import IMPolicy, ServerSpec, UniformDelay, build_service, full_mesh
+from repro.analysis.plots import render_table
+from repro.ordering import TimestampAuthority, certain_order, commit_wait
+
+
+def main() -> None:
+    delta = 1e-4  # sloppy workstation clocks make the effect visible
+    specs = [
+        ServerSpec(f"S{k + 1}", delta=delta, skew=0.85 * delta * (k - 1))
+        for k in range(3)
+    ]
+    service = build_service(
+        full_mesh(3),
+        specs,
+        policy=IMPolicy(),
+        tau=60.0,
+        seed=4,
+        lan_delay=UniformDelay(0.01),
+    )
+    service.run_until(600.0)
+    authorities = {
+        name: TimestampAuthority(service.servers[name])
+        for name in ("S1", "S2", "S3")
+    }
+
+    # --- a burst: events 5 ms apart, round-robin across nodes.
+    burst = []
+    for index in range(5):
+        issuer = f"S{index % 3 + 1}"
+        service.run_until(service.engine.now + 0.005)
+        burst.append((service.engine.now, issuer, authorities[issuer].now()))
+
+    print("Burst of events 5 ms apart (uncertainty is tens of ms):")
+    rows = []
+    for true_time, issuer, ts in burst:
+        rows.append([f"{true_time:.3f}", issuer, ts.interval.center, ts.interval.error])
+    print(render_table(["true time", "node", "stamp C", "stamp E"], rows, precision=6))
+
+    stamps = [ts for _t, _issuer, ts in burst]
+    point_order = sorted(range(5), key=lambda k: stamps[k].interval.center)
+    true_order = list(range(5))  # minted in true-time order
+    _certain, indeterminate = certain_order(stamps)
+    print(f"\n  naive point order:   {point_order}"
+          + ("  <- WRONG" if point_order != true_order else ""))
+    print(f"  interval verdict:    {len(indeterminate)} of 10 pairs "
+          "indeterminate — the honest answer at this spacing")
+
+    # --- well-separated events: certainty returns.
+    spaced = []
+    for index in range(4):
+        issuer = f"S{index % 3 + 1}"
+        service.run_until(service.engine.now + 5.0)
+        spaced.append(authorities[issuer].now())
+    _order, indeterminate = certain_order(spaced)
+    print(f"\nEvents 5 s apart: {len(indeterminate)} indeterminate pairs — "
+          "every order certain.")
+
+    # --- commit-wait.
+    writer = authorities["S1"].now()
+    wait = commit_wait(writer)
+    service.run_until(service.engine.now + wait + 1e-6)
+    reader = authorities["S2"].now()
+    print(
+        f"\nCommit-wait: a writer stamped with E = {writer.interval.error:.4f} s "
+        f"holds for {wait:.3f} s; a reader stamping afterwards is then "
+        f"certainly later: {writer.definitely_before(reader)}."
+    )
+    print(
+        "\nThis is the paper's interval representation doing the job "
+        "TrueTime popularised twenty-nine years later."
+    )
+
+
+if __name__ == "__main__":
+    main()

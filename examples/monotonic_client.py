@@ -1,0 +1,99 @@
+"""Monotonic client clocks over a backward-stepping time service.
+
+The service is free to step clocks backwards (algorithm IM regularly does,
+whenever the intersection midpoint lands behind the local clock), but a
+client may need monotonic time — for timeouts, leases, or event ordering.
+The paper's suggestion (Section 1.1): run the monotonic clock "more slowly
+when the nonmonotonic clock is set backwards."
+
+This example runs a two-server IM service whose fast clock keeps getting
+stepped back, attaches a MonotonicClock adapter, and shows that the adapter
+(a) never decreases while the raw clock repeatedly does, and (b) tracks the
+raw clock closely between steps.
+
+Run:
+    python examples/monotonic_client.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import IMPolicy, MonotonicClock, ServerSpec, UniformDelay, build_service, full_mesh
+from repro.analysis.plots import render_table
+
+
+def main() -> None:
+    delta = 5e-4  # deliberately sloppy clocks so the steps are visible
+    specs = [
+        ServerSpec("S1", delta=delta, skew=+0.9 * delta),  # fast: stepped back
+        ServerSpec("S2", delta=delta, skew=-0.9 * delta),
+    ]
+    service = build_service(
+        full_mesh(2),
+        specs,
+        policy=IMPolicy(),
+        tau=30.0,
+        seed=1,
+        lan_delay=UniformDelay(0.005),
+    )
+    fast_server = service.servers["S1"]
+    mono = MonotonicClock(fast_server.clock, slew=0.5)
+
+    # Step the engine event by event and read both clocks after every
+    # event: consecutive readings straddle each reset, so backward steps of
+    # the raw clock are actually observable (they are milliseconds — far
+    # smaller than any fixed-grid sampling interval).
+    sample_times, raw_readings, mono_readings = [], [], []
+    horizon = 300.0
+    while service.engine.now < horizon and service.engine.step():
+        t = service.engine.now
+        sample_times.append(t)
+        raw_readings.append(fast_server.clock.read(t))
+        mono_readings.append(mono.read(t))
+
+    raw_steps_back = sum(
+        1 for a, b in zip(raw_readings, raw_readings[1:]) if b < a
+    )
+    mono_steps_back = sum(
+        1 for a, b in zip(mono_readings, mono_readings[1:]) if b < a
+    )
+    worst_gap = max(
+        m - r for m, r in zip(mono_readings, raw_readings)
+    )
+
+    print("Two-server IM service; S1 runs fast and is stepped back at "
+          "every round.\n")
+    rows = []
+    stride = max(1, len(sample_times) // 10)
+    for index in range(0, len(sample_times), stride):
+        rows.append(
+            [
+                sample_times[index],
+                raw_readings[index],
+                mono_readings[index],
+                mono_readings[index] - raw_readings[index],
+            ]
+        )
+    print(
+        render_table(
+            ["real time", "raw C_S1", "monotonic view", "mono - raw"],
+            rows,
+            precision=7,
+        )
+    )
+    print(f"\nbackward steps in the raw clock:      {raw_steps_back}")
+    print(f"backward steps in the monotonic view: {mono_steps_back}")
+    print(f"worst lead of the monotonic view:     {worst_gap * 1e3:.2f} ms")
+    assert mono_steps_back == 0
+    print(
+        "\nThe adapter amortises each backward step by running at half rate "
+        "until the raw clock catches up — exactly the paper's construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: build a small time service and watch both algorithms work.
+
+Builds a four-server full mesh of drifting clocks, runs it for a simulated
+hour under algorithm IM (intersection) and again under algorithm MM
+(minimum maximum error), and prints what each server believes — its clock
+value, its self-reported maximum error, and the oracle truth.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import (
+    IMPolicy,
+    MMPolicy,
+    ServerSpec,
+    UniformDelay,
+    build_service,
+    full_mesh,
+)
+from repro.analysis.plots import render_intervals, render_table
+
+
+def run_policy(policy, label: str) -> None:
+    """Build, run for an hour, and report."""
+    graph = full_mesh(4)
+    # Four clocks: claimed bound ~0.9 s/day each, actual skews spread
+    # across ±80% of the bound.
+    delta = 1e-5
+    specs = [
+        ServerSpec(f"S{k + 1}", delta=delta, skew=0.8 * delta * (k - 1.5) / 1.5)
+        for k in range(4)
+    ]
+    service = build_service(
+        graph,
+        specs,
+        policy=policy,
+        tau=60.0,  # poll neighbours once a minute
+        seed=42,
+        lan_delay=UniformDelay(0.05),  # one-way delay up to 50 ms
+    )
+    service.run_until(3600.0)
+    snap = service.snapshot()
+
+    print(f"\n=== {label} after one simulated hour ===")
+    rows = [
+        [
+            name,
+            snap.values[name],
+            snap.errors[name],
+            snap.offsets[name],
+            snap.correct[name],
+        ]
+        for name in sorted(snap.values)
+    ]
+    print(
+        render_table(
+            ["server", "clock C_i", "claimed error E_i", "true offset", "correct"],
+            rows,
+            precision=6,
+        )
+    )
+    print(f"asynchronism (max |C_i - C_j|): {snap.asynchronism * 1e3:.2f} ms")
+    print(f"service consistent: {snap.consistent}")
+    print("\nintervals (| marks the true time):")
+    print(render_intervals(snap.intervals(), true_time=snap.time))
+
+
+def main() -> None:
+    run_policy(IMPolicy(), "Algorithm IM (intersection)")
+    run_policy(MMPolicy(), "Algorithm MM (minimize maximum error)")
+    print(
+        "\nNote how IM keeps both the errors and the asynchronism far "
+        "smaller: the intersection recovers the information in how far the "
+        "clocks have actually drifted apart (paper, Section 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

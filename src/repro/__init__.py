@@ -1,0 +1,156 @@
+"""repro — Maintaining the Time in a Distributed System (Marzullo & Owicki, 1983).
+
+A full reproduction of the paper's interval-based time service:
+
+* :mod:`repro.core` — interval algebra, algorithms **MM** and **IM**,
+  Marzullo's fault-tolerant intersection, theorem bounds, recovery,
+  consonance.
+* :mod:`repro.simulation` — deterministic discrete-event engine.
+* :mod:`repro.clocks` — drift/instability/failure clock models.
+* :mod:`repro.network` — topologies, bounded-delay links, transport.
+* :mod:`repro.service` — time servers, clients, reference sources,
+  declarative service assembly.
+* :mod:`repro.baselines` — Lamport max, median/mean, first-reply.
+* :mod:`repro.analysis` — metrics, consistency groups, convergence, plots.
+* :mod:`repro.experiments` — one module per paper figure/theorem/anecdote.
+
+Quickstart::
+
+    from repro import (
+        IMPolicy, ServerSpec, build_service, full_mesh,
+    )
+
+    graph = full_mesh(4)
+    specs = [ServerSpec(f"S{k}", delta=2e-5, skew=(k - 2) * 1e-5)
+             for k in range(1, 5)]
+    service = build_service(graph, specs, policy=IMPolicy(), tau=60.0)
+    service.run_until(3600.0)
+    print(service.snapshot().errors)
+"""
+
+from .baselines import FirstReplyPolicy, LamportMaxPolicy, MeanPolicy, MedianPolicy
+from .clocks import (
+    Clock,
+    DriftingClock,
+    MonotonicClock,
+    PerfectClock,
+    QuantizedClock,
+    RacingClock,
+    RandomWalkClock,
+    SegmentDriftClock,
+    StoppedClock,
+    StuckOnResetClock,
+    uniform_sampler,
+)
+from .core import (
+    IMPolicy,
+    LocalState,
+    MMPolicy,
+    NullRecovery,
+    Reply,
+    ResetDecision,
+    ServiceParameters,
+    SynchronizationPolicy,
+    ThirdServerRecovery,
+    TimeInterval,
+    consistency,
+    intersect_all,
+    intersect_tolerating,
+    marzullo,
+    ntp_select,
+    theorem2_error_bound,
+    theorem3_asynchronism_bound,
+    theorem7_asynchronism_bound,
+)
+from .ordering import (
+    IntervalTimestamp,
+    TimestampAuthority,
+    certain_order,
+    commit_wait,
+)
+from .network import (
+    Network,
+    TruncatedExponentialDelay,
+    UniformDelay,
+    full_mesh,
+    line,
+    random_connected,
+    ring,
+    star,
+    two_level_internet,
+)
+from .service import (
+    ClientResult,
+    QueryStrategy,
+    ReferenceServer,
+    ServerSpec,
+    ServiceSnapshot,
+    SimulatedService,
+    TimeClient,
+    TimeServer,
+    build_service,
+)
+from .simulation import RngRegistry, SimulationEngine, TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clock",
+    "ClientResult",
+    "DriftingClock",
+    "FirstReplyPolicy",
+    "IMPolicy",
+    "IntervalTimestamp",
+    "LamportMaxPolicy",
+    "LocalState",
+    "MMPolicy",
+    "MeanPolicy",
+    "MedianPolicy",
+    "MonotonicClock",
+    "Network",
+    "NullRecovery",
+    "PerfectClock",
+    "QuantizedClock",
+    "QueryStrategy",
+    "RacingClock",
+    "RandomWalkClock",
+    "ReferenceServer",
+    "Reply",
+    "ResetDecision",
+    "RngRegistry",
+    "SegmentDriftClock",
+    "ServerSpec",
+    "ServiceParameters",
+    "ServiceSnapshot",
+    "SimulatedService",
+    "SimulationEngine",
+    "StoppedClock",
+    "StuckOnResetClock",
+    "SynchronizationPolicy",
+    "ThirdServerRecovery",
+    "TimeClient",
+    "TimestampAuthority",
+    "TimeInterval",
+    "TimeServer",
+    "TraceRecorder",
+    "TruncatedExponentialDelay",
+    "UniformDelay",
+    "build_service",
+    "certain_order",
+    "commit_wait",
+    "consistency",
+    "full_mesh",
+    "intersect_all",
+    "intersect_tolerating",
+    "line",
+    "marzullo",
+    "ntp_select",
+    "random_connected",
+    "ring",
+    "star",
+    "theorem2_error_bound",
+    "theorem3_asynchronism_bound",
+    "theorem7_asynchronism_bound",
+    "two_level_internet",
+    "uniform_sampler",
+]

@@ -1,0 +1,116 @@
+"""Theorem 4 convergence analysis.
+
+Theorem 4: in a service where no server resets to a clock with a worse
+error than its own, there is a finite time ``t_x`` after which the server
+with the smallest error (``S_M``) belongs to ``S_min`` — the set of servers
+with the smallest drift bound δ.  After convergence the service "derives
+its behavior from the most accurate clocks".
+
+This module provides the *predicted* worst-case convergence time from the
+theorem's construction,
+
+    t_x^0 = t_0 + max over (S_i in S_min, S_k not in S_min) of
+            (E_i(t_0) - E_k(t_0)) / (δ_k - δ_i)
+
+and the *measured* convergence time extracted from a snapshot series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..service.builder import ServiceSnapshot
+
+
+def s_min(deltas: Dict[str, float], tolerance: float = 0.0) -> set[str]:
+    """The set ``S_min`` of servers with the smallest drift bound.
+
+    Args:
+        deltas: Claimed δ by server name.
+        tolerance: Servers within ``tolerance`` of the minimum also count
+            (useful when δ's are floats from a sweep).
+    """
+    if not deltas:
+        return set()
+    minimum = min(deltas.values())
+    return {name for name, delta in deltas.items() if delta <= minimum + tolerance}
+
+
+def predicted_convergence_time(
+    errors_at_t0: Dict[str, float], deltas: Dict[str, float], t0: float = 0.0
+) -> float:
+    """Theorem 4's worst-case bound ``t_x^0``.
+
+    Returns ``t0`` when every server is already in ``S_min`` (nothing to
+    overtake) — convergence is immediate.
+
+    Raises:
+        ValueError: If the name sets disagree.
+    """
+    if set(errors_at_t0) != set(deltas):
+        raise ValueError("errors and deltas must cover the same servers")
+    best = s_min(deltas)
+    worst = t0
+    for name_i in best:
+        for name_k in deltas:
+            if name_k in best:
+                continue
+            gap = deltas[name_k] - deltas[name_i]
+            if gap <= 0:
+                continue
+            candidate = t0 + (errors_at_t0[name_i] - errors_at_t0[name_k]) / gap
+            worst = max(worst, candidate)
+    return worst
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Measured Theorem 4 behaviour over a snapshot series.
+
+    Attributes:
+        converged: Whether, from some snapshot on, the min-error server was
+            always in ``S_min``.
+        measured_time: First snapshot time after which membership held for
+            the rest of the horizon (None when never converged).
+        predicted_time: Theorem 4's ``t_x^0`` computed from the first
+            snapshot.
+        holder_series: The min-error server's name at each snapshot.
+    """
+
+    converged: bool
+    measured_time: Optional[float]
+    predicted_time: float
+    holder_series: tuple[str, ...]
+
+
+def analyze_convergence(
+    snapshots: Sequence[ServiceSnapshot], deltas: Dict[str, float]
+) -> ConvergenceReport:
+    """Extract Theorem 4's prediction and measurement from a run.
+
+    Raises:
+        ValueError: On an empty snapshot series.
+    """
+    if not snapshots:
+        raise ValueError("analyze_convergence needs at least one snapshot")
+    best = s_min(deltas)
+    holders = []
+    for snap in snapshots:
+        holder = min(snap.errors, key=lambda name: (snap.errors[name], name))
+        holders.append(holder)
+    # Find the first index from which every holder is in S_min.
+    measured_time: Optional[float] = None
+    for index in range(len(holders)):
+        if all(holder in best for holder in holders[index:]):
+            measured_time = snapshots[index].time
+            break
+    predicted = predicted_convergence_time(
+        dict(snapshots[0].errors), deltas, t0=snapshots[0].time
+    )
+    return ConvergenceReport(
+        converged=measured_time is not None,
+        measured_time=measured_time,
+        predicted_time=predicted,
+        holder_series=tuple(holders),
+    )

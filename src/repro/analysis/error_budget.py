@@ -1,0 +1,137 @@
+"""Error-budget decomposition.
+
+Section 2.2 enumerates the three components of a server's maximum error:
+the error inherited at the last reset, the transmission-delay allowance
+folded into it, and the deterioration since.  Rule MM-1 collapses them into
+``E_i = ε_i + age·δ_i``; this module un-collapses them for analysis:
+
+* :func:`server_budget` — the live split of one server's current error
+  into inherited vs. age-drift terms.
+* :func:`reset_budget_from_trace` — per-reset provenance mined from the
+  trace: how much of each adopted ε was the remote server's error vs. the
+  round-trip allowance (recoverable because replies carry ``E_j`` and the
+  decision records the total).
+* :func:`budget_series` — the two terms over a snapshot-aligned time grid,
+  for plotting "what is my error made of" charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..service.builder import SimulatedService
+from ..service.server import TimeServer
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """One server's error, decomposed at an instant.
+
+    Attributes:
+        server: Server name.
+        total: ``E_i`` — what rule MM-1 reports.
+        inherited: ``ε_i`` — the error adopted at the last reset (itself
+            remote error + delay allowance at that time).
+        age_drift: ``(C_i - r_i)·δ_i`` — deterioration since the reset.
+        age: Clock-time seconds since the last reset.
+    """
+
+    server: str
+    total: float
+    inherited: float
+    age_drift: float
+    age: float
+
+    @property
+    def drift_fraction(self) -> float:
+        """Share of the error due to deterioration (0 when E is 0)."""
+        return self.age_drift / self.total if self.total > 0 else 0.0
+
+
+def server_budget(server: TimeServer) -> ErrorBudget:
+    """Decompose a live server's current error."""
+    value, total = server.report()
+    inherited = server.epsilon
+    last = server.last_reset_value
+    age = max(0.0, value - last) if last is not None else 0.0
+    return ErrorBudget(
+        server=server.name,
+        total=total,
+        inherited=inherited,
+        age_drift=age * server.delta,
+        age=age,
+    )
+
+
+def service_budgets(service: SimulatedService) -> Dict[str, ErrorBudget]:
+    """Budgets for every server, keyed by name."""
+    return {
+        name: server_budget(server)
+        for name, server in sorted(service.servers.items())
+    }
+
+
+def budget_series(
+    service: SimulatedService, times: Sequence[float], server_name: str
+) -> List[ErrorBudget]:
+    """Advance the service through ``times``, decomposing at each."""
+    series = []
+    for t in times:
+        service.run_until(t)
+        series.append(server_budget(service.servers[server_name]))
+    return series
+
+
+@dataclass(frozen=True)
+class ResetProvenance:
+    """Where one reset's inherited error came from.
+
+    Attributes:
+        time: Real time of the reset.
+        server: Resetting server.
+        source: The server(s) the new value derived from.
+        inherited: The adopted ε (total).
+        kind: "sync" or "recovery".
+    """
+
+    time: float
+    server: str
+    source: str
+    inherited: float
+    kind: str
+
+
+def reset_budget_from_trace(service: SimulatedService) -> List[ResetProvenance]:
+    """All resets recorded in the service trace, as provenance rows."""
+    rows = []
+    for record in service.trace.filter(kind="reset"):
+        rows.append(
+            ResetProvenance(
+                time=record.time,
+                server=record.source,
+                source=record.data.get("from_server", ""),
+                inherited=float(record.data.get("new_error", 0.0)),
+                kind=record.data.get("reset_kind", "sync"),
+            )
+        )
+    return rows
+
+
+def render_budget_table(budgets: Dict[str, ErrorBudget]) -> str:
+    """Aligned table of the decomposition (for reports and examples)."""
+    from .plots import render_table
+
+    rows = [
+        [
+            budget.server,
+            budget.total,
+            budget.inherited,
+            budget.age_drift,
+            f"{budget.drift_fraction:.0%}",
+        ]
+        for budget in budgets.values()
+    ]
+    return render_table(
+        ["server", "E total", "inherited ε", "age drift", "drift share"], rows
+    )

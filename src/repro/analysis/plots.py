@@ -1,0 +1,149 @@
+"""ASCII rendering of interval diagrams and series.
+
+The paper's figures are interval diagrams: horizontal bars per server with
+the true time marked by a dashed line (Figures 1–4).  The benchmark harness
+regenerates them as text so the reproduction is self-contained in a
+terminal.  Nothing here affects the algorithms; it only renders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.intervals import TimeInterval
+
+
+def render_intervals(
+    intervals: Dict[str, TimeInterval],
+    *,
+    true_time: Optional[float] = None,
+    width: int = 72,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render named intervals as aligned ASCII bars.
+
+    Args:
+        intervals: Bars to draw, keyed by label; drawn in sorted-key order.
+        true_time: When given, a ``|`` column marks the correct time (the
+            paper's dashed line).
+        width: Character width of the plotting area.
+        lo: Left edge of the plotting window (default: min edge, padded).
+        hi: Right edge of the plotting window (default: max edge, padded).
+
+    Returns:
+        A multi-line string; each bar is ``[=====]`` with ``*`` at the
+        centre (the clock value ``C``).
+    """
+    if not intervals:
+        return "(no intervals)"
+    edges_lo = min(interval.lo for interval in intervals.values())
+    edges_hi = max(interval.hi for interval in intervals.values())
+    if true_time is not None:
+        edges_lo = min(edges_lo, true_time)
+        edges_hi = max(edges_hi, true_time)
+    span = max(edges_hi - edges_lo, 1e-12)
+    pad = 0.05 * span
+    window_lo = lo if lo is not None else edges_lo - pad
+    window_hi = hi if hi is not None else edges_hi + pad
+    window = max(window_hi - window_lo, 1e-12)
+
+    def column(value: float) -> int:
+        fraction = (value - window_lo) / window
+        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+    label_width = max(len(name) for name in intervals)
+    lines = []
+    mark = column(true_time) if true_time is not None else None
+    for name in sorted(intervals):
+        interval = intervals[name]
+        row = [" "] * width
+        start, stop = column(interval.lo), column(interval.hi)
+        for index in range(start, stop + 1):
+            row[index] = "="
+        row[start] = "["
+        row[stop] = "]"
+        centre = column(interval.center)
+        row[centre] = "*"
+        if mark is not None and row[mark] == " ":
+            row[mark] = "|"
+        lines.append(f"{name:>{label_width}} {''.join(row)}")
+    if mark is not None:
+        ruler = [" "] * width
+        ruler[mark] = "|"
+        lines.append(f"{'true':>{label_width}} {''.join(ruler)}")
+    return "\n".join(lines)
+
+
+def render_series(
+    t: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render one or more time series as a crude ASCII line chart.
+
+    Each series gets a distinct glyph; rows are value buckets (top = max).
+    Intended for benchmark output (error growth curves, asynchronism), not
+    publication graphics.
+    """
+    if not series or not t:
+        return "(no data)"
+    glyphs = "ox+#%@&$"
+    all_values = [value for values in series.values() for value in values]
+    vmin, vmax = min(all_values), max(all_values)
+    span = max(vmax - vmin, 1e-12)
+    tmin, tmax = min(t), max(t)
+    tspan = max(tmax - tmin, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        glyph = glyphs[index % len(glyphs)]
+        for time, value in zip(t, values):
+            col = int(round((time - tmin) / tspan * (width - 1)))
+            row = int(round((vmax - value) / span * (height - 1)))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{vmax:.3e} ┐")
+    for row in grid:
+        lines.append("          │" + "".join(row))
+    lines.append(f"{vmin:.3e} ┘" + "─" * width)
+    legend = "   ".join(
+        f"{glyphs[index % len(glyphs)]}={name}"
+        for index, name in enumerate(sorted(series))
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, precision: int = 4
+) -> str:
+    """Render a small results table with aligned columns.
+
+    Floats are formatted to ``precision`` significant digits; everything
+    else via ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in text_rows))
+        if text_rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[col]) for col, header in enumerate(headers)),
+        "  ".join("-" * widths[col] for col in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Small statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of a series.
+
+    Attributes:
+        count: Number of samples.
+        mean: Arithmetic mean.
+        std: Population standard deviation.
+        minimum: Smallest sample.
+        maximum: Largest sample.
+        p50: Median.
+        p95: 95th percentile.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a non-empty series.
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if len(values) == 0:
+        raise ValueError("summarize() of empty series")
+    array = np.asarray(values, dtype=float)
+    return SeriesSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+    )
+
+
+def ratio_of_rates(numerator: float, denominator: float) -> float:
+    """Safe ratio used for "MM grows N× faster than IM" style claims.
+
+    Returns ``inf`` when the denominator underflows to ~0 while the
+    numerator does not, and 1.0 when both are ~0 (no growth on either side
+    means the ratio carries no information).
+    """
+    eps = 1e-15
+    if abs(denominator) < eps:
+        return float("inf") if abs(numerator) >= eps else 1.0
+    return numerator / denominator
+
+
+def confidence_interval_mean(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation CI for the mean (benchmarks report spread).
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if len(values) == 0:
+        raise ValueError("confidence interval of empty series")
+    array = np.asarray(values, dtype=float)
+    half = z * array.std(ddof=1) / np.sqrt(array.size) if array.size > 1 else 0.0
+    return float(array.mean() - half), float(array.mean() + half)

@@ -1,0 +1,18 @@
+"""Baseline synchronization functions the paper compares against.
+
+[Lamport 78]'s maximum, [Lamport 82]'s median/mean family, and the
+introduction's first-reply strawman — all as
+:class:`~repro.core.sync.SynchronizationPolicy` implementations pluggable
+into the same :class:`~repro.service.server.TimeServer`.
+"""
+
+from .averaging import MeanPolicy, MedianPolicy
+from .first_reply import FirstReplyPolicy
+from .lamport_max import LamportMaxPolicy
+
+__all__ = [
+    "FirstReplyPolicy",
+    "LamportMaxPolicy",
+    "MeanPolicy",
+    "MedianPolicy",
+]

@@ -1,0 +1,121 @@
+"""Baselines: median and fault-tolerant mean [Lamport 82].
+
+Section 1.2 cites "the median clock value and the mean value of the clocks"
+as the synchronization functions behind very fault-tolerant algorithms
+(Lamport & Melliar-Smith's interactive convergence / CNV family).  These
+keep clocks *mutually* synchronized under Byzantine faults but, unlike MM
+and IM, carry no per-clock error semantics — the service is only as
+accurate as the population average.
+
+Both policies measure each neighbour's offset with Cristian-style midpoint
+delay compensation::
+
+    offset_j = C_j + ξ^i_j / 2 - C_i
+
+include the self-offset 0, and adjust the local clock by the combined
+offset.  :class:`MeanPolicy` implements interactive convergence's fault
+filter: offsets beyond ``discard_threshold`` are replaced by 0 (the
+algorithm's "substitute own value" rule).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from ..core.sync import (
+    LocalState,
+    Reply,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+def _offsets(state: LocalState, replies: Sequence[Reply]) -> list[tuple[str, float]]:
+    pairs = [("self", 0.0)]
+    for reply in replies:
+        offset = reply.clock_value + reply.rtt_local / 2.0 - state.clock_value
+        pairs.append((reply.server, offset))
+    return pairs
+
+
+def _error_bookkeeping(state: LocalState, replies: Sequence[Reply]) -> float:
+    """Charitable error accounting for point baselines: the median of the
+    inflated reply errors (these algorithms make no correctness claim, so
+    any accounting is heuristic; oracle metrics are what the benchmarks
+    compare)."""
+    if not replies:
+        return state.error
+    return statistics.median(
+        reply.inflated_error(state.delta) for reply in replies
+    )
+
+
+class MedianPolicy(SynchronizationPolicy):
+    """Adjust the clock by the median measured offset (self included).
+
+    The median tolerates up to half the neighbours being arbitrarily wrong
+    without chasing them, at the price of ignoring the precision information
+    intervals would carry.
+    """
+
+    name = "median"
+    incremental = False
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        if not replies:
+            return RoundOutcome(consistent=True)
+        offsets = [offset for _name, offset in _offsets(state, replies)]
+        adjustment = statistics.median(offsets)
+        if adjustment == 0.0:
+            return RoundOutcome(consistent=True)
+        decision = ResetDecision(
+            clock_value=state.clock_value + adjustment,
+            inherited_error=_error_bookkeeping(state, replies),
+            source="median",
+        )
+        return RoundOutcome(consistent=True, decision=decision)
+
+
+class MeanPolicy(SynchronizationPolicy):
+    """Interactive-convergence mean: average offsets, zeroing outliers.
+
+    Args:
+        discard_threshold: Offsets with magnitude beyond this are replaced
+            by 0 before averaging ([Lamport 82]'s egocentric substitution);
+            None disables the filter (plain mean).
+    """
+
+    name = "mean"
+    incremental = False
+
+    def __init__(self, discard_threshold: float | None = None) -> None:
+        if discard_threshold is not None and discard_threshold <= 0:
+            raise ValueError(
+                f"discard_threshold must be positive, got {discard_threshold}"
+            )
+        self.discard_threshold = discard_threshold
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        if not replies:
+            return RoundOutcome(consistent=True)
+        offsets = [offset for _name, offset in _offsets(state, replies)]
+        if self.discard_threshold is not None:
+            offsets = [
+                offset if abs(offset) <= self.discard_threshold else 0.0
+                for offset in offsets
+            ]
+        adjustment = sum(offsets) / len(offsets)
+        if adjustment == 0.0:
+            return RoundOutcome(consistent=True)
+        decision = ResetDecision(
+            clock_value=state.clock_value + adjustment,
+            inherited_error=_error_bookkeeping(state, replies),
+            source="mean",
+        )
+        return RoundOutcome(consistent=True, decision=decision)

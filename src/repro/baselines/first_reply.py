@@ -1,0 +1,47 @@
+"""Baseline: adopt the first reply (the introduction's naive service).
+
+"Usually the client simply requests the time from any subset of the time
+servers making up the service, and uses the first reply."  Promoted to a
+synchronization function, this means: every round, unconditionally reset to
+the first reply that arrives (with midpoint delay compensation).  It is the
+weakest sensible baseline — the service performs a random walk among its
+members' clocks — and gives the benchmarks their floor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.sync import (
+    LocalState,
+    Reply,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+class FirstReplyPolicy(SynchronizationPolicy):
+    """Unconditionally reset to the first reply of each round.
+
+    The server's pending-reply list preserves arrival order, so
+    ``replies[0]`` is the genuinely first reply.  The inherited error uses
+    the MM accounting (reply error plus inflated round trip) to keep the
+    reported intervals honest even though the *selection* ignores them.
+    """
+
+    name = "first-reply"
+    incremental = False
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        if not replies:
+            return RoundOutcome(consistent=True)
+        first = replies[0]
+        decision = ResetDecision(
+            clock_value=first.clock_value + first.rtt_local / 2.0,
+            inherited_error=first.inflated_error(state.delta),
+            source=first.server,
+        )
+        return RoundOutcome(consistent=True, decision=decision)

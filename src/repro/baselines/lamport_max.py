@@ -1,0 +1,70 @@
+"""Baseline: Lamport's maximum synchronization function [Lamport 78].
+
+Section 1.2 names "the maximum value of the clocks" as the simple function
+that preserves monotonicity: a clock is never set backwards, only forwards
+to the largest clock heard.  The cost, as the paper notes, is that the
+service's time is driven by its *fastest* clock — the error with respect to
+a standard grows at the largest positive skew in the system — and a single
+racing clock drags everyone with it (no notion of consistency exists to
+reject it).
+
+The policy is batch (it could be incremental, but evaluating at round end
+keeps one reset per round, which is what [Lamport 78] message-driven
+adjustment amounts to under periodic exchange).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.sync import (
+    LocalState,
+    Reply,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+class LamportMaxPolicy(SynchronizationPolicy):
+    """Set the clock to the maximum of all clocks heard (never backwards).
+
+    Args:
+        compensate_delay: Add half the locally-measured round trip to each
+            reply before comparing (Cristian-style midpoint compensation);
+            [Lamport 78] adds the known minimum delay, which is zero here.
+
+    Error bookkeeping: the inherited error is the adopted reply's error
+    inflated by the full round trip, as in MM — the baseline predates
+    interval semantics, so this is the charitable accounting that keeps the
+    comparison on oracle metrics fair.
+    """
+
+    name = "lamport-max"
+    incremental = False
+
+    def __init__(self, compensate_delay: bool = True) -> None:
+        self.compensate_delay = compensate_delay
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        if not replies:
+            return RoundOutcome(consistent=True)
+        best_value = state.clock_value
+        best: Reply | None = None
+        for reply in replies:
+            value = reply.clock_value
+            if self.compensate_delay:
+                value += reply.rtt_local / 2.0
+            if value > best_value:
+                best_value = value
+                best = reply
+        if best is None:
+            return RoundOutcome(consistent=True)  # we are already the max
+        decision = ResetDecision(
+            clock_value=best_value,
+            inherited_error=best.inflated_error(state.delta),
+            source=best.server,
+        )
+        return RoundOutcome(consistent=True, decision=decision)

@@ -1,0 +1,335 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro simulate   # build and run a service from flags
+    python -m repro figures    # regenerate the paper's figures
+    python -m repro experiment # run any experiment module by name
+
+``simulate`` is the workhorse: it assembles a topology, a clock population,
+and a synchronization policy from flags, runs for the requested simulated
+duration, and prints the final service state (optionally exporting the
+sampled series to CSV/JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.export import snapshots_to_csv, snapshots_to_json
+from .analysis.plots import render_intervals, render_table
+from .analysis.report import service_report
+from .baselines import FirstReplyPolicy, LamportMaxPolicy, MeanPolicy, MedianPolicy
+from .core.im import IMPolicy
+from .core.mm import MMPolicy
+from .core.recovery import ThirdServerRecovery
+from .experiments import (
+    ablations,
+    churn as churn_experiment,
+    cold_start,
+    correctness,
+    delay_asymmetry,
+    discipline,
+    drift_recovery,
+    failures,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    overhead,
+    partition,
+    quantization,
+    tenfold,
+    theorem4,
+    topology_study,
+    theorem8,
+    theorem_bounds,
+)
+from .network.delay import UniformDelay
+from .network.topology import full_mesh, line, random_connected, ring, star, two_level_internet
+from .service.builder import ServerSpec, build_service
+from .service.churn import ChurnController
+from .simulation.rng import RngRegistry
+
+POLICIES = {
+    "mm": MMPolicy,
+    "im": IMPolicy,
+    "max": LamportMaxPolicy,
+    "median": MedianPolicy,
+    "mean": MeanPolicy,
+    "first": FirstReplyPolicy,
+}
+
+EXPERIMENTS = {
+    "figure1": figure1.main,
+    "figure2": figure2.main,
+    "figure3": figure3.main,
+    "figure4": figure4.main,
+    "theorem4": theorem4.main,
+    "theorem8": theorem8.main,
+    "theorem-bounds": theorem_bounds.main,
+    "tenfold": tenfold.main,
+    "recovery": drift_recovery.main,
+    "partition": partition.main,
+    "quantization": quantization.main,
+    "topology": topology_study.main,
+    "churn": churn_experiment.main,
+    "cold-start": cold_start.main,
+    "discipline": discipline.main,
+    "failures": failures.main,
+    "overhead": overhead.main,
+    "correctness": correctness.main,
+    "asymmetry": delay_asymmetry.main,
+    "ablations": ablations.main,
+}
+
+
+def _build_topology(args: argparse.Namespace):
+    if args.topology == "mesh":
+        return full_mesh(args.servers)
+    if args.topology == "ring":
+        return ring(args.servers)
+    if args.topology == "line":
+        return line(args.servers)
+    if args.topology == "star":
+        return star(args.servers)
+    if args.topology == "internet":
+        networks = max(2, args.servers // 4)
+        per = max(2, args.servers // networks)
+        return two_level_internet(networks, per)
+    if args.topology == "random":
+        rng = RngRegistry(seed=args.seed).stream("topology")
+        return random_connected(args.servers, 0.3, rng)
+    raise SystemExit(f"unknown topology {args.topology!r}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """The ``simulate`` subcommand."""
+    graph = _build_topology(args)
+    names = sorted(graph.nodes)
+    n = len(names)
+    specs = []
+    for k, name in enumerate(names):
+        if args.reference > 0 and k < args.reference:
+            specs.append(ServerSpec(name, reference=True, initial_error=0.001))
+            continue
+        skew = (
+            args.fill * args.delta * (2.0 * k / (n - 1) - 1.0) if n > 1 else 0.0
+        )
+        specs.append(
+            ServerSpec(
+                name,
+                delta=args.delta,
+                skew=skew,
+                rate_tracking=args.rate_tracking,
+                discipline=args.discipline,
+            )
+        )
+    recovery_factory = None
+    if args.recovery:
+        recovery_factory = lambda name: ThirdServerRecovery()  # noqa: E731
+    service = build_service(
+        graph,
+        specs,
+        policy=POLICIES[args.policy](),
+        tau=args.tau,
+        seed=args.seed,
+        lan_delay=UniformDelay(args.one_way),
+        wan_delay=UniformDelay(args.one_way * 5),
+        recovery_factory=recovery_factory,
+        trace_enabled=True,
+    )
+    if args.churn:
+        controller = ChurnController(
+            service.engine,
+            [s for s in service.servers.values() if s.policy is not None],
+            service.rng.stream("churn"),
+            interval=args.tau * 4,
+            mean_downtime=args.tau * 2,
+            rejoin_error=1.0,
+        )
+        controller.start()
+
+    horizon = args.hours * 3600.0
+    sample_count = max(2, args.samples)
+    step = horizon / (sample_count - 1)
+    snapshots = service.sample([step * k for k in range(sample_count)])
+    snap = snapshots[-1]
+
+    print(
+        f"{args.policy.upper()} on {args.topology} ({n} servers), "
+        f"τ={args.tau:g}s, ξ={2 * args.one_way:g}s, after {args.hours:g} h:"
+    )
+    rows = [
+        [
+            name,
+            snap.values[name],
+            snap.errors[name],
+            snap.offsets[name],
+            snap.correct[name],
+        ]
+        for name in names
+    ]
+    print(
+        render_table(
+            ["server", "clock", "error E", "true offset", "correct"],
+            rows,
+            precision=6,
+        )
+    )
+    print(
+        f"asynchronism {snap.asynchronism * 1e3:.2f} ms | "
+        f"consistent {snap.consistent} | all correct {snap.all_correct}"
+    )
+    if args.diagram:
+        print(render_intervals(snap.intervals(), true_time=snap.time))
+    if args.report:
+        print()
+        print(service_report(service, include_diagram=False))
+    if args.export_csv:
+        written = snapshots_to_csv(snapshots, args.export_csv)
+        print(f"wrote {written} rows to {args.export_csv}")
+    if args.export_json:
+        written = snapshots_to_json(snapshots, args.export_json)
+        print(f"wrote {written} snapshots to {args.export_json}")
+    return 0 if snap.all_correct else 1
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """The ``figures`` subcommand."""
+    mains = {
+        "1": figure1.main,
+        "2": figure2.main,
+        "3": figure3.main,
+        "4": figure4.main,
+    }
+    targets = sorted(mains) if args.which == "all" else [args.which]
+    for index, which in enumerate(targets):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        mains[which]()
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """The ``experiment`` subcommand."""
+    if args.name == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(
+            f"unknown experiment {args.name!r}; try: "
+            + ", ".join(sorted(EXPERIMENTS)),
+            file=sys.stderr,
+        )
+        return 2
+    runner()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: map the steady-state response surface."""
+    from .sweeps import ParameterGrid, mesh_steady_state, run_sweep
+
+    grid = ParameterGrid.of(
+        policy=args.policies,
+        n=args.sizes,
+        tau=args.taus,
+        one_way=args.one_ways,
+    )
+    print(f"sweeping {len(grid)} points x {args.replications} replications...")
+    result = run_sweep(
+        mesh_steady_state,
+        grid,
+        replications=args.replications,
+        base_seed=args.seed,
+    )
+    print(result.to_table())
+    if result.failures:
+        print(f"{len(result.failures)} failed points:", file=sys.stderr)
+        for point in result.failures:
+            print(f"  {point.label}: {point.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Marzullo & Owicki (1983) time-service reproduction: simulate "
+            "interval-based clock synchronization, regenerate the paper's "
+            "figures and experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="build and run a service")
+    sim.add_argument("--topology", default="mesh",
+                     choices=["mesh", "ring", "line", "star", "internet", "random"])
+    sim.add_argument("--servers", type=int, default=4)
+    sim.add_argument("--policy", default="im", choices=sorted(POLICIES))
+    sim.add_argument("--delta", type=float, default=1e-5,
+                     help="claimed maximum drift rate δ (s/s)")
+    sim.add_argument("--fill", type=float, default=0.9,
+                     help="fraction of ±δ the actual skews span")
+    sim.add_argument("--tau", type=float, default=60.0, help="poll period (s)")
+    sim.add_argument("--one-way", type=float, default=0.05,
+                     help="one-way delay bound (s); ξ is twice this")
+    sim.add_argument("--hours", type=float, default=1.0)
+    sim.add_argument("--samples", type=int, default=60)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--reference", type=int, default=0,
+                     help="number of reference (standard) servers")
+    sim.add_argument("--recovery", action="store_true",
+                     help="enable third-server recovery")
+    sim.add_argument("--rate-tracking", action="store_true",
+                     help="enable Section 5 consonance tracking")
+    sim.add_argument("--discipline", action="store_true",
+                     help="enable frequency discipline (implies tracking)")
+    sim.add_argument("--report", action="store_true",
+                     help="print the full operator report at the end")
+    sim.add_argument("--churn", action="store_true",
+                     help="enable leave/rejoin membership churn")
+    sim.add_argument("--diagram", action="store_true",
+                     help="print the final interval diagram")
+    sim.add_argument("--export-csv", metavar="PATH")
+    sim.add_argument("--export-json", metavar="PATH")
+    sim.set_defaults(func=cmd_simulate)
+
+    fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig.add_argument("which", nargs="?", default="all",
+                     choices=["all", "1", "2", "3", "4"])
+    fig.set_defaults(func=cmd_figures)
+
+    exp = sub.add_parser("experiment", help="run an experiment by name")
+    exp.add_argument("name", help="experiment name, or 'list'")
+    exp.set_defaults(func=cmd_experiment)
+
+    swp = sub.add_parser("sweep", help="steady-state parameter sweep")
+    swp.add_argument("--policies", nargs="+", default=["MM", "IM"],
+                     choices=["MM", "IM"])
+    swp.add_argument("--sizes", nargs="+", type=int, default=[3, 6])
+    swp.add_argument("--taus", nargs="+", type=float, default=[30.0, 120.0])
+    swp.add_argument("--one-ways", nargs="+", type=float, default=[0.01])
+    swp.add_argument("--replications", type=int, default=1)
+    swp.add_argument("--seed", type=int, default=0)
+    swp.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Clock models.
+
+Implements the paper's clock abstraction (Section 2.1): functions from real
+time to clock time, continuous between resets, with bounded drift in the
+healthy case and a menu of failure modes for the fault experiments.
+"""
+
+from .base import Clock, ClockError, RateClock
+from .disciplined import DisciplinedClock
+from .environmental import AgingClock, TemperatureDriftClock
+from .drift import (
+    DriftingClock,
+    SegmentDriftClock,
+    SkewSampler,
+    biased_uniform_sampler,
+    truncated_normal_sampler,
+    uniform_sampler,
+)
+from .failures import RacingClock, StoppedClock, StuckOnResetClock
+from .monotonic import MonotonicClock
+from .perfect import PerfectClock
+from .quantized import QuantizedClock
+from .random_walk import RandomWalkClock
+
+__all__ = [
+    "AgingClock",
+    "Clock",
+    "ClockError",
+    "DisciplinedClock",
+    "TemperatureDriftClock",
+    "DriftingClock",
+    "MonotonicClock",
+    "PerfectClock",
+    "QuantizedClock",
+    "RacingClock",
+    "RandomWalkClock",
+    "RateClock",
+    "SegmentDriftClock",
+    "SkewSampler",
+    "StoppedClock",
+    "StuckOnResetClock",
+    "biased_uniform_sampler",
+    "truncated_normal_sampler",
+    "uniform_sampler",
+]

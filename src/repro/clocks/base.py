@@ -1,0 +1,129 @@
+"""Clock abstractions.
+
+Following Section 2.1 of the paper, a clock is a function ``C(t)`` mapping
+real time to clock time, continuous between resets.  A *perfect clock* reads
+``C(t) = t``; a clock is *correct* at ``t0`` if the real time lies within
+``[C(t0) - E(t0), C(t0) + E(t0)]``; a clock is *accurate* if ``dC/dt = 1``.
+The paper's drift assumption is ``|1 - dC/dt| <= δ`` for a known maximum
+drift rate δ.
+
+Two δ-like quantities appear throughout this repository and must not be
+confused:
+
+* ``claimed_delta`` — the bound δ the *algorithm* believes (rule MM-1 uses
+  it to grow the reported error).  This is configuration.
+* the clock's *actual* rate behaviour — a property of the clock model.  In a
+  healthy service ``actual |rate| <= claimed_delta``; the fault experiments
+  (Figure 3 and the Section 3 anecdote) deliberately violate this.
+
+Clocks here are passive: they are read at engine real times and mutated only
+by :meth:`Clock.set`.  Reads must be at non-decreasing real times (which is
+how a discrete-event simulation naturally queries them); stochastic models
+rely on this to generate their sample paths lazily and reproducibly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ClockError(RuntimeError):
+    """Raised on invalid clock operations (e.g. reading backwards in time)."""
+
+
+class Clock(abc.ABC):
+    """Abstract mapping from real time to clock time, mutable via resets.
+
+    Subclasses implement :meth:`_read` and :meth:`_apply_set`; the base class
+    enforces the non-decreasing-read discipline and tracks reset counts.
+    """
+
+    def __init__(self) -> None:
+        self._last_read_time = float("-inf")
+        self._resets = 0
+
+    # -------------------------------------------------------------- reading
+
+    def read(self, t: float) -> float:
+        """Return the clock's value ``C(t)`` at real time ``t``.
+
+        Raises:
+            ClockError: If ``t`` precedes an earlier read or set (clock
+                sample paths are generated forwards only).
+        """
+        if t < self._last_read_time - 1e-12:
+            raise ClockError(
+                f"clock read at t={t} before previous access at "
+                f"t={self._last_read_time}"
+            )
+        self._last_read_time = max(self._last_read_time, t)
+        return self._read(t)
+
+    @abc.abstractmethod
+    def _read(self, t: float) -> float:
+        """Subclass hook: value at real time ``t`` (``t`` already validated)."""
+
+    # -------------------------------------------------------------- setting
+
+    def set(self, t: float, value: float) -> None:
+        """Reset the clock so that ``C(t) == value`` (modulo failure models).
+
+        The paper allows clocks to be "freely set backward as well as
+        forward" (Section 1.1); monotonicity for clients is provided by the
+        :class:`~repro.clocks.monotonic.MonotonicClock` adapter instead.
+        """
+        if t < self._last_read_time - 1e-12:
+            raise ClockError(
+                f"clock set at t={t} before previous access at "
+                f"t={self._last_read_time}"
+            )
+        self._last_read_time = max(self._last_read_time, t)
+        self._resets += 1
+        self._apply_set(t, value)
+
+    @abc.abstractmethod
+    def _apply_set(self, t: float, value: float) -> None:
+        """Subclass hook: perform the reset (or refuse it, for fault models)."""
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def resets(self) -> int:
+        """Number of times :meth:`set` has been called."""
+        return self._resets
+
+    def offset(self, t: float) -> float:
+        """Convenience: the clock's offset from real time, ``C(t) - t``."""
+        return self.read(t) - t
+
+
+class RateClock(Clock):
+    """A clock that advances at a (possibly time-varying) rate ``1 + skew``.
+
+    The instantaneous *skew* is ``dC/dt - 1``; the paper's drift bound is
+    ``|skew| <= δ``.  The base implementation models a single constant-skew
+    segment; stochastic subclasses re-segment on reads and resets.
+    """
+
+    def __init__(self, *, epoch: float = 0.0, initial: float = 0.0, skew: float = 0.0):
+        super().__init__()
+        self._seg_start = float(epoch)
+        self._seg_value = float(initial)
+        self._skew = float(skew)
+
+    @property
+    def skew(self) -> float:
+        """Current segment's skew (``dC/dt - 1``)."""
+        return self._skew
+
+    def _read(self, t: float) -> float:
+        return self._seg_value + (t - self._seg_start) * (1.0 + self._skew)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        self._seg_start = t
+        self._seg_value = value
+        self._skew = self._next_skew(t)
+
+    def _next_skew(self, t: float) -> float:
+        """Hook: skew for the segment beginning at a reset.  Default: unchanged."""
+        return self._skew

@@ -1,0 +1,105 @@
+"""Software-disciplined clocks: rate correction on top of a raw oscillator.
+
+The paper's algorithms correct clock *values*; its Section 5 sketch (and
+the thesis) apply the same machinery to clock *rates*.  The missing piece
+to make rate knowledge useful is a clock that can be told "run a bit
+slower": real kernels expose exactly that (``adjtimex`` frequency offsets),
+and NTP's discipline loop drives it.
+
+:class:`DisciplinedClock` wraps any raw :class:`~repro.clocks.base.Clock`
+and applies a software rate multiplier: reading it returns::
+
+    D(t) = D(t0) + (C(t) - C(t0)) * (1 + correction)
+
+piecewise between correction changes.  Setting the clock sets the value (as
+the synchronization algorithms require); :meth:`adjust_rate` retunes the
+multiplier.  A correction of ``-skew/(1+skew)`` exactly cancels a raw skew;
+in practice the estimator that feeds it knows the skew only approximately,
+which is what the discipline experiments measure.
+"""
+
+from __future__ import annotations
+
+from .base import Clock
+
+
+class DisciplinedClock(Clock):
+    """A rate-correctable view over a raw hardware clock.
+
+    Args:
+        raw: The underlying oscillator-driven clock.
+        max_correction: Safety clamp on ``|correction|`` (kernels clamp
+            too; NTP's limit is 500 ppm).  Adjustments beyond it are
+            clipped, not rejected.
+    """
+
+    def __init__(self, raw: Clock, max_correction: float = 0.05) -> None:
+        super().__init__()
+        if max_correction <= 0:
+            raise ValueError(
+                f"max_correction must be positive, got {max_correction}"
+            )
+        self.raw = raw
+        self.max_correction = float(max_correction)
+        self._correction = 0.0
+        self._anchor_raw: float | None = None
+        self._anchor_value: float | None = None
+        self._adjustments = 0
+
+    @property
+    def correction(self) -> float:
+        """The current rate multiplier offset (``0`` = passthrough)."""
+        return self._correction
+
+    @property
+    def adjustments(self) -> int:
+        """How many times :meth:`adjust_rate` changed the correction."""
+        return self._adjustments
+
+    def _materialise(self, t: float) -> float:
+        raw_now = self.raw.read(t)
+        if self._anchor_raw is None or self._anchor_value is None:
+            self._anchor_raw = raw_now
+            self._anchor_value = raw_now
+        return self._anchor_value + (raw_now - self._anchor_raw) * (
+            1.0 + self._correction
+        )
+
+    def _read(self, t: float) -> float:
+        return self._materialise(t)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        # Re-anchor so the disciplined view reads `value` now; the raw
+        # clock is never touched (the oscillator cannot be set).
+        raw_now = self.raw.read(t)
+        self._anchor_raw = raw_now
+        self._anchor_value = value
+
+    def adjust_rate(self, t: float, correction: float) -> float:
+        """Set the rate correction, effective from real time ``t``.
+
+        Args:
+            t: Real time of the adjustment (reads must not go backwards).
+            correction: Desired multiplier offset; clamped to
+                ``±max_correction``.
+
+        Returns:
+            The correction actually applied (after clamping).
+        """
+        # Close the current segment at its present value, then retune.
+        current = self._materialise(t)
+        self._anchor_raw = self.raw.read(t)
+        self._anchor_value = current
+        clamped = max(-self.max_correction, min(self.max_correction, correction))
+        if clamped != self._correction:
+            self._adjustments += 1
+        self._correction = clamped
+        return clamped
+
+    def effective_skew(self, raw_skew: float) -> float:
+        """The net skew of the disciplined view given the raw skew.
+
+        ``(1 + raw_skew)(1 + correction) - 1`` — used by tests and by the
+        discipline loop's convergence analysis.
+        """
+        return (1.0 + raw_skew) * (1.0 + self._correction) - 1.0

@@ -1,0 +1,120 @@
+"""Constant- and per-segment-drift clock models.
+
+These are the workhorse models for the paper's experiments:
+
+* :class:`DriftingClock` — a fixed skew for its whole lifetime (a crystal
+  with a constant frequency error).  Used for the deterministic scenarios
+  (Figures 1 and 3, the Section 3 anecdote with the clock "about four
+  percent fast").
+* :class:`SegmentDriftClock` — draws a fresh skew from a distribution at
+  every reset.  This is exactly Theorem 8's model: "the actual drift rate a
+  clock exhibits between two successive readings of its value ... be the
+  random variable α", i.i.d. per segment, supported on ``[-δ, +δ]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .base import RateClock
+
+#: A callable returning the skew for a new clock segment.
+SkewSampler = Callable[[], float]
+
+
+class DriftingClock(RateClock):
+    """A clock running at a constant rate ``1 + skew`` forever.
+
+    Args:
+        skew: The constant frequency error ``dC/dt - 1``.  Positive means
+            the clock runs fast.  The paper writes this as a drift within
+            ``|skew| <= δ``; nothing here enforces the bound, so fault
+            scenarios can simply pass a skew exceeding the claimed δ.
+        epoch: Real time at which ``initial`` is the clock's value.
+        initial: Clock value at ``epoch``.
+
+    Example:
+        >>> clock = DriftingClock(skew=0.01, epoch=0.0, initial=0.0)
+        >>> clock.read(100.0)
+        101.0
+    """
+
+    def __init__(self, skew: float, *, epoch: float = 0.0, initial: Optional[float] = None):
+        if initial is None:
+            initial = epoch
+        super().__init__(epoch=epoch, initial=initial, skew=skew)
+
+
+class SegmentDriftClock(RateClock):
+    """A clock whose skew is redrawn (i.i.d.) at every reset.
+
+    This realises Theorem 8's stochastic model.  With ``uniform_sampler``
+    the skew is uniform on ``[-delta, +delta]``; any other zero-or-nonzero
+    mean distribution may be supplied to model biased oscillators
+    ("overspecified" bounds in the paper's Section 4 discussion).
+
+    Args:
+        sampler: Callable giving the skew of each new segment (including the
+            initial one).
+        epoch: Real time of the initial value.
+        initial: Clock value at ``epoch``.
+    """
+
+    def __init__(
+        self,
+        sampler: SkewSampler,
+        *,
+        epoch: float = 0.0,
+        initial: Optional[float] = None,
+    ):
+        if initial is None:
+            initial = epoch
+        self._sampler = sampler
+        super().__init__(epoch=epoch, initial=initial, skew=float(sampler()))
+
+    def _next_skew(self, t: float) -> float:
+        return float(self._sampler())
+
+
+def uniform_sampler(rng: np.random.Generator, delta: float) -> SkewSampler:
+    """Skew sampler uniform on ``[-delta, +delta]`` (Theorem 8's density)."""
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return lambda: float(rng.uniform(-delta, delta))
+
+
+def biased_uniform_sampler(
+    rng: np.random.Generator, delta: float, bias: float
+) -> SkewSampler:
+    """Skew sampler uniform on ``[bias - delta, bias + delta]``.
+
+    Models a clock population with a systematic frequency bias relative to
+    the standard — the paper's remark that overspecified drift bounds are
+    "equivalent to a service in which all of the clocks have a bias with
+    respect to some time standard".
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return lambda: float(rng.uniform(bias - delta, bias + delta))
+
+
+def truncated_normal_sampler(
+    rng: np.random.Generator, sigma: float, bound: float
+) -> SkewSampler:
+    """Skew sampler: normal(0, sigma) truncated to ``[-bound, +bound]``.
+
+    A more realistic oscillator population than uniform: most clocks are
+    much better than their worst-case bound.  Used by the ablation sweeps.
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+
+    def sample() -> float:
+        while True:
+            value = rng.normal(0.0, sigma)
+            if abs(value) <= bound:
+                return float(value)
+
+    return sample

@@ -1,0 +1,180 @@
+"""Environmentally-driven clock models.
+
+The paper assumes clocks are "usually stable" (second derivative zero) but
+its whole error model exists because real oscillators are not: crystal
+frequency depends on temperature (machine rooms cycle daily) and drifts
+slowly with age.  These models give the robustness experiments physically
+shaped rate errors:
+
+* :class:`TemperatureDriftClock` — skew follows a diurnal sinusoid
+  ``base + amplitude·sin(2πt/period + phase)``.  A clock whose claimed δ
+  covers ``|base| + amplitude`` remains correct; one whose δ was calibrated
+  at night violates its bound every afternoon — a realistic route into the
+  Figure 3 state.
+* :class:`AgingClock` — skew ramps linearly (crystal aging), clamped at a
+  terminal value.  Models the slow decay of an initially valid δ.
+
+Both integrate their rate analytically (no per-read numerical integration
+error), so reads are exact and cheap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Clock
+
+
+class TemperatureDriftClock(Clock):
+    """Clock with a sinusoidal (diurnal) skew.
+
+    The instantaneous skew at real time ``t`` is::
+
+        skew(t) = base_skew + amplitude * sin(2π (t - epoch)/period + phase)
+
+    and the clock value is the exact integral of ``1 + skew``.
+
+    Args:
+        base_skew: Mean frequency error.
+        amplitude: Peak deviation around the mean (>= 0).
+        period: Seconds per temperature cycle (e.g. 86400 for diurnal).
+        phase: Radians offset of the cycle at ``epoch``.
+        epoch: Real time at which the clock reads ``initial``.
+        initial: Clock value at ``epoch`` (defaults to ``epoch``).
+    """
+
+    def __init__(
+        self,
+        *,
+        base_skew: float = 0.0,
+        amplitude: float,
+        period: float = 86400.0,
+        phase: float = 0.0,
+        epoch: float = 0.0,
+        initial: float | None = None,
+    ) -> None:
+        super().__init__()
+        if amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {amplitude}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.base_skew = float(base_skew)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+        self._seg_start = float(epoch)
+        self._seg_value = float(epoch if initial is None else initial)
+
+    @property
+    def worst_case_skew(self) -> float:
+        """The smallest valid drift bound for this clock."""
+        return abs(self.base_skew) + self.amplitude
+
+    def skew_at(self, t: float) -> float:
+        """Instantaneous skew at real time ``t``."""
+        angle = 2.0 * math.pi * (t - self._seg_start) / self.period + self.phase
+        return self.base_skew + self.amplitude * math.sin(angle)
+
+    def _integrated_drift(self, t0: float, t1: float) -> float:
+        """∫ skew dt from ``t0`` to ``t1`` (closed form)."""
+        omega = 2.0 * math.pi / self.period
+
+        def antiderivative(t: float) -> float:
+            angle = omega * (t - self._seg_start) + self.phase
+            return self.base_skew * t - (self.amplitude / omega) * math.cos(angle)
+
+        return antiderivative(t1) - antiderivative(t0)
+
+    def _read(self, t: float) -> float:
+        elapsed = t - self._seg_start
+        return self._seg_value + elapsed + self._integrated_drift(self._seg_start, t)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        # Restart the integral from the reset point; the temperature cycle
+        # itself keeps its absolute phase (the environment does not reset),
+        # so fold the elapsed phase into `phase`.
+        omega = 2.0 * math.pi / self.period
+        self.phase = (self.phase + omega * (t - self._seg_start)) % (2.0 * math.pi)
+        self._seg_start = t
+        self._seg_value = value
+
+
+class AgingClock(Clock):
+    """Clock whose skew ramps linearly from ``initial_skew`` with age.
+
+    ``skew(t) = initial_skew + aging_rate·(t - epoch)``, clamped to
+    ``terminal_skew`` once reached.  The clock value integrates the ramp
+    exactly (a quadratic), then continues linearly after the clamp.
+
+    Args:
+        initial_skew: Skew at ``epoch``.
+        aging_rate: Skew change per second (s/s per s); sign free.
+        terminal_skew: Value at which aging stops; must be reachable (on
+            the side ``aging_rate`` moves toward).
+        epoch: Real time at which the clock reads ``initial``.
+        initial: Clock value at ``epoch``.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_skew: float,
+        aging_rate: float,
+        terminal_skew: float | None = None,
+        epoch: float = 0.0,
+        initial: float | None = None,
+    ) -> None:
+        super().__init__()
+        if terminal_skew is not None and aging_rate != 0.0:
+            moving_up = aging_rate > 0
+            if moving_up and terminal_skew < initial_skew:
+                raise ValueError("terminal_skew below initial_skew with positive aging")
+            if not moving_up and terminal_skew > initial_skew:
+                raise ValueError("terminal_skew above initial_skew with negative aging")
+        self.initial_skew = float(initial_skew)
+        self.aging_rate = float(aging_rate)
+        self.terminal_skew = terminal_skew
+        self._epoch = float(epoch)
+        self._seg_start = float(epoch)
+        self._seg_value = float(epoch if initial is None else initial)
+
+    def skew_at(self, t: float) -> float:
+        """Instantaneous skew at real time ``t`` (aging never resets)."""
+        raw = self.initial_skew + self.aging_rate * (t - self._epoch)
+        if self.terminal_skew is None or self.aging_rate == 0.0:
+            return raw
+        if self.aging_rate > 0:
+            return min(raw, self.terminal_skew)
+        return max(raw, self.terminal_skew)
+
+    def _clamp_time(self) -> float | None:
+        """Real time at which the skew hits the terminal value, if any."""
+        if self.terminal_skew is None or self.aging_rate == 0.0:
+            return None
+        return self._epoch + (self.terminal_skew - self.initial_skew) / self.aging_rate
+
+    def _integrated_drift(self, t0: float, t1: float) -> float:
+        """∫ skew dt from ``t0`` to ``t1``, respecting the clamp."""
+        clamp_at = self._clamp_time()
+
+        def ramp_integral(a: float, b: float) -> float:
+            # ∫ (initial + rate·(t - epoch)) dt over [a, b]
+            fa = self.initial_skew * a + 0.5 * self.aging_rate * (a - self._epoch) ** 2
+            fb = self.initial_skew * b + 0.5 * self.aging_rate * (b - self._epoch) ** 2
+            return fb - fa
+
+        if clamp_at is None or t1 <= clamp_at:
+            return ramp_integral(t0, t1)
+        if t0 >= clamp_at:
+            assert self.terminal_skew is not None
+            return self.terminal_skew * (t1 - t0)
+        assert self.terminal_skew is not None
+        return ramp_integral(t0, clamp_at) + self.terminal_skew * (t1 - clamp_at)
+
+    def _read(self, t: float) -> float:
+        elapsed = t - self._seg_start
+        return self._seg_value + elapsed + self._integrated_drift(self._seg_start, t)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        self._seg_start = t
+        self._seg_value = value

@@ -1,0 +1,109 @@
+"""Clock failure models.
+
+Section 1.1 enumerates how a clock may fail: "by stopping, racing ahead, or
+refusing to change its value when reset."  The paper defers failing clocks
+to [Marzullo 83], but its experiments hinge on clocks that *violate their
+claimed drift bound*, and the recovery machinery in Section 3 exists
+precisely to cope with such clocks.  These wrappers inject each failure mode
+at a chosen real time into any underlying :class:`~repro.clocks.base.Clock`.
+
+All wrappers delegate reads/sets to the wrapped clock until ``fail_at`` and
+apply their fault afterwards, so a scenario can run healthy for a warm-up
+period and then degrade.
+"""
+
+from __future__ import annotations
+
+from .base import Clock
+
+
+class _FailureWrapper(Clock):
+    """Common plumbing for failure wrappers around an inner clock."""
+
+    def __init__(self, inner: Clock, fail_at: float) -> None:
+        super().__init__()
+        self.inner = inner
+        self.fail_at = float(fail_at)
+
+    def failed(self, t: float) -> bool:
+        """Whether the fault is active at real time ``t``."""
+        return t >= self.fail_at
+
+
+class StoppedClock(_FailureWrapper):
+    """A clock that freezes at its value as of ``fail_at``.
+
+    After the failure instant the clock returns a constant; resets are
+    accepted (the hardware register still writes) but the clock immediately
+    freezes at the written value again.
+    """
+
+    def __init__(self, inner: Clock, fail_at: float) -> None:
+        super().__init__(inner, fail_at)
+        self._frozen_value: float | None = None
+
+    def _read(self, t: float) -> float:
+        if not self.failed(t):
+            return self.inner.read(t)
+        if self._frozen_value is None:
+            self._frozen_value = self.inner.read(self.fail_at)
+        return self._frozen_value
+
+    def _apply_set(self, t: float, value: float) -> None:
+        if not self.failed(t):
+            self.inner.set(t, value)
+            return
+        self._frozen_value = value
+
+
+class RacingClock(_FailureWrapper):
+    """A clock that races ahead at ``1 + racing_skew`` after ``fail_at``.
+
+    ``racing_skew`` is typically far beyond the claimed δ — e.g. the paper's
+    anecdotal server "about four percent fast" (≈ one hour per day) against
+    a claimed bound of one second per day.
+    """
+
+    def __init__(self, inner: Clock, fail_at: float, racing_skew: float) -> None:
+        super().__init__(inner, fail_at)
+        self.racing_skew = float(racing_skew)
+        self._seg_start: float | None = None
+        self._seg_value: float | None = None
+
+    def _ensure_failed_segment(self) -> None:
+        if self._seg_start is None:
+            self._seg_start = self.fail_at
+            self._seg_value = self.inner.read(self.fail_at)
+
+    def _read(self, t: float) -> float:
+        if not self.failed(t):
+            return self.inner.read(t)
+        self._ensure_failed_segment()
+        assert self._seg_start is not None and self._seg_value is not None
+        return self._seg_value + (t - self._seg_start) * (1.0 + self.racing_skew)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        if not self.failed(t):
+            self.inner.set(t, value)
+            return
+        self._ensure_failed_segment()
+        self._seg_start = t
+        self._seg_value = value
+
+
+class StuckOnResetClock(_FailureWrapper):
+    """A clock that refuses to change its value when reset after ``fail_at``.
+
+    Reads keep delegating to the inner clock, so the clock keeps running at
+    its natural rate — it just cannot be corrected.  This models a wedged
+    clock driver: the paper lists "refusing to change its value when reset"
+    among the failure modes.
+    """
+
+    def _read(self, t: float) -> float:
+        return self.inner.read(t)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        if not self.failed(t):
+            self.inner.set(t, value)
+        # After failure: silently drop the reset.

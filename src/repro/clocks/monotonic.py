@@ -1,0 +1,80 @@
+"""Client-side monotonic clock adapter.
+
+The service itself does not require local monotonicity — "clocks may be
+freely set backward as well as forward" (Section 1.1) — but a *client* may.
+The paper's suggested construction: "Such a clock may be implemented based
+on a nonmonotonic clock by temporarily running the monotonic clock more
+slowly when the nonmonotonic clock is set backwards."
+
+:class:`MonotonicClock` implements exactly that amortisation.  It observes a
+base clock (typically a :class:`~repro.service.server.TimeServer`'s clock,
+which algorithm MM or IM may step backwards) and exposes a reading that
+
+* never decreases,
+* equals the base clock whenever the base has not recently stepped back, and
+* after a backward step, advances at rate ``(1 - slew) * dC_base`` until the
+  base catches up.
+"""
+
+from __future__ import annotations
+
+from .base import Clock
+
+
+class MonotonicClock(Clock):
+    """Monotonic view over a possibly backward-stepping base clock.
+
+    Args:
+        inner: The underlying (nonmonotonic) clock.
+        slew: Fraction by which the monotonic clock is slowed while it is
+            ahead of the base clock.  Must lie in ``(0, 1]``; ``0.5`` halves
+            the apparent rate, so a backward step of ``s`` seconds is
+            amortised over ``s / slew`` seconds of base-clock progress.
+
+    The adapter is read-only with respect to the base: calling :meth:`set`
+    raises, because a monotonic client clock is defined by its base, not set
+    directly.
+    """
+
+    def __init__(self, inner: Clock, slew: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < slew <= 1.0:
+            raise ValueError(f"slew must be in (0, 1], got {slew}")
+        self.inner = inner
+        self.slew = float(slew)
+        self._last_base: float | None = None
+        self._mono: float | None = None
+
+    @property
+    def ahead(self) -> float:
+        """How far the monotonic reading currently leads the base clock."""
+        if self._mono is None or self._last_base is None:
+            return 0.0
+        return max(0.0, self._mono - self._last_base)
+
+    def _read(self, t: float) -> float:
+        base = self.inner.read(t)
+        if self._mono is None or self._last_base is None:
+            self._mono = base
+            self._last_base = base
+            return self._mono
+        advance = base - self._last_base
+        self._last_base = base
+        if advance <= 0:
+            # Base stepped backwards (or stood still): hold the monotonic
+            # value; we are now (further) ahead and will amortise.
+            return self._mono
+        if self._mono <= base - advance:
+            # We were at or behind the base before this advance: track it.
+            # (Forward base steps may leave us behind; snapping forward
+            # preserves monotonicity and re-synchronises immediately.)
+            self._mono = base
+            return self._mono
+        # We are ahead: advance slowly until the base catches up.
+        self._mono = max(base, self._mono + advance * (1.0 - self.slew))
+        return self._mono
+
+    def _apply_set(self, t: float, value: float) -> None:
+        raise NotImplementedError(
+            "MonotonicClock is a derived view; set the base clock instead"
+        )

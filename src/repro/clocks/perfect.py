@@ -1,0 +1,29 @@
+"""The perfect clock (time standard).
+
+A *perfect clock* is one with ``C(t) = t`` (Section 2.1): correct, accurate
+and stable.  In the simulator the real-time axis itself plays the role of
+Greenwich Mean Time; :class:`PerfectClock` exposes it through the
+:class:`~repro.clocks.base.Clock` interface so that reference time servers
+(e.g. a WWV radio receiver in the paper's world) are ordinary servers whose
+clock simply never drifts.
+"""
+
+from __future__ import annotations
+
+from .base import Clock
+
+
+class PerfectClock(Clock):
+    """A clock that always reads the true time and ignores resets.
+
+    Ignoring :meth:`set` is deliberate: a standard is, by definition, not
+    adjustable from within the service.  A reset attempt is counted (for
+    test observability) but has no effect on subsequent reads.
+    """
+
+    def _read(self, t: float) -> float:
+        return t
+
+    def _apply_set(self, t: float, value: float) -> None:
+        # A time standard cannot be reset; silently retain the true time.
+        return None

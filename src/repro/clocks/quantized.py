@@ -1,0 +1,48 @@
+"""Quantised (tick-granularity) clock wrapper.
+
+Real clock hardware exposes time in ticks — the Alto-era machines on the
+Xerox internet kept time in seconds, and modern kernels in nanoseconds.
+:class:`QuantizedClock` wraps any clock and floors its readings to a tick
+size, letting experiments measure how read granularity feeds into the error
+budget (it behaves like an extra additive read error of up to one tick, and
+should be folded into the inherited error ε when resetting from such a
+clock).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Clock
+
+
+class QuantizedClock(Clock):
+    """Wraps ``inner`` so that reads are floored to multiples of ``tick``.
+
+    Args:
+        inner: The continuous clock being sampled.
+        tick: Tick size in seconds; must be positive.
+
+    Resets pass through unquantised (the register holds the exact written
+    value; only the read-out is granular), which matches how a kernel clock
+    behaves when set from a sync protocol.
+    """
+
+    def __init__(self, inner: Clock, tick: float) -> None:
+        super().__init__()
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self.inner = inner
+        self.tick = float(tick)
+
+    def _read(self, t: float) -> float:
+        raw = self.inner.read(t)
+        return math.floor(raw / self.tick) * self.tick
+
+    def _apply_set(self, t: float, value: float) -> None:
+        self.inner.set(t, value)
+
+    @property
+    def max_quantization_error(self) -> float:
+        """Worst-case error introduced by the read-out granularity."""
+        return self.tick

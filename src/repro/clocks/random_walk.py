@@ -1,0 +1,96 @@
+"""Random-walk (unstable) clock model.
+
+The paper assumes clocks "may have varying accuracies, but are usually
+stable" (Section 1.1) — i.e. the second derivative of ``C(t)`` is normally
+zero but accuracy can wander.  :class:`RandomWalkClock` models an oscillator
+whose skew performs a bounded random walk: at exponentially-distributed
+instants the skew takes a Gaussian step and is clamped to
+``[-max_skew, +max_skew]``.
+
+The sample path is generated lazily and deterministically as the clock is
+read forwards in time, so a fixed RNG stream yields a reproducible clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Clock, ClockError
+
+
+class RandomWalkClock(Clock):
+    """A clock whose skew random-walks within ``[-max_skew, +max_skew]``.
+
+    Args:
+        rng: Random stream dedicated to this clock.
+        max_skew: Hard clamp on the skew magnitude.  When the clock is used
+            in a healthy service this should not exceed the claimed δ.
+        step_sigma: Standard deviation of each Gaussian skew increment.
+        mean_dwell: Mean seconds between skew changes (exponential).
+        epoch: Real time of the initial value.
+        initial: Clock value at ``epoch`` (defaults to ``epoch``).
+        initial_skew: Starting skew (defaults to a uniform draw within the
+            clamp).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        max_skew: float,
+        step_sigma: float,
+        mean_dwell: float,
+        epoch: float = 0.0,
+        initial: float | None = None,
+        initial_skew: float | None = None,
+    ) -> None:
+        super().__init__()
+        if max_skew < 0:
+            raise ValueError(f"max_skew must be non-negative, got {max_skew}")
+        if mean_dwell <= 0:
+            raise ValueError(f"mean_dwell must be positive, got {mean_dwell}")
+        self._rng = rng
+        self._max_skew = float(max_skew)
+        self._step_sigma = float(step_sigma)
+        self._mean_dwell = float(mean_dwell)
+        self._seg_start = float(epoch)
+        self._seg_value = float(epoch if initial is None else initial)
+        if initial_skew is None:
+            initial_skew = float(rng.uniform(-max_skew, max_skew))
+        self._skew = float(np.clip(initial_skew, -max_skew, max_skew))
+        self._next_change = self._seg_start + self._draw_dwell()
+
+    @property
+    def skew(self) -> float:
+        """Skew of the most recently materialised segment."""
+        return self._skew
+
+    def _draw_dwell(self) -> float:
+        return float(self._rng.exponential(self._mean_dwell))
+
+    def _advance_segments(self, t: float) -> None:
+        """Materialise skew-change breakpoints up to real time ``t``."""
+        while self._next_change <= t:
+            change_at = self._next_change
+            # Close the current segment at the breakpoint.
+            self._seg_value += (change_at - self._seg_start) * (1.0 + self._skew)
+            self._seg_start = change_at
+            step = float(self._rng.normal(0.0, self._step_sigma))
+            self._skew = float(
+                np.clip(self._skew + step, -self._max_skew, self._max_skew)
+            )
+            self._next_change = change_at + self._draw_dwell()
+
+    def _read(self, t: float) -> float:
+        if t < self._seg_start - 1e-12:
+            raise ClockError(
+                f"random-walk clock read at t={t} before segment start "
+                f"{self._seg_start}"
+            )
+        self._advance_segments(t)
+        return self._seg_value + (t - self._seg_start) * (1.0 + self._skew)
+
+    def _apply_set(self, t: float, value: float) -> None:
+        self._advance_segments(t)
+        self._seg_start = t
+        self._seg_value = value

@@ -1,0 +1,93 @@
+"""The paper's core contribution: interval clocks and synchronization functions.
+
+Exports the interval algebra, algorithms MM and IM, the fault-tolerant
+Marzullo/NTP intersection, theorem-bound calculators, the inconsistency
+recovery strategies, and the rate-domain (consonance) machinery.
+"""
+
+from .bounds import (
+    ServiceParameters,
+    lemma1_error_growth,
+    theorem2_error_bound,
+    theorem3_asynchronism_bound,
+    theorem7_asynchronism_bound,
+)
+from .consonance import (
+    RateEstimate,
+    RateEstimator,
+    RateInterval,
+    RateObservation,
+    consonant,
+    dissonant_servers,
+    rate_im_step,
+    rate_mm_step,
+)
+from .im import IMPolicy, TransformedReply
+from .intervals import (
+    TimeInterval,
+    consistency,
+    intersect_all,
+    pairwise_consistent,
+    smallest,
+)
+from .marzullo import (
+    MarzulloResult,
+    SelectionResult,
+    intersect_tolerating,
+    marzullo,
+    ntp_select,
+)
+from .mm import MMPolicy
+from .recovery import (
+    NullRecovery,
+    RecoveryStats,
+    RecoveryStrategy,
+    ThirdServerRecovery,
+)
+from .sync import (
+    LocalState,
+    Reply,
+    ReplyOutcome,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+__all__ = [
+    "IMPolicy",
+    "LocalState",
+    "MMPolicy",
+    "MarzulloResult",
+    "NullRecovery",
+    "RateEstimate",
+    "RateEstimator",
+    "RateInterval",
+    "RateObservation",
+    "RecoveryStats",
+    "RecoveryStrategy",
+    "Reply",
+    "ReplyOutcome",
+    "ResetDecision",
+    "RoundOutcome",
+    "SelectionResult",
+    "ServiceParameters",
+    "SynchronizationPolicy",
+    "ThirdServerRecovery",
+    "TimeInterval",
+    "TransformedReply",
+    "consistency",
+    "consonant",
+    "dissonant_servers",
+    "intersect_all",
+    "intersect_tolerating",
+    "lemma1_error_growth",
+    "marzullo",
+    "ntp_select",
+    "pairwise_consistent",
+    "rate_im_step",
+    "rate_mm_step",
+    "smallest",
+    "theorem2_error_bound",
+    "theorem3_asynchronism_bound",
+    "theorem7_asynchronism_bound",
+]

@@ -1,0 +1,105 @@
+"""Closed-form bounds from the paper's theorems.
+
+These calculators exist so experiments and tests can check measured
+behaviour against the paper's guarantees *as formulas*, not re-derivations:
+
+* Lemma 1 — error growth of an unreset server.
+* Theorem 2 — MM error bound relative to the smallest error in the service.
+* Theorem 3 — MM asynchronism bound.
+* Theorem 7 — IM asynchronism bound.
+
+Every function takes the same symbols the paper uses:
+
+* ``delta`` / ``delta_i`` / ``delta_j`` — claimed maximum drift rates δ.
+* ``xi`` — the bound ξ on the nondeterministic message round trip.
+* ``tau`` — the polling period τ (each server polls at least every τ s).
+* ``e_min`` — ``E_M(t)``, the smallest maximum error in the service at the
+  evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _require_nonnegative(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def lemma1_error_growth(error_at_t0: float, delta: float, elapsed: float) -> float:
+    """Lemma 1: ``E_i(t0 + Δ) = E_i(t0) + δ_i·Δ`` for an unreset server.
+
+    (Equality in the lemma; as a *bound* it also upper-bounds servers that
+    reset, per Lemma 2.)
+    """
+    _require_nonnegative(delta=delta, elapsed=elapsed)
+    return error_at_t0 + delta * elapsed
+
+
+def theorem2_error_bound(e_min: float, xi: float, delta_i: float, tau: float) -> float:
+    """Theorem 2: MM keeps ``E_i(t) < E_M(t) + ξ + δ_i(τ + 2ξ)``.
+
+    Args:
+        e_min: ``E_M(t)`` — smallest error in the service at ``t``.
+        xi: Round-trip delay bound ξ.
+        delta_i: The server's claimed drift bound.
+        tau: Poll period.
+    """
+    _require_nonnegative(e_min=e_min, xi=xi, delta_i=delta_i, tau=tau)
+    return e_min + xi + delta_i * (tau + 2.0 * xi)
+
+
+def theorem3_asynchronism_bound(
+    e_min: float, xi: float, delta_i: float, delta_j: float, tau: float
+) -> float:
+    """Theorem 3: MM keeps ``|C_i - C_j| < 2E_M + 2ξ + (δ_i + δ_j)(τ + 2ξ)``."""
+    _require_nonnegative(
+        e_min=e_min, xi=xi, delta_i=delta_i, delta_j=delta_j, tau=tau
+    )
+    return 2.0 * e_min + 2.0 * xi + (delta_i + delta_j) * (tau + 2.0 * xi)
+
+
+def theorem7_asynchronism_bound(
+    xi: float, delta_i: float, delta_j: float, tau: float
+) -> float:
+    """Theorem 7: IM keeps ``|C_i - C_j| <= ξ + (δ_i + δ_j)·τ``.
+
+    Note the bound is independent of the current service error — the
+    headline synchronization advantage of IM over MM.
+    """
+    _require_nonnegative(xi=xi, delta_i=delta_i, delta_j=delta_j, tau=tau)
+    return xi + (delta_i + delta_j) * tau
+
+
+@dataclass(frozen=True)
+class ServiceParameters:
+    """The paper's global symbols for one simulated service, bundled.
+
+    Attributes:
+        xi: Bound on the nondeterministic round-trip delay ξ.
+        tau: Poll period τ.
+    """
+
+    xi: float
+    tau: float
+
+    def __post_init__(self) -> None:
+        _require_nonnegative(xi=self.xi, tau=self.tau)
+
+    def mm_error_bound(self, e_min: float, delta_i: float) -> float:
+        """Theorem 2 for these service parameters."""
+        return theorem2_error_bound(e_min, self.xi, delta_i, self.tau)
+
+    def mm_asynchronism_bound(
+        self, e_min: float, delta_i: float, delta_j: float
+    ) -> float:
+        """Theorem 3 for these service parameters."""
+        return theorem3_asynchronism_bound(
+            e_min, self.xi, delta_i, delta_j, self.tau
+        )
+
+    def im_asynchronism_bound(self, delta_i: float, delta_j: float) -> float:
+        """Theorem 7 for these service parameters."""
+        return theorem7_asynchronism_bound(self.xi, delta_i, delta_j, self.tau)

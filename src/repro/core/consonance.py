@@ -1,0 +1,272 @@
+"""Consonance: the interval machinery applied to clock *rates* (Section 5).
+
+Two clocks are *consonant* at ``t0`` if their rate of separation is within
+the sum of their maximum drift rates::
+
+    | d/dt (C_i(t) - C_j(t)) |  <=  δ_i + δ_j
+
+The paper sketches (deferring details to [Marzullo 83]) that a *rate
+interval* equivalent to the time interval can be defined from this
+predicate, and algorithms MM and IM applied to maintain a consonant set of
+δ's just as they maintain a consistent set of times.  This module builds
+that machinery:
+
+* :class:`RateObservation` / :class:`RateEstimator` — estimate the pairwise
+  separation rate of two clocks from repeated offset measurements (least
+  squares over a sliding window, with an uncertainty that accounts for the
+  ±ξ reading error of each offset sample).
+* :func:`consonant` — the predicate above.
+* :class:`RateInterval` — a clock's rate as an interval
+  ``[rate - bound, rate + bound]`` (``rate`` relative to the standard), with
+  the same intersection algebra as time intervals; :func:`rate_im_step` and
+  :func:`rate_mm_step` apply IM-2/MM-2 in the rate domain.
+
+The practical use (demonstrated in ``experiments.partition`` and the
+``consonance`` example) is diagnosing *why* a service went inconsistent:
+a server whose observed separation rate against many peers exceeds the
+claimed bounds is the one with an invalid δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+import collections
+
+import numpy as np
+
+from .intervals import TimeInterval
+
+
+def consonant(separation_rate: float, delta_i: float, delta_j: float) -> bool:
+    """Whether a measured separation rate is explainable by the claimed δ's."""
+    return abs(separation_rate) <= delta_i + delta_j
+
+
+@dataclass(frozen=True)
+class RateObservation:
+    """One offset sample between two clocks.
+
+    Attributes:
+        local_time: The observer's clock reading at the sample.
+        offset: Measured ``C_j - C_i`` (centre of the remote interval minus
+            local clock), subject to ±``reading_error``.
+        reading_error: Bound on the measurement error of ``offset`` (at
+            most ``E_i + E_j + ξ`` for an interval exchange — callers pass
+            what they know).
+    """
+
+    local_time: float
+    offset: float
+    reading_error: float
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A separation-rate estimate with two uncertainty figures.
+
+    Attributes:
+        rate: Estimated ``d(C_j - C_i)/dt`` (dimensionless, seconds per
+            second).
+        uncertainty: *Worst-case* bound on the estimate's error, derived
+            from the endpoints' reading errors over the observation span —
+            the paper-style hard bound (correct but very conservative,
+            because a reading error of ±E is mostly a slowly-varying bias,
+            not per-sample noise).
+        stderr: *Statistical* standard error of the least-squares slope,
+            from the fit residuals.  Small when the offsets actually lie on
+            a line (a steadily drifting neighbour), large when they jump
+            around (a neighbour being stepped by resets).  Diagnostics use
+            this; proofs would use ``uncertainty``.
+        span: Elapsed local time between first and last observation used.
+        samples: Number of observations used.
+    """
+
+    rate: float
+    uncertainty: float
+    stderr: float
+    span: float
+    samples: int
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The rate as an interval ``[rate - uncertainty, rate + uncertainty]``."""
+        return TimeInterval.from_center_error(self.rate, self.uncertainty)
+
+    @property
+    def noise(self) -> float:
+        """The diagnostic confidence margin: ``min(uncertainty, 3·stderr)``.
+
+        Never larger than the hard bound, but exploits linearity of the
+        sample path when present.
+        """
+        return min(self.uncertainty, 3.0 * self.stderr)
+
+
+class RateEstimator:
+    """Sliding-window least-squares estimator of a pairwise separation rate.
+
+    Args:
+        window: Maximum number of observations retained.
+        min_span: Minimum elapsed time between the first and last retained
+            observation before an estimate is produced (rate estimates over
+            tiny spans are dominated by reading error).
+
+    The uncertainty reported is the *worst-case* slope perturbation from the
+    endpoint reading errors, ``(err_first + err_last) / span`` — a hard
+    bound in the paper's spirit (maximum error, not a variance).
+    """
+
+    def __init__(self, window: int = 32, min_span: float = 1.0) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window}")
+        if min_span <= 0:
+            raise ValueError(f"min_span must be positive, got {min_span}")
+        self.window = window
+        self.min_span = min_span
+        self._obs: Deque[RateObservation] = collections.deque(maxlen=window)
+
+    def add(self, observation: RateObservation) -> None:
+        """Append an observation (samples must arrive in local-time order)."""
+        if self._obs and observation.local_time < self._obs[-1].local_time:
+            raise ValueError(
+                "rate observations must be added in non-decreasing local time"
+            )
+        self._obs.append(observation)
+
+    def __len__(self) -> int:
+        return len(self._obs)
+
+    def estimate(self) -> Optional[RateEstimate]:
+        """Least-squares slope over the window, or None if under-determined."""
+        if len(self._obs) < 2:
+            return None
+        first = self._obs[0]
+        last = self._obs[-1]
+        span = last.local_time - first.local_time
+        if span < self.min_span:
+            return None
+        times = np.array([o.local_time for o in self._obs])
+        offsets = np.array([o.offset for o in self._obs])
+        slope, intercept = np.polyfit(times, offsets, deg=1)
+        uncertainty = (first.reading_error + last.reading_error) / span
+        # Statistical slope error from the residuals (0 for n = 2, where
+        # the fit is exact and carries no redundancy).
+        if len(self._obs) > 2:
+            residuals = offsets - (slope * times + intercept)
+            dof = len(self._obs) - 2
+            sxx = float(np.sum((times - times.mean()) ** 2))
+            variance = float(np.sum(residuals**2)) / dof / max(sxx, 1e-300)
+            stderr = float(np.sqrt(variance))
+        else:
+            stderr = float(uncertainty)
+        return RateEstimate(
+            rate=float(slope),
+            uncertainty=float(uncertainty),
+            stderr=stderr,
+            span=float(span),
+            samples=len(self._obs),
+        )
+
+
+# ------------------------------------------------------------- rate domain
+
+
+@dataclass(frozen=True)
+class RateInterval:
+    """A clock's frequency error relative to the standard, as an interval.
+
+    ``value`` is the believed skew (``dC/dt - 1``) and ``bound`` the maximum
+    error of that belief; a correct rate interval contains the clock's true
+    skew.  The claimed δ of the paper is simply the rate interval
+    ``[-δ, +δ]`` — zero believed skew, bound δ.
+    """
+
+    value: float
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ValueError(f"rate bound must be non-negative, got {self.bound}")
+
+    @property
+    def interval(self) -> TimeInterval:
+        """As a generic interval for the shared algebra."""
+        return TimeInterval.from_center_error(self.value, self.bound)
+
+    @classmethod
+    def from_delta(cls, delta: float) -> "RateInterval":
+        """The paper's default belief: skew unknown within ``[-δ, +δ]``."""
+        return cls(0.0, delta)
+
+
+def rate_mm_step(
+    local: RateInterval, remote: RateInterval, relative_rate: RateEstimate
+) -> Optional[RateInterval]:
+    """MM-2 in the rate domain.
+
+    The remote clock's skew interval, seen through a measured relative rate,
+    becomes a candidate for the local skew: ``remote.value + relative_rate``
+    with bound ``remote.bound + relative_rate.uncertainty``... except the
+    sign convention: if ``C_j`` separates from ``C_i`` at measured rate
+    ``r`` then ``skew_i ≈ skew_j - r``.  Adopt the candidate iff its bound
+    improves on the local one (the MM predicate); return the new local rate
+    interval, or None if not adopted.
+    """
+    candidate_bound = remote.bound + relative_rate.uncertainty
+    if candidate_bound > local.bound:
+        return None
+    return RateInterval(remote.value - relative_rate.rate, candidate_bound)
+
+
+def rate_im_step(
+    local: RateInterval, remote: RateInterval, relative_rate: RateEstimate
+) -> Optional[RateInterval]:
+    """IM-2 in the rate domain: intersect local and transformed remote.
+
+    Returns the intersection midpoint/half-width as the new local rate
+    interval, or None if the two rate intervals are *dissonant* (empty
+    intersection) — the rate-domain analogue of inconsistency, and the
+    paper's suggested diagnostic for invalid δ's.
+    """
+    transformed = TimeInterval.from_center_error(
+        remote.value - relative_rate.rate,
+        remote.bound + relative_rate.uncertainty,
+    )
+    overlap = local.interval.intersection(transformed)
+    if overlap is None:
+        return None
+    return RateInterval(overlap.center, overlap.error)
+
+
+def dissonant_servers(
+    names: Sequence[str],
+    deltas: Sequence[float],
+    separation_rates: dict[tuple[int, int], float],
+) -> list[str]:
+    """Identify servers dissonant with a majority of their peers.
+
+    Args:
+        names: Server names, index-aligned with ``deltas``.
+        deltas: Claimed maximum drift rates.
+        separation_rates: Measured ``d(C_j - C_i)/dt`` keyed by index pair
+            ``(i, j)`` with ``i < j``.
+
+    Returns:
+        Names of servers that are non-consonant with strictly more than half
+        of the peers they were measured against — the prime suspects for an
+        invalid drift bound.
+    """
+    counts = {index: [0, 0] for index in range(len(names))}  # [bad, total]
+    for (i, j), rate in separation_rates.items():
+        ok = consonant(rate, deltas[i], deltas[j])
+        for index in (i, j):
+            counts[index][1] += 1
+            if not ok:
+                counts[index][0] += 1
+    suspects = []
+    for index, (bad, total) in counts.items():
+        if total > 0 and bad * 2 > total:
+            suspects.append(names[index])
+    return suspects

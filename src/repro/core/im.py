@@ -1,0 +1,172 @@
+"""Algorithm IM — intersection as a synchronization function (Section 4).
+
+Rule **IM-1** is identical to MM-1 (how a server reports its interval).
+
+Rule **IM-2**: after polling, transform each reply ``<C_j, E_j>`` with
+local-clock round trip ``ξ^i_j`` into an offset interval relative to the
+local clock ``C_i``::
+
+    T_j <- C_j - E_j - C_i
+    L_j <- C_j + E_j + (1 + δ_i)·ξ^i_j - C_i
+
+The transformed interval's trailing edge needs no round-trip allowance (the
+reply was generated *before* it arrived, so the true time at receipt is at
+least the reply's trailing edge); only the leading edge must absorb the
+possible elapsed round trip — which is why the widening is asymmetric.
+The server forms ``a <- max T_j`` and ``b <- min L_j`` over all replies
+*and its own interval* ``[-E_i, +E_i]`` (the Theorem 5 proof intersects
+with the unchanged local clock).  If ``b > a`` the service is consistent
+and the server resets to the midpoint:
+``ε_i <- (b - a)/2``, ``C_i <- (a + b)/2 + C_i``, ``r_i <- C_i``.
+
+Theorem 5 proves IM preserves correctness; Theorem 6 that the intersection
+is never larger than the smallest reply interval (so IM weakly dominates MM
+on a single exchange); Theorem 7 bounds the asynchronism by
+``ξ + (δ_i + δ_j)·τ``; and Theorem 8 that the *expected* error growth
+vanishes as the number of servers grows.
+
+Ablation flags reproduce design variants discussed in DESIGN.md: widening
+both edges (correct but pessimistic), excluding the local interval, and
+resetting to the trailing edge instead of the midpoint (correct but
+maximally asymmetric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .sync import (
+    LocalState,
+    Reply,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+@dataclass(frozen=True)
+class TransformedReply:
+    """A reply after rule IM-2's transformation into local-offset form.
+
+    Attributes:
+        server: Responding server's name.
+        trailing: ``T_j = C_j - E_j - C_i``.
+        leading: ``L_j = C_j + E_j + (1 + δ_i)·ξ^i_j - C_i``.
+    """
+
+    server: str
+    trailing: float
+    leading: float
+
+
+class IMPolicy(SynchronizationPolicy):
+    """Rule IM-2 as a batch synchronization policy.
+
+    Args:
+        include_self: Intersect with the local interval ``[-E_i, +E_i]``
+            (the paper's Theorem 5 formulation).  Disabling it is an
+            ablation: the reset can then *lose* information the local clock
+            already had, inflating the error.
+        widen_both_edges: Ablation — also subtract ``(1 + δ_i)·ξ^i_j`` from
+            the trailing edge.  Still correctness-preserving but strictly
+            looser, so the resulting error is larger.
+        reset_to: Where in the intersection ``[a .. b]`` to put the clock:
+            ``"midpoint"`` (the paper; minimises the new error ``(b-a)/2``)
+            or ``"trailing"`` (sets ``C_i <- a + E_new`` equivalent; kept as
+            an ablation of the midpoint choice).
+        allow_point_intersection: Rule IM-2 tests ``b > a``; with exact
+            arithmetic a touching intersection (``b == a``) is still
+            consistent by the Section 2.3 definition, so the default accepts
+            it.  Set False for the paper's literal strict test.
+    """
+
+    name = "IM"
+    incremental = False
+
+    def __init__(
+        self,
+        *,
+        include_self: bool = True,
+        widen_both_edges: bool = False,
+        reset_to: str = "midpoint",
+        allow_point_intersection: bool = True,
+    ):
+        if reset_to not in ("midpoint", "trailing"):
+            raise ValueError(f"reset_to must be 'midpoint' or 'trailing', got {reset_to!r}")
+        self.include_self = include_self
+        self.widen_both_edges = widen_both_edges
+        self.reset_to = reset_to
+        self.allow_point_intersection = allow_point_intersection
+
+    # ----------------------------------------------------------- transform
+
+    def transform(self, state: LocalState, reply: Reply) -> TransformedReply:
+        """Apply rule IM-2's reply transformation."""
+        rtt_term = (1.0 + state.delta) * reply.rtt_local
+        trailing = reply.clock_value - reply.error - state.clock_value
+        if self.widen_both_edges:
+            trailing -= rtt_term
+        leading = reply.clock_value + reply.error + rtt_term - state.clock_value
+        return TransformedReply(reply.server, trailing, leading)
+
+    def intersection(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> tuple[float, float, str]:
+        """Compute ``(a, b, source)`` over transformed replies (+ self).
+
+        ``source`` names the servers defining the two edges, e.g.
+        ``"S2∩S3"``, for tracing.
+        """
+        transformed = [self.transform(state, reply) for reply in replies]
+        if self.include_self:
+            transformed.append(
+                TransformedReply("self", -state.error, state.error)
+            )
+        if not transformed:
+            raise ValueError("IM round with no replies and include_self=False")
+        a_reply = max(transformed, key=lambda tr: tr.trailing)
+        b_reply = min(transformed, key=lambda tr: tr.leading)
+        source = (
+            a_reply.server
+            if a_reply.server == b_reply.server
+            else f"{a_reply.server}∩{b_reply.server}"
+        )
+        return a_reply.trailing, b_reply.leading, source
+
+    # ---------------------------------------------------------------- IM-2
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        if not replies and not self.include_self:
+            return RoundOutcome(consistent=True)
+        a, b, source = self.intersection(state, replies)
+        consistent = (b >= a) if self.allow_point_intersection else (b > a)
+        if not consistent:
+            conflicting = tuple(
+                name for name in source.split("∩") if name != "self"
+            )
+            return RoundOutcome(consistent=False, conflicting=conflicting)
+        decision = self._decision(state, a, b, source)
+        return RoundOutcome(consistent=True, decision=decision)
+
+    def _decision(
+        self, state: LocalState, a: float, b: float, source: str
+    ) -> Optional[ResetDecision]:
+        if self.reset_to == "midpoint":
+            # The midpoint minimises the new error: E = (b - a)/2.
+            offset = (a + b) / 2.0
+            error = (b - a) / 2.0
+        else:
+            # "trailing" ablation: anchor the clock at the trailing edge.
+            # Covering [a .. b] from centre a needs E = b - a — twice the
+            # midpoint's error, which is exactly why the paper resets to
+            # the midpoint.
+            offset = a
+            error = b - a
+        return ResetDecision(
+            clock_value=state.clock_value + offset,
+            inherited_error=error,
+            source=source,
+        )

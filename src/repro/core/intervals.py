@@ -1,0 +1,218 @@
+"""Time-interval algebra.
+
+The paper's key move (Section 2.2) is to have a time server answer not with
+a point but with an *interval*: the pair ``<C, E>`` denotes
+``[C - E, C + E]``, where ``C`` is the clock reading and ``E`` the server's
+bound on its maximum error.  If the server is *correct*, the true time lies
+inside the interval.  The *trailing edge* is ``C - E`` and the *leading
+edge* is ``C + E`` (the paper's terms, kept throughout this codebase).
+
+Two servers are *consistent* at ``t0`` iff ``|C_i - C_j| <= E_i + E_j``
+(Section 2.3) — equivalently, iff their intervals intersect (touching
+counts).  A whole service is consistent iff the intersection of all its
+intervals is non-empty.
+
+:class:`TimeInterval` is an immutable value type holding the two edges, with
+constructors for both the edge form and the centre/error form, and the
+algebra the algorithms need: intersection, consistency, containment, hulls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A closed real interval ``[lo, hi]`` of candidate true times.
+
+    Attributes:
+        lo: Trailing edge, ``C - E``.
+        hi: Leading edge, ``C + E``.
+
+    Instances are immutable and totally ordered by ``(lo, hi)`` so they can
+    be sorted deterministically.  ``lo == hi`` (a point) is allowed — it is a
+    perfect-knowledge interval, e.g. the time standard itself.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval edges must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(
+                f"interval trailing edge {self.lo} exceeds leading edge {self.hi}"
+            )
+
+    # --------------------------------------------------------- constructors
+
+    @classmethod
+    def from_center_error(cls, center: float, error: float) -> "TimeInterval":
+        """Build from the paper's ``<C, E>`` pair.
+
+        Raises:
+            ValueError: If ``error`` is negative.
+        """
+        if error < 0:
+            raise ValueError(f"maximum error must be non-negative, got {error}")
+        return cls(center - error, center + error)
+
+    @classmethod
+    def point(cls, value: float) -> "TimeInterval":
+        """A zero-width interval: exact knowledge of the time."""
+        return cls(value, value)
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def center(self) -> float:
+        """The clock reading ``C`` (midpoint)."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def error(self) -> float:
+        """The maximum error ``E`` (half-width)."""
+        return (self.hi - self.lo) / 2.0
+
+    @property
+    def width(self) -> float:
+        """Full interval length, ``2E``."""
+        return self.hi - self.lo
+
+    @property
+    def trailing_edge(self) -> float:
+        """Paper terminology for :attr:`lo` (``C - E``)."""
+        return self.lo
+
+    @property
+    def leading_edge(self) -> float:
+        """Paper terminology for :attr:`hi` (``C + E``)."""
+        return self.hi
+
+    # ------------------------------------------------------------ predicates
+
+    def contains(self, t: float) -> bool:
+        """Whether real time ``t`` lies inside (edges inclusive)."""
+        return self.lo <= t <= self.hi
+
+    def contains_interval(self, other: "TimeInterval") -> bool:
+        """Whether ``other`` is a subset of this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "TimeInterval") -> bool:
+        """Whether the two intervals share at least one point.
+
+        This is exactly the paper's *consistency* predicate
+        ``|C_i - C_j| <= E_i + E_j``.
+        """
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def consistent_with(self, other: "TimeInterval") -> bool:
+        """Alias of :meth:`intersects`, in the paper's vocabulary."""
+        return self.intersects(other)
+
+    # ------------------------------------------------------------ operations
+
+    def intersection(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """The overlap of the two intervals, or None if they are inconsistent."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return TimeInterval(lo, hi)
+
+    def hull(self, other: "TimeInterval") -> "TimeInterval":
+        """The smallest interval containing both."""
+        return TimeInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shifted(self, amount: float) -> "TimeInterval":
+        """The interval translated by ``amount``."""
+        return TimeInterval(self.lo + amount, self.hi + amount)
+
+    def widened(self, trailing: float = 0.0, leading: float = 0.0) -> "TimeInterval":
+        """The interval with its edges pushed outwards.
+
+        Rule IM-2 widens only the leading edge of a reply by the round-trip
+        term ``(1 + δ_i)·ξ``; :meth:`widened` expresses that asymmetry.
+
+        Raises:
+            ValueError: If a negative widening would invert the interval.
+        """
+        lo = self.lo - trailing
+        hi = self.hi + leading
+        if lo > hi:
+            raise ValueError(
+                f"widening by (trailing={trailing}, leading={leading}) "
+                f"inverts {self}"
+            )
+        return TimeInterval(lo, hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo:.6f} .. {self.hi:.6f}]"
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def consistency(c_i: float, e_i: float, c_j: float, e_j: float) -> bool:
+    """The paper's consistency predicate on raw ``<C, E>`` pairs.
+
+    ``|C_i - C_j| <= E_i + E_j`` (Section 2.3).
+    """
+    return abs(c_i - c_j) <= e_i + e_j
+
+
+def intersect_all(intervals: Iterable[TimeInterval]) -> Optional[TimeInterval]:
+    """Intersection of every interval, or None if it is empty.
+
+    The service is *consistent* iff this returns a non-None interval
+    (Section 2.3).  For an empty input, returns None (there is no "universe"
+    interval to act as identity for time values).
+    """
+    result: Optional[TimeInterval] = None
+    first = True
+    for interval in intervals:
+        if first:
+            result = interval
+            first = False
+            continue
+        assert result is not None
+        next_result = result.intersection(interval)
+        if next_result is None:
+            return None
+        result = next_result
+    return result
+
+
+def smallest(intervals: Sequence[TimeInterval]) -> TimeInterval:
+    """The interval with the smallest error (width); ties broken by order.
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if not intervals:
+        raise ValueError("smallest() of empty interval sequence")
+    return min(intervals, key=lambda iv: iv.width)
+
+
+def pairwise_consistent(intervals: Sequence[TimeInterval]) -> bool:
+    """Whether every pair of intervals intersects.
+
+    Note this is *weaker* than service consistency: the paper stresses that
+    the consistency relation "is not transitive", and Figure 4 shows a
+    service that is pairwise-consistent within groups but globally
+    inconsistent.  For 1-D intervals pairwise intersection does imply a
+    common point (Helly's theorem in one dimension), so this predicate is
+    in fact equivalent to global consistency for intervals — the
+    non-transitivity bites between *pairs*, not given all pairs.
+    """
+    n = len(intervals)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not intervals[i].intersects(intervals[j]):
+                return False
+    return True

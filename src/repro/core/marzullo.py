@@ -1,0 +1,197 @@
+"""Marzullo's fault-tolerant interval intersection, and the NTP variant.
+
+Algorithm IM (Section 4) intersects *all* reply intervals, which fails as
+soon as one server is incorrect (the intersection goes empty, or worse,
+excludes the true time — Figure 3).  The companion thesis [Marzullo 83]
+generalises the intersection to tolerate faulty sources, and that
+generalisation — universally known as *Marzullo's algorithm* — became the
+core of NTP's clock-select.  This module implements:
+
+* :func:`marzullo` — given ``n`` intervals, the (first, smallest) interval
+  contained in the **maximum** number of source intervals, found with the
+  classic endpoint sweep in ``O(n log n)``.
+* :func:`intersect_tolerating` — the ``f``-fault-tolerant intersection: the
+  sweep result if at least ``n - f`` sources overlap it, else None.
+* :func:`ntp_select` — the RFC-5905-style refinement that additionally
+  requires the majority's *midpoints* to fall inside the selected
+  intersection, classifying sources into truechimers and falsetickers.
+
+Guarantee (the thesis's): if at most ``f`` of ``n`` intervals are incorrect
+and ``2f < n``, the true time lies in the interval returned by
+``intersect_tolerating(intervals, f)`` whenever it returns one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .intervals import TimeInterval
+
+
+@dataclass(frozen=True)
+class MarzulloResult:
+    """Result of the endpoint sweep.
+
+    Attributes:
+        interval: The first smallest sub-interval covered by ``count``
+            source intervals.
+        count: The maximum number of source intervals sharing a point.
+    """
+
+    interval: TimeInterval
+    count: int
+
+
+def marzullo(intervals: Sequence[TimeInterval]) -> MarzulloResult:
+    """Endpoint-sweep intersection: best-overlapped sub-interval.
+
+    Args:
+        intervals: One interval per source; order is irrelevant except that
+            among equally-overlapped regions the leftmost is returned.
+
+    Returns:
+        The maximally-overlapped region and its overlap count.
+
+    Raises:
+        ValueError: On empty input.
+
+    Complexity: ``O(n log n)`` time, ``O(n)`` space.
+    """
+    if not intervals:
+        raise ValueError("marzullo() of empty interval sequence")
+    # Type 0 marks a trailing edge (interval opens), type 1 a leading edge
+    # (interval closes).  Sorting opens before closes at equal offsets makes
+    # touching intervals count as overlapping, matching the paper's
+    # ``<=``-based consistency.
+    events: List[tuple[float, int]] = []
+    for interval in intervals:
+        events.append((interval.lo, 0))
+        events.append((interval.hi, 1))
+    events.sort()
+
+    best = 0
+    count = 0
+    best_lo = events[0][0]
+    best_hi = events[0][0]
+    for index, (offset, kind) in enumerate(events):
+        if kind == 0:
+            count += 1
+            if count > best:
+                best = count
+                best_lo = offset
+                # The best region extends to the next event; if that event
+                # opens yet another interval this assignment is superseded
+                # on the next iteration.
+                best_hi = events[index + 1][0]
+        else:
+            count -= 1
+    return MarzulloResult(TimeInterval(best_lo, best_hi), best)
+
+
+def intersect_tolerating(
+    intervals: Sequence[TimeInterval], faults: int
+) -> Optional[MarzulloResult]:
+    """The ``f``-fault-tolerant intersection.
+
+    Args:
+        intervals: One interval per source.
+        faults: Maximum number of sources allowed to be incorrect.
+
+    Returns:
+        The sweep result if at least ``len(intervals) - faults`` sources
+        overlap it; otherwise None (too many sources disagree for the
+        requested tolerance).
+
+    Raises:
+        ValueError: If ``faults`` is negative or the input is empty.
+    """
+    if faults < 0:
+        raise ValueError(f"faults must be non-negative, got {faults}")
+    result = marzullo(intervals)
+    if result.count >= len(intervals) - faults:
+        return result
+    return None
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Result of the NTP-style selection.
+
+    Attributes:
+        interval: The selected correctness interval.
+        truechimers: Indices of sources judged correct (interval overlaps
+            the selection and midpoint lies inside it).
+        falsetickers: Indices of the remaining sources.
+    """
+
+    interval: TimeInterval
+    truechimers: tuple[int, ...]
+    falsetickers: tuple[int, ...]
+
+
+def ntp_select(intervals: Sequence[TimeInterval]) -> Optional[SelectionResult]:
+    """RFC-5905-style clock selection over correctness intervals.
+
+    For increasing assumed falseticker counts ``f`` (while ``2f < n``), scan
+    for the tightest ``[low .. high]`` such that at least ``n - f``
+    intervals' trailing edges are at or below ``low`` reached in ascending
+    order, and symmetrically for ``high``; accept once no more than ``f``
+    midpoints fall outside ``[low .. high]``.
+
+    Returns:
+        The selection and the truechimer/falseticker split, or None when no
+        majority agreement exists (more than half the sources disagree).
+    """
+    n = len(intervals)
+    if n == 0:
+        return None
+    # Build the endpoint lists once.  Each source contributes its trailing
+    # edge, midpoint, and leading edge.
+    ascending = sorted(
+        (interval.lo, -1, index) for index, interval in enumerate(intervals)
+    )
+    descending = sorted(
+        ((interval.hi, +1, index) for index, interval in enumerate(intervals)),
+        reverse=True,
+    )
+    midpoints = [interval.center for interval in intervals]
+
+    allow = 0
+    while 2 * allow < n:
+        need = n - allow
+        low: Optional[float] = None
+        high: Optional[float] = None
+        chime = 0
+        for offset, _kind, _index in ascending:
+            chime += 1
+            if chime >= need:
+                low = offset
+                break
+        chime = 0
+        for offset, _kind, _index in descending:
+            chime += 1
+            if chime >= need:
+                high = offset
+                break
+        if low is not None and high is not None and low <= high:
+            outside = [
+                index
+                for index, mid in enumerate(midpoints)
+                if not (low <= mid <= high)
+            ]
+            if len(outside) <= allow:
+                selected = TimeInterval(low, high)
+                false_set = set(outside)
+                # A truechimer must also actually overlap the selection.
+                for index, interval in enumerate(intervals):
+                    if index not in false_set and not interval.intersects(selected):
+                        false_set.add(index)
+                if 2 * len(false_set) < n:
+                    true_idx = tuple(
+                        index for index in range(n) if index not in false_set
+                    )
+                    false_idx = tuple(sorted(false_set))
+                    return SelectionResult(selected, true_idx, false_idx)
+        allow += 1
+    return None

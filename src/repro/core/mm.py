@@ -1,0 +1,111 @@
+"""Algorithm MM — minimization of the maximum error (Section 3).
+
+Rule **MM-1** (how a server answers): server ``S_i`` maintains a clock
+``C_i``, the clock value at its last reset ``r_i``, and an inherited error
+``ε_i``; at a request received at time ``t`` it responds with ``<C_i(t),
+E_i(t)>`` where ``E_i(t) = ε_i + (C_i(t) - r_i)·δ_i``.  (MM-1 lives in the
+server, :mod:`repro.service.server`, since it is shared by all policies.)
+
+Rule **MM-2** (how a server synchronizes): every ``τ`` seconds the server
+polls its neighbours.  A reply ``<C_j, E_j>`` with local-clock round trip
+``ξ^i_j`` is ignored if inconsistent with the local interval.  For a
+consistent reply, the server evaluates
+
+    E_j + (1 + δ_i)·ξ^i_j  <=  E_i
+
+and, when the predicate holds, resets: ``ε_i <- E_j + (1 + δ_i)·ξ^i_j``,
+``C_i <- C_j``, ``r_i <- C_j``.
+
+The predicate compares the error the server *would* have after adopting the
+remote interval (remote error plus the worst-case real-time round trip)
+against the error it has now; MM therefore greedily tracks the neighbour
+with the smallest maximum error — hence the algorithm's name.
+
+Theorem 1 proves MM preserves correctness when every ``δ_i`` is a valid
+bound; Theorems 2 and 3 bound the error and asynchronism.
+
+An ablation flag reproduces a deliberately broken variant (raw ``ξ`` without
+the ``(1 + δ_i)`` inflation) used by the benchmark suite to show why the
+inflation term is load-bearing for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .sync import (
+    LocalState,
+    Reply,
+    ReplyOutcome,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+class MMPolicy(SynchronizationPolicy):
+    """Rule MM-2 as an incremental synchronization policy.
+
+    Args:
+        inflate_rtt: When True (the paper's rule), the round-trip term is
+            ``(1 + δ_i)·ξ^i_j``; when False, the raw ``ξ^i_j`` is used — an
+            ablation that is *not* correctness-preserving for fast local
+            clocks.
+        strict_improvement: When True, require the predicate with strict
+            ``<`` instead of the paper's ``<=``.  Strictness suppresses
+            no-op resets between identical intervals; the paper's proofs use
+            ``<=`` (the self-reply in Theorem 2's proof relies on it), so
+            the default follows the paper.
+    """
+
+    name = "MM"
+    incremental = True
+
+    def __init__(self, *, inflate_rtt: bool = True, strict_improvement: bool = False):
+        self.inflate_rtt = inflate_rtt
+        self.strict_improvement = strict_improvement
+
+    # ------------------------------------------------------------------ MM-2
+
+    def adoption_error(self, state: LocalState, reply: Reply) -> float:
+        """The error ``S_i`` would inherit by resetting to this reply."""
+        factor = (1.0 + state.delta) if self.inflate_rtt else 1.0
+        return reply.error + factor * reply.rtt_local
+
+    def accepts(self, state: LocalState, reply: Reply) -> bool:
+        """Rule MM-2's predicate on a (consistent) reply."""
+        candidate = self.adoption_error(state, reply)
+        if self.strict_improvement:
+            return candidate < state.error
+        return candidate <= state.error
+
+    def on_reply(self, state: LocalState, reply: Reply) -> ReplyOutcome:
+        # Consistency is judged on the reply aged to the receipt instant
+        # (leading edge widened by the round-trip term); the raw reply
+        # interval would raise false alarms against a fast local clock.
+        consistent = state.interval.intersects(
+            reply.transit_interval(state.delta)
+        )
+        if not consistent:
+            # "Any reply that is inconsistent with S_i is ignored."  The
+            # outcome still reports the inconsistency so recovery can react.
+            return ReplyOutcome(consistent=False)
+        if not self.accepts(state, reply):
+            return ReplyOutcome(consistent=True)
+        decision = ResetDecision(
+            clock_value=reply.clock_value,
+            inherited_error=self.adoption_error(state, reply),
+            source=reply.server,
+        )
+        return ReplyOutcome(consistent=True, decision=decision)
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        # MM acts per reply; the round hook only reports whether anything
+        # consistent was heard (all-inconsistent rounds feed recovery).
+        any_consistent = any(
+            state.interval.intersects(reply.transit_interval(state.delta))
+            for reply in replies
+        )
+        return RoundOutcome(consistent=any_consistent or not replies)

@@ -1,0 +1,193 @@
+"""Synchronization-function framework.
+
+Section 1.2 characterises clock synchronization as every process ``i``
+independently computing
+
+    C_i(t) <- F(C_{i1}(t), ..., C_{ik}(t))
+
+over data collected from its neighbours, and reduces the design space to
+the choice of the *synchronization function* ``F``.  This module pins down
+the interfaces: what a server knows locally (:class:`LocalState`), what a
+neighbour's reply carries (:class:`Reply`), and what a synchronization
+policy may decide (:class:`ResetDecision`).
+
+Two evaluation shapes exist in the paper:
+
+* **incremental** — algorithm MM examines replies one at a time as they
+  arrive and may reset on any of them (rule MM-2 is a per-reply predicate);
+* **batch** — algorithm IM transforms *all* replies of a round and resets
+  once, to the midpoint of the intersection (rule IM-2).
+
+:class:`SynchronizationPolicy` supports both: the server feeds each reply to
+:meth:`~SynchronizationPolicy.on_reply` and, when the round's replies have
+all arrived (or timed out), calls
+:meth:`~SynchronizationPolicy.on_round_complete`.  Policies implement
+whichever hooks they need; the baselines (max / median / mean / first-reply)
+are batch policies too.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .intervals import TimeInterval
+
+
+@dataclass(frozen=True)
+class LocalState:
+    """A server's own view at the instant it evaluates a reply or a round.
+
+    Attributes:
+        clock_value: ``C_i`` — the local clock reading now.
+        error: ``E_i`` — the local maximum error now (rule MM-1's
+            ``ε_i + (C_i - r_i)·δ_i``).
+        delta: ``δ_i`` — the claimed maximum drift rate used to inflate
+            round-trip terms.
+    """
+
+    clock_value: float
+    error: float
+    delta: float
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The local interval ``[C_i - E_i, C_i + E_i]``."""
+        return TimeInterval.from_center_error(self.clock_value, self.error)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A neighbour's answer to a time request, as seen by the requester.
+
+    Attributes:
+        server: Name of the responding server ``S_j``.
+        clock_value: ``C_j`` as carried in the reply.
+        error: ``E_j`` as carried in the reply.
+        rtt_local: ``ξ^i_j`` — the round-trip delay *measured on the local
+            clock* ``C_i`` between sending the request and receiving this
+            reply.  Rule MM-2 and rule IM-2 both inflate it by
+            ``(1 + δ_i)`` to convert a local-clock duration into a bound on
+            real elapsed time.
+        is_self: True for the requester's own interval injected as a
+            candidate (the self-reply device used in the Theorem 2 proof).
+    """
+
+    server: str
+    clock_value: float
+    error: float
+    rtt_local: float
+    is_self: bool = False
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The raw reply interval ``[C_j - E_j, C_j + E_j]`` (no rtt term)."""
+        return TimeInterval.from_center_error(self.clock_value, self.error)
+
+    def inflated_error(self, delta_local: float) -> float:
+        """``E_j + (1 + δ_i)·ξ^i_j`` — the error after adopting this reply."""
+        return self.error + (1.0 + delta_local) * self.rtt_local
+
+    def transit_interval(self, delta_local: float) -> TimeInterval:
+        """The reply interval aged to the receipt instant.
+
+        The reply was generated somewhere inside the round trip, so at
+        receipt the true time can exceed the reply's leading edge by up to
+        the full round trip — hence ``[C_j - E_j,
+        C_j + E_j + (1 + δ_i)·ξ^i_j]`` (exactly rule IM-2's transformation).
+        Consistency between the local state and a *reply* must be judged on
+        this interval: using the raw interval produces false inconsistency
+        alarms against a fast local clock.
+        """
+        return TimeInterval(
+            self.clock_value - self.error,
+            self.clock_value
+            + self.error
+            + (1.0 + delta_local) * self.rtt_local,
+        )
+
+
+@dataclass(frozen=True)
+class ResetDecision:
+    """What a policy tells the server to do to its clock.
+
+    Attributes:
+        clock_value: New value for ``C_i`` (the server sets its clock so
+            that it reads this at the decision instant).
+        inherited_error: New ``ε_i``.  The server also sets
+            ``r_i <- clock_value`` so the age term restarts from zero.
+        source: Name(s) of the server(s) the new value derives from, for
+            tracing ("S3" for MM; "S2∩S3" style for IM).
+    """
+
+    clock_value: float
+    inherited_error: float
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class ReplyOutcome:
+    """Result of evaluating a single reply.
+
+    Attributes:
+        consistent: Whether the reply interval intersects the local one
+            (inconsistent replies are ignored by MM-2 but surfaced here so
+            the recovery machinery of Section 3 can react).
+        decision: A reset to apply now, or None.
+    """
+
+    consistent: bool
+    decision: Optional[ResetDecision] = None
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Result of evaluating a completed round of replies.
+
+    Attributes:
+        consistent: Whether the round found the service consistent.  For IM
+            this is rule IM-2's ``b > a`` test on the global intersection;
+            an inconsistent round triggers the Section 3 recovery machinery.
+        decision: A reset to apply, or None.
+        conflicting: Names of the servers implicated in an inconsistency
+            (for IM, the pair whose transformed edges cross), so recovery
+            can exclude them when choosing an arbiter.
+    """
+
+    consistent: bool
+    decision: Optional[ResetDecision] = None
+    conflicting: tuple[str, ...] = ()
+
+
+class SynchronizationPolicy(abc.ABC):
+    """Strategy interface for the synchronization function ``F``.
+
+    A policy is stateless with respect to the server (all needed inputs
+    arrive via :class:`LocalState` and :class:`Reply`), so one policy
+    instance may be shared by many servers.
+    """
+
+    #: Human-readable short name used in traces and benchmark tables.
+    name: str = "base"
+
+    #: Whether the server should evaluate replies as they arrive
+    #: (incremental, MM-style).  If False, only the round hook is used.
+    incremental: bool = False
+
+    def on_reply(self, state: LocalState, reply: Reply) -> ReplyOutcome:
+        """Evaluate one reply as it arrives.
+
+        Default: classify consistency, never reset (batch policies).
+        """
+        consistent = state.interval.intersects(reply.interval)
+        return ReplyOutcome(consistent=consistent)
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        """Evaluate a completed round of replies.  Default: no reset."""
+        return RoundOutcome(consistent=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,55 @@
+"""Experiments — one module per paper figure, theorem, and anecdote.
+
+Each module exposes ``run(...)`` returning a typed result object and a
+``main()`` that prints the reproduced artefact; the benchmark suite under
+``benchmarks/`` wraps these with pytest-benchmark.  See DESIGN.md §3 for
+the experiment index and EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+from . import (
+    ablations,
+    churn,
+    cold_start,
+    correctness,
+    delay_asymmetry,
+    discipline,
+    drift_recovery,
+    failures,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    overhead,
+    partition,
+    quantization,
+    scenarios,
+    tenfold,
+    theorem4,
+    topology_study,
+    theorem8,
+    theorem_bounds,
+)
+
+__all__ = [
+    "ablations",
+    "churn",
+    "cold_start",
+    "correctness",
+    "delay_asymmetry",
+    "discipline",
+    "drift_recovery",
+    "failures",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "overhead",
+    "partition",
+    "quantization",
+    "scenarios",
+    "tenfold",
+    "theorem4",
+    "topology_study",
+    "theorem8",
+    "theorem_bounds",
+]

@@ -1,0 +1,165 @@
+"""Membership churn — the paper's unstable server set, measured.
+
+Section 1.1: "The set of servers making up the service is not stable, in
+that time servers can frequently join or leave the service."  The paper
+never quantifies churn, but the claim implicit in the system design is that
+the algorithms tolerate it: correctness is a per-server property (Theorem 1
+holds for whoever is present), and a rejoining server — whose clock was set
+by hand, so its error is large — is pulled back in by ordinary rounds.
+
+The experiment runs an IM mesh under Poisson leave/rejoin churn and checks:
+
+* the servers present at each sample stay correct and mutually consistent;
+* rejoining servers reconverge to the service's error level within a few
+  poll periods;
+* the service's error level is only mildly degraded versus a churn-free
+  control run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.im import IMPolicy
+from ..service.churn import ChurnController
+from .scenarios import MeshScenario, build_mesh_service, grid
+
+
+@dataclass(frozen=True)
+class ChurnRunResult:
+    """Outcome of one churn run.
+
+    Attributes:
+        departures: Leave events executed.
+        rejoins: Rejoin events executed.
+        present_violations: Samples at which a *present* server was
+            incorrect (expect 0; departed servers drift freely and are not
+            judged).
+        worst_reconvergence: Worst observed time (in poll periods) for a
+            rejoined server to get its error back under ``2×`` the service
+            median.
+        mean_error: Mean error over present servers across the run.  The
+            mean is dominated by the rejoin transients (a returning server
+            carries its large hand-set error until its next round), so the
+            median is the steady-state comparison.
+        median_error: Median error over present servers across the run.
+        control_mean_error: Mean from the churn-free control.
+        control_median_error: Median from the churn-free control.
+    """
+
+    departures: int
+    rejoins: int
+    present_violations: int
+    worst_reconvergence: float
+    mean_error: float
+    median_error: float
+    control_mean_error: float
+    control_median_error: float
+
+
+def run(
+    n: int = 8,
+    tau: float = 60.0,
+    horizon: float = 2.0 * 3600.0,
+    churn_interval: float = 240.0,
+    mean_downtime: float = 180.0,
+    rejoin_error: float = 2.0,
+    seed: int = 17,
+) -> ChurnRunResult:
+    """Run the churn scenario and its churn-free control."""
+    scenario = MeshScenario(n=n, delta=1e-5, tau=tau, seed=seed)
+
+    # --- control (no churn)
+    control = build_mesh_service(scenario, IMPolicy())
+    control_errors: List[float] = []
+    for snap in control.sample(grid(tau * 2, horizon, 60)):
+        control_errors.extend(snap.errors.values())
+
+    # --- churned run
+    service = build_mesh_service(scenario, IMPolicy(), trace_enabled=True)
+    controller = ChurnController(
+        service.engine,
+        list(service.servers.values()),
+        service.rng.stream("churn"),
+        interval=churn_interval,
+        mean_downtime=mean_downtime,
+        rejoin_error=rejoin_error,
+        min_alive=max(2, n // 2),
+    )
+    controller.start()
+
+    # Sample the run, remembering per-sample state for post-processing.
+    step = tau / 4.0
+    sample_times = grid(tau * 2, horizon, int((horizon - tau * 2) / step))
+    samples = []  # (t, errors dict, correct dict, present set)
+    for t in sample_times:
+        service.run_until(t)
+        snap = service.snapshot()
+        present = frozenset(
+            name
+            for name, server in service.servers.items()
+            if not server.departed
+        )
+        samples.append((t, dict(snap.errors), dict(snap.correct), present))
+
+    present_violations = sum(
+        1
+        for _t, _errors, correct, present in samples
+        for name in present
+        if not correct[name]
+    )
+    errors = [
+        errors_at[name]
+        for _t, errors_at, _correct, present in samples
+        for name in present
+    ]
+
+    # Reconvergence: for each rejoin event, the time until that server's
+    # error first drops under 2x the present-servers' median.
+    reconvergence: List[float] = []
+    for row in service.trace.filter(kind="rejoin"):
+        for t, errors_at, _correct, present in samples:
+            if t < row.time or row.source not in present:
+                continue
+            median_error = float(
+                np.median([errors_at[name] for name in present])
+            )
+            if errors_at[row.source] <= 2.0 * max(median_error, 1e-9):
+                reconvergence.append((t - row.time) / tau)
+                break
+
+    return ChurnRunResult(
+        departures=controller.stats.departures,
+        rejoins=controller.stats.rejoins,
+        present_violations=present_violations,
+        worst_reconvergence=max(reconvergence) if reconvergence else float("nan"),
+        mean_error=float(np.mean(errors)),
+        median_error=float(np.median(errors)),
+        control_mean_error=float(np.mean(control_errors)),
+        control_median_error=float(np.median(control_errors)),
+    )
+
+
+def main() -> None:
+    """Print the churn run."""
+    result = run()
+    print("Churn — IM mesh under Poisson leave/rejoin membership noise")
+    print(f"  departures / rejoins: {result.departures} / {result.rejoins}")
+    print(f"  present-server correctness violations: {result.present_violations}")
+    print(f"  worst rejoin reconvergence: {result.worst_reconvergence:.1f} poll periods")
+    print(
+        f"  mean present-server error: {result.mean_error:.4f} s "
+        f"(control without churn: {result.control_mean_error:.4f} s)"
+    )
+    print(
+        f"  median present-server error: {result.median_error:.4f} s "
+        f"(control: {result.control_median_error:.4f} s) — the steady state "
+        "is churn-insensitive; the mean is rejoin-transient dominated"
+    )
+
+
+if __name__ == "__main__":
+    main()

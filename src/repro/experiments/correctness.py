@@ -1,0 +1,133 @@
+"""Theorems 1 and 5 — MM and IM preserve correctness.
+
+"If all of the δ_i are valid upper bounds on the drift rates of the clocks
+C_i, then an initially correct time service running algorithm MM [IM] will
+remain correct."
+
+Reproduction: randomized services (sizes, δ populations, delays, seeds) run
+for many rounds under each algorithm, with the oracle checking at every
+sample that every server's interval still contains the true time.  The
+expected result is *zero* violations for both algorithms — and, as a
+control, violations *do* appear the moment a clock's actual skew exceeds
+its claimed δ (that control is what Figure 3 and the recovery experiments
+build on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.metrics import correctness_violations
+from ..core.im import IMPolicy
+from ..core.mm import MMPolicy
+from ..core.sync import SynchronizationPolicy
+from .scenarios import MeshScenario, build_mesh_service, grid
+
+
+@dataclass(frozen=True)
+class CorrectnessRun:
+    """One randomized run's verdict.
+
+    Attributes:
+        policy_name: "MM" or "IM".
+        scenario: Parameters used.
+        samples: Oracle checks performed.
+        violations: Samples at which some interval missed the true time.
+    """
+
+    policy_name: str
+    scenario: MeshScenario
+    samples: int
+    violations: int
+
+    @property
+    def correct(self) -> bool:
+        """Whether the run stayed correct throughout."""
+        return self.violations == 0
+
+
+def run_one(
+    scenario: MeshScenario,
+    policy: SynchronizationPolicy,
+    horizon: float = 1800.0,
+    samples: int = 90,
+) -> CorrectnessRun:
+    """Run one service and count oracle violations."""
+    service = build_mesh_service(scenario, policy)
+    snapshots = service.sample(grid(0.0, horizon, samples))
+    violations = correctness_violations(snapshots)
+    return CorrectnessRun(
+        policy_name=policy.name,
+        scenario=scenario,
+        samples=len(snapshots),
+        violations=len(violations),
+    )
+
+
+def run_suite(
+    seeds: Sequence[int] = (0, 1, 2),
+    sizes: Sequence[int] = (3, 6),
+    deltas: Sequence[float] = (1e-5, 1e-4),
+    horizon: float = 1800.0,
+) -> List[CorrectnessRun]:
+    """The randomized suite over both algorithms."""
+    runs = []
+    for seed in seeds:
+        for n in sizes:
+            for delta in deltas:
+                scenario = MeshScenario(n=n, delta=delta, seed=seed)
+                runs.append(run_one(scenario, MMPolicy(), horizon=horizon))
+                runs.append(run_one(scenario, IMPolicy(), horizon=horizon))
+    return runs
+
+
+def run_invalid_bound_control(
+    seed: int = 4, horizon: float = 1800.0
+) -> CorrectnessRun:
+    """Control: a clock violating its claimed δ breaks IM's correctness.
+
+    One server's actual skew is 20× its claimed bound; IM's intersection
+    confidently excludes the true time (the Figure 3 mechanism).
+    """
+    scenario = MeshScenario(
+        n=4,
+        delta=1e-5,
+        skews=[0.0, 5e-6, -5e-6, 2e-4],  # S4 races past its claimed 1e-5
+        seed=seed,
+    )
+    return run_one(scenario, IMPolicy(), horizon=horizon)
+
+
+def main() -> None:
+    """Print the suite verdicts."""
+    from ..analysis.plots import render_table
+
+    rows = []
+    for result in run_suite():
+        rows.append(
+            [
+                result.policy_name,
+                result.scenario.n,
+                result.scenario.delta,
+                result.scenario.seed,
+                result.samples,
+                result.violations,
+            ]
+        )
+    print("Theorems 1 & 5 — correctness preservation (expect 0 violations)")
+    print(
+        render_table(
+            ["policy", "n", "δ", "seed", "samples", "violations"], rows
+        )
+    )
+    control = run_invalid_bound_control()
+    print(
+        f"\nControl (invalid bound, IM): {control.violations} violating "
+        f"samples out of {control.samples} — correctness is *not* preserved "
+        "when a δ is invalid, as the paper warns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""Delay asymmetry: the failure mode intervals are immune to.
+
+Every point-timestamp synchronization algorithm that compensates delay with
+the round-trip midpoint (Cristian's trick, used by our [Lamport 78]/
+[Lamport 82] baselines and by NTP's point estimate) silently assumes
+σ ≈ ρ: that the request and reply legs are comparable.  An asymmetric path
+— one congested direction, a satellite uplink, token-bucket shaping —
+injects a *systematic, undetectable* bias of ``(ρ - σ)/2`` into every
+measurement.
+
+The paper's interval exchange never makes that assumption: rule IM-2's
+transformation widens only the leading edge by the whole round trip, so the
+interval stays *correct* under any split of the delay between the legs; the
+cost of asymmetry is only a (bounded) accuracy bias inside the interval,
+never a correctness violation.
+
+The experiment runs the same service — one reference, four drifting servers
+— on a symmetric network and on one whose reply legs are 20× slower than
+its request legs, under IM and under the midpoint baselines, and scores
+oracle offsets and correctness.
+
+Expected shape: on the asymmetric network the baselines acquire a
+systematic offset about half the leg difference, while IM's servers stay
+*correct* (oracle inside the claimed interval) with offsets bounded by
+their claimed errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..baselines.averaging import MeanPolicy, MedianPolicy
+from ..baselines.first_reply import FirstReplyPolicy
+from ..core.im import IMPolicy
+from ..core.sync import SynchronizationPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+#: Request-leg one-way bound (fast direction).
+FAST_LEG = 0.002
+
+#: Reply-leg one-way bound on the asymmetric network (slow direction).
+SLOW_LEG = 0.040
+
+POLICIES: Dict[str, type] = {
+    "IM": IMPolicy,
+    "median": MedianPolicy,
+    "mean": MeanPolicy,
+    "first-reply": FirstReplyPolicy,
+}
+
+
+@dataclass(frozen=True)
+class AsymmetryRow:
+    """One (policy, network) cell.
+
+    Attributes:
+        policy: Policy name.
+        asymmetric: Whether reply legs were 20× slower.
+        mean_offset: Mean signed oracle offset of the polling servers —
+            the systematic bias midpoint compensation picks up.
+        worst_offset: Worst |offset|.
+        correct: Oracle: every sampled interval contained the true time.
+    """
+
+    policy: str
+    asymmetric: bool
+    mean_offset: float
+    worst_offset: float
+    correct: bool
+
+
+def _run_cell(
+    policy: SynchronizationPolicy,
+    policy_name: str,
+    asymmetric: bool,
+    *,
+    n: int = 5,
+    tau: float = 60.0,
+    horizon: float = 1800.0,
+    seed: int = 47,
+) -> AsymmetryRow:
+    names = [f"S{k + 1}" for k in range(n)]
+    specs = [ServerSpec(names[0], reference=True, initial_error=0.001)]
+    for k in range(1, n):
+        specs.append(
+            ServerSpec(
+                names[k],
+                delta=1e-5,
+                skew=0.8e-5 * (2.0 * k / (n - 1) - 1.0),
+            )
+        )
+    service = build_service(
+        full_mesh(n),
+        specs,
+        policy=policy,
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(FAST_LEG),
+        trace_enabled=False,
+    )
+    if asymmetric:
+        # Reverse legs (reply direction for canonical-order requests) are
+        # 20x slower on every link.
+        for a in names:
+            for b in names:
+                if a < b:
+                    service.network.link(a, b).reverse_delay = UniformDelay(SLOW_LEG)
+    snapshots = service.sample(grid(horizon / 2, horizon, 30))
+    polling = names[1:]
+    offsets = [snap.offsets[name] for snap in snapshots for name in polling]
+    correct = all(
+        snap.correct[name] for snap in snapshots for name in polling
+    )
+    return AsymmetryRow(
+        policy=policy_name,
+        asymmetric=asymmetric,
+        mean_offset=float(np.mean(offsets)),
+        worst_offset=float(np.max(np.abs(offsets))),
+        correct=correct,
+    )
+
+
+def run(horizon: float = 1800.0, seed: int = 47) -> List[AsymmetryRow]:
+    """The full policy × symmetry matrix."""
+    rows = []
+    for name, policy_class in POLICIES.items():
+        for asymmetric in (False, True):
+            rows.append(
+                _run_cell(
+                    policy_class(),
+                    name,
+                    asymmetric,
+                    horizon=horizon,
+                    seed=seed,
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the matrix."""
+    from ..analysis.plots import render_table
+
+    rows = run()
+    print(
+        "Delay asymmetry — request legs "
+        f"≤{FAST_LEG * 1e3:.0f} ms, reply legs ≤{SLOW_LEG * 1e3:.0f} ms "
+        "when asymmetric"
+    )
+    print(
+        render_table(
+            ["policy", "asymmetric", "mean offset (s)", "worst |offset| (s)", "correct"],
+            [
+                [r.policy, r.asymmetric, r.mean_offset, r.worst_offset, r.correct]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nMidpoint compensation turns asymmetry into a systematic bias of "
+        "about (ρ - σ)/2; the interval exchange never assumes symmetry, so "
+        "IM stays correct — the bias is absorbed inside the claimed error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Section 3's recovery anecdote — the four-percent-fast clock.
+
+"In one experiment there was a network of two servers in which one server
+assumed its maximum drift rate was bounded by one second a day and whose
+actual drift rate was closer to one hour a day (about four percent fast).
+Each time either of the two clocks decided to reset, it found itself
+inconsistent with its neighbor and obtained the time from a server on some
+other network.  The main problem was that the servers did not check their
+neighbor very often, so the time of the inaccurate clock would be very far
+off by the time it reset."
+
+Reproduction: a two-server LAN (A good, B four percent fast with a claimed
+bound of 1 s/day), plus a reference server R on "some other network" —
+reachable over slow WAN links.  Both LAN servers run MM with the paper's
+third-server recovery.  Because B's racing clock makes *every* neighbour
+reply inconsistent (MM-2 ignores them), only the recovery path can fix B;
+the experiment measures the inconsistency/recovery cycle and — sweeping the
+poll period τ — the anecdote's moral that B's worst offset scales with how
+rarely it checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.mm import MMPolicy
+from ..core.recovery import ThirdServerRecovery
+from ..network.delay import UniformDelay
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+#: 1 second/day, the claimed bound of both LAN servers.
+ONE_SECOND_PER_DAY = 1.0 / 86400.0
+
+#: "about four percent fast" — roughly one hour per day.
+FOUR_PERCENT = 0.04
+
+
+def _anecdote_topology() -> nx.Graph:
+    """A–B on the LAN; R on another network behind WAN links."""
+    graph = nx.Graph()
+    graph.add_edge("A", "B", kind="lan")
+    graph.add_edge("A", "R", kind="wan")
+    graph.add_edge("B", "R", kind="wan")
+    return graph
+
+
+@dataclass(frozen=True)
+class RecoveryRunResult:
+    """One run of the anecdote.
+
+    Attributes:
+        tau: Poll period used.
+        inconsistencies: Inconsistency detections across A and B.
+        recoveries: Unconditional third-server resets applied.
+        worst_offset_b: Max |C_B(t) - t| over the run — how "very far off"
+            the racing clock got between recoveries.
+        final_offset_b: |C_B - t| at the end of the run.
+        b_kept_bounded: Whether recovery kept B's worst offset to roughly
+            what it can accumulate in two poll periods (i.e. recovery
+            actually worked).
+    """
+
+    tau: float
+    inconsistencies: int
+    recoveries: int
+    worst_offset_b: float
+    final_offset_b: float
+    b_kept_bounded: bool
+
+
+def run(
+    tau: float = 300.0,
+    horizon: float = 4.0 * 3600.0,
+    seed: int = 9,
+    racing_skew: float = FOUR_PERCENT,
+    claimed_delta: float = ONE_SECOND_PER_DAY,
+) -> RecoveryRunResult:
+    """Run the two-server + remote-arbiter anecdote."""
+    specs = [
+        ServerSpec("A", delta=claimed_delta, skew=0.0),
+        ServerSpec("B", delta=claimed_delta, skew=racing_skew),
+        ServerSpec("R", reference=True, initial_error=0.001),
+    ]
+    service = build_service(
+        _anecdote_topology(),
+        specs,
+        policy=MMPolicy(),
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.01),
+        wan_delay=UniformDelay(0.25),
+        recovery_factory=lambda name: ThirdServerRecovery(remote_servers=("R",)),
+        trace_enabled=True,
+    )
+    worst_offset_b = 0.0
+    for snap in service.sample(grid(0.0, horizon, 400)):
+        worst_offset_b = max(worst_offset_b, abs(snap.offsets["B"]))
+    final_offset_b = abs(service.snapshot().offsets["B"])
+
+    trace = service.trace
+    recoveries = trace.filter(
+        kind="reset",
+        predicate=lambda row: row.data.get("reset_kind") == "recovery",
+    )
+    # With recovery, B drifts for at most ~2τ (one poll to notice, one
+    # recovery round trip, sampling slack) before being yanked back.
+    allowance = racing_skew * 2.0 * tau + 2.0
+    return RecoveryRunResult(
+        tau=tau,
+        inconsistencies=trace.count("inconsistent"),
+        recoveries=len(recoveries),
+        worst_offset_b=worst_offset_b,
+        final_offset_b=final_offset_b,
+        b_kept_bounded=worst_offset_b <= allowance,
+    )
+
+
+@dataclass(frozen=True)
+class TauSweepRow:
+    """One τ of the sweep behind the anecdote's moral."""
+
+    tau: float
+    recoveries: int
+    worst_offset: float
+
+
+def sweep_tau(
+    taus: Sequence[float] = (60.0, 300.0, 900.0),
+    horizon: float = 2.0 * 3600.0,
+    seed: int = 9,
+) -> list[TauSweepRow]:
+    """Worst offset of the racing clock as a function of the poll period.
+
+    Expected shape: roughly linear growth in τ — the less often B checks,
+    the further off it is by the time it resets.
+    """
+    rows = []
+    for tau in taus:
+        result = run(tau=tau, horizon=horizon, seed=seed)
+        rows.append(
+            TauSweepRow(
+                tau=tau,
+                recoveries=result.recoveries,
+                worst_offset=result.worst_offset_b,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the anecdote run and the τ sweep."""
+    from ..analysis.plots import render_table
+
+    result = run()
+    print("Section 3 anecdote — two servers, one 4% fast, remote recovery")
+    print(f"  inconsistencies detected: {result.inconsistencies}")
+    print(f"  third-server recoveries:  {result.recoveries}")
+    print(f"  B's worst offset:         {result.worst_offset_b:.3f} s")
+    print(f"  B's final offset:         {result.final_offset_b:.3f} s")
+    print(f"  recovery kept B bounded:  {result.b_kept_bounded}")
+    print("\nPoll-period sweep (worst offset grows with τ):")
+    rows = [[r.tau, r.recoveries, r.worst_offset] for r in sweep_tau()]
+    print(render_table(["τ (s)", "recoveries", "worst offset (s)"], rows))
+
+
+if __name__ == "__main__":
+    main()

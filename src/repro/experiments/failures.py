@@ -1,0 +1,214 @@
+"""Clock failure modes under each algorithm (Section 1.1's failure menu).
+
+"A clock may fail in many ways, such as by stopping, racing ahead, or
+refusing to change its value when reset."  The paper defers the full
+treatment to [Marzullo 83] but its recovery machinery exists for exactly
+these faults.  This experiment injects each failure into one server of a
+healthy mesh, runs MM and IM with and without third-server recovery, and
+scores:
+
+* whether the *healthy* servers stay correct (they must — MM/IM ignore
+  inconsistent inputs, and an inconsistent faulty server cannot poison a
+  correct majority under MM; IM's hazard is the consistent-but-wrong state
+  of Figure 3, which the stopped/racing faults quickly leave);
+* the faulty server's final true offset (recovery should bound it for
+  stopping/racing faults; nothing can fix a clock that refuses resets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..clocks.base import Clock
+from ..clocks.drift import DriftingClock
+from ..clocks.failures import RacingClock, StoppedClock, StuckOnResetClock
+from ..core.im import IMPolicy
+from ..core.mm import MMPolicy
+from ..core.recovery import ThirdServerRecovery
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+#: When the injected fault activates.
+FAIL_AT = 600.0
+
+#: Claimed drift bound of every server.
+DELTA = 1e-5
+
+
+def _stopped(rng, name) -> Clock:
+    return StoppedClock(DriftingClock(2e-6), fail_at=FAIL_AT)
+
+
+def _racing(rng, name) -> Clock:
+    return RacingClock(DriftingClock(2e-6), fail_at=FAIL_AT, racing_skew=0.02)
+
+
+def _stuck(rng, name) -> Clock:
+    return StuckOnResetClock(DriftingClock(2e-6), fail_at=FAIL_AT)
+
+
+FAILURE_MODES: dict[str, Callable] = {
+    "stopped": _stopped,
+    "racing": _racing,
+    "stuck-on-reset": _stuck,
+}
+
+#: Post-failure offset growth rate of each mode (s of offset per real s):
+#: a stopped clock falls behind at 1 s/s; the racing clock gains at its
+#: racing skew; a stuck clock just keeps its small natural drift.
+FAILURE_DRIFT_RATE = {
+    "stopped": 1.0,
+    "racing": 0.02,
+    "stuck-on-reset": 2e-6,
+}
+
+
+@dataclass(frozen=True)
+class FailureOutcome:
+    """One (failure, policy, recovery) cell.
+
+    Attributes:
+        failure: Failure-mode name.
+        policy: "MM" or "IM".
+        recovery: Whether third-server recovery was enabled.
+        healthy_correct: Healthy servers stayed correct at every sample.
+        faulty_final_offset: |C_faulty - t| at the end.
+        faulty_recovered: Whether recovery bounded the faulty server's
+            offset to what it can re-accumulate in ~3 poll periods at its
+            post-failure drift rate (a stopped clock re-drifts at 1 s/s, so
+            "bounded" still means tens of seconds at τ = 60).
+        inconsistencies: Total inconsistency detections across the service.
+    """
+
+    failure: str
+    policy: str
+    recovery: bool
+    healthy_correct: bool
+    faulty_final_offset: float
+    faulty_recovered: bool
+    inconsistencies: int
+
+
+def run_cell(
+    failure: str,
+    policy_name: str,
+    recovery: bool,
+    *,
+    n: int = 5,
+    tau: float = 60.0,
+    horizon: float = 3600.0,
+    seed: int = 23,
+) -> FailureOutcome:
+    """Run one failure scenario cell."""
+    clock_factory = FAILURE_MODES[failure]
+    healthy = [f"S{k + 1}" for k in range(n - 1)]
+    faulty = f"S{n}"
+    specs = [
+        ServerSpec(name, delta=DELTA, skew=(k - (n - 2) / 2) * 2e-6)
+        for k, name in enumerate(healthy)
+    ]
+    specs.append(ServerSpec(faulty, delta=DELTA, clock_factory=clock_factory))
+    policy = MMPolicy() if policy_name == "MM" else IMPolicy()
+    service = build_service(
+        full_mesh(n),
+        specs,
+        policy=policy,
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.01),
+        recovery_factory=(
+            (lambda name: ThirdServerRecovery()) if recovery else None
+        ),
+        trace_enabled=False,
+    )
+    healthy_correct = True
+    for snap in service.sample(grid(0.0, horizon, 72)):
+        if not all(snap.correct[name] for name in healthy):
+            healthy_correct = False
+    final = service.snapshot()
+    offset = abs(final.offsets[faulty])
+    inconsistencies = sum(
+        server.stats.inconsistencies for server in service.servers.values()
+    )
+    allowance = 3.0 * tau * FAILURE_DRIFT_RATE[failure] + 1.0
+    return FailureOutcome(
+        failure=failure,
+        policy=policy_name,
+        recovery=recovery,
+        healthy_correct=healthy_correct,
+        faulty_final_offset=offset,
+        faulty_recovered=offset <= allowance,
+        inconsistencies=inconsistencies,
+    )
+
+
+def run_matrix(
+    *,
+    horizon: float = 3600.0,
+    seed: int = 23,
+) -> List[FailureOutcome]:
+    """The full failure × policy × recovery matrix."""
+    outcomes = []
+    for failure in FAILURE_MODES:
+        for policy_name in ("MM", "IM"):
+            for recovery in (False, True):
+                outcomes.append(
+                    run_cell(
+                        failure,
+                        policy_name,
+                        recovery,
+                        horizon=horizon,
+                        seed=seed,
+                    )
+                )
+    return outcomes
+
+
+def main() -> None:
+    """Print the failure matrix."""
+    from ..analysis.plots import render_table
+
+    rows = [
+        [
+            o.failure,
+            o.policy,
+            o.recovery,
+            o.healthy_correct,
+            o.faulty_final_offset,
+            o.faulty_recovered,
+            o.inconsistencies,
+        ]
+        for o in run_matrix()
+    ]
+    print("Failure injection — one faulty clock in a five-server mesh")
+    print(
+        render_table(
+            [
+                "failure",
+                "policy",
+                "recovery",
+                "healthy ok",
+                "faulty |offset|",
+                "faulty bounded",
+                "inconsistencies",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape: recovery bounds the stopped/racing clock "
+        "(a stuck clock needs no bounding and accepts no fix).  One "
+        "emergent hazard is visible in the racing/IM/recovery cell: the "
+        "faulty server's own recoveries keep pulling it back to a "
+        "consistent-but-incorrect interval, dynamically re-arming the "
+        "Figure 3 trap for its IM neighbours; MM's acceptance predicate "
+        "is immune.  This is the paper's IM fault-tolerance warning, "
+        "reproduced as a closed loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Figure 2 — Intersections of Maximum Errors.
+
+Figure 2 shows the two ways an intersection of intervals can be formed:
+
+* **left case** — one interval is contained in all the others, so both
+  edges of the intersection come from the *same* server (intersection ==
+  smallest interval; an IM exchange degenerates to an MM exchange);
+* **right case** — the latest trailing edge and the earliest leading edge
+  come from *different* servers, so the intersection is strictly smaller
+  than every individual interval — the situation where IM beats MM.
+
+This experiment constructs both cases, computes the intersections, and
+verifies Theorem 6 (the intersection is at least as small as the smallest
+interval) plus the paper's equations 13/14 on the overlapping case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.plots import render_intervals
+from ..core.intervals import TimeInterval, intersect_all, smallest
+
+#: Left case: S2's interval nested inside S1's and S3's.
+NESTED_CASE: Dict[str, TimeInterval] = {
+    "S1": TimeInterval.from_center_error(10.00, 0.60),
+    "S2": TimeInterval.from_center_error(10.05, 0.15),
+    "S3": TimeInterval.from_center_error(9.90, 0.50),
+}
+
+#: Right case: edges of the intersection defined by different servers.
+OVERLAP_CASE: Dict[str, TimeInterval] = {
+    "S1": TimeInterval.from_center_error(9.80, 0.45),
+    "S2": TimeInterval.from_center_error(10.15, 0.40),
+    "S3": TimeInterval.from_center_error(10.00, 0.50),
+}
+
+
+@dataclass(frozen=True)
+class Figure2Case:
+    """One panel of the figure.
+
+    Attributes:
+        intervals: The drawn intervals.
+        intersection: Their common region (the shaded area).
+        smallest_width: Width of the smallest input interval.
+        same_server_edges: Whether one server defines both intersection
+            edges (the left-panel condition).
+        diagram: ASCII rendering.
+    """
+
+    intervals: Dict[str, TimeInterval]
+    intersection: TimeInterval
+    smallest_width: float
+    same_server_edges: bool
+    diagram: str
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Both panels plus the Theorem 6 verdicts."""
+
+    nested: Figure2Case
+    overlapping: Figure2Case
+    theorem6_holds: bool
+
+
+def _build_case(intervals: Dict[str, TimeInterval], true_time: float) -> Figure2Case:
+    intersection = intersect_all(intervals.values())
+    if intersection is None:
+        raise ValueError("figure 2 cases are consistent by construction")
+    trailing_owner = max(intervals, key=lambda name: intervals[name].lo)
+    leading_owner = min(intervals, key=lambda name: intervals[name].hi)
+    shown = dict(intervals)
+    shown["∩"] = intersection
+    return Figure2Case(
+        intervals=intervals,
+        intersection=intersection,
+        smallest_width=smallest(list(intervals.values())).width,
+        same_server_edges=trailing_owner == leading_owner,
+        diagram=render_intervals(shown, true_time=true_time),
+    )
+
+
+def run() -> Figure2Result:
+    """Reproduce both panels of Figure 2 and check Theorem 6 on each."""
+    nested = _build_case(NESTED_CASE, true_time=10.0)
+    overlapping = _build_case(OVERLAP_CASE, true_time=10.0)
+    theorem6 = (
+        nested.intersection.width <= nested.smallest_width + 1e-12
+        and overlapping.intersection.width <= overlapping.smallest_width + 1e-12
+    )
+    return Figure2Result(
+        nested=nested, overlapping=overlapping, theorem6_holds=theorem6
+    )
+
+
+def main() -> None:
+    """Print the reproduced figure."""
+    result = run()
+    print("Figure 2 — Intersections of Maximum Errors")
+    print("\nLeft panel (edges from the same server — reduces to MM):")
+    print(result.nested.diagram)
+    print(
+        f"  same-server edges: {result.nested.same_server_edges};"
+        f" |∩| = {result.nested.intersection.width:.3f},"
+        f" smallest input = {result.nested.smallest_width:.3f}"
+    )
+    print("\nRight panel (edges from different servers — IM wins):")
+    print(result.overlapping.diagram)
+    print(
+        f"  same-server edges: {result.overlapping.same_server_edges};"
+        f" |∩| = {result.overlapping.intersection.width:.3f},"
+        f" smallest input = {result.overlapping.smallest_width:.3f}"
+    )
+    print(f"\nTheorem 6 (|∩| <= smallest interval): {result.theorem6_holds}")
+
+
+if __name__ == "__main__":
+    main()

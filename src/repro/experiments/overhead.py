@@ -1,0 +1,183 @@
+"""Synchronization overhead: accuracy versus message cost and loss.
+
+The paper fixes the polling discipline ("each time server sends a time
+request to its neighbours at least once every τ seconds") but never costs
+it.  For a deployable service the engineering questions are:
+
+* **cost/accuracy** — messages per server-hour scale as ``2(n-1)·3600/τ``
+  on a full mesh; steady-state IM error scales roughly linearly *up* in τ
+  (Theorems 2/7 carry the ``δτ`` term).  The sweep exposes the knee.
+* **loss robustness** — rounds complete by timeout with whatever replies
+  arrived, so the algorithms degrade gracefully under packet loss; the
+  error floor rises as fewer intervals intersect per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.im import IMPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One point of the cost/accuracy tradeoff.
+
+    Attributes:
+        tau: Poll period.
+        messages_per_server_hour: Measured message rate (requests +
+            replies crossing the network, normalised per server-hour).
+        mean_error: Steady-state mean reported error.
+        worst_offset: Steady-state worst oracle offset.
+    """
+
+    tau: float
+    messages_per_server_hour: float
+    mean_error: float
+    worst_offset: float
+
+
+def _run_service(
+    *,
+    n: int,
+    tau: float,
+    loss: float,
+    horizon: float,
+    seed: int,
+):
+    specs = [
+        ServerSpec(
+            f"S{k + 1}",
+            delta=1e-4,
+            skew=0.9e-4 * (2.0 * k / (n - 1) - 1.0),
+        )
+        for k in range(n)
+    ]
+    return build_service(
+        full_mesh(n),
+        specs,
+        policy=IMPolicy(),
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.005),
+        loss_probability=loss,
+        trace_enabled=False,
+    )
+
+
+def sweep_tau(
+    taus: Sequence[float] = (15.0, 30.0, 60.0, 120.0, 240.0, 480.0),
+    n: int = 6,
+    seed: int = 29,
+) -> List[OverheadRow]:
+    """Accuracy vs message cost as the poll period varies."""
+    rows = []
+    for tau in taus:
+        horizon = max(20.0 * tau, 3600.0)
+        service = _run_service(n=n, tau=tau, loss=0.0, horizon=horizon, seed=seed)
+        snapshots = service.sample(grid(horizon / 2, horizon, 30))
+        errors = [e for snap in snapshots for e in snap.errors.values()]
+        offsets = [
+            abs(o) for snap in snapshots for o in snap.offsets.values()
+        ]
+        per_server_hour = (
+            service.network.stats.sent / n / (service.engine.now / 3600.0)
+        )
+        rows.append(
+            OverheadRow(
+                tau=tau,
+                messages_per_server_hour=per_server_hour,
+                mean_error=float(np.mean(errors)),
+                worst_offset=float(np.max(offsets)),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LossRow:
+    """One point of the loss-robustness sweep.
+
+    Attributes:
+        loss: Per-message drop probability.
+        mean_error: Steady-state mean reported error.
+        worst_offset: Steady-state worst oracle offset.
+        correct: Whether every sampled interval stayed correct.
+        reply_rate: Fraction of expected replies actually handled.
+    """
+
+    loss: float
+    mean_error: float
+    worst_offset: float
+    correct: bool
+    reply_rate: float
+
+
+def sweep_loss(
+    losses: Sequence[float] = (0.0, 0.05, 0.2, 0.5, 0.8),
+    n: int = 6,
+    tau: float = 60.0,
+    horizon: float = 3600.0,
+    seed: int = 29,
+) -> List[LossRow]:
+    """Graceful degradation under packet loss."""
+    rows = []
+    for loss in losses:
+        service = _run_service(n=n, tau=tau, loss=loss, horizon=horizon, seed=seed)
+        snapshots = service.sample(grid(horizon / 2, horizon, 30))
+        errors = [e for snap in snapshots for e in snap.errors.values()]
+        offsets = [abs(o) for snap in snapshots for o in snap.offsets.values()]
+        correct = all(snap.all_correct for snap in snapshots)
+        handled = sum(s.stats.replies_handled for s in service.servers.values())
+        rounds = sum(s.stats.rounds for s in service.servers.values())
+        expected = max(rounds * (n - 1), 1)
+        rows.append(
+            LossRow(
+                loss=loss,
+                mean_error=float(np.mean(errors)),
+                worst_offset=float(np.max(offsets)),
+                correct=correct,
+                reply_rate=handled / expected,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print both sweeps."""
+    from ..analysis.plots import render_table
+
+    print("Cost vs accuracy (IM, 6-server mesh):")
+    rows = [
+        [r.tau, r.messages_per_server_hour, r.mean_error, r.worst_offset]
+        for r in sweep_tau()
+    ]
+    print(
+        render_table(
+            ["τ (s)", "msgs/server/h", "mean E (s)", "worst |offset| (s)"],
+            rows,
+        )
+    )
+
+    print("\nLoss robustness (IM, τ = 60 s):")
+    rows = [
+        [r.loss, r.reply_rate, r.mean_error, r.worst_offset, r.correct]
+        for r in sweep_loss()
+    ]
+    print(
+        render_table(
+            ["loss", "reply rate", "mean E (s)", "worst |offset| (s)", "correct"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

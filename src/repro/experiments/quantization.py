@@ -1,0 +1,180 @@
+"""Tick granularity and the error budget.
+
+The paper's error budget (Section 2.2) has three terms: inherited error,
+transmission delay, and drift.  Real clocks add a fourth the paper's
+continuous-clock model omits: *read-out granularity*.  A clock read in
+ticks of size ``q`` under-reports by up to ``q``, so a server whose
+bookkeeping ignores it can claim an interval that misses the true time —
+by at most one tick, but "correct" is a boolean.
+
+Worse than a bounded ±q nuisance: flooring biases every read *low*, so
+each synchronization round the whole service inherits values ~q/2..q
+behind the continuous truth and never gets them back — the collective
+clock random-walks downward by about one tick per round.  The violation is
+therefore *cumulative*: even a tick far smaller than the rest of the error
+budget eventually walks the service out of its claimed intervals.
+
+The experiment runs an IM mesh of quantised clocks at increasing tick
+sizes, twice:
+
+* **naive** — rule MM-1 bookkeeping unchanged: offsets drift low by ~q per
+  round and correctness fails at every tick size;
+* **budgeted** — the mitigation: fold the tick into the inherited error at
+  every reset (a policy wrapper adding ``q`` to each decision), so the
+  claimed error grows at least as fast as the accumulated bias.
+
+Expected shape: naive violations at every ``q`` (severity scaling with
+``q``); the budgeted arm correct everywhere, at the cost of an error floor
+proportional to ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..clocks.drift import DriftingClock
+from ..clocks.quantized import QuantizedClock
+from ..core.im import IMPolicy
+from ..core.sync import LocalState, Reply, RoundOutcome, SynchronizationPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+
+class TickBudgetedIM(SynchronizationPolicy):
+    """IM with the read-out granularity folded into every reset's error.
+
+    A quantised read can be up to one tick *behind* the continuous value,
+    so the safe correction is to widen the inherited error by the tick.
+    """
+
+    name = "IM+tick"
+    incremental = False
+
+    def __init__(self, tick: float) -> None:
+        if tick < 0:
+            raise ValueError(f"tick must be non-negative, got {tick}")
+        self.tick = float(tick)
+        self._inner = IMPolicy()
+
+    def on_round_complete(self, state: LocalState, replies: Sequence[Reply]) -> RoundOutcome:
+        outcome = self._inner.on_round_complete(state, replies)
+        if outcome.decision is None:
+            return outcome
+        from ..core.sync import ResetDecision
+
+        padded = ResetDecision(
+            clock_value=outcome.decision.clock_value,
+            inherited_error=outcome.decision.inherited_error + self.tick,
+            source=outcome.decision.source,
+        )
+        return RoundOutcome(consistent=outcome.consistent, decision=padded)
+
+
+@dataclass(frozen=True)
+class QuantizationRow:
+    """One tick size, both arms.
+
+    Attributes:
+        tick: Read-out granularity in seconds.
+        naive_violations: Oracle violations with unchanged bookkeeping.
+        budgeted_violations: Violations with the tick folded into ε.
+        budgeted_mean_error: Steady error of the budgeted arm (shows the
+            ``q`` floor).
+    """
+
+    tick: float
+    naive_violations: int
+    budgeted_violations: int
+    budgeted_mean_error: float
+
+
+def _run_arm(tick: float, budgeted: bool, *, n: int, tau: float, horizon: float, seed: int):
+    def clock_factory_for(skew: float):
+        def factory(rng, name):
+            return QuantizedClock(DriftingClock(skew), tick=tick)
+
+        return factory
+
+    specs = [
+        ServerSpec(
+            f"S{k + 1}",
+            delta=1e-5,
+            clock_factory=clock_factory_for(0.9e-5 * (2.0 * k / (n - 1) - 1.0)),
+            initial_error=tick,  # the initial read is already granular
+        )
+        for k in range(n)
+    ]
+    policy = TickBudgetedIM(tick) if budgeted else IMPolicy()
+    service = build_service(
+        full_mesh(n),
+        specs,
+        policy=policy,
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.01),
+        trace_enabled=False,
+    )
+    violations = 0
+    errors: List[float] = []
+    for snap in service.sample(grid(tau, horizon, 60)):
+        violations += sum(1 for ok in snap.correct.values() if not ok)
+        errors.extend(snap.errors.values())
+    return violations, float(np.mean(errors))
+
+
+def run(
+    ticks: Sequence[float] = (0.001, 0.01, 0.05, 0.2),
+    n: int = 4,
+    tau: float = 60.0,
+    horizon: float = 1800.0,
+    seed: int = 37,
+) -> List[QuantizationRow]:
+    """Run the naive and budgeted arms over the tick sweep."""
+    rows = []
+    for tick in ticks:
+        naive_violations, _ = _run_arm(
+            tick, budgeted=False, n=n, tau=tau, horizon=horizon, seed=seed
+        )
+        budgeted_violations, budgeted_error = _run_arm(
+            tick, budgeted=True, n=n, tau=tau, horizon=horizon, seed=seed
+        )
+        rows.append(
+            QuantizationRow(
+                tick=tick,
+                naive_violations=naive_violations,
+                budgeted_violations=budgeted_violations,
+                budgeted_mean_error=budgeted_error,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the tick sweep."""
+    from ..analysis.plots import render_table
+
+    rows = run()
+    print("Read-out granularity vs the error budget (IM, 4 servers)")
+    print(
+        render_table(
+            ["tick (s)", "naive violations", "budgeted violations", "budgeted mean E (s)"],
+            [
+                [r.tick, r.naive_violations, r.budgeted_violations, r.budgeted_mean_error]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nFlooring biases every reset low, so the bias *accumulates* (~one "
+        "tick per round); folding the tick into the inherited error keeps "
+        "the claimed interval growing at least as fast as the bias."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Shared scenario builders for the experiment modules.
+
+Every experiment is a thin script over one of these builders, so the
+experiments stay comparable: same delay models, same δ populations, same
+naming.  All times are in seconds; δ values are dimensionless (s/s).
+
+The canonical parameter set (chosen to be Xerox-internet plausible while
+keeping runs fast):
+
+* one-way LAN delay uniform in [0, 50 ms] → ξ = 0.1 s round trip;
+* poll period τ = 60 s;
+* δ around 1e-5 (~0.9 s/day), the order of a workstation crystal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..clocks.drift import SegmentDriftClock, uniform_sampler
+from ..core.sync import SynchronizationPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, SimulatedService, build_service
+
+#: Default one-way delay bound (50 ms), i.e. ξ = 0.1 s.
+DEFAULT_ONE_WAY = 0.05
+
+#: Default poll period τ.
+DEFAULT_TAU = 60.0
+
+#: Default claimed drift bound (~0.9 s/day).
+DEFAULT_DELTA = 1e-5
+
+
+@dataclass(frozen=True)
+class MeshScenario:
+    """Parameters of a full-mesh service scenario.
+
+    Attributes:
+        n: Number of servers.
+        deltas: Claimed δ per server (broadcast from ``delta`` when None).
+        skews: Actual constant skews per server (defaults to a symmetric
+            spread inside ±``delta``).
+        delta: Default claimed bound.
+        tau: Poll period.
+        one_way: One-way delay bound (ξ is twice this).
+        seed: Root RNG seed.
+        initial_error: Starting ε for every server.
+        fill: Fraction of ±δ the default skew spread occupies.  Strictly
+            below 1 because a clock running at *exactly* ±δ is incorrect by
+            the ``δ²·t`` second-order term the paper drops (rule MM-1
+            measures the clock's age on the clock itself); real claimed
+            bounds are strict overestimates.
+    """
+
+    n: int = 4
+    deltas: Optional[Sequence[float]] = None
+    skews: Optional[Sequence[float]] = None
+    delta: float = DEFAULT_DELTA
+    tau: float = DEFAULT_TAU
+    one_way: float = DEFAULT_ONE_WAY
+    seed: int = 0
+    initial_error: float = 0.0
+    fill: float = 0.9
+
+    def resolved_deltas(self) -> list[float]:
+        """Per-server claimed bounds."""
+        if self.deltas is not None:
+            if len(self.deltas) != self.n:
+                raise ValueError(
+                    f"deltas has {len(self.deltas)} entries for n={self.n}"
+                )
+            return list(self.deltas)
+        return [self.delta] * self.n
+
+    def resolved_skews(self) -> list[float]:
+        """Per-server actual skews (default: evenly spread in ±``fill·δ``)."""
+        if self.skews is not None:
+            if len(self.skews) != self.n:
+                raise ValueError(
+                    f"skews has {len(self.skews)} entries for n={self.n}"
+                )
+            return list(self.skews)
+        deltas = self.resolved_deltas()
+        if self.n == 1:
+            return [0.0]
+        return [
+            self.fill * deltas[k] * (2.0 * k / (self.n - 1) - 1.0)
+            for k in range(self.n)
+        ]
+
+    @property
+    def xi(self) -> float:
+        """The round-trip bound ξ."""
+        return 2.0 * self.one_way
+
+    def names(self) -> list[str]:
+        """Server names ``S1..Sn``."""
+        return [f"S{k + 1}" for k in range(self.n)]
+
+    def delta_map(self) -> Dict[str, float]:
+        """Claimed δ by server name."""
+        return dict(zip(self.names(), self.resolved_deltas()))
+
+
+def build_mesh_service(
+    scenario: MeshScenario,
+    policy: SynchronizationPolicy,
+    *,
+    trace_enabled: bool = False,
+    recovery_factory=None,
+) -> SimulatedService:
+    """A full-mesh service of constant-skew clocks under one policy."""
+    deltas = scenario.resolved_deltas()
+    skews = scenario.resolved_skews()
+    specs = [
+        ServerSpec(
+            name=name,
+            delta=deltas[k],
+            skew=skews[k],
+            initial_error=scenario.initial_error,
+        )
+        for k, name in enumerate(scenario.names())
+    ]
+    return build_service(
+        full_mesh(scenario.n),
+        specs,
+        policy=policy,
+        tau=scenario.tau,
+        seed=scenario.seed,
+        lan_delay=UniformDelay(scenario.one_way),
+        trace_enabled=trace_enabled,
+        recovery_factory=recovery_factory,
+    )
+
+
+def build_stochastic_mesh_service(
+    scenario: MeshScenario,
+    policy: SynchronizationPolicy,
+    *,
+    trace_enabled: bool = False,
+) -> SimulatedService:
+    """Full mesh where each clock redraws its skew i.i.d. at every reset.
+
+    This is Theorem 8's clock model: skew uniform on ±δ per segment.  Each
+    clock gets its own named RNG stream, so runs are reproducible and
+    adding servers does not perturb existing clocks.
+    """
+    deltas = scenario.resolved_deltas()
+
+    def clock_factory_for(delta: float):
+        def factory(rng, name):
+            # fill < 1 keeps draws strictly inside the claimed bound; at
+            # exactly ±δ a clock is incorrect by the paper's dropped δ²
+            # term (see MeshScenario.fill).
+            return SegmentDriftClock(
+                uniform_sampler(rng.stream(f"clock/{name}"), scenario.fill * delta)
+            )
+
+        return factory
+
+    specs = [
+        ServerSpec(
+            name=name,
+            delta=deltas[k],
+            clock_factory=clock_factory_for(deltas[k]),
+            initial_error=scenario.initial_error,
+        )
+        for k, name in enumerate(scenario.names())
+    ]
+    return build_service(
+        full_mesh(scenario.n),
+        specs,
+        policy=policy,
+        tau=scenario.tau,
+        seed=scenario.seed,
+        lan_delay=UniformDelay(scenario.one_way),
+        trace_enabled=trace_enabled,
+    )
+
+
+def grid(start: float, stop: float, count: int) -> list[float]:
+    """``count`` evenly spaced sample times from ``start`` to ``stop``."""
+    if count < 2:
+        raise ValueError(f"need at least 2 grid points, got {count}")
+    step = (stop - start) / (count - 1)
+    return [start + step * index for index in range(count)]

@@ -1,0 +1,103 @@
+"""Theorem 4 — the service converges onto its most accurate clocks.
+
+Theorem 4: if no server resets to a clock with a worse error than its own
+(MM's predicate guarantees this), then after a finite time ``t_x`` the
+server with the smallest error in the service belongs to ``S_min``, the
+set of servers with the smallest drift bound.  From then on "the time
+service will derive its behavior from the most accurate clocks".
+
+The experiment starts the service in an adversarial state — the *least*
+accurate server has the *smallest* initial error — and measures when the
+min-error holder becomes (and stays) a member of ``S_min``, comparing
+against the theorem's closed-form worst-case ``t_x^0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.convergence import ConvergenceReport, analyze_convergence
+from ..core.mm import MMPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+
+@dataclass(frozen=True)
+class Theorem4Result:
+    """Measured vs. predicted convergence.
+
+    Attributes:
+        report: The convergence analysis (measured time, holder series).
+        within_bound: Whether the measured convergence time is at most the
+            predicted worst case (the theorem's claim).
+    """
+
+    report: ConvergenceReport
+    within_bound: bool
+
+
+#: (name, claimed δ, actual skew, initial error) — adversarial start: the
+#: sloppiest clock (S3, δ = 1e-4) begins with the smallest error.
+DEFAULT_POPULATION = (
+    ("S1", 1e-6, +5e-7, 0.050),
+    ("S2", 1e-5, -8e-6, 0.030),
+    ("S3", 1e-4, +9e-5, 0.001),
+)
+
+
+def run(
+    population: Sequence[tuple[str, float, float, float]] = DEFAULT_POPULATION,
+    tau: float = 60.0,
+    horizon: float = 2400.0,
+    samples: int = 240,
+    seed: int = 3,
+) -> Theorem4Result:
+    """Run MM from the adversarial start and analyse convergence."""
+    specs = [
+        ServerSpec(name=name, delta=delta, skew=skew, initial_error=err)
+        for name, delta, skew, err in population
+    ]
+    service = build_service(
+        full_mesh(len(population)),
+        specs,
+        policy=MMPolicy(),
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.005),
+        trace_enabled=False,
+    )
+    snapshots = service.sample(grid(0.0, horizon, samples))
+    deltas = {name: delta for name, delta, _skew, _err in population}
+    report = analyze_convergence(snapshots, deltas)
+    within = (
+        report.converged
+        and report.measured_time is not None
+        and report.measured_time <= report.predicted_time + tau
+        # one poll period of slack: the theorem's t_x is about error *lines*
+        # crossing; the service only observes them at poll instants.
+    )
+    return Theorem4Result(report=report, within_bound=within)
+
+
+def main() -> None:
+    """Print the convergence comparison."""
+    result = run()
+    report = result.report
+    print("Theorem 4 — convergence onto the most accurate clocks")
+    print(f"  converged: {report.converged}")
+    print(f"  measured convergence time: {report.measured_time}")
+    print(f"  predicted worst case t_x^0: {report.predicted_time:.1f}")
+    print(f"  within bound (±τ sampling slack): {result.within_bound}")
+    holders = report.holder_series
+    changes = [holders[0]]
+    for holder in holders[1:]:
+        if holder != changes[-1]:
+            changes.append(holder)
+    print(f"  min-error holder sequence: {' -> '.join(changes)}")
+
+
+if __name__ == "__main__":
+    main()

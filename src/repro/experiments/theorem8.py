@@ -1,0 +1,181 @@
+"""Theorem 8 — expected intersection error does not grow, given enough servers.
+
+The theorem's model: ``n`` clocks synchronized at ``t0`` with common error
+``e0``; each clock's actual drift over the interval is an i.i.d. random
+variable supported on ``[-δ, +δ]``; no resets occur.  Then the expected
+half-width of the intersection of the ``n`` intervals at ``t > t0``
+satisfies ``lim_{n→∞} E(e) = e0`` — the intersection's edges get pinned by
+the fastest clock's trailing edge and the slowest clock's leading edge,
+both of which track real time exactly when actual drift reaches the claimed
+bound.
+
+Two reproductions:
+
+* :func:`run_monte_carlo` — the theorem verbatim: direct sampling of the
+  closed-form interval edges, sweeping ``n``.  Expected: ``E(e)`` decreases
+  toward ``e0`` as ``n`` grows; for ``n = 1`` it equals ``e0 + δ·Δ``.
+* :func:`run_overspecified` — the corollary the paper states in prose: when
+  the claimed bound is *overspecified* (actual drift only fills
+  ``fraction`` of it), the expected growth is the amount of
+  overspecification, ``(1 - fraction)·δ·Δ`` per unit time in the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Theorem8Result:
+    """Monte-Carlo sweep output.
+
+    Attributes:
+        e0: Common initial error.
+        delta: Claimed drift bound δ.
+        elapsed: Interval length Δ.
+        mean_error: Expected intersection half-width by server count n.
+        single_clock_error: The no-intersection baseline ``e0 + δ·Δ``.
+    """
+
+    e0: float
+    delta: float
+    elapsed: float
+    mean_error: Dict[int, float]
+    single_clock_error: float
+
+    @property
+    def monotone_decreasing(self) -> bool:
+        """Whether E(e) decreases as n grows (the theorem's direction)."""
+        values = [self.mean_error[n] for n in sorted(self.mean_error)]
+        return all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def _intersection_half_widths(
+    n: int,
+    trials: int,
+    e0: float,
+    delta: float,
+    elapsed: float,
+    drift_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorised sampling of the theorem's intersection half-width.
+
+    Clock ``i``: ``C_i(t0 + Δ) = t0 + Δ(1 + α_i)`` with α uniform on
+    ``±(drift_fraction·δ)``; error ``E_i = e0 + δ·Δ`` (claimed bound).
+    Intersection: ``[max(C_i - E_i), min(C_i + E_i)]``.
+    """
+    alphas = rng.uniform(
+        -drift_fraction * delta, drift_fraction * delta, size=(trials, n)
+    )
+    centers = elapsed * alphas  # offsets from the true time t0 + Δ
+    error = e0 + delta * elapsed
+    trailing = (centers - error).max(axis=1)
+    leading = (centers + error).min(axis=1)
+    widths = leading - trailing
+    # With valid bounds the intersection cannot be empty (every interval
+    # contains the true time), so widths are positive by construction.
+    return widths / 2.0
+
+
+def run_monte_carlo(
+    sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    e0: float = 0.01,
+    delta: float = 1e-4,
+    elapsed: float = 3600.0,
+    trials: int = 4000,
+    drift_fraction: float = 1.0,
+    seed: int = 11,
+) -> Theorem8Result:
+    """The theorem verbatim: E(e) vs. n with actual drift filling ±δ."""
+    rng = np.random.default_rng(seed)
+    mean_error = {
+        n: float(
+            _intersection_half_widths(
+                n, trials, e0, delta, elapsed, drift_fraction, rng
+            ).mean()
+        )
+        for n in sizes
+    }
+    return Theorem8Result(
+        e0=e0,
+        delta=delta,
+        elapsed=elapsed,
+        mean_error=mean_error,
+        single_clock_error=e0 + delta * elapsed,
+    )
+
+
+@dataclass(frozen=True)
+class OverspecifiedResult:
+    """Growth under overspecified bounds.
+
+    Attributes:
+        fraction: Actual drift range as a fraction of the claimed δ.
+        limit_growth: Predicted large-n error growth, ``(1 - fraction)·δ·Δ``.
+        measured_excess: Measured ``E(e) - e0`` at the largest n.
+    """
+
+    fraction: float
+    limit_growth: float
+    measured_excess: float
+
+
+def run_overspecified(
+    fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25, 0.0),
+    n: int = 128,
+    e0: float = 0.01,
+    delta: float = 1e-4,
+    elapsed: float = 3600.0,
+    trials: int = 4000,
+    seed: int = 12,
+) -> list[OverspecifiedResult]:
+    """The prose corollary: growth equals the overspecification amount."""
+    rng = np.random.default_rng(seed)
+    results = []
+    for fraction in fractions:
+        widths = _intersection_half_widths(
+            n, trials, e0, delta, elapsed, fraction, rng
+        )
+        results.append(
+            OverspecifiedResult(
+                fraction=fraction,
+                limit_growth=(1.0 - fraction) * delta * elapsed,
+                measured_excess=float(widths.mean() - e0),
+            )
+        )
+    return results
+
+
+def main() -> None:
+    """Print both sweeps."""
+    from ..analysis.plots import render_table
+
+    result = run_monte_carlo()
+    print("Theorem 8 — E(intersection error) vs. number of servers")
+    print(f"  e0 = {result.e0}, δ·Δ = {result.delta * result.elapsed}")
+    rows = [
+        [n, result.mean_error[n], result.mean_error[n] / result.e0]
+        for n in sorted(result.mean_error)
+    ]
+    print(render_table(["n", "E(e)", "E(e)/e0"], rows))
+    print(f"  single clock would have e = {result.single_clock_error}")
+    print(f"  monotone decreasing in n: {result.monotone_decreasing}")
+
+    print("\nOverspecified bounds — growth equals the overspecification:")
+    rows = [
+        [r.fraction, r.limit_growth, r.measured_excess]
+        for r in run_overspecified()
+    ]
+    print(
+        render_table(
+            ["actual/claimed", "predicted growth", "measured E(e) - e0"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,197 @@
+"""Topology and the error gradient from the standard.
+
+Section 3 only assumes the server graph is connected; the theorems are
+stated for a full mesh.  Deployed services are not meshes — the Xerox
+internet was LANs behind gateways — and the interesting deployment question
+is how synchronization quality decays with *distance from the reference*.
+
+The study builds each topology shape over the same number of servers with
+one reference at a fixed position, runs IM to steady state, and reports:
+
+* mean/max error and worst oracle offset by graph distance (hops) from the
+  reference;
+* the per-topology summary — which shapes pay how much for their sparsity.
+
+Expected shape: error grows roughly linearly in hop count (each hop adds a
+round-trip allowance plus a poll period of drift), so the line topology is
+worst, the star/mesh best, and the two-level internet sits between —
+matching the gradient visible in ``examples/xerox_internet.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.im import IMPolicy
+from ..network.delay import UniformDelay
+from ..network.topology import full_mesh, line, ring, star, two_level_internet
+from ..service.builder import ServerSpec, build_service
+from .scenarios import grid
+
+TOPOLOGIES = ("mesh", "star", "ring", "line", "internet")
+
+
+def _build_graph(shape: str, n: int) -> nx.Graph:
+    if shape == "mesh":
+        return full_mesh(n)
+    if shape == "star":
+        return star(n)
+    if shape == "ring":
+        return ring(n)
+    if shape == "line":
+        return line(n)
+    if shape == "internet":
+        networks = max(2, n // 4)
+        per = max(2, n // networks)
+        return two_level_internet(networks, per)
+    raise ValueError(f"unknown topology shape {shape!r}")
+
+
+@dataclass(frozen=True)
+class HopRow:
+    """Steady-state metrics for servers at one distance from the reference.
+
+    Attributes:
+        hops: Graph distance from the reference server.
+        servers: How many servers sit at this distance.
+        mean_error: Mean reported error.
+        worst_offset: Worst oracle offset.
+    """
+
+    hops: int
+    servers: int
+    mean_error: float
+    worst_offset: float
+
+
+@dataclass(frozen=True)
+class TopologyResult:
+    """One topology's study outcome.
+
+    Attributes:
+        shape: Topology name.
+        reference: Name of the reference server used.
+        by_hops: Per-distance rows, ascending.
+        all_correct: Oracle verdict over the measurement window.
+    """
+
+    shape: str
+    reference: str
+    by_hops: List[HopRow]
+    all_correct: bool
+
+    @property
+    def gradient(self) -> float:
+        """Fitted error increase per hop (0 when only one distance)."""
+        if len(self.by_hops) < 2:
+            return 0.0
+        xs = np.array([row.hops for row in self.by_hops], dtype=float)
+        ys = np.array([row.mean_error for row in self.by_hops])
+        slope, _ = np.polyfit(xs, ys, deg=1)
+        return float(slope)
+
+
+def run_topology(
+    shape: str,
+    n: int = 9,
+    tau: float = 60.0,
+    horizon: float = 3600.0,
+    seed: int = 41,
+) -> TopologyResult:
+    """Run one topology to steady state and aggregate by hop count."""
+    graph = _build_graph(shape, n)
+    names = sorted(graph.nodes)
+    reference = names[0]
+    specs = []
+    for k, name in enumerate(names):
+        if name == reference:
+            specs.append(ServerSpec(name, reference=True, initial_error=0.001))
+        else:
+            specs.append(
+                ServerSpec(
+                    name,
+                    delta=1e-5,
+                    skew=0.8e-5 * (2.0 * k / (len(names) - 1) - 1.0),
+                )
+            )
+    service = build_service(
+        graph,
+        specs,
+        policy=IMPolicy(),
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(0.005),
+        wan_delay=UniformDelay(0.05),
+        trace_enabled=False,
+    )
+    snapshots = service.sample(grid(horizon / 2, horizon, 30))
+    distances = nx.single_source_shortest_path_length(graph, reference)
+
+    per_hop: Dict[int, List[tuple[float, float]]] = {}
+    all_correct = True
+    for snap in snapshots:
+        if not snap.all_correct:
+            all_correct = False
+        for name in names:
+            if name == reference:
+                continue
+            per_hop.setdefault(distances[name], []).append(
+                (snap.errors[name], abs(snap.offsets[name]))
+            )
+    rows = []
+    for hops in sorted(per_hop):
+        samples = per_hop[hops]
+        rows.append(
+            HopRow(
+                hops=hops,
+                servers=len({name for name in names if name != reference and distances[name] == hops}),
+                mean_error=float(np.mean([e for e, _o in samples])),
+                worst_offset=float(np.max([o for _e, o in samples])),
+            )
+        )
+    return TopologyResult(
+        shape=shape, reference=reference, by_hops=rows, all_correct=all_correct
+    )
+
+
+def run_all(
+    shapes: Sequence[str] = TOPOLOGIES,
+    n: int = 9,
+    horizon: float = 3600.0,
+    seed: int = 41,
+) -> List[TopologyResult]:
+    """The full topology comparison."""
+    return [run_topology(shape, n=n, horizon=horizon, seed=seed) for shape in shapes]
+
+
+def main() -> None:
+    """Print the study."""
+    from ..analysis.plots import render_table
+
+    results = run_all()
+    for result in results:
+        print(f"\n{result.shape} (reference {result.reference}; "
+              f"all correct: {result.all_correct}; "
+              f"gradient {result.gradient:.2e} s/hop):")
+        print(
+            render_table(
+                ["hops", "servers", "mean E (s)", "worst |offset| (s)"],
+                [
+                    [row.hops, row.servers, row.mean_error, row.worst_offset]
+                    for row in result.by_hops
+                ],
+            )
+        )
+    print(
+        "\nError grows with distance from the standard: sparse shapes pay "
+        "per hop (round-trip allowance + a poll period of drift), the mesh "
+        "and star pay once."
+    )
+
+
+if __name__ == "__main__":
+    main()

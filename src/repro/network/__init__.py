@@ -1,0 +1,46 @@
+"""Simulated internetwork: topologies, delays, links, transport.
+
+Substitute for the paper's Xerox Research Internet — the algorithms only
+observe bounded round-trip delays and message payloads, which is exactly
+the interface this package provides.
+"""
+
+from .delay import (
+    BimodalDelay,
+    ConstantDelay,
+    DelayModel,
+    TruncatedExponentialDelay,
+    UniformDelay,
+)
+from .link import Link, LinkStats
+from .topology import (
+    full_mesh,
+    line,
+    neighbours,
+    random_connected,
+    ring,
+    star,
+    two_level_internet,
+    validate_topology,
+)
+from .transport import Network, NetworkStats
+
+__all__ = [
+    "BimodalDelay",
+    "ConstantDelay",
+    "DelayModel",
+    "Link",
+    "LinkStats",
+    "Network",
+    "NetworkStats",
+    "TruncatedExponentialDelay",
+    "UniformDelay",
+    "full_mesh",
+    "line",
+    "neighbours",
+    "random_connected",
+    "ring",
+    "star",
+    "two_level_internet",
+    "validate_topology",
+]

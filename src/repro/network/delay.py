@@ -1,0 +1,129 @@
+"""Message-delay models.
+
+Section 2.2 assumes the one-way delay is "nondeterministic and bounded by
+ξ" with minimum zero, and notes both algorithms extend easily to a nonzero
+minimum.  A :class:`DelayModel` samples one-way delays and *declares* its
+bound, so experiments can feed the same ξ into the theorem-bound
+calculators that the simulator actually enforces.
+
+``σ`` (request leg) and ``ρ`` (reply leg) are sampled independently per
+message, matching the paper's symbols.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class DelayModel(abc.ABC):
+    """Samples one-way message delays with a hard upper bound.
+
+    Attributes:
+        minimum: Smallest possible one-way delay (paper default 0).
+        bound: Largest possible one-way delay.  Note the paper's ξ bounds
+            the *round trip*; a network built from a one-way model with
+            bound ``d`` has ``ξ = 2d``.
+    """
+
+    minimum: float = 0.0
+    bound: float = 0.0
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one one-way delay in ``[minimum, bound]``."""
+
+    @property
+    def round_trip_bound(self) -> float:
+        """ξ for a symmetric link using this model on both legs."""
+        return 2.0 * self.bound
+
+
+class ConstantDelay(DelayModel):
+    """A degenerate model: every message takes exactly ``value`` seconds."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"delay must be non-negative, got {value}")
+        self.minimum = float(value)
+        self.bound = float(value)
+        self._value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+
+class UniformDelay(DelayModel):
+    """One-way delay uniform on ``[minimum, bound]`` — the paper's model.
+
+    With ``minimum=0`` this is exactly the Section 2.2 assumption.
+    """
+
+    def __init__(self, bound: float, minimum: float = 0.0) -> None:
+        if minimum < 0:
+            raise ValueError(f"minimum must be non-negative, got {minimum}")
+        if bound < minimum:
+            raise ValueError(
+                f"bound {bound} must be at least the minimum {minimum}"
+            )
+        self.minimum = float(minimum)
+        self.bound = float(bound)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.minimum, self.bound))
+
+
+class TruncatedExponentialDelay(DelayModel):
+    """Exponential delays rejected above ``bound`` — realistic queueing tails.
+
+    Most packets are fast, a few approach the bound; the declared ξ stays
+    valid because samples above the bound are redrawn.
+    """
+
+    def __init__(self, mean: float, bound: float, minimum: float = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if minimum < 0:
+            raise ValueError(f"minimum must be non-negative, got {minimum}")
+        if bound <= minimum:
+            raise ValueError(
+                f"bound {bound} must exceed the minimum {minimum}"
+            )
+        self.mean = float(mean)
+        self.minimum = float(minimum)
+        self.bound = float(bound)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        while True:
+            value = self.minimum + rng.exponential(self.mean)
+            if value <= self.bound:
+                return float(value)
+
+
+class BimodalDelay(DelayModel):
+    """Mixture of a fast and a slow uniform mode (LAN hop vs. congested hop).
+
+    Args:
+        fast: Model for the common case.
+        slow: Model for the congested case.
+        slow_probability: Probability a message takes the slow mode.
+    """
+
+    def __init__(
+        self, fast: DelayModel, slow: DelayModel, slow_probability: float
+    ) -> None:
+        if not 0.0 <= slow_probability <= 1.0:
+            raise ValueError(
+                f"slow_probability must be in [0, 1], got {slow_probability}"
+            )
+        self.fast = fast
+        self.slow = slow
+        self.slow_probability = float(slow_probability)
+        self.minimum = min(fast.minimum, slow.minimum)
+        self.bound = max(fast.bound, slow.bound)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.uniform() < self.slow_probability:
+            return self.slow.sample(rng)
+        return self.fast.sample(rng)

@@ -1,0 +1,229 @@
+"""Message transport over a topology.
+
+:class:`Network` glues the pieces together: a topology graph, one
+:class:`~repro.network.link.Link` per edge, a registry of
+:class:`~repro.simulation.process.SimProcess` endpoints, and the engine that
+schedules deliveries.  It exposes:
+
+* :meth:`Network.send` — unicast along an edge (or, optionally, a long-haul
+  path to a non-adjacent server, modelling the internetwork routing the
+  paper's recovery anecdote relies on);
+* :meth:`Network.broadcast` — the "directed broadcasting" primitive
+  [Boggs 82] the paper assumes for data collection: one message to every
+  neighbour;
+* partition control (:meth:`partition` / :meth:`heal`) used by the
+  fault-injection experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from ..simulation.rng import RngRegistry
+from .delay import DelayModel
+from .link import Link
+from .topology import validate_topology
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate message counters across all links."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Network:
+    """The simulated internetwork connecting the time servers.
+
+    Args:
+        engine: Simulation engine used to schedule deliveries.
+        graph: Topology; nodes are server names.  Edge attribute ``kind``
+            (``"lan"``/``"wan"``), when present, selects between
+            ``lan_delay`` and ``wan_delay``.
+        rng: Registry supplying per-link random streams.
+        lan_delay: Delay model for ordinary (or unlabelled) edges.
+        wan_delay: Delay model for edges labelled ``kind="wan"``; defaults
+            to ``lan_delay``.
+        loss_probability: Default per-message loss on every link.
+        long_haul: When set, :meth:`send` between *non-adjacent* servers is
+            permitted using this delay model (modelling multi-hop internet
+            routing); when None such sends are dropped.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        graph: nx.Graph,
+        rng: RngRegistry,
+        *,
+        lan_delay: DelayModel,
+        wan_delay: Optional[DelayModel] = None,
+        loss_probability: float = 0.0,
+        long_haul: Optional[DelayModel] = None,
+    ) -> None:
+        validate_topology(graph)
+        self.engine = engine
+        self.graph = graph
+        self._rng = rng
+        self._lan_delay = lan_delay
+        self._wan_delay = wan_delay if wan_delay is not None else lan_delay
+        self._long_haul = long_haul
+        self._processes: Dict[str, SimProcess] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.stats = NetworkStats()
+        for a, b, data in graph.edges(data=True):
+            delay = self._wan_delay if data.get("kind") == "wan" else self._lan_delay
+            self._links[self._key(a, b)] = Link(
+                delay=delay, loss_probability=loss_probability
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def register(self, process: SimProcess) -> None:
+        """Attach a process as the endpoint for its (topology node) name.
+
+        Raises:
+            KeyError: If the name is not a node of the topology.
+            ValueError: If the name is already registered.
+        """
+        if process.name not in self.graph:
+            raise KeyError(f"{process.name!r} is not a node of the topology")
+        if process.name in self._processes:
+            raise ValueError(f"{process.name!r} already registered")
+        self._processes[process.name] = process
+
+    def process(self, name: str) -> SimProcess:
+        """The registered endpoint for ``name``."""
+        return self._processes[name]
+
+    def link(self, a: str, b: str) -> Link:
+        """The link object for edge ``(a, b)``.
+
+        Raises:
+            KeyError: If the edge does not exist.
+        """
+        return self._links[self._key(a, b)]
+
+    def neighbours(self, name: str) -> list[str]:
+        """Sorted neighbour names of ``name``."""
+        return sorted(self.graph.neighbors(name))
+
+    @property
+    def names(self) -> list[str]:
+        """All server names, sorted."""
+        return sorted(self.graph.nodes)
+
+    @property
+    def xi(self) -> float:
+        """The service-wide round-trip bound ξ implied by the delay models.
+
+        The worst case over the link classes *actually present* in the
+        topology, plus long-haul when configured.
+        """
+        bounds = [self._lan_delay.round_trip_bound]
+        if any(
+            data.get("kind") == "wan" for _a, _b, data in self.graph.edges(data=True)
+        ):
+            bounds.append(self._wan_delay.round_trip_bound)
+        if self._long_haul is not None:
+            bounds.append(self._long_haul.round_trip_bound)
+        return max(bounds)
+
+    # -------------------------------------------------------------- sending
+
+    def send(self, source: str, destination: str, message: Any) -> bool:
+        """Send one message; returns whether it was accepted for delivery.
+
+        Adjacent servers use their link (delay, loss, partition state).
+        Non-adjacent servers use the long-haul model when configured, and
+        are otherwise dropped — the paper's servers only talk to
+        neighbours, except during other-network recovery.
+        """
+        self.stats.sent += 1
+        if destination not in self._processes:
+            self.stats.dropped += 1
+            return False
+        rng = self._rng.stream(f"net/{source}->{destination}")
+        if self.graph.has_edge(source, destination):
+            # "Forward" is the canonical key direction (lexicographically
+            # smaller endpoint first); reverse traffic may use a distinct
+            # delay model on asymmetric links.
+            forward = self._key(source, destination)[0] == source
+            delay = self.link(source, destination).try_send(rng, forward=forward)
+        elif self._long_haul is not None and source != destination:
+            delay = self._long_haul.sample(rng)
+        else:
+            delay = None
+        if delay is None:
+            self.stats.dropped += 1
+            return False
+        target = self._processes[destination]
+        sender = self._processes.get(source)
+        self.engine.schedule_after(
+            delay,
+            lambda: self._deliver(target, message, sender),
+            label=f"{source}->{destination}",
+        )
+        return True
+
+    def _deliver(self, target: SimProcess, message: Any, sender: Optional[SimProcess]) -> None:
+        self.stats.delivered += 1
+        target.deliver(message, sender)  # type: ignore[arg-type]
+
+    def broadcast(self, source: str, message_factory, targets: Optional[Iterable[str]] = None) -> int:
+        """Directed broadcast: send to each target (default: all neighbours).
+
+        Args:
+            source: Sending server.
+            message_factory: Callable ``(destination) -> message`` so each
+                copy can carry its addressee (needed for reply matching).
+            targets: Explicit recipient list; defaults to the topology
+                neighbours of ``source``.
+
+        Returns:
+            Number of messages accepted for delivery.
+        """
+        recipients = list(targets) if targets is not None else self.neighbours(source)
+        accepted = 0
+        for destination in recipients:
+            if self.send(source, destination, message_factory(destination)):
+                accepted += 1
+        return accepted
+
+    # ----------------------------------------------------------- partitions
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition the network: block links crossing between the groups.
+
+        Servers in the same group keep communicating; links between
+        different groups (and to servers in no group) are marked
+        partitioned.  Long-haul sends are unaffected by partitions only if
+        both ends are in the same group.
+        """
+        membership: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                membership[name] = index
+        for (a, b), link in self._links.items():
+            same = (
+                a in membership
+                and b in membership
+                and membership[a] == membership[b]
+            )
+            link.partitioned = not same
+
+    def heal(self) -> None:
+        """Remove any partition (link up/down flags are untouched)."""
+        for link in self._links.values():
+            link.partitioned = False

@@ -1,0 +1,17 @@
+"""Interval timestamps and certain event ordering over the time service."""
+
+from .timestamps import (
+    IntervalTimestamp,
+    Order,
+    TimestampAuthority,
+    certain_order,
+    commit_wait,
+)
+
+__all__ = [
+    "IntervalTimestamp",
+    "Order",
+    "TimestampAuthority",
+    "certain_order",
+    "commit_wait",
+]

@@ -1,0 +1,162 @@
+"""Interval timestamps and certain event ordering.
+
+The introduction motivates time services partly by event ordering: "a
+system where events both internal and external to the distributed system
+are ordered."  Point timestamps from unsynchronized clocks order events
+wrongly; interval timestamps — the pair ``<C, E>`` a Marzullo-Owicki
+server already reports — order them *honestly*:
+
+* if two events' intervals are disjoint, their real-time order is
+  **certain** (assuming correct servers);
+* if the intervals overlap, the order is **indeterminate**, and the
+  application must fall back to causality or any tie-break it likes.
+
+This is the idea that later grew into TrueTime's ``commit-wait``: to make
+an order certain, wait until your interval's leading edge passes the other
+interval's trailing edge.
+
+:class:`IntervalTimestamp` is the value type; :class:`TimestampAuthority`
+mints them from a live :class:`~repro.service.server.TimeServer`;
+:func:`certain_order` sorts events with an explicit indeterminacy report;
+and :func:`commit_wait` computes how long a process must wait before its
+timestamp is guaranteed to order after everything already stamped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.intervals import TimeInterval
+from ..service.server import TimeServer
+
+
+class Order(enum.Enum):
+    """Outcome of comparing two interval timestamps."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    INDETERMINATE = "indeterminate"
+
+
+@dataclass(frozen=True, order=False)
+class IntervalTimestamp:
+    """A timestamp that is an interval, not a point.
+
+    Attributes:
+        interval: The ``[C - E, C + E]`` interval containing the true event
+            time (while the issuing server is correct).
+        issuer: Name of the server that minted it.
+        sequence: Issuer-local sequence number; breaks ties among
+            timestamps from the *same* issuer, whose order is always
+            certain regardless of overlap.
+    """
+
+    interval: TimeInterval
+    issuer: str = ""
+    sequence: int = 0
+
+    def compare(self, other: "IntervalTimestamp") -> Order:
+        """Order this event against another.
+
+        Same-issuer timestamps order by sequence (a single server knows
+        its own event order).  Cross-issuer timestamps order certainly iff
+        the intervals are disjoint.
+        """
+        if self.issuer and self.issuer == other.issuer:
+            if self.sequence < other.sequence:
+                return Order.BEFORE
+            if self.sequence > other.sequence:
+                return Order.AFTER
+            return Order.INDETERMINATE
+        if self.interval.hi < other.interval.lo:
+            return Order.BEFORE
+        if other.interval.hi < self.interval.lo:
+            return Order.AFTER
+        return Order.INDETERMINATE
+
+    def definitely_before(self, other: "IntervalTimestamp") -> bool:
+        """Whether this event certainly happened first."""
+        return self.compare(other) is Order.BEFORE
+
+    def possibly_concurrent(self, other: "IntervalTimestamp") -> bool:
+        """Whether real-time order cannot be determined."""
+        return self.compare(other) is Order.INDETERMINATE
+
+
+class TimestampAuthority:
+    """Mints interval timestamps from a live time server.
+
+    Args:
+        server: The server whose rule MM-1 report becomes the timestamp.
+
+    Each mint reads the server's ``<C, E>`` at the current simulation
+    instant and attaches an increasing sequence number.
+    """
+
+    def __init__(self, server: TimeServer) -> None:
+        self.server = server
+        self._sequence = 0
+
+    def now(self) -> IntervalTimestamp:
+        """Mint a timestamp for an event happening now."""
+        value, error = self.server.report()
+        self._sequence += 1
+        return IntervalTimestamp(
+            interval=TimeInterval.from_center_error(value, error),
+            issuer=self.server.name,
+            sequence=self._sequence,
+        )
+
+
+def certain_order(
+    stamps: Sequence[IntervalTimestamp],
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Sort events by trailing edge, reporting indeterminate pairs.
+
+    Args:
+        stamps: The events' timestamps.
+
+    Returns:
+        ``(order, indeterminate)`` where ``order`` is a permutation of
+        indices sorted by interval trailing edge (a consistent linear
+        extension of the certain partial order), and ``indeterminate``
+        lists the index pairs whose relative order is not certain.
+    """
+    order = sorted(
+        range(len(stamps)),
+        key=lambda k: (stamps[k].interval.lo, stamps[k].interval.hi, k),
+    )
+    indeterminate = []
+    for a in range(len(stamps)):
+        for b in range(a + 1, len(stamps)):
+            if stamps[a].possibly_concurrent(stamps[b]):
+                indeterminate.append((a, b))
+    return order, indeterminate
+
+
+def commit_wait(
+    stamp: IntervalTimestamp,
+    reference: Optional[IntervalTimestamp] = None,
+    max_peer_error: Optional[float] = None,
+) -> float:
+    """How much longer to hold an operation so its order becomes certain.
+
+    Without a reference: a stamp minted at real time ``r`` has its leading
+    edge at most ``r + 2E`` (the clock reads at most ``E`` fast), and a
+    peer's later stamp at real time ``s`` has its trailing edge at least
+    ``s - 2E_peer``.  Disjointness — certain order — therefore needs
+    ``s - r > 2E + 2E_peer``, so the wait is ``width + 2·max_peer_error``
+    (peers assumed no worse than us when ``max_peer_error`` is omitted).
+    This is the commit-wait rule later made famous by TrueTime, expressed
+    in the paper's vocabulary.
+
+    With a reference, returns the wait for the reference's leading edge to
+    fall behind our trailing edge (0 when already certain).
+    """
+    if reference is None:
+        peer = max_peer_error if max_peer_error is not None else stamp.interval.error
+        return stamp.interval.width + 2.0 * peer
+    gap = reference.interval.hi - stamp.interval.lo
+    return max(0.0, gap)

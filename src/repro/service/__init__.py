@@ -1,0 +1,46 @@
+"""The time service: servers, clients, messages, reference sources, assembly."""
+
+from .builder import (
+    ClockFactory,
+    PolicyFactory,
+    RecoveryFactory,
+    ServerSpec,
+    ServiceSnapshot,
+    SimulatedService,
+    build_service,
+)
+from .churn import ChurnController, ChurnStats
+from .discipline import DiscipliningServer
+from .client import ClientResult, QueryStrategy, TimeClient
+from .messages import RequestKind, TimeReply, TimeRequest
+from .rate_tracking import NeighbourRateReport, RateTrackingServer
+from .reference import ReferenceServer
+from .server import ServerStats, TimeServer
+from .validation import Finding, Severity, validate_specs
+
+__all__ = [
+    "ChurnController",
+    "ChurnStats",
+    "ClientResult",
+    "DiscipliningServer",
+    "NeighbourRateReport",
+    "RateTrackingServer",
+    "ClockFactory",
+    "PolicyFactory",
+    "QueryStrategy",
+    "RecoveryFactory",
+    "ReferenceServer",
+    "RequestKind",
+    "ServerSpec",
+    "ServerStats",
+    "ServiceSnapshot",
+    "SimulatedService",
+    "TimeClient",
+    "TimeReply",
+    "TimeRequest",
+    "TimeServer",
+    "Finding",
+    "Severity",
+    "build_service",
+    "validate_specs",
+]

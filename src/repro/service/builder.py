@@ -1,0 +1,363 @@
+"""Service assembly: declarative construction of a whole simulated service.
+
+Experiments and examples describe a service as a topology plus a list of
+:class:`ServerSpec` rows; :func:`build_service` wires up the engine, RNG
+streams, network, clocks, servers and trace, returning a
+:class:`SimulatedService` façade with the sampling helpers every experiment
+needs (snapshots, error/asynchronism metrics, grid sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from ..clocks.base import Clock
+from ..clocks.disciplined import DisciplinedClock
+from ..clocks.drift import DriftingClock
+from ..core.intervals import TimeInterval, intersect_all
+from ..core.recovery import RecoveryStrategy
+from ..core.sync import SynchronizationPolicy
+from ..network.delay import DelayModel, UniformDelay
+from ..network.transport import Network
+from ..simulation.engine import SimulationEngine
+from ..simulation.rng import RngRegistry
+from ..simulation.trace import TraceRecorder
+from .client import TimeClient
+from .discipline import DiscipliningServer
+from .rate_tracking import RateTrackingServer
+from .reference import ReferenceServer
+from .server import TimeServer
+
+#: Builds a clock for a server, given the registry and the server's name
+#: (so stochastic clocks can claim a dedicated stream).
+ClockFactory = Callable[[RngRegistry, str], Clock]
+
+#: Builds a per-server policy (factories allow per-server ablation flags).
+PolicyFactory = Callable[[str], Optional[SynchronizationPolicy]]
+
+#: Builds a per-server recovery strategy.
+RecoveryFactory = Callable[[str], Optional[RecoveryStrategy]]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Declarative description of one server.
+
+    Attributes:
+        name: Topology node name.
+        delta: Claimed maximum drift rate ``δ_i``.
+        skew: Shortcut — a constant actual skew; builds a
+            :class:`DriftingClock`.  Ignored when ``clock_factory`` is set.
+        clock_factory: Full control over the clock construction.
+        initial_error: ``ε_i`` at start.
+        reference: Build a :class:`ReferenceServer` instead (answer-only,
+            perfect clock); ``initial_error`` becomes the receiver error.
+        polls: Whether the server runs synchronization rounds (reference
+            servers never do).
+        rate_tracking: Build a
+            :class:`~repro.service.rate_tracking.RateTrackingServer`
+            (Section 5 consonance machinery) instead of a plain server.
+        discipline: Wrap the clock in a
+            :class:`~repro.clocks.disciplined.DisciplinedClock` and build a
+            :class:`~repro.service.discipline.DiscipliningServer` that
+            trims its own frequency from the measured neighbour rates
+            (implies ``rate_tracking``).
+    """
+
+    name: str
+    delta: float = 0.0
+    skew: float = 0.0
+    clock_factory: Optional[ClockFactory] = None
+    initial_error: float = 0.0
+    reference: bool = False
+    polls: bool = True
+    rate_tracking: bool = False
+    discipline: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Per-server observables at one real time (oracle view included).
+
+    Attributes:
+        time: Real time of the snapshot.
+        values: ``C_i(t)`` by server name.
+        errors: ``E_i(t)`` by server name.
+        offsets: ``C_i(t) - t`` by server name (oracle).
+        correct: Whether each server's interval contains ``t`` (oracle).
+    """
+
+    time: float
+    values: Dict[str, float]
+    errors: Dict[str, float]
+    offsets: Dict[str, float]
+    correct: Dict[str, bool]
+
+    def interval(self, name: str) -> TimeInterval:
+        """Server ``name``'s interval at snapshot time."""
+        return TimeInterval.from_center_error(self.values[name], self.errors[name])
+
+    def intervals(self) -> Dict[str, TimeInterval]:
+        """All intervals by name."""
+        return {name: self.interval(name) for name in self.values}
+
+    @property
+    def min_error(self) -> float:
+        """``E_M(t)`` — the smallest error in the service."""
+        return min(self.errors.values())
+
+    @property
+    def max_error(self) -> float:
+        """The largest error in the service."""
+        return max(self.errors.values())
+
+    @property
+    def asynchronism(self) -> float:
+        """``max |C_i - C_j|`` over all server pairs."""
+        values = list(self.values.values())
+        return max(values) - min(values) if values else 0.0
+
+    @property
+    def consistent(self) -> bool:
+        """Whether all intervals share a common point (Section 2.3)."""
+        return intersect_all(self.intervals().values()) is not None
+
+    @property
+    def all_correct(self) -> bool:
+        """Oracle: every interval contains the true time."""
+        return all(self.correct.values())
+
+
+class SimulatedService:
+    """A fully-wired simulated time service.
+
+    Obtained from :func:`build_service`; exposes the engine, network, and
+    servers plus the sampling helpers the experiments are written against.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        network: Network,
+        servers: Dict[str, TimeServer],
+        rng: RngRegistry,
+        trace: TraceRecorder,
+        xi: float,
+        tau: Optional[float],
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.servers = servers
+        self.rng = rng
+        self.trace = trace
+        self.xi = xi
+        self.tau = tau
+        self.clients: List[TimeClient] = []
+
+    # --------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Start every server (and client) that is not yet running."""
+        for server in self.servers.values():
+            server.start()
+        for client in self.clients:
+            client.start()
+
+    def run_until(self, time: float) -> None:
+        """Advance the simulation to absolute real time ``time``."""
+        self.engine.advance_to(time)
+
+    def add_client(
+        self,
+        name: str,
+        *,
+        clock: Optional[Clock] = None,
+        delta: float = 0.0,
+        timeout: float = 1.0,
+    ) -> TimeClient:
+        """Create, register and return a client occupying node ``name``."""
+        client = TimeClient(
+            self.engine,
+            name,
+            self.network,
+            clock=clock,
+            delta=delta,
+            timeout=timeout,
+        )
+        self.network.register(client)
+        self.clients.append(client)
+        return client
+
+    # -------------------------------------------------------------- sampling
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Observe every server now (advancing nothing)."""
+        t = self.engine.now
+        values: Dict[str, float] = {}
+        errors: Dict[str, float] = {}
+        offsets: Dict[str, float] = {}
+        correct: Dict[str, bool] = {}
+        for name, server in self.servers.items():
+            value, error = server.report()
+            values[name] = value
+            errors[name] = error
+            offsets[name] = value - t
+            correct[name] = (value - error) <= t <= (value + error)
+        return ServiceSnapshot(
+            time=t, values=values, errors=errors, offsets=offsets, correct=correct
+        )
+
+    def sample(self, times: Sequence[float]) -> List[ServiceSnapshot]:
+        """Advance through ``times`` (ascending), snapshotting at each."""
+        snapshots = []
+        for t in times:
+            self.run_until(t)
+            snapshots.append(self.snapshot())
+        return snapshots
+
+    def server_names(self, polling_only: bool = False) -> List[str]:
+        """Sorted server names, optionally restricted to polling servers."""
+        names = []
+        for name, server in sorted(self.servers.items()):
+            if polling_only and server.policy is None:
+                continue
+            names.append(name)
+        return names
+
+
+def build_service(
+    graph: nx.Graph,
+    specs: Sequence[ServerSpec],
+    *,
+    policy: Optional[SynchronizationPolicy] = None,
+    policy_factory: Optional[PolicyFactory] = None,
+    tau: float = 60.0,
+    seed: int = 0,
+    lan_delay: Optional[DelayModel] = None,
+    wan_delay: Optional[DelayModel] = None,
+    long_haul: Optional[DelayModel] = None,
+    loss_probability: float = 0.0,
+    recovery_factory: Optional[RecoveryFactory] = None,
+    round_timeout: Optional[float] = None,
+    trace_enabled: bool = True,
+    start: bool = True,
+    stagger_polls: bool = True,
+) -> SimulatedService:
+    """Assemble a :class:`SimulatedService`.
+
+    Args:
+        graph: The service topology; every spec's name must be a node.
+        specs: One :class:`ServerSpec` per server.
+        policy: Shared synchronization policy for all polling servers
+            (mutually exclusive with ``policy_factory``).
+        policy_factory: Per-server policy construction.
+        tau: Poll period τ.
+        seed: Root seed for all randomness.
+        lan_delay: Delay model for ordinary edges (default: uniform 0–50 ms,
+            i.e. ξ = 0.1 s for a symmetric round trip).
+        wan_delay: Delay model for ``kind="wan"`` edges.
+        long_haul: Delay model enabling non-adjacent (other-network) sends.
+        loss_probability: Per-message loss on every link.
+        recovery_factory: Per-server recovery strategy construction.
+        round_timeout: Override the servers' round timeout.
+        trace_enabled: Record trace rows (disable for big sweeps).
+        start: Start all servers immediately.
+        stagger_polls: Give each server a deterministic phase offset so
+            rounds do not all fire at the same instant.
+
+    Returns:
+        The wired service (engine at ``t = 0``).
+
+    Raises:
+        ValueError: On duplicate/missing names or conflicting policy args.
+    """
+    if policy is not None and policy_factory is not None:
+        raise ValueError("pass either policy or policy_factory, not both")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate server names in specs: {names}")
+    missing = [name for name in names if name not in graph]
+    if missing:
+        raise ValueError(f"specs name servers not in the topology: {missing}")
+
+    engine = SimulationEngine()
+    rng = RngRegistry(seed=seed)
+    trace = TraceRecorder(enabled=trace_enabled)
+    if lan_delay is None:
+        lan_delay = UniformDelay(0.05)
+    network = Network(
+        engine,
+        graph,
+        rng,
+        lan_delay=lan_delay,
+        wan_delay=wan_delay,
+        loss_probability=loss_probability,
+        long_haul=long_haul,
+    )
+
+    # Deterministic phase offsets: polling server k's first round fires at
+    # (k + 1) / (n + 1) of a period, spreading rounds evenly across τ.
+    policies: Dict[str, Optional[SynchronizationPolicy]] = {}
+    for spec in specs:
+        if spec.reference or not spec.polls:
+            policies[spec.name] = None
+        elif policy_factory is not None:
+            policies[spec.name] = policy_factory(spec.name)
+        else:
+            policies[spec.name] = policy
+    polling_names = [name for name, pol in policies.items() if pol is not None]
+    phase: Dict[str, float] = {}
+    if stagger_polls:
+        for k, name in enumerate(sorted(polling_names)):
+            phase[name] = tau * (k + 1) / (len(polling_names) + 1)
+
+    servers: Dict[str, TimeServer] = {}
+    for spec in specs:
+        if spec.reference:
+            server: TimeServer = ReferenceServer(
+                engine,
+                spec.name,
+                network,
+                receiver_error=spec.initial_error,
+                trace=trace,
+            )
+        else:
+            if spec.clock_factory is not None:
+                clock = spec.clock_factory(rng, spec.name)
+            else:
+                clock = DriftingClock(spec.skew, epoch=0.0, initial=0.0)
+            server_policy = policies[spec.name]
+            recovery = recovery_factory(spec.name) if recovery_factory else None
+            if spec.discipline:
+                clock = DisciplinedClock(clock)
+                server_class = DiscipliningServer
+            elif spec.rate_tracking:
+                server_class = RateTrackingServer
+            else:
+                server_class = TimeServer
+            server = server_class(
+                engine,
+                spec.name,
+                clock,
+                spec.delta,
+                network,
+                policy=server_policy,
+                tau=tau if server_policy is not None else None,
+                initial_error=spec.initial_error,
+                round_timeout=round_timeout,
+                recovery=recovery,
+                trace=trace,
+                first_poll_at=phase.get(spec.name),
+            )
+        network.register(server)
+        servers[spec.name] = server
+
+    service = SimulatedService(
+        engine, network, servers, rng, trace, xi=network.xi, tau=tau
+    )
+    if start:
+        service.start()
+    return service

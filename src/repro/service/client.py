@@ -1,0 +1,262 @@
+"""Time-service clients.
+
+The paper's opening observation: "a client simply requests the time from
+any subset of the time servers making up the service, and uses the first
+reply" — but Section 3 immediately suggests better client strategies once
+servers report intervals.  :class:`TimeClient` implements the menu:
+
+* ``FIRST_REPLY`` — the naive client from the introduction.
+* ``MIN_ERROR`` — wait for all replies, use the one with the smallest
+  maximum error (the client-side view of algorithm MM).
+* ``INTERSECT`` — intersect all reply intervals (client-side algorithm IM);
+  optionally fault-tolerant via Marzullo's algorithm with a falseticker
+  budget.
+
+Each query produces a :class:`ClientResult` carrying the estimate, the
+claimed error, and oracle truth (real time at completion) so experiments
+can score the strategies.  Clients own a local clock for round-trip
+measurement — usually a drifting one, because clients are ordinary
+workstations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..clocks.base import Clock
+from ..clocks.perfect import PerfectClock
+from ..core.intervals import TimeInterval
+from ..core.marzullo import intersect_tolerating
+from ..network.transport import Network
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from .messages import RequestKind, TimeReply, TimeRequest
+
+
+class QueryStrategy(enum.Enum):
+    """How a client combines server replies."""
+
+    FIRST_REPLY = "first-reply"
+    MIN_ERROR = "min-error"
+    INTERSECT = "intersect"
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """Outcome of one client query.
+
+    Attributes:
+        estimate: The client's chosen time value (already aged to the
+            completion instant via the client's local clock).
+        error: The claimed maximum error of the estimate.
+        true_time: Real time at completion (oracle, for scoring).
+        replies_used: How many replies fed the estimate.
+        source: Which server(s) the estimate came from.
+    """
+
+    estimate: float
+    error: float
+    true_time: float
+    replies_used: int
+    source: str
+
+    @property
+    def true_offset(self) -> float:
+        """Oracle error of the estimate, ``estimate - true_time``."""
+        return self.estimate - self.true_time
+
+    @property
+    def correct(self) -> bool:
+        """Whether the claimed interval contains the true time."""
+        return abs(self.true_offset) <= self.error
+
+
+@dataclass
+class _Query:
+    """One in-flight client query."""
+
+    query_id: int
+    strategy: QueryStrategy
+    sent_local: Dict[str, float]
+    outstanding: set[str]
+    callback: Callable[[ClientResult], None]
+    faults: int
+    replies: List[tuple[TimeReply, float, float]] = field(default_factory=list)
+    done: bool = False
+
+
+class TimeClient(SimProcess):
+    """A workstation querying the time service.
+
+    Args:
+        engine: The simulation engine.
+        name: Topology node name (clients occupy nodes too, so their links
+            have delays like everyone else's).
+        network: Transport.
+        clock: Local clock used for round-trip measurement; defaults to a
+            perfect clock (the measurement error then comes only from delay
+            nondeterminism, isolating strategy differences).
+        delta: Claimed drift bound of the local clock, used to inflate
+            measured round trips exactly as a server would.
+        timeout: Seconds to wait before finalising with whatever arrived.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        network: Network,
+        clock: Optional[Clock] = None,
+        delta: float = 0.0,
+        timeout: float = 1.0,
+    ) -> None:
+        super().__init__(engine, name)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.network = network
+        self.clock = clock if clock is not None else PerfectClock()
+        self.delta = float(delta)
+        self.timeout = float(timeout)
+        self._queries: Dict[int, _Query] = {}
+        self._counter = 0
+        self.results: List[ClientResult] = []
+
+    # --------------------------------------------------------------- queries
+
+    def ask(
+        self,
+        servers: Sequence[str],
+        strategy: QueryStrategy = QueryStrategy.FIRST_REPLY,
+        callback: Optional[Callable[[ClientResult], None]] = None,
+        faults: int = 0,
+    ) -> int:
+        """Issue one query to the given servers.
+
+        Args:
+            servers: Servers to ask (typically the client's neighbours).
+            strategy: Combination rule.
+            callback: Invoked with the :class:`ClientResult` when the query
+                completes; results are also appended to :attr:`results`.
+            faults: For ``INTERSECT``: number of falsetickers to tolerate
+                via Marzullo's algorithm (0 reproduces plain IM-style
+                intersection).
+
+        Returns:
+            The query id.
+
+        Raises:
+            ValueError: On an empty server list or negative ``faults``.
+        """
+        if not servers:
+            raise ValueError("a query needs at least one server")
+        if faults < 0:
+            raise ValueError(f"faults must be non-negative, got {faults}")
+        self._counter += 1
+        query = _Query(
+            query_id=self._counter,
+            strategy=strategy,
+            sent_local={},
+            outstanding=set(servers),
+            callback=callback if callback is not None else (lambda result: None),
+            faults=faults,
+        )
+        self._queries[query.query_id] = query
+        for server in servers:
+            query.sent_local[server] = self.clock.read(self.now)
+            self.network.send(
+                self.name,
+                server,
+                TimeRequest(
+                    request_id=query.query_id,
+                    origin=self.name,
+                    destination=server,
+                    kind=RequestKind.CLIENT,
+                ),
+            )
+        self.call_after(self.timeout, lambda: self._finalise(query))
+        return query.query_id
+
+    # --------------------------------------------------------------- replies
+
+    def on_message(self, message, sender) -> None:
+        if not isinstance(message, TimeReply):
+            return
+        query = self._queries.get(message.request_id)
+        if query is None or query.done or message.server not in query.outstanding:
+            return
+        query.outstanding.discard(message.server)
+        local_now = self.clock.read(self.now)
+        rtt_local = max(0.0, local_now - query.sent_local[message.server])
+        query.replies.append((message, rtt_local, local_now))
+        if query.strategy is QueryStrategy.FIRST_REPLY or not query.outstanding:
+            self._finalise(query)
+
+    # ------------------------------------------------------------ finalising
+
+    def _finalise(self, query: _Query) -> None:
+        if query.done:
+            return
+        query.done = True
+        self._queries.pop(query.query_id, None)
+        if not query.replies:
+            return  # nothing heard; the query just fails silently
+        local_now = self.clock.read(self.now)
+        result = self._combine(query, local_now)
+        self.results.append(result)
+        query.callback(result)
+
+    def _aged_interval(
+        self, reply: TimeReply, rtt_local: float, received_local: float, local_now: float
+    ) -> TimeInterval:
+        """Reply interval, rtt-widened and aged to ``local_now``.
+
+        Same treatment a server gives replies: the leading edge absorbs the
+        round trip inflated by ``(1 + δ)``, and both edges age by the local
+        elapsed time with a ``δ``-proportional widening.
+        """
+        elapsed = max(0.0, local_now - received_local)
+        lo = reply.clock_value - reply.error + elapsed - self.delta * elapsed
+        hi = (
+            reply.clock_value
+            + reply.error
+            + (1.0 + self.delta) * rtt_local
+            + elapsed
+            + self.delta * elapsed
+        )
+        return TimeInterval(lo, hi)
+
+    def _combine(self, query: _Query, local_now: float) -> ClientResult:
+        intervals = [
+            self._aged_interval(reply, rtt, received, local_now)
+            for reply, rtt, received in query.replies
+        ]
+        names = [reply.server for reply, _rtt, _received in query.replies]
+        if query.strategy is QueryStrategy.FIRST_REPLY:
+            chosen = intervals[0]
+            source = names[0]
+        elif query.strategy is QueryStrategy.MIN_ERROR:
+            index = min(range(len(intervals)), key=lambda i: intervals[i].width)
+            chosen = intervals[index]
+            source = names[index]
+        else:  # INTERSECT
+            result = intersect_tolerating(intervals, query.faults)
+            if result is None:
+                # Too many falsetickers for the budget: degrade to MIN_ERROR
+                # (documented fallback; the result still reports correctly).
+                index = min(range(len(intervals)), key=lambda i: intervals[i].width)
+                chosen = intervals[index]
+                source = f"fallback:{names[index]}"
+            else:
+                chosen = result.interval
+                source = f"intersect[{result.count}/{len(intervals)}]"
+        return ClientResult(
+            estimate=chosen.center,
+            error=chosen.error,
+            true_time=self.now,
+            replies_used=len(intervals),
+            source=source,
+        )

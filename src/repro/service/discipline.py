@@ -1,0 +1,106 @@
+"""A frequency-disciplining time server (the Section 5 programme, closed).
+
+:class:`RateTrackingServer` measures how fast each neighbour's clock
+separates from the local raw timescale.  If the local oscillator runs fast,
+*every* neighbour appears to drift slow by the same amount — so the median
+measured separation rate is an estimate of (minus) the local clock's own
+effective skew relative to the service.  :class:`DiscipliningServer` closes
+the loop: it periodically nudges a software rate correction
+(:class:`~repro.clocks.disciplined.DisciplinedClock`) by a damped step of
+that median, with a deadband at the estimators' own uncertainty so noise is
+never chased.
+
+What this buys, and what it cannot: rule MM-1 grows the *claimed* error at
+the claimed δ regardless, so the reported intervals do not shrink — but the
+clocks' true offsets and mutual asynchronism do, substantially (see the
+``discipline`` experiment).  This is exactly NTP's frequency-discipline
+insight, grown from the paper's consonance sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..clocks.disciplined import DisciplinedClock
+from .rate_tracking import RateTrackingServer
+
+
+class DiscipliningServer(RateTrackingServer):
+    """A rate-tracking server that also trims its own clock frequency.
+
+    Accepts all :class:`RateTrackingServer` arguments plus:
+
+    Args:
+        discipline_period: Seconds between correction updates (defaults to
+            four poll periods — the estimators need fresh windows between
+            steps).
+        gain: Fraction of the measured median separation rate applied per
+            step; ``<= 1`` for stability, lower = smoother.
+
+    Raises:
+        TypeError: If the server's clock is not a :class:`DisciplinedClock`
+            (there is nothing to adjust otherwise).
+    """
+
+    def __init__(
+        self,
+        *args,
+        discipline_period: Optional[float] = None,
+        gain: float = 0.5,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.clock, DisciplinedClock):
+            raise TypeError(
+                "DiscipliningServer requires a DisciplinedClock "
+                f"(got {type(self.clock).__name__})"
+            )
+        if not 0.0 < gain <= 1.0:
+            raise ValueError(f"gain must be in (0, 1], got {gain}")
+        if discipline_period is None:
+            discipline_period = 4.0 * (self.tau or 60.0)
+        if discipline_period <= 0:
+            raise ValueError(
+                f"discipline_period must be positive, got {discipline_period}"
+            )
+        self.discipline_period = float(discipline_period)
+        self.gain = float(gain)
+        self.discipline_steps = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.every(self.discipline_period, self._discipline_step)
+
+    def _discipline_step(self) -> None:
+        """One pass of the frequency loop."""
+        rates = []
+        uncertainties = []
+        for report in self.rate_reports().values():
+            estimate = report.estimate
+            if estimate is None:
+                continue
+            # Skip provably-bad neighbours: a racing clock would drag the
+            # median (with few neighbours) toward its own lie.
+            if report.consonant is False:
+                continue
+            rates.append(estimate.rate)
+            uncertainties.append(estimate.uncertainty)
+        if not rates:
+            return
+        median_rate = float(np.median(rates))
+        deadband = float(np.median(uncertainties))
+        if abs(median_rate) <= deadband:
+            return  # indistinguishable from measurement noise
+        # Neighbours separating at +r means we run slow by ~r: speed up.
+        clock: DisciplinedClock = self.clock  # type: ignore[assignment]
+        applied = clock.adjust_rate(
+            self.now, clock.correction + self.gain * median_rate
+        )
+        self.discipline_steps += 1
+        self._trace(
+            "discipline",
+            median_rate=median_rate,
+            correction=applied,
+        )

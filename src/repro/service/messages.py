@@ -1,0 +1,79 @@
+"""Wire messages of the time service.
+
+The protocol is the paper's: a :class:`TimeRequest` asks a server for the
+time; a :class:`TimeReply` carries the pair ``<C_j(t), E_j(t)>`` computed by
+rule MM-1 at the instant the request is answered.  Requests are tagged with
+a purpose so the receiving *requester* can route the reply:
+
+* ``poll`` — a rule MM-2 / IM-2 synchronization round;
+* ``client`` — an application asking the time;
+* ``recovery`` — a Section 3 third-server recovery fetch.
+
+Messages are immutable value objects; everything mutable lives in the
+server/client state machines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.intervals import TimeInterval
+
+
+class RequestKind(enum.Enum):
+    """Why a time request was sent (drives reply routing at the requester)."""
+
+    POLL = "poll"
+    CLIENT = "client"
+    RECOVERY = "recovery"
+
+
+@dataclass(frozen=True)
+class TimeRequest:
+    """A request for the time.
+
+    Attributes:
+        request_id: Requester-local identifier echoed in the reply; for
+            poll rounds this is the round number.
+        origin: Name of the requesting process.
+        destination: Name of the server being asked (lets one broadcast
+            build per-destination copies).
+        kind: Purpose of the request.
+    """
+
+    request_id: int
+    origin: str
+    destination: str
+    kind: RequestKind = RequestKind.POLL
+
+
+@dataclass(frozen=True)
+class TimeReply:
+    """A server's answer: the rule MM-1 pair ``<C_j, E_j>``.
+
+    Attributes:
+        request_id: Echo of the request's identifier.
+        server: Name of the answering server ``S_j``.
+        destination: Name of the requester (echo of ``origin``).
+        clock_value: ``C_j(t)`` at the instant of answering.
+        error: ``E_j(t)`` at the instant of answering.
+        kind: Echo of the request kind.
+        delta: The answering server's claimed maximum drift rate ``δ_j``.
+            Not used by rules MM-2/IM-2 (the paper's replies carry only
+            ``<C, E>``), but needed by the Section 5 consonance machinery,
+            whose predicate is ``|rate| <= δ_i + δ_j``.
+    """
+
+    request_id: int
+    server: str
+    destination: str
+    clock_value: float
+    error: float
+    kind: RequestKind = RequestKind.POLL
+    delta: float = 0.0
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The reply as the interval ``[C_j - E_j, C_j + E_j]``."""
+        return TimeInterval.from_center_error(self.clock_value, self.error)

@@ -1,0 +1,56 @@
+"""Reference (standard) time servers.
+
+The paper notes a service cannot stay correct with respect to a standard
+without *some* communication with the standard.  A reference server models
+a machine with access to one — e.g. a radio clock — as an ordinary,
+answer-only time server whose clock is the simulator's real-time axis and
+whose error is a small constant (the receiver's accuracy), never growing
+(``δ = 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clocks.perfect import PerfectClock
+from ..network.transport import Network
+from ..simulation.engine import SimulationEngine
+from ..simulation.trace import TraceRecorder
+from .server import TimeServer
+
+
+class ReferenceServer(TimeServer):
+    """An answer-only server pinned to the standard.
+
+    Args:
+        engine: The simulation engine.
+        name: Topology node name.
+        network: Transport.
+        receiver_error: The constant maximum error of the standard receiver
+            (0 for an ideal standard).
+        trace: Optional shared trace recorder.
+
+    The server never polls (``policy=None``) and reports
+    ``<t, receiver_error>`` forever: its δ is 0, so rule MM-1's age term
+    vanishes.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        network: Network,
+        receiver_error: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(
+            engine,
+            name,
+            clock=PerfectClock(),
+            delta=0.0,
+            network=network,
+            policy=None,
+            tau=None,
+            initial_error=receiver_error,
+            trace=trace,
+        )

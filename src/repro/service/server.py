@@ -1,0 +1,489 @@
+"""The time server process.
+
+:class:`TimeServer` implements the server side of both algorithms:
+
+* **Rule MM-1 / IM-1** — answering requests.  The server maintains its
+  clock ``C_i``, the clock value at its last reset ``r_i``, and the
+  inherited error ``ε_i``; it reports
+  ``E_i(t) = ε_i + (C_i(t) - r_i)·δ_i``.
+* **Rule MM-2 / IM-2** — synchronizing.  Every ``τ`` seconds the server
+  broadcasts a time request to its neighbours.  The pluggable
+  :class:`~repro.core.sync.SynchronizationPolicy` decides what to do with
+  the replies: incrementally (MM) or as a completed round (IM and the
+  baselines).
+* **Section 3 recovery** — on detecting an inconsistency, optionally fetch
+  the time unconditionally from a third server chosen by a
+  :class:`~repro.core.recovery.RecoveryStrategy`.
+
+Correctness bookkeeping subtleties faithfully reproduced:
+
+* Round trips are measured on the *local clock* (``ξ^i_j``) and inflated by
+  ``(1 + δ_i)`` wherever the rules say so.
+* After a reset the server re-reads its clock to obtain ``r_i``: a clock
+  that "refuses to change its value when reset" (a failure mode from
+  Section 1.1) therefore silently corrupts the server's error bookkeeping —
+  exactly the hazard the paper describes.
+* Batch policies receive replies *aged* to the round's end: each reply's
+  centre is advanced by the local clock's elapsed time since receipt and
+  its error widened by ``δ_i`` times that elapsed time, so correctness is
+  preserved while the round is open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..clocks.base import Clock
+from ..core.recovery import RecoveryStrategy
+from ..core.sync import LocalState, Reply, SynchronizationPolicy
+from ..network.transport import Network
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from ..simulation.trace import TraceRecorder
+from .messages import RequestKind, TimeReply, TimeRequest
+
+
+@dataclass
+class _PendingReply:
+    """A batch-policy reply held until the round completes."""
+
+    reply: Reply
+    local_at_receipt: float
+
+
+@dataclass
+class _PollRound:
+    """State of one open synchronization round."""
+
+    round_id: int
+    sent_local: Dict[str, float] = field(default_factory=dict)
+    outstanding: set[str] = field(default_factory=set)
+    pending: list[_PendingReply] = field(default_factory=list)
+    closed: bool = False
+
+
+@dataclass
+class ServerStats:
+    """Counters for analysis and tests."""
+
+    rounds: int = 0
+    replies_handled: int = 0
+    resets: int = 0
+    rejects: int = 0
+    inconsistencies: int = 0
+    recovery_resets: int = 0
+    requests_answered: int = 0
+
+
+class TimeServer(SimProcess):
+    """One time server ``S_i``.
+
+    Args:
+        engine: The simulation engine.
+        name: Server name; must match a topology node.
+        clock: The server's hardware clock (any :class:`Clock`, including
+            failure wrappers).
+        delta: ``δ_i`` — the *claimed* maximum drift rate used by rule MM-1
+            and the round-trip inflation.  May be invalid relative to the
+            actual clock, which is how the fault experiments are built.
+        network: Transport used to reach neighbours.
+        policy: Synchronization policy (MM, IM, or a baseline); None makes
+            the server answer-only (it never polls) — used for reference
+            servers.
+        tau: Poll period τ in seconds; required when ``policy`` is not None.
+        initial_error: ``ε_i`` at start (the error inherited from however
+            the clock was initially set).
+        round_timeout: How long a round stays open waiting for replies.
+            Defaults to ``min(τ/2, 4·ξ)`` — comfortably beyond the slowest
+            round trip yet well inside the period.
+        recovery: Strategy consulted on inconsistencies; None disables
+            recovery (inconsistent replies are only ignored/logged).
+        trace: Optional shared trace recorder.
+        poll_jitter: Optional callable giving additive jitter to each poll
+            gap, de-phasing the servers' rounds.
+        first_poll_at: Absolute time of the first synchronization round
+            (defaults to one full period after start); the builder uses it
+            to stagger the servers' round phases deterministically.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        clock: Clock,
+        delta: float,
+        network: Network,
+        policy: Optional[SynchronizationPolicy] = None,
+        tau: Optional[float] = None,
+        *,
+        initial_error: float = 0.0,
+        round_timeout: Optional[float] = None,
+        recovery: Optional[RecoveryStrategy] = None,
+        trace: Optional[TraceRecorder] = None,
+        poll_jitter=None,
+        first_poll_at: Optional[float] = None,
+    ) -> None:
+        super().__init__(engine, name)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if initial_error < 0:
+            raise ValueError(
+                f"initial_error must be non-negative, got {initial_error}"
+            )
+        if policy is not None and (tau is None or tau <= 0):
+            raise ValueError("a polling server needs a positive tau")
+        self.clock = clock
+        self.delta = float(delta)
+        self.network = network
+        self.policy = policy
+        self.tau = tau
+        self.recovery = recovery
+        self.trace = trace
+        self.stats = ServerStats()
+        self._poll_jitter = poll_jitter
+        self._first_poll_at = first_poll_at
+        if round_timeout is None and tau is not None:
+            round_timeout = min(tau / 2.0, 4.0 * max(network.xi, 1e-6))
+        self._round_timeout = round_timeout
+        self._epsilon = float(initial_error)
+        self._last_reset_value: Optional[float] = None  # r_i; set on start
+        self._round: Optional[_PollRound] = None
+        self._round_counter = 0
+        self._recovery_inflight: Optional[tuple[int, str, float]] = None
+        self._recovery_counter = 10_000_000  # distinct id space from rounds
+        self._departed = False
+
+    # ------------------------------------------------------------- MM-1/IM-1
+
+    @property
+    def epsilon(self) -> float:
+        """The inherited error ``ε_i``."""
+        return self._epsilon
+
+    @property
+    def last_reset_value(self) -> Optional[float]:
+        """``r_i`` — the clock value recorded at the last reset."""
+        return self._last_reset_value
+
+    def clock_value(self) -> float:
+        """``C_i(now)``."""
+        return self.clock.read(self.now)
+
+    def error(self) -> float:
+        """``E_i(now) = ε_i + (C_i(now) - r_i)·δ_i`` (rule MM-1)."""
+        value = self.clock_value()
+        if self._last_reset_value is None:
+            return self._epsilon
+        age = max(0.0, value - self._last_reset_value)
+        return self._epsilon + age * self.delta
+
+    def report(self) -> tuple[float, float]:
+        """The rule MM-1 pair ``(C_i(now), E_i(now))``."""
+        value = self.clock_value()
+        if self._last_reset_value is None:
+            error = self._epsilon
+        else:
+            error = self._epsilon + max(0.0, value - self._last_reset_value) * self.delta
+        return value, error
+
+    def local_state(self) -> LocalState:
+        """Snapshot for the synchronization policy."""
+        value, error = self.report()
+        return LocalState(clock_value=value, error=error, delta=self.delta)
+
+    def true_error(self) -> float:
+        """Actual offset from real time, ``|C_i(now) - now|`` (oracle only)."""
+        return abs(self.clock_value() - self.now)
+
+    def is_correct(self) -> bool:
+        """Oracle check: does the reported interval contain the true time?"""
+        value, error = self.report()
+        return value - error <= self.now <= value + error
+
+    # -------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        self._last_reset_value = self.clock.read(self.now)
+        if self.policy is not None and self.tau is not None:
+            self.every(
+                self.tau,
+                self._start_round,
+                first_at=self._first_poll_at,
+                jitter=self._poll_jitter,
+            )
+
+    # ----------------------------------------------------------- membership
+
+    @property
+    def departed(self) -> bool:
+        """Whether the server has temporarily left the service."""
+        return self._departed
+
+    def leave(self) -> None:
+        """Temporarily leave the service (paper Section 1.1: servers "can
+        frequently join or leave").
+
+        A departed server neither answers requests nor polls; its clock
+        keeps running (and drifting).  Idempotent.
+        """
+        if self._departed:
+            return
+        self._departed = True
+        for task in self._periodic_tasks:
+            task.cancel()
+        self._periodic_tasks.clear()
+        if self._round is not None:
+            self._round.closed = True
+        self._recovery_inflight = None
+        self._trace("leave")
+
+    def rejoin(self, initial_error: float) -> None:
+        """Return to service with a fresh inherited error.
+
+        Args:
+            initial_error: The rejoining ε_i — typically large (an
+                operator-set clock), letting MM/IM pull the server back in
+                over subsequent rounds.
+
+        Raises:
+            ValueError: If ``initial_error`` is negative.
+        """
+        if initial_error < 0:
+            raise ValueError(
+                f"initial_error must be non-negative, got {initial_error}"
+            )
+        if not self._departed:
+            return
+        self._departed = False
+        self._epsilon = float(initial_error)
+        self._last_reset_value = self.clock.read(self.now)
+        if self.policy is not None and self.tau is not None:
+            self.every(self.tau, self._start_round, jitter=self._poll_jitter)
+        self._trace("rejoin", initial_error=initial_error)
+
+    # --------------------------------------------------------------- serving
+
+    def on_message(self, message, sender) -> None:
+        if self._departed:
+            return
+        if isinstance(message, TimeRequest):
+            self._answer(message)
+        elif isinstance(message, TimeReply):
+            self._handle_reply(message)
+
+    def _answer(self, request: TimeRequest) -> None:
+        value, error = self.report()
+        self.stats.requests_answered += 1
+        reply = TimeReply(
+            request_id=request.request_id,
+            server=self.name,
+            destination=request.origin,
+            clock_value=value,
+            error=error,
+            kind=request.kind,
+            delta=self.delta,
+        )
+        self.network.send(self.name, request.origin, reply)
+
+    # -------------------------------------------------------------- polling
+
+    def _start_round(self) -> None:
+        if self.policy is None:
+            return
+        # A still-open previous round is closed first (slow networks).
+        if self._round is not None and not self._round.closed:
+            self._complete_round(self._round)
+        self._round_counter += 1
+        round_ = _PollRound(round_id=self._round_counter)
+        self._round = round_
+        self.stats.rounds += 1
+        neighbours = self.network.neighbours(self.name)
+        for destination in neighbours:
+            round_.sent_local[destination] = self.clock_value()
+            round_.outstanding.add(destination)
+            self.network.send(
+                self.name,
+                destination,
+                TimeRequest(
+                    request_id=round_.round_id,
+                    origin=self.name,
+                    destination=destination,
+                    kind=RequestKind.POLL,
+                ),
+            )
+        if not round_.outstanding:
+            self._complete_round(round_)
+            return
+        timeout = self._round_timeout if self._round_timeout is not None else 1.0
+        self.call_after(timeout, lambda: self._round_timeout_fired(round_))
+
+    def _round_timeout_fired(self, round_: _PollRound) -> None:
+        if not round_.closed:
+            self._complete_round(round_)
+
+    def _handle_reply(self, reply: TimeReply) -> None:
+        if reply.kind is RequestKind.RECOVERY:
+            self._handle_recovery_reply(reply)
+            return
+        round_ = self._round
+        if (
+            round_ is None
+            or round_.closed
+            or reply.request_id != round_.round_id
+            or reply.server not in round_.outstanding
+        ):
+            return  # late, duplicate, or stale reply
+        round_.outstanding.discard(reply.server)
+        self.stats.replies_handled += 1
+        local_now = self.clock_value()
+        rtt_local = max(0.0, local_now - round_.sent_local[reply.server])
+        self._observe_reply(reply, rtt_local, local_now)
+        policy_reply = Reply(
+            server=reply.server,
+            clock_value=reply.clock_value,
+            error=reply.error,
+            rtt_local=rtt_local,
+        )
+        assert self.policy is not None
+        if self.policy.incremental:
+            outcome = self.policy.on_reply(self.local_state(), policy_reply)
+            if not outcome.consistent:
+                self._note_inconsistency((reply.server,))
+            elif outcome.decision is not None:
+                self._apply_reset(outcome.decision, kind="sync")
+            else:
+                self.stats.rejects += 1
+                self._trace("reject", server=reply.server)
+        else:
+            round_.pending.append(
+                _PendingReply(reply=policy_reply, local_at_receipt=local_now)
+            )
+        if not round_.outstanding:
+            self._complete_round(round_)
+
+    def _complete_round(self, round_: _PollRound) -> None:
+        if round_.closed:
+            return
+        round_.closed = True
+        assert self.policy is not None
+        if self.policy.incremental:
+            return  # MM already acted reply-by-reply
+        local_now = self.clock_value()
+        aged: list[Reply] = []
+        for pending in round_.pending:
+            elapsed_local = max(0.0, local_now - pending.local_at_receipt)
+            original = pending.reply
+            aged.append(
+                Reply(
+                    server=original.server,
+                    clock_value=original.clock_value + elapsed_local,
+                    error=original.error + self.delta * elapsed_local,
+                    rtt_local=original.rtt_local,
+                )
+            )
+        outcome = self.policy.on_round_complete(self.local_state(), aged)
+        if not outcome.consistent:
+            self._note_inconsistency(outcome.conflicting)
+            return
+        if outcome.decision is not None:
+            self._apply_reset(outcome.decision, kind="sync")
+
+    # --------------------------------------------------------------- resets
+
+    def _apply_reset(self, decision, kind: str) -> None:
+        self.clock.set(self.now, decision.clock_value)
+        # Read back: a stuck clock ignores the set, and the server has no
+        # way to know — its bookkeeping then underestimates the error,
+        # faithfully reproducing the paper's failure mode.
+        self._last_reset_value = self.clock.read(self.now)
+        self._epsilon = decision.inherited_error
+        self.stats.resets += 1
+        if kind == "recovery":
+            self.stats.recovery_resets += 1
+        self._trace(
+            "reset",
+            from_server=decision.source,
+            new_value=decision.clock_value,
+            new_error=decision.inherited_error,
+            reset_kind=kind,
+        )
+
+    # ------------------------------------------------------------- recovery
+
+    def _note_inconsistency(self, conflicting: tuple[str, ...]) -> None:
+        self.stats.inconsistencies += 1
+        self._trace("inconsistent", conflicting=",".join(conflicting))
+        if self.recovery is None:
+            return
+        self.recovery.note_inconsistency()
+        if self._recovery_inflight is not None:
+            return  # one recovery at a time
+        arbiter = self.recovery.choose_arbiter(
+            self.name, self.network.neighbours(self.name), conflicting
+        )
+        if arbiter is None:
+            return
+        self._recovery_counter += 1
+        request_id = self._recovery_counter
+        self._recovery_inflight = (request_id, arbiter, self.clock_value())
+        self.recovery.note_started()
+        self._trace("recovery_start", arbiter=arbiter)
+        self.network.send(
+            self.name,
+            arbiter,
+            TimeRequest(
+                request_id=request_id,
+                origin=self.name,
+                destination=arbiter,
+                kind=RequestKind.RECOVERY,
+            ),
+        )
+        # Give up on a lost recovery reply after the round timeout.
+        timeout = self._round_timeout if self._round_timeout is not None else 1.0
+        self.call_after(timeout, lambda: self._recovery_timeout(request_id))
+
+    def _recovery_timeout(self, request_id: int) -> None:
+        if (
+            self._recovery_inflight is not None
+            and self._recovery_inflight[0] == request_id
+        ):
+            self._recovery_inflight = None
+
+    def _handle_recovery_reply(self, reply: TimeReply) -> None:
+        if self._recovery_inflight is None:
+            return
+        request_id, arbiter, sent_local = self._recovery_inflight
+        if reply.request_id != request_id or reply.server != arbiter:
+            return
+        self._recovery_inflight = None
+        rtt_local = max(0.0, self.clock_value() - sent_local)
+        inherited = reply.error + (1.0 + self.delta) * rtt_local
+        # The paper's rule: reset *unconditionally* to the third server.
+        from ..core.sync import ResetDecision
+
+        self._apply_reset(
+            ResetDecision(
+                clock_value=reply.clock_value,
+                inherited_error=inherited,
+                source=f"recovery:{arbiter}",
+            ),
+            kind="recovery",
+        )
+        if self.recovery is not None:
+            self.recovery.note_completed()
+
+    # ----------------------------------------------------------------- hooks
+
+    def _observe_reply(self, reply: TimeReply, rtt_local: float, local_now: float) -> None:
+        """Hook: called for every poll reply before policy evaluation.
+
+        The base server ignores it; :class:`~repro.service.rate_tracking.
+        RateTrackingServer` feeds its consonance estimators here.
+        """
+
+    # ---------------------------------------------------------------- trace
+
+    def _trace(self, kind: str, **data) -> None:
+        if self.trace is not None:
+            self.trace.record(self.now, kind, self.name, **data)

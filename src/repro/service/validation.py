@@ -1,0 +1,164 @@
+"""Configuration sanity checks for service builds.
+
+The library deliberately allows "wrong" configurations — fault experiments
+depend on them — but a *production* user wants to know when a scenario is
+self-undermining.  :func:`validate_specs` inspects a topology + spec list
++ parameters and returns typed warnings (never raises): the caller decides
+whether a warning is intentional fault injection or a mistake.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import networkx as nx
+
+from ..network.delay import DelayModel
+from .builder import ServerSpec
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding.
+
+    Attributes:
+        severity: Triage level.
+        code: Stable machine-readable identifier.
+        subject: Server name or parameter the finding concerns.
+        message: Human-readable explanation.
+    """
+
+    severity: Severity
+    code: str
+    subject: str
+    message: str
+
+
+def validate_specs(
+    graph: nx.Graph,
+    specs: Sequence[ServerSpec],
+    *,
+    tau: float,
+    lan_delay: Optional[DelayModel] = None,
+    round_timeout: Optional[float] = None,
+) -> List[Finding]:
+    """Sanity-check a service configuration.
+
+    Checks performed:
+
+    * ``skew-exceeds-delta`` — a (non-failure-model) clock whose constant
+      skew is at or beyond its claimed bound will be *incorrect* by the
+      dropped δ² term or worse.
+    * ``skew-at-bound`` — skew within 2% of the bound: correct only up to
+      the paper's dropped second-order terms.
+    * ``zero-delta-drifting`` — claimed δ = 0 with a nonzero skew can never
+      be correct for long.
+    * ``isolated-server`` — a polling server with no neighbours
+      synchronizes with nobody.
+    * ``tau-vs-xi`` — a poll period smaller than the round-trip bound means
+      overlapping rounds.
+    * ``timeout-vs-tau`` — an explicit round timeout at or beyond τ means
+      rounds are force-closed by their successors.
+    * ``no-polling-servers`` — nobody synchronizes at all.
+
+    Returns:
+        Findings sorted most severe first (ERROR < WARNING < INFO in sort
+        order terms — errors lead).
+    """
+    findings: List[Finding] = []
+
+    polling = [spec for spec in specs if spec.polls and not spec.reference]
+    if not polling:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "no-polling-servers",
+                "*",
+                "no server polls; clocks will drift apart forever",
+            )
+        )
+
+    for spec in specs:
+        if spec.reference:
+            continue
+        if spec.clock_factory is not None:
+            continue  # custom clock: skew unknown to the validator
+        if spec.delta == 0.0 and spec.skew != 0.0:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "zero-delta-drifting",
+                    spec.name,
+                    f"claims δ = 0 but drifts at {spec.skew:g}: incorrect "
+                    "immediately and forever",
+                )
+            )
+        elif spec.delta > 0.0 and abs(spec.skew) > spec.delta:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "skew-exceeds-delta",
+                    spec.name,
+                    f"actual skew {spec.skew:g} exceeds claimed δ "
+                    f"{spec.delta:g}: the interval will exclude the true "
+                    "time (fault scenarios do this on purpose)",
+                )
+            )
+        elif spec.delta > 0.0 and abs(spec.skew) > 0.98 * spec.delta:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "skew-at-bound",
+                    spec.name,
+                    f"skew {spec.skew:g} is within 2% of δ {spec.delta:g}: "
+                    "correctness rests on the paper's dropped δ² terms",
+                )
+            )
+
+    for spec in specs:
+        if not spec.polls or spec.reference:
+            continue
+        if spec.name in graph and graph.degree(spec.name) == 0:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "isolated-server",
+                    spec.name,
+                    "polls but has no neighbours in the topology",
+                )
+            )
+
+    if lan_delay is not None and tau <= lan_delay.round_trip_bound:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "tau-vs-xi",
+                "tau",
+                f"poll period τ = {tau:g} s is at or below the round-trip "
+                f"bound ξ = {lan_delay.round_trip_bound:g} s: rounds overlap",
+            )
+        )
+    if round_timeout is not None and round_timeout >= tau:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "timeout-vs-tau",
+                "round_timeout",
+                f"round timeout {round_timeout:g} s is not below τ = "
+                f"{tau:g} s: every round is closed by its successor",
+            )
+        )
+
+    rank = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda f: (rank[f.severity], f.subject, f.code))
+    return findings

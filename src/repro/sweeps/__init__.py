@@ -1,0 +1,17 @@
+"""Parameter-sweep framework: grids, a fault-tolerant runner, and ready
+scenarios over the simulated time service."""
+
+from .grid import ParameterGrid, point_label
+from .runner import ScenarioFn, SweepPoint, SweepResult, run_sweep
+from .scenarios import growth_rate_comparison, mesh_steady_state
+
+__all__ = [
+    "ParameterGrid",
+    "ScenarioFn",
+    "SweepPoint",
+    "SweepResult",
+    "growth_rate_comparison",
+    "mesh_steady_state",
+    "point_label",
+    "run_sweep",
+]

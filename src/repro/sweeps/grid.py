@@ -1,0 +1,94 @@
+"""Parameter grids for systematic studies.
+
+A :class:`ParameterGrid` is an ordered mapping from parameter names to the
+values each should take; iterating it yields one dict per point of the
+Cartesian product, in a deterministic order.  Grids compose (:meth:`extend`)
+and can be restricted (:meth:`subset`), and every point gets a stable,
+filesystem-safe label for result keying.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Sequence
+
+
+def point_label(point: Mapping[str, Any]) -> str:
+    """A stable, human-readable label for one grid point.
+
+    Example:
+        >>> point_label({"n": 4, "tau": 60.0})
+        'n=4,tau=60.0'
+    """
+    return ",".join(f"{key}={point[key]}" for key in sorted(point))
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """The Cartesian product of named parameter value lists.
+
+    Attributes:
+        axes: Parameter name -> tuple of values.  Iteration order of the
+            product follows the sorted parameter names, last axis fastest.
+    """
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    @classmethod
+    def of(cls, **axes: Sequence[Any]) -> "ParameterGrid":
+        """Build a grid from keyword value-lists.
+
+        Raises:
+            ValueError: If any axis is empty.
+        """
+        for name, values in axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        ordered = tuple(
+            (name, tuple(axes[name])) for name in sorted(axes)
+        )
+        return cls(axes=ordered)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The parameter names, in iteration order."""
+        return tuple(name for name, _values in self.axes)
+
+    def __len__(self) -> int:
+        total = 1
+        for _name, values in self.axes:
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        names = self.names
+        value_lists = [values for _name, values in self.axes]
+        for combo in itertools.product(*value_lists):
+            yield dict(zip(names, combo))
+
+    def extend(self, **axes: Sequence[Any]) -> "ParameterGrid":
+        """A new grid with extra (or replaced) axes."""
+        merged: Dict[str, Sequence[Any]] = {
+            name: values for name, values in self.axes
+        }
+        merged.update(axes)
+        return ParameterGrid.of(**merged)
+
+    def subset(self, **fixed: Any) -> "ParameterGrid":
+        """A new grid with some axes pinned to single values.
+
+        Raises:
+            KeyError: If a pinned name is not an axis.
+            ValueError: If a pinned value is not in the axis's values.
+        """
+        merged: Dict[str, Sequence[Any]] = {
+            name: values for name, values in self.axes
+        }
+        for name, value in fixed.items():
+            if name not in merged:
+                raise KeyError(f"{name!r} is not a grid axis")
+            if value not in merged[name]:
+                raise ValueError(f"{value!r} not among axis {name!r} values")
+            merged[name] = [value]
+        return ParameterGrid.of(**merged)

@@ -1,0 +1,165 @@
+"""Sweep execution and result tabulation.
+
+:func:`run_sweep` maps a scenario function over a
+:class:`~repro.sweeps.grid.ParameterGrid` (optionally with replications at
+decorrelated seeds), collecting per-point metric dicts into a
+:class:`SweepResult` that can slice, aggregate, and render itself.
+
+The scenario function has the signature ``fn(seed=..., **point) -> Mapping
+[str, float]`` — every experiment module's ``run`` can be adapted with a
+small lambda.  Failures are captured per point (a sweep should report a
+diverging cell, not die on it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .grid import ParameterGrid, point_label
+
+#: A scenario: keyword grid parameters plus ``seed`` -> metric mapping.
+ScenarioFn = Callable[..., Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed grid point (one replication).
+
+    Attributes:
+        params: The grid parameters of this point.
+        seed: The seed used for this replication.
+        metrics: The scenario's returned metrics (empty on failure).
+        error: The exception message when the scenario raised, else None.
+        elapsed: Wall-clock seconds the scenario took.
+    """
+
+    params: Dict[str, Any]
+    seed: int
+    metrics: Dict[str, float]
+    error: Optional[str]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario completed."""
+        return self.error is None
+
+    @property
+    def label(self) -> str:
+        """The point's grid label (seed excluded)."""
+        return point_label(self.params)
+
+
+@dataclass
+class SweepResult:
+    """All executed points of a sweep, with aggregation helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[SweepPoint]:
+        """Points whose scenario raised."""
+        return [point for point in self.points if not point.ok]
+
+    def metric_names(self) -> List[str]:
+        """Union of metric keys across successful points, sorted."""
+        names: set[str] = set()
+        for point in self.points:
+            names.update(point.metrics)
+        return sorted(names)
+
+    def aggregate(
+        self, statistic: Callable[[Sequence[float]], float] = np.mean
+    ) -> List[Dict[str, Any]]:
+        """Collapse replications: one row per grid label.
+
+        Args:
+            statistic: Reduction over each metric's replication values.
+
+        Returns:
+            Rows of ``{param..., metric...}`` dicts sorted by label, with
+            a ``replications`` count per row.
+        """
+        by_label: Dict[str, List[SweepPoint]] = {}
+        for point in self.points:
+            if point.ok:
+                by_label.setdefault(point.label, []).append(point)
+        rows = []
+        for label in sorted(by_label):
+            group = by_label[label]
+            row: Dict[str, Any] = dict(group[0].params)
+            row["replications"] = len(group)
+            for metric in self.metric_names():
+                values = [
+                    p.metrics[metric] for p in group if metric in p.metrics
+                ]
+                if values:
+                    row[metric] = float(statistic(values))
+            rows.append(row)
+        return rows
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render the aggregated sweep as an aligned text table."""
+        from ..analysis.plots import render_table
+
+        rows = self.aggregate()
+        if not rows:
+            return "(no successful sweep points)"
+        headers = list(rows[0].keys())
+        return render_table(
+            headers,
+            [[row.get(h, "") for h in headers] for row in rows],
+            precision=precision,
+        )
+
+
+def run_sweep(
+    scenario: ScenarioFn,
+    grid: ParameterGrid,
+    *,
+    replications: int = 1,
+    base_seed: int = 0,
+    on_point: Optional[Callable[[SweepPoint], None]] = None,
+) -> SweepResult:
+    """Execute ``scenario`` over every grid point × replication.
+
+    Args:
+        scenario: ``fn(seed=..., **params) -> {metric: value}``.
+        grid: The parameter grid.
+        replications: Independent repeats per point; replication ``r`` of
+            point ``p`` gets seed ``base_seed + 1009·r + stable_hash(p)``
+            so seeds never collide across the grid.
+        base_seed: Seed offset for the whole sweep.
+        on_point: Optional progress callback per completed point.
+
+    Returns:
+        The collected :class:`SweepResult`.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    result = SweepResult()
+    for index, params in enumerate(grid):
+        for replication in range(replications):
+            seed = base_seed + 1009 * replication + 9176 * index
+            started = time.perf_counter()
+            error: Optional[str] = None
+            metrics: Dict[str, float] = {}
+            try:
+                metrics = dict(scenario(seed=seed, **params))
+            except Exception as exc:  # noqa: BLE001 - sweeps must survive
+                error = f"{type(exc).__name__}: {exc}"
+            point = SweepPoint(
+                params=dict(params),
+                seed=seed,
+                metrics=metrics,
+                error=error,
+                elapsed=time.perf_counter() - started,
+            )
+            result.points.append(point)
+            if on_point is not None:
+                on_point(point)
+    return result

@@ -1,0 +1,94 @@
+"""Ready-made sweep scenarios over the simulated service.
+
+Each function here follows the :mod:`repro.sweeps.runner` scenario
+signature — grid parameters as keywords plus ``seed`` — and returns a flat
+metric dict, so studies like "how does IM's steady error move with n, τ,
+ξ and δ jointly?" are one :func:`~repro.sweeps.runner.run_sweep` call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.im import IMPolicy
+from ..core.mm import MMPolicy
+from ..experiments.scenarios import MeshScenario, build_mesh_service, grid
+
+POLICIES = {"MM": MMPolicy, "IM": IMPolicy}
+
+
+def mesh_steady_state(
+    *,
+    seed: int,
+    policy: str = "IM",
+    n: int = 5,
+    delta: float = 1e-5,
+    tau: float = 60.0,
+    one_way: float = 0.01,
+    horizon_taus: float = 30.0,
+) -> Dict[str, float]:
+    """Steady-state metrics of one full-mesh service.
+
+    Returns:
+        ``mean_error``, ``max_error``, ``mean_asynchronism``,
+        ``worst_offset``, ``correct`` (1.0/0.0), ``resets_per_round``.
+    """
+    scenario = MeshScenario(
+        n=n, delta=delta, tau=tau, one_way=one_way, seed=seed
+    )
+    service = build_mesh_service(scenario, POLICIES[policy]())
+    horizon = max(horizon_taus * tau, 600.0)
+    snapshots = service.sample(grid(horizon / 2, horizon, 24))
+    errors = [e for snap in snapshots for e in snap.errors.values()]
+    offsets = [abs(o) for snap in snapshots for o in snap.offsets.values()]
+    asyn = [snap.asynchronism for snap in snapshots]
+    correct = all(snap.all_correct for snap in snapshots)
+    rounds = sum(s.stats.rounds for s in service.servers.values())
+    resets = sum(s.stats.resets for s in service.servers.values())
+    return {
+        "mean_error": float(np.mean(errors)),
+        "max_error": float(np.max(errors)),
+        "mean_asynchronism": float(np.mean(asyn)),
+        "worst_offset": float(np.max(offsets)),
+        "correct": 1.0 if correct else 0.0,
+        "resets_per_round": resets / max(rounds, 1),
+    }
+
+
+def growth_rate_comparison(
+    *,
+    seed: int,
+    n: int = 8,
+    claimed_delta: float = 1e-4,
+    fill: float = 0.9,
+    tau: float = 60.0,
+    horizon: float = 4.0 * 3600.0,
+) -> Dict[str, float]:
+    """MM vs IM error-growth slopes on one shared clock population.
+
+    Returns:
+        ``mm_growth``, ``im_growth``, ``ratio`` — the §4 experiment as a
+        sweepable scenario (vary ``fill`` to map the overspecification
+        curve).
+    """
+    from ..analysis.metrics import growth_rate, min_error_series, times
+
+    skews = [
+        fill * claimed_delta * (2.0 * k / (n - 1) - 1.0) for k in range(n)
+    ]
+    scenario = MeshScenario(
+        n=n, delta=claimed_delta, skews=skews, tau=tau, one_way=0.002, seed=seed
+    )
+    sample_times = grid(tau * 2, horizon, 60)
+    mm_snaps = build_mesh_service(scenario, MMPolicy()).sample(sample_times)
+    im_snaps = build_mesh_service(scenario, IMPolicy()).sample(sample_times)
+    mm_fit = growth_rate(times(mm_snaps), min_error_series(mm_snaps))
+    im_fit = growth_rate(times(im_snaps), min_error_series(im_snaps))
+    ratio = mm_fit.slope / im_fit.slope if im_fit.slope > 0 else float("inf")
+    return {
+        "mm_growth": mm_fit.slope,
+        "im_growth": im_fit.slope,
+        "ratio": ratio,
+    }

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngRegistry
+
+from tests.helpers import make_mesh_service
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh engine at t = 0."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    """A deterministic RNG registry."""
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def mm_service():
+    """A 3-server MM mesh."""
+    return make_mesh_service(3, MMPolicy())
+
+
+@pytest.fixture
+def im_service():
+    """A 3-server IM mesh."""
+    return make_mesh_service(3, IMPolicy())

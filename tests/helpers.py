@@ -1,0 +1,41 @@
+"""Shared test helpers (importable, unlike conftest fixtures)."""
+
+from __future__ import annotations
+
+from repro.core.mm import MMPolicy
+from repro.network.delay import UniformDelay
+from repro.network.topology import full_mesh
+from repro.service.builder import ServerSpec, build_service
+
+
+def make_mesh_service(
+    n: int = 3,
+    policy=None,
+    *,
+    delta: float = 1e-5,
+    skew_fill: float = 0.9,
+    tau: float = 30.0,
+    one_way: float = 0.01,
+    seed: int = 0,
+    **kwargs,
+):
+    """Small full-mesh service used across server/integration tests."""
+    if policy is None:
+        policy = MMPolicy()
+    skews = (
+        [0.0]
+        if n == 1
+        else [skew_fill * delta * (2.0 * k / (n - 1) - 1.0) for k in range(n)]
+    )
+    specs = [
+        ServerSpec(f"S{k + 1}", delta=delta, skew=skews[k]) for k in range(n)
+    ]
+    return build_service(
+        full_mesh(n),
+        specs,
+        policy=policy,
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(one_way),
+        **kwargs,
+    )

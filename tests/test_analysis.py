@@ -1,0 +1,273 @@
+"""Unit tests for the analysis package: metrics, groups, convergence, plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.consistency_graph import (
+    consistency_graph,
+    consistency_groups,
+    correct_groups,
+    group_of,
+    is_partitioned,
+    largest_group,
+)
+from repro.analysis.convergence import (
+    analyze_convergence,
+    predicted_convergence_time,
+    s_min,
+)
+from repro.analysis.metrics import (
+    asynchronism_series,
+    check_bound,
+    consistency_violations,
+    correctness_violations,
+    error_series,
+    growth_rate,
+    min_error_series,
+    offset_series,
+    pairwise_asynchronism,
+    times,
+    worst_true_offset_series,
+)
+from repro.analysis.plots import render_intervals, render_series, render_table
+from repro.analysis.statistics import (
+    confidence_interval_mean,
+    ratio_of_rates,
+    summarize,
+)
+from repro.core.intervals import TimeInterval
+from repro.service.builder import ServiceSnapshot
+
+
+def snap(time, values, errors):
+    offsets = {k: v - time for k, v in values.items()}
+    correct = {
+        k: abs(offsets[k]) <= errors[k] for k in values
+    }
+    return ServiceSnapshot(
+        time=time, values=values, errors=errors, offsets=offsets, correct=correct
+    )
+
+
+def toy_snapshots():
+    return [
+        snap(0.0, {"A": 0.0, "B": 0.0}, {"A": 0.0, "B": 0.1}),
+        snap(10.0, {"A": 10.001, "B": 9.98}, {"A": 0.01, "B": 0.2}),
+        snap(20.0, {"A": 20.002, "B": 19.96}, {"A": 0.02, "B": 0.3}),
+    ]
+
+
+class TestSeries:
+    def test_times_and_error_series(self):
+        snaps = toy_snapshots()
+        assert list(times(snaps)) == [0.0, 10.0, 20.0]
+        assert list(error_series(snaps, "A")) == [0.0, 0.01, 0.02]
+
+    def test_offset_series(self):
+        snaps = toy_snapshots()
+        assert offset_series(snaps, "B")[1] == pytest.approx(-0.02)
+
+    def test_min_error_series(self):
+        assert list(min_error_series(toy_snapshots())) == [0.0, 0.01, 0.02]
+
+    def test_asynchronism_series(self):
+        snaps = toy_snapshots()
+        assert asynchronism_series(snaps)[1] == pytest.approx(0.021)
+        assert pairwise_asynchronism(snaps, "A", "B")[1] == pytest.approx(0.021)
+
+    def test_worst_true_offset(self):
+        assert worst_true_offset_series(toy_snapshots())[2] == pytest.approx(0.04)
+
+    def test_violations_empty_when_correct(self):
+        assert correctness_violations(toy_snapshots()) == []
+
+    def test_violations_reported(self):
+        bad = snap(5.0, {"A": 6.0}, {"A": 0.1})
+        assert correctness_violations([bad]) == [(5.0, ["A"])]
+
+    def test_consistency_violations(self):
+        inconsistent = snap(
+            0.0, {"A": 0.0, "B": 10.0}, {"A": 0.1, "B": 0.1}
+        )
+        assert consistency_violations([inconsistent]) == [0.0]
+
+
+class TestGrowthAndBounds:
+    def test_growth_rate_recovers_line(self):
+        t = np.linspace(0, 100, 20)
+        fit = growth_rate(t, 3.0 * t + 1.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_growth_rate_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_rate(np.array([1.0]), np.array([1.0]))
+
+    def test_check_bound_holds(self):
+        verdict = check_bound(np.array([1.0, 2.0]), np.array([2.0, 2.5]))
+        assert verdict.holds and verdict.max_ratio == pytest.approx(0.8)
+
+    def test_check_bound_violation(self):
+        verdict = check_bound(np.array([3.0]), np.array([2.0]))
+        assert not verdict.holds and verdict.violations == 1
+
+    def test_check_bound_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            check_bound(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_check_bound_empty(self):
+        verdict = check_bound(np.array([]), np.array([]))
+        assert verdict.holds and verdict.samples == 0
+
+
+FIG4 = {
+    "S1": TimeInterval(100.0, 104.0),
+    "S2": TimeInterval(101.0, 105.0),
+    "S3": TimeInterval(103.0, 108.0),
+    "S4": TimeInterval(107.0, 110.0),
+    "S5": TimeInterval(109.0, 112.0),
+    "S6": TimeInterval(109.5, 112.5),
+}
+
+
+class TestConsistencyGroups:
+    def test_consistent_service_single_group(self):
+        intervals = {"A": TimeInterval(0, 4), "B": TimeInterval(1, 5), "C": TimeInterval(2, 6)}
+        groups = consistency_groups(intervals)
+        assert len(groups) == 1
+        assert groups[0].members == ("A", "B", "C")
+        assert groups[0].intersection == TimeInterval(2, 4)
+        assert not is_partitioned(intervals)
+
+    def test_figure4_three_groups(self):
+        groups = consistency_groups(FIG4)
+        assert len(groups) == 3
+        members = {group.members for group in groups}
+        assert ("S1", "S2", "S3") in members
+        assert ("S3", "S4") in members
+        assert ("S4", "S5", "S6") in members
+        assert is_partitioned(FIG4)
+
+    def test_groups_sorted_largest_first(self):
+        groups = consistency_groups(FIG4)
+        sizes = [group.size for group in groups]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_largest_group(self):
+        assert largest_group(FIG4).size == 3
+
+    def test_group_of_shared_server(self):
+        memberships = group_of(FIG4, "S3")
+        assert len(memberships) == 2  # S3 bridges two groups
+
+    def test_correct_groups_oracle(self):
+        winners = correct_groups(FIG4, true_time=103.5)
+        assert len(winners) == 1
+        assert winners[0].members == ("S1", "S2", "S3")
+
+    def test_consistency_graph_edges(self):
+        graph = consistency_graph(FIG4)
+        assert graph.has_edge("S1", "S2")
+        assert not graph.has_edge("S1", "S6")
+
+    def test_largest_group_empty_rejected(self):
+        with pytest.raises(ValueError):
+            largest_group({})
+
+
+class TestConvergence:
+    def test_s_min(self):
+        deltas = {"A": 1e-6, "B": 1e-5, "C": 1e-6}
+        assert s_min(deltas) == {"A", "C"}
+
+    def test_predicted_time_formula(self):
+        """t_x^0 = t0 + max (E_i - E_k)/(δ_k - δ_i) over i in S_min, k not."""
+        errors = {"good": 1.0, "bad": 0.1}
+        deltas = {"good": 1e-6, "bad": 1e-3}
+        predicted = predicted_convergence_time(errors, deltas, t0=0.0)
+        assert predicted == pytest.approx(0.9 / (1e-3 - 1e-6))
+
+    def test_predicted_time_all_in_s_min(self):
+        errors = {"a": 1.0, "b": 2.0}
+        deltas = {"a": 1e-6, "b": 1e-6}
+        assert predicted_convergence_time(errors, deltas, t0=5.0) == 5.0
+
+    def test_predicted_time_name_mismatch(self):
+        with pytest.raises(ValueError):
+            predicted_convergence_time({"a": 1.0}, {"b": 1e-6})
+
+    def test_analyze_convergence_measures_handover(self):
+        deltas = {"good": 1e-6, "bad": 1e-3}
+        snaps = [
+            snap(0.0, {"good": 0.0, "bad": 0.0}, {"good": 1.0, "bad": 0.1}),
+            snap(500.0, {"good": 500.0, "bad": 500.0}, {"good": 1.0005, "bad": 0.6}),
+            snap(1000.0, {"good": 1000.0, "bad": 1000.0}, {"good": 1.001, "bad": 1.1}),
+        ]
+        report = analyze_convergence(snaps, deltas)
+        assert report.converged
+        assert report.measured_time == 1000.0
+        assert report.holder_series == ("bad", "bad", "good")
+
+    def test_analyze_convergence_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_convergence([], {})
+
+
+class TestStatistics:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ratio_of_rates(self):
+        assert ratio_of_rates(10.0, 2.0) == 5.0
+        assert ratio_of_rates(1.0, 0.0) == float("inf")
+        assert ratio_of_rates(0.0, 0.0) == 1.0
+
+    def test_confidence_interval(self):
+        lo, hi = confidence_interval_mean([1.0, 2.0, 3.0])
+        assert lo < 2.0 < hi
+
+    def test_confidence_interval_single_point(self):
+        lo, hi = confidence_interval_mean([2.0])
+        assert lo == hi == 2.0
+
+
+class TestPlots:
+    def test_render_intervals_includes_all_labels(self):
+        art = render_intervals(FIG4, true_time=103.5)
+        for name in FIG4:
+            assert name in art
+        assert "|" in art  # the true-time mark
+
+    def test_render_intervals_empty(self):
+        assert render_intervals({}) == "(no intervals)"
+
+    def test_render_intervals_bar_shape(self):
+        art = render_intervals({"X": TimeInterval(0, 10)}, width=40)
+        line = art.splitlines()[0]
+        assert "[" in line and "]" in line and "*" in line
+
+    def test_render_series(self):
+        art = render_series(
+            [0, 1, 2], {"err": [0.0, 0.5, 1.0]}, width=20, height=5, title="t"
+        )
+        assert "t" in art and "err" in art
+
+    def test_render_series_empty(self):
+        assert render_series([], {}) == "(no data)"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4

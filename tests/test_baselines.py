@@ -1,0 +1,140 @@
+"""Unit tests for the baseline synchronization functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.averaging import MeanPolicy, MedianPolicy
+from repro.baselines.first_reply import FirstReplyPolicy
+from repro.baselines.lamport_max import LamportMaxPolicy
+from repro.core.sync import LocalState, Reply
+
+from tests.helpers import make_mesh_service
+
+
+def state(clock=100.0, error=1.0, delta=1e-5) -> LocalState:
+    return LocalState(clock_value=clock, error=error, delta=delta)
+
+
+def reply(server="S2", clock=100.0, error=0.5, rtt=0.0) -> Reply:
+    return Reply(server=server, clock_value=clock, error=error, rtt_local=rtt)
+
+
+class TestLamportMax:
+    def test_adopts_largest_clock(self):
+        policy = LamportMaxPolicy(compensate_delay=False)
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(server="A", clock=99.0), reply(server="B", clock=103.0)],
+        )
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(103.0)
+        assert outcome.decision.source == "B"
+
+    def test_never_moves_backwards(self):
+        policy = LamportMaxPolicy()
+        outcome = policy.on_round_complete(
+            state(clock=100.0), [reply(clock=90.0), reply(clock=95.0)]
+        )
+        assert outcome.decision is None
+
+    def test_delay_compensation(self):
+        policy = LamportMaxPolicy(compensate_delay=True)
+        outcome = policy.on_round_complete(
+            state(clock=100.0), [reply(clock=100.0, rtt=2.0)]
+        )
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(101.0)
+
+    def test_empty_round(self):
+        assert LamportMaxPolicy().on_round_complete(state(), []).decision is None
+
+    def test_service_follows_fastest_clock(self):
+        """The documented cost: max tracks the fastest clock's drift."""
+        service = make_mesh_service(
+            4, LamportMaxPolicy(), delta=1e-4, tau=20.0
+        )
+        service.run_until(2000.0)
+        snap = service.snapshot()
+        # All servers dragged to a positive offset near the fastest skew.
+        assert all(offset > 0 for offset in snap.offsets.values())
+
+
+class TestMedianMean:
+    def test_median_includes_self_offset(self):
+        policy = MedianPolicy()
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(clock=101.0), reply(clock=102.0)],
+        )
+        # Offsets {0, 1, 2} -> median 1.
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(101.0)
+
+    def test_median_resists_single_outlier(self):
+        policy = MedianPolicy()
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(clock=100.2), reply(clock=1000.0)],
+        )
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(100.2)
+
+    def test_mean_averages_offsets(self):
+        policy = MeanPolicy()
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(clock=101.0), reply(clock=103.0)],
+        )
+        # Offsets {0, 1, 3} -> mean 4/3.
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(100.0 + 4.0 / 3.0)
+
+    def test_mean_discard_threshold_zeroes_outliers(self):
+        policy = MeanPolicy(discard_threshold=1.0)
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(clock=100.5), reply(clock=1000.0)],
+        )
+        # Offsets {0, 0.5, 900 -> 0} -> mean 1/6.
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(100.0 + 0.5 / 3.0)
+
+    def test_mean_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            MeanPolicy(discard_threshold=0.0)
+
+    def test_no_adjustment_when_offsets_zero(self):
+        policy = MedianPolicy()
+        outcome = policy.on_round_complete(state(clock=100.0), [reply(clock=100.0)])
+        assert outcome.decision is None
+
+
+class TestFirstReply:
+    def test_adopts_first_in_arrival_order(self):
+        policy = FirstReplyPolicy()
+        outcome = policy.on_round_complete(
+            state(clock=100.0),
+            [reply(server="late-but-first", clock=105.0), reply(server="B", clock=90.0)],
+        )
+        assert outcome.decision is not None
+        assert outcome.decision.source == "late-but-first"
+
+    def test_empty_round(self):
+        assert FirstReplyPolicy().on_round_complete(state(), []).decision is None
+
+
+class TestBaselinesKeepSync:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [MedianPolicy, MeanPolicy, LamportMaxPolicy],
+        ids=["median", "mean", "max"],
+    )
+    def test_asynchronism_stays_bounded(self, policy_factory):
+        """All baselines keep mutual synchronization (their design goal),
+        whatever their accuracy story."""
+        service = make_mesh_service(4, policy_factory(), delta=1e-4, tau=20.0)
+        service.run_until(2000.0)
+        snap = service.snapshot()
+        unsynced_spread = 2 * 0.9 * 1e-4 * 2000.0  # no-sync worst case
+        assert snap.asynchronism < unsynced_spread / 3.0

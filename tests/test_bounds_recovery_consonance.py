@@ -1,0 +1,204 @@
+"""Unit tests for theorem bounds, recovery strategies, and consonance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    ServiceParameters,
+    lemma1_error_growth,
+    theorem2_error_bound,
+    theorem3_asynchronism_bound,
+    theorem7_asynchronism_bound,
+)
+from repro.core.consonance import (
+    RateEstimator,
+    RateInterval,
+    RateObservation,
+    consonant,
+    dissonant_servers,
+    rate_im_step,
+    rate_mm_step,
+)
+from repro.core.recovery import NullRecovery, ThirdServerRecovery
+
+
+class TestBounds:
+    def test_lemma1(self):
+        assert lemma1_error_growth(0.5, 1e-5, 1000.0) == pytest.approx(0.51)
+
+    def test_theorem2_formula(self):
+        # E_M + ξ + δ(τ + 2ξ)
+        assert theorem2_error_bound(0.1, 0.2, 1e-3, 60.0) == pytest.approx(
+            0.1 + 0.2 + 1e-3 * 60.4
+        )
+
+    def test_theorem3_formula(self):
+        assert theorem3_asynchronism_bound(
+            0.1, 0.2, 1e-3, 2e-3, 60.0
+        ) == pytest.approx(0.2 + 0.4 + 3e-3 * 60.4)
+
+    def test_theorem7_formula(self):
+        assert theorem7_asynchronism_bound(0.2, 1e-3, 2e-3, 60.0) == (
+            pytest.approx(0.2 + 3e-3 * 60.0)
+        )
+
+    def test_theorem7_independent_of_error(self):
+        """IM's asynchronism bound does not reference E_M at all."""
+        params = ServiceParameters(xi=0.1, tau=60.0)
+        assert params.im_asynchronism_bound(1e-5, 1e-5) == pytest.approx(
+            0.1 + 2e-5 * 60.0
+        )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_error_bound(-0.1, 0.1, 1e-5, 60.0)
+        with pytest.raises(ValueError):
+            ServiceParameters(xi=-1.0, tau=60.0)
+
+    def test_service_parameters_wrappers_match_functions(self):
+        params = ServiceParameters(xi=0.3, tau=90.0)
+        assert params.mm_error_bound(0.05, 1e-4) == theorem2_error_bound(
+            0.05, 0.3, 1e-4, 90.0
+        )
+        assert params.mm_asynchronism_bound(
+            0.05, 1e-4, 2e-4
+        ) == theorem3_asynchronism_bound(0.05, 0.3, 1e-4, 2e-4, 90.0)
+
+
+class TestRecoveryStrategies:
+    def test_null_recovery_never_chooses(self):
+        strategy = NullRecovery()
+        assert strategy.choose_arbiter("S1", ["S2", "S3"], ["S2"]) is None
+
+    def test_third_server_excludes_conflicting_and_self(self):
+        strategy = ThirdServerRecovery()
+        arbiter = strategy.choose_arbiter("S1", ["S1", "S2", "S3"], ["S2"])
+        assert arbiter == "S3"
+
+    def test_prefers_remote_servers(self):
+        strategy = ThirdServerRecovery(remote_servers=("R1",))
+        arbiter = strategy.choose_arbiter("S1", ["S2", "S3"], ["S2"])
+        assert arbiter == "R1"
+
+    def test_remote_in_conflict_falls_back_to_local(self):
+        strategy = ThirdServerRecovery(remote_servers=("R1",))
+        arbiter = strategy.choose_arbiter("S1", ["S2", "S3"], ["R1", "S2"])
+        assert arbiter == "S3"
+
+    def test_no_arbiter_available(self):
+        strategy = ThirdServerRecovery()
+        assert strategy.choose_arbiter("S1", ["S2"], ["S2"]) is None
+        assert strategy.stats.no_arbiter == 1
+
+    def test_random_choice_is_from_pool(self):
+        rng = np.random.default_rng(0)
+        strategy = ThirdServerRecovery(rng=rng)
+        pool = ["S2", "S3", "S4"]
+        for _ in range(20):
+            assert strategy.choose_arbiter("S1", pool, []) in pool
+
+    def test_stats_counters(self):
+        strategy = ThirdServerRecovery()
+        strategy.note_inconsistency()
+        strategy.note_started()
+        strategy.note_completed()
+        assert strategy.stats.inconsistencies == 1
+        assert strategy.stats.recoveries_started == 1
+        assert strategy.stats.recoveries_completed == 1
+
+
+class TestConsonance:
+    def test_consonant_predicate(self):
+        """|d/dt(C_i - C_j)| <= δ_i + δ_j (Section 5)."""
+        assert consonant(1.5e-5, 1e-5, 1e-5)
+        assert not consonant(2.5e-5, 1e-5, 1e-5)
+        assert consonant(-1.9e-5, 1e-5, 1e-5)
+
+    def test_rate_estimator_recovers_slope(self):
+        estimator = RateEstimator(min_span=1.0)
+        for t in np.linspace(0.0, 100.0, 20):
+            estimator.add(RateObservation(t, 0.01 * t + 3.0, reading_error=1e-6))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.rate == pytest.approx(0.01, rel=1e-6)
+
+    def test_rate_estimator_uncertainty_from_endpoints(self):
+        estimator = RateEstimator(min_span=1.0)
+        estimator.add(RateObservation(0.0, 0.0, reading_error=0.5))
+        estimator.add(RateObservation(10.0, 0.0, reading_error=0.5))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.uncertainty == pytest.approx(0.1)
+
+    def test_rate_estimator_underdetermined(self):
+        estimator = RateEstimator(min_span=5.0)
+        estimator.add(RateObservation(0.0, 0.0, 0.1))
+        assert estimator.estimate() is None  # single point
+        estimator.add(RateObservation(1.0, 0.0, 0.1))
+        assert estimator.estimate() is None  # span below min_span
+
+    def test_rate_estimator_rejects_time_reversal(self):
+        estimator = RateEstimator()
+        estimator.add(RateObservation(10.0, 0.0, 0.1))
+        with pytest.raises(ValueError):
+            estimator.add(RateObservation(5.0, 0.0, 0.1))
+
+    def test_rate_interval_from_delta(self):
+        ri = RateInterval.from_delta(1e-5)
+        assert ri.value == 0.0 and ri.bound == 1e-5
+
+    def test_rate_mm_step_adopts_better(self):
+        local = RateInterval(0.0, 1e-4)
+        remote = RateInterval(0.0, 1e-6)
+        estimate = RateEstimator(min_span=1.0)
+        estimate.add(RateObservation(0.0, 0.0, 1e-7))
+        estimate.add(RateObservation(100.0, 1e-3, 1e-7))
+        result = rate_mm_step(local, remote, estimate.estimate())
+        assert result is not None
+        assert result.bound < local.bound
+        assert result.value == pytest.approx(-1e-5, rel=1e-3)
+
+    def test_rate_mm_step_rejects_worse(self):
+        local = RateInterval(0.0, 1e-7)
+        remote = RateInterval(0.0, 1e-6)
+        estimate = RateEstimator(min_span=1.0)
+        estimate.add(RateObservation(0.0, 0.0, 1e-6))
+        estimate.add(RateObservation(10.0, 0.0, 1e-6))
+        assert rate_mm_step(local, remote, estimate.estimate()) is None
+
+    def test_rate_im_step_intersects(self):
+        local = RateInterval(1e-5, 1e-5)  # [0, 2e-5]
+        remote = RateInterval(0.0, 1e-6)
+        estimate = RateEstimator(min_span=1.0)
+        estimate.add(RateObservation(0.0, 0.0, 1e-7))
+        estimate.add(RateObservation(1000.0, -5e-3, 1e-7))  # rate -5e-6
+        result = rate_im_step(local, remote, estimate.estimate())
+        assert result is not None
+        # Remote seen skew: 0 - (-5e-6) = 5e-6 ± ~1.2e-6 overlaps [0, 2e-5].
+        assert 0.0 <= result.value <= 2e-5
+
+    def test_rate_im_step_dissonant_returns_none(self):
+        local = RateInterval(1e-3, 1e-6)
+        remote = RateInterval(0.0, 1e-6)
+        estimate = RateEstimator(min_span=1.0)
+        estimate.add(RateObservation(0.0, 0.0, 1e-9))
+        estimate.add(RateObservation(100.0, 0.0, 1e-9))
+        assert rate_im_step(local, remote, estimate.estimate()) is None
+
+    def test_dissonant_servers_majority_flagging(self):
+        names = ["A", "B", "C"]
+        deltas = [1e-5, 1e-5, 1e-5]
+        rates = {
+            (0, 1): 1e-6,   # A-B consonant
+            (0, 2): 5e-3,   # A-C dissonant
+            (1, 2): 5e-3,   # B-C dissonant
+        }
+        assert dissonant_servers(names, deltas, rates) == ["C"]
+
+    def test_invalid_estimator_params(self):
+        with pytest.raises(ValueError):
+            RateEstimator(window=1)
+        with pytest.raises(ValueError):
+            RateEstimator(min_span=0.0)

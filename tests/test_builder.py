@@ -1,0 +1,144 @@
+"""Unit tests for declarative service assembly and snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.drift import DriftingClock
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.network.delay import ConstantDelay
+from repro.network.topology import full_mesh
+from repro.service.builder import ServerSpec, build_service
+from repro.service.reference import ReferenceServer
+
+from tests.helpers import make_mesh_service
+
+
+class TestBuildService:
+    def test_duplicate_names_rejected(self):
+        specs = [ServerSpec("S1"), ServerSpec("S1")]
+        with pytest.raises(ValueError):
+            build_service(full_mesh(2), specs, policy=MMPolicy())
+
+    def test_unknown_names_rejected(self):
+        specs = [ServerSpec("S1"), ServerSpec("S9")]
+        with pytest.raises(ValueError):
+            build_service(full_mesh(2), specs, policy=MMPolicy())
+
+    def test_policy_and_factory_mutually_exclusive(self):
+        specs = [ServerSpec("S1"), ServerSpec("S2")]
+        with pytest.raises(ValueError):
+            build_service(
+                full_mesh(2),
+                specs,
+                policy=MMPolicy(),
+                policy_factory=lambda name: IMPolicy(),
+            )
+
+    def test_reference_spec_builds_reference_server(self):
+        specs = [ServerSpec("S1"), ServerSpec("S2", reference=True, initial_error=0.01)]
+        service = build_service(
+            full_mesh(2), specs, policy=MMPolicy(), lan_delay=ConstantDelay(0.01)
+        )
+        assert isinstance(service.servers["S2"], ReferenceServer)
+        _value, error = service.servers["S2"].report()
+        assert error == pytest.approx(0.01)
+
+    def test_clock_factory_used(self):
+        sentinel = DriftingClock(skew=0.123)
+        specs = [
+            ServerSpec("S1", clock_factory=lambda rng, name: sentinel),
+            ServerSpec("S2"),
+        ]
+        service = build_service(
+            full_mesh(2), specs, policy=MMPolicy(), lan_delay=ConstantDelay(0.01)
+        )
+        assert service.servers["S1"].clock is sentinel
+
+    def test_policy_factory_per_server(self):
+        policies = {"S1": MMPolicy(), "S2": IMPolicy()}
+        specs = [ServerSpec("S1"), ServerSpec("S2")]
+        service = build_service(
+            full_mesh(2),
+            specs,
+            policy_factory=lambda name: policies[name],
+            lan_delay=ConstantDelay(0.01),
+        )
+        assert service.servers["S1"].policy is policies["S1"]
+        assert service.servers["S2"].policy is policies["S2"]
+
+    def test_stagger_phases_distinct(self):
+        service = make_mesh_service(4, MMPolicy(), tau=40.0)
+        service.run_until(39.9)  # all first polls happen inside one τ
+        rounds = [s.stats.rounds for s in service.servers.values()]
+        assert all(r == 1 for r in rounds)
+
+    def test_unstarted_service(self):
+        specs = [ServerSpec("S1"), ServerSpec("S2")]
+        service = build_service(
+            full_mesh(2),
+            specs,
+            policy=MMPolicy(),
+            lan_delay=ConstantDelay(0.01),
+            start=False,
+        )
+        assert not any(s.started for s in service.servers.values())
+        service.start()
+        assert all(s.started for s in service.servers.values())
+
+
+class TestSnapshots:
+    def test_snapshot_fields_consistent(self):
+        service = make_mesh_service(3)
+        service.run_until(100.0)
+        snap = service.snapshot()
+        assert snap.time == 100.0
+        for name in ("S1", "S2", "S3"):
+            assert snap.offsets[name] == pytest.approx(
+                snap.values[name] - 100.0
+            )
+            interval = snap.interval(name)
+            assert interval.center == pytest.approx(snap.values[name])
+            assert interval.error == pytest.approx(snap.errors[name])
+
+    def test_snapshot_aggregates(self):
+        service = make_mesh_service(3)
+        service.run_until(100.0)
+        snap = service.snapshot()
+        assert snap.min_error == min(snap.errors.values())
+        assert snap.max_error == max(snap.errors.values())
+        values = list(snap.values.values())
+        assert snap.asynchronism == pytest.approx(max(values) - min(values))
+
+    def test_sample_advances_time(self):
+        service = make_mesh_service(3)
+        snaps = service.sample([10.0, 20.0, 30.0])
+        assert [snap.time for snap in snaps] == [10.0, 20.0, 30.0]
+        assert service.engine.now == 30.0
+
+    def test_server_names_filter(self):
+        specs = [
+            ServerSpec("S1"),
+            ServerSpec("S2", reference=True),
+        ]
+        service = build_service(
+            full_mesh(2), specs, policy=MMPolicy(), lan_delay=ConstantDelay(0.01)
+        )
+        assert service.server_names() == ["S1", "S2"]
+        assert service.server_names(polling_only=True) == ["S1"]
+
+    def test_determinism_same_seed(self):
+        a = make_mesh_service(4, MMPolicy(), seed=5)
+        b = make_mesh_service(4, MMPolicy(), seed=5)
+        a.run_until(500.0)
+        b.run_until(500.0)
+        assert a.snapshot().errors == b.snapshot().errors
+        assert a.snapshot().values == b.snapshot().values
+
+    def test_different_seeds_differ(self):
+        a = make_mesh_service(4, IMPolicy(), seed=5)
+        b = make_mesh_service(4, IMPolicy(), seed=6)
+        a.run_until(500.0)
+        b.run_until(500.0)
+        assert a.snapshot().errors != b.snapshot().errors

@@ -1,0 +1,63 @@
+"""Smoke test: every CLI-registered experiment runs end-to-end.
+
+This keeps the experiment registry honest — an experiment that crashes at
+default parameters is a release blocker even if its ``run()`` variants are
+separately tested.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+#: Experiments cheap enough to run at full default size in the suite.
+FAST = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "theorem4",
+    "theorem8",
+    "recovery",
+    "partition",
+    "quantization",
+    "cold-start",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", FAST)
+def test_experiment_runs_clean(name, capsys):
+    assert main(["experiment", name]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), f"experiment {name} printed nothing"
+
+
+def test_registry_covers_fast_list():
+    for name in FAST:
+        assert name in EXPERIMENTS
+
+
+def test_registry_complete():
+    """Every experiment module with a main() is registered in the CLI."""
+    import repro.experiments as exp
+
+    expected = {
+        module_name
+        for module_name in exp.__all__
+        if module_name not in ("scenarios",)
+    }
+    # The CLI uses a few renamed keys.
+    renames = {
+        "drift_recovery": "recovery",
+        "theorem_bounds": "theorem-bounds",
+        "topology_study": "topology",
+        "cold_start": "cold-start",
+        "delay_asymmetry": "asymmetry",
+        "churn": "churn",
+    }
+    registered = set(EXPERIMENTS)
+    for module_name in expected:
+        key = renames.get(module_name, module_name)
+        assert key in registered, f"{module_name} not runnable from the CLI"

@@ -1,0 +1,270 @@
+"""Unit tests for the clock models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.base import ClockError
+from repro.clocks.drift import (
+    DriftingClock,
+    SegmentDriftClock,
+    biased_uniform_sampler,
+    truncated_normal_sampler,
+    uniform_sampler,
+)
+from repro.clocks.failures import RacingClock, StoppedClock, StuckOnResetClock
+from repro.clocks.monotonic import MonotonicClock
+from repro.clocks.perfect import PerfectClock
+from repro.clocks.quantized import QuantizedClock
+from repro.clocks.random_walk import RandomWalkClock
+
+
+class TestPerfectClock:
+    def test_reads_true_time(self):
+        clock = PerfectClock()
+        assert clock.read(0.0) == 0.0
+        assert clock.read(123.456) == 123.456
+
+    def test_ignores_resets(self):
+        clock = PerfectClock()
+        clock.set(10.0, 999.0)
+        assert clock.read(10.0) == 10.0
+        assert clock.resets == 1  # counted, but without effect
+
+    def test_offset_is_zero(self):
+        clock = PerfectClock()
+        assert clock.offset(42.0) == 0.0
+
+
+class TestDriftingClock:
+    def test_fast_clock_gains(self):
+        clock = DriftingClock(skew=0.01)
+        assert clock.read(100.0) == pytest.approx(101.0)
+
+    def test_slow_clock_loses(self):
+        clock = DriftingClock(skew=-0.01)
+        assert clock.read(100.0) == pytest.approx(99.0)
+
+    def test_epoch_and_initial(self):
+        clock = DriftingClock(skew=0.0, epoch=50.0, initial=100.0)
+        assert clock.read(60.0) == pytest.approx(110.0)
+
+    def test_set_restarts_segment(self):
+        clock = DriftingClock(skew=0.01)
+        clock.read(10.0)
+        clock.set(10.0, 0.0)
+        assert clock.read(110.0) == pytest.approx(101.0)
+        assert clock.resets == 1
+
+    def test_reading_backwards_rejected(self):
+        clock = DriftingClock(skew=0.0)
+        clock.read(10.0)
+        with pytest.raises(ClockError):
+            clock.read(5.0)
+
+    def test_drift_bound_respected(self):
+        """|C(t0+Δ) - C(t0) - Δ| <= δΔ — the paper's Section 2.2 relation."""
+        delta = 3e-5
+        clock = DriftingClock(skew=0.9 * delta)
+        c0 = clock.read(0.0)
+        c1 = clock.read(1000.0)
+        assert abs(c1 - c0 - 1000.0) <= delta * 1000.0
+
+
+class TestSegmentDriftClock:
+    def test_redraws_skew_on_reset(self):
+        values = iter([0.01, -0.01])
+        clock = SegmentDriftClock(lambda: next(values))
+        assert clock.read(100.0) == pytest.approx(101.0)
+        clock.set(100.0, 100.0)
+        assert clock.read(200.0) == pytest.approx(199.0)
+
+    def test_uniform_sampler_within_bounds(self):
+        rng = np.random.default_rng(0)
+        sampler = uniform_sampler(rng, 1e-4)
+        draws = [sampler() for _ in range(200)]
+        assert all(abs(d) <= 1e-4 for d in draws)
+        assert len(set(draws)) > 100  # actually random
+
+    def test_uniform_sampler_rejects_negative_delta(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_sampler(rng, -1.0)
+
+    def test_biased_sampler_centers_on_bias(self):
+        rng = np.random.default_rng(0)
+        sampler = biased_uniform_sampler(rng, 1e-5, bias=5e-4)
+        draws = [sampler() for _ in range(500)]
+        assert abs(np.mean(draws) - 5e-4) < 5e-6
+
+    def test_truncated_normal_respects_bound(self):
+        rng = np.random.default_rng(0)
+        sampler = truncated_normal_sampler(rng, sigma=1.0, bound=0.5)
+        assert all(abs(sampler()) <= 0.5 for _ in range(200))
+
+
+class TestRandomWalkClock:
+    def _clock(self, **kwargs):
+        rng = np.random.default_rng(42)
+        defaults = dict(max_skew=1e-4, step_sigma=2e-5, mean_dwell=10.0)
+        defaults.update(kwargs)
+        return RandomWalkClock(rng, **defaults)
+
+    def test_drift_bound_never_violated(self):
+        """The clamp guarantees |C(t) - t| <= max_skew * t from epoch."""
+        clock = self._clock()
+        clock.set(0.0, 0.0)
+        for t in np.linspace(1.0, 5000.0, 200):
+            assert abs(clock.read(t) - t) <= 1e-4 * t + 1e-9
+
+    def test_deterministic_for_fixed_stream(self):
+        a = self._clock()
+        b = RandomWalkClock(
+            np.random.default_rng(42),
+            max_skew=1e-4,
+            step_sigma=2e-5,
+            mean_dwell=10.0,
+        )
+        for t in (10.0, 100.0, 1000.0):
+            assert a.read(t) == b.read(t)
+
+    def test_skew_actually_changes(self):
+        clock = self._clock(mean_dwell=1.0)
+        first = clock.skew
+        clock.read(1000.0)
+        assert clock.skew != first
+
+    def test_set_moves_value(self):
+        clock = self._clock()
+        clock.read(100.0)
+        clock.set(100.0, 50.0)
+        assert clock.read(100.0) == pytest.approx(50.0)
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWalkClock(rng, max_skew=-1.0, step_sigma=1.0, mean_dwell=1.0)
+        with pytest.raises(ValueError):
+            RandomWalkClock(rng, max_skew=1.0, step_sigma=1.0, mean_dwell=0.0)
+
+
+class TestFailureClocks:
+    def test_stopped_clock_freezes(self):
+        clock = StoppedClock(DriftingClock(skew=0.0), fail_at=10.0)
+        assert clock.read(5.0) == pytest.approx(5.0)
+        assert clock.read(20.0) == pytest.approx(10.0)
+        assert clock.read(100.0) == pytest.approx(10.0)
+
+    def test_stopped_clock_accepts_set_then_freezes_again(self):
+        clock = StoppedClock(DriftingClock(skew=0.0), fail_at=10.0)
+        clock.read(20.0)
+        clock.set(20.0, 99.0)
+        assert clock.read(30.0) == pytest.approx(99.0)
+
+    def test_racing_clock_races_after_failure(self):
+        clock = RacingClock(DriftingClock(skew=0.0), fail_at=10.0, racing_skew=0.04)
+        assert clock.read(10.0) == pytest.approx(10.0)
+        assert clock.read(110.0) == pytest.approx(10.0 + 100.0 * 1.04)
+
+    def test_racing_clock_set_during_failure(self):
+        clock = RacingClock(DriftingClock(skew=0.0), fail_at=0.0, racing_skew=1.0)
+        clock.set(10.0, 10.0)
+        assert clock.read(11.0) == pytest.approx(12.0)
+
+    def test_stuck_clock_ignores_resets_after_failure(self):
+        clock = StuckOnResetClock(DriftingClock(skew=0.01), fail_at=10.0)
+        clock.set(5.0, 5.0)  # before failure: works
+        assert clock.read(5.0) == pytest.approx(5.0)
+        clock.set(20.0, 0.0)  # after failure: silently dropped
+        assert clock.read(20.0) == pytest.approx(5.0 + 15.0 * 1.01)
+
+    def test_failed_flag(self):
+        clock = StoppedClock(PerfectClock(), fail_at=10.0)
+        assert not clock.failed(9.9)
+        assert clock.failed(10.0)
+
+
+class TestQuantizedClock:
+    def test_floors_to_tick(self):
+        clock = QuantizedClock(DriftingClock(skew=0.0), tick=0.5)
+        assert clock.read(1.26) == pytest.approx(1.0)
+        assert clock.read(1.74) == pytest.approx(1.5)
+
+    def test_set_passes_through(self):
+        clock = QuantizedClock(DriftingClock(skew=0.0), tick=1.0)
+        clock.set(10.0, 3.3)
+        assert clock.read(10.0) == pytest.approx(3.0)
+        assert clock.read(10.8) == pytest.approx(4.0)  # 3.3 + 0.8 floored
+
+    def test_quantization_error_bounded_by_tick(self):
+        inner = DriftingClock(skew=1e-5)
+        clock = QuantizedClock(inner, tick=0.01)
+        for t in (1.0, 2.5, 77.7):
+            # Access the raw value via a twin inner clock to avoid
+            # rewinding the wrapped one.
+            raw = (1.0 + 1e-5) * t
+            assert 0.0 <= raw - clock.read(t) < 0.01
+
+    def test_invalid_tick_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedClock(PerfectClock(), tick=0.0)
+
+
+class TestMonotonicClock:
+    def test_tracks_base_when_no_steps(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base)
+        assert mono.read(1.0) == pytest.approx(1.0)
+        assert mono.read(2.0) == pytest.approx(2.0)
+
+    def test_never_decreases_across_backward_step(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base, slew=0.5)
+        mono.read(10.0)
+        base.set(10.0, 5.0)  # step 5 s backwards
+        readings = [mono.read(t) for t in np.linspace(10.0, 30.0, 50)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_amortises_back_to_base(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base, slew=0.5)
+        mono.read(10.0)
+        base.set(10.0, 8.0)  # 2 s backwards; at slew 0.5 needs ~4 s of base
+        assert mono.read(20.0) == pytest.approx(base.read(20.0))
+
+    def test_runs_slower_while_ahead(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base, slew=0.5)
+        mono.read(10.0)
+        base.set(10.0, 5.0)
+        before = mono.read(10.0)
+        after = mono.read(12.0)
+        # 2 s of base progress at half rate -> 1 s of monotonic progress.
+        assert after - before == pytest.approx(1.0)
+
+    def test_forward_step_snaps_forward(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base)
+        mono.read(10.0)
+        base.set(10.0, 100.0)
+        assert mono.read(11.0) == pytest.approx(101.0)
+
+    def test_ahead_property(self):
+        base = DriftingClock(skew=0.0)
+        mono = MonotonicClock(base, slew=0.5)
+        mono.read(10.0)
+        base.set(10.0, 7.0)
+        mono.read(10.0)
+        assert mono.ahead == pytest.approx(3.0)
+
+    def test_set_is_rejected(self):
+        mono = MonotonicClock(DriftingClock(skew=0.0))
+        with pytest.raises(NotImplementedError):
+            mono.set(0.0, 1.0)
+
+    def test_invalid_slew_rejected(self):
+        with pytest.raises(ValueError):
+            MonotonicClock(PerfectClock(), slew=0.0)
+        with pytest.raises(ValueError):
+            MonotonicClock(PerfectClock(), slew=1.5)

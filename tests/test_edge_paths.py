@@ -1,0 +1,171 @@
+"""Edge-path tests: timeouts, fallbacks, overlapping rounds, lost
+recoveries — the corners a long-lived deployment actually visits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.core.recovery import ThirdServerRecovery
+from repro.network.delay import ConstantDelay, UniformDelay
+from repro.network.topology import full_mesh, star
+from repro.service.builder import ServerSpec, build_service
+from repro.service.client import QueryStrategy
+
+from tests.helpers import make_mesh_service
+
+
+class TestOverlappingRounds:
+    def test_slow_network_rounds_still_progress(self):
+        """Round trips near τ: each new round force-closes its predecessor
+        and the service still synchronizes."""
+        specs = [
+            ServerSpec("S1", delta=1e-4, skew=8e-5),
+            ServerSpec("S2", delta=1e-4, skew=-8e-5),
+            ServerSpec("S3", reference=True, initial_error=0.001),
+        ]
+        service = build_service(
+            full_mesh(3),
+            specs,
+            policy=IMPolicy(),
+            tau=4.0,
+            seed=0,
+            lan_delay=UniformDelay(1.5),  # rtt up to 3 s vs τ = 4 s
+            round_timeout=3.9,
+        )
+        service.run_until(400.0)
+        snap = service.snapshot()
+        assert snap.all_correct
+        assert all(
+            s.stats.rounds > 50
+            for s in service.servers.values()
+            if s.policy is not None
+        )
+
+    def test_round_timeout_closes_partial_rounds(self):
+        service = make_mesh_service(3, IMPolicy(), tau=30.0, trace_enabled=True)
+        # Cut one link: every round at S1 loses S2's (or S3's) reply.
+        service.network.link("S1", "S2").take_down()
+        service.run_until(300.0)
+        server = service.servers["S1"]
+        # Rounds complete anyway (by timeout) and resets still happen.
+        assert server.stats.rounds >= 9
+        assert server.stats.resets > 0
+        assert server.is_correct()
+
+
+class TestRecoveryEdgeCases:
+    def _racing_star(self, lose_recovery_replies: bool):
+        """S1 races; hub topology so the recovery reply path is S2->S1."""
+        specs = [
+            ServerSpec("S1", delta=1e-6, skew=0.01),
+            ServerSpec("S2", delta=1e-6, skew=0.0, polls=False),
+            ServerSpec("S3", delta=1e-6, skew=0.0, polls=False),
+        ]
+        service = build_service(
+            full_mesh(3),
+            specs,
+            policy=MMPolicy(),
+            tau=20.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+            recovery_factory=lambda name: ThirdServerRecovery(),
+            trace_enabled=True,
+        )
+        return service
+
+    def test_lost_recovery_reply_releases_inflight_slot(self):
+        service = self._racing_star(lose_recovery_replies=True)
+        # Drop every message into S1 after a while: recovery replies lost.
+        service.run_until(100.0)
+        service.network.link("S1", "S2").loss_probability = 1.0
+        service.network.link("S1", "S3").loss_probability = 1.0
+        service.run_until(200.0)
+        # Heal; recovery must resume (the in-flight slot was timed out,
+        # not leaked).
+        service.network.link("S1", "S2").loss_probability = 0.0
+        service.network.link("S1", "S3").loss_probability = 0.0
+        before = service.servers["S1"].stats.recovery_resets
+        service.run_until(400.0)
+        assert service.servers["S1"].stats.recovery_resets > before
+
+    def test_recovery_with_rng_choice(self):
+        import numpy as np
+
+        specs = [
+            ServerSpec("S1", delta=1e-6, skew=0.01),
+            ServerSpec("S2", delta=1e-6, skew=0.0, polls=False),
+            ServerSpec("S3", delta=1e-6, skew=0.0, polls=False),
+            ServerSpec("S4", delta=1e-6, skew=0.0, polls=False),
+        ]
+        service = build_service(
+            full_mesh(4),
+            specs,
+            policy=MMPolicy(),
+            tau=20.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+            recovery_factory=lambda name: ThirdServerRecovery(
+                rng=np.random.default_rng(0)
+            ),
+            trace_enabled=True,
+        )
+        service.run_until(600.0)
+        arbiters = {
+            row.data["arbiter"]
+            for row in service.trace.filter(kind="recovery_start", source="S1")
+        }
+        # Random choice across episodes exercises more than one arbiter.
+        assert len(arbiters) >= 2
+
+
+class TestClientFallback:
+    def test_intersect_falls_back_when_budget_exceeded(self):
+        """With more falsetickers than the budget, the client degrades to
+        min-error and marks the source as a fallback."""
+        graph = star(4, prefix="N")
+        specs = [
+            ServerSpec("N2", delta=1e-5, skew=0.0, initial_error=0.05, polls=False),
+            ServerSpec("N3", delta=1e-5, skew=0.0, initial_error=0.05, polls=False),
+            ServerSpec("N4", delta=1e-5, skew=0.0, initial_error=0.05, polls=False),
+        ]
+        service = build_service(
+            graph,
+            specs,
+            policy=None,
+            tau=60.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+        )
+        # Wreck two of three servers in opposite directions: no pair
+        # agreement survives a faults=0 budget.
+        service.servers["N3"].clock.set(0.0, 500.0)
+        service.servers["N4"].clock.set(0.0, -500.0)
+        client = service.add_client("N1")
+        client.start()
+        results = []
+        client.ask(
+            ["N2", "N3", "N4"],
+            QueryStrategy.INTERSECT,
+            callback=results.append,
+            faults=0,
+        )
+        service.engine.run(until=3.0)
+        assert len(results) == 1
+        assert results[0].source.startswith("fallback:")
+
+
+class TestNetworkBroadcastTargets:
+    def test_explicit_target_list(self):
+        service = make_mesh_service(4, MMPolicy())
+        from repro.service.messages import TimeRequest
+
+        count = service.network.broadcast(
+            "S1",
+            lambda dest: TimeRequest(
+                request_id=99, origin="S1", destination=dest
+            ),
+            targets=["S2", "S4"],
+        )
+        assert count == 2

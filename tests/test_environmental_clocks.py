@@ -1,0 +1,121 @@
+"""Unit tests for the environmentally-driven clock models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clocks.environmental import AgingClock, TemperatureDriftClock
+
+
+class TestTemperatureDriftClock:
+    def test_zero_amplitude_is_constant_drift(self):
+        clock = TemperatureDriftClock(base_skew=1e-4, amplitude=0.0)
+        assert clock.read(1000.0) == pytest.approx(1000.0 * (1 + 1e-4))
+
+    def test_full_cycle_integrates_to_base_drift(self):
+        """Over a whole period, the sinusoid contributes nothing."""
+        clock = TemperatureDriftClock(
+            base_skew=1e-5, amplitude=5e-5, period=3600.0
+        )
+        value = clock.read(3600.0)
+        assert value == pytest.approx(3600.0 * (1 + 1e-5), rel=1e-9)
+
+    def test_half_cycle_maximal_excursion(self):
+        """Over the first half cycle (phase 0), sin is positive: the clock
+        gains amplitude·period/π above the base drift."""
+        amplitude, period = 4e-5, 1000.0
+        clock = TemperatureDriftClock(amplitude=amplitude, period=period)
+        value = clock.read(period / 2.0)
+        gained = value - period / 2.0
+        assert gained == pytest.approx(amplitude * period / math.pi, rel=1e-9)
+
+    def test_instantaneous_skew_bounded(self):
+        clock = TemperatureDriftClock(
+            base_skew=1e-5, amplitude=3e-5, period=86400.0
+        )
+        for t in range(0, 86400, 3600):
+            assert abs(clock.skew_at(float(t))) <= clock.worst_case_skew + 1e-15
+
+    def test_worst_case_skew(self):
+        clock = TemperatureDriftClock(base_skew=-2e-5, amplitude=3e-5)
+        assert clock.worst_case_skew == pytest.approx(5e-5)
+
+    def test_set_preserves_environment_phase(self):
+        """Resetting the clock does not reset the temperature cycle."""
+        period = 1000.0
+        clock = TemperatureDriftClock(amplitude=1e-4, period=period)
+        skew_before = clock.skew_at(600.0)
+        clock.read(600.0)
+        clock.set(600.0, 0.0)
+        # Right after the reset the instantaneous skew is unchanged.
+        assert clock.skew_at(600.0) == pytest.approx(skew_before, abs=1e-12)
+        assert clock.read(600.0) == pytest.approx(0.0)
+
+    def test_drift_bound_holds_with_valid_delta(self):
+        """A claimed δ >= worst_case_skew is a valid bound (Section 2.2)."""
+        clock = TemperatureDriftClock(
+            base_skew=1e-5, amplitude=2e-5, period=7200.0
+        )
+        delta = clock.worst_case_skew
+        previous_t, previous_v = 0.0, clock.read(0.0)
+        for t in range(600, 36000, 600):
+            value = clock.read(float(t))
+            elapsed = t - previous_t
+            assert abs(value - previous_v - elapsed) <= delta * elapsed + 1e-12
+            previous_t, previous_v = float(t), value
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TemperatureDriftClock(amplitude=-1.0)
+        with pytest.raises(ValueError):
+            TemperatureDriftClock(amplitude=1.0, period=0.0)
+
+
+class TestAgingClock:
+    def test_zero_aging_is_constant_drift(self):
+        clock = AgingClock(initial_skew=2e-5, aging_rate=0.0)
+        assert clock.read(1000.0) == pytest.approx(1000.0 * (1 + 2e-5))
+
+    def test_quadratic_integration(self):
+        """With skew = rate·t, the drift integral is rate·t²/2."""
+        rate = 1e-9
+        clock = AgingClock(initial_skew=0.0, aging_rate=rate)
+        t = 10_000.0
+        assert clock.read(t) - t == pytest.approx(0.5 * rate * t * t, rel=1e-9)
+
+    def test_clamp_at_terminal_skew(self):
+        clock = AgingClock(
+            initial_skew=0.0, aging_rate=1e-6, terminal_skew=1e-3
+        )
+        clamp_at = 1e-3 / 1e-6  # 1000 s
+        assert clock.skew_at(500.0) == pytest.approx(5e-4)
+        assert clock.skew_at(2000.0) == pytest.approx(1e-3)
+        # After the clamp the clock advances linearly at the terminal skew.
+        v1 = clock.read(clamp_at + 100.0)
+        v2 = clock.read(clamp_at + 200.0)
+        assert v2 - v1 == pytest.approx(100.0 * (1 + 1e-3), rel=1e-9)
+
+    def test_negative_aging(self):
+        clock = AgingClock(
+            initial_skew=1e-4, aging_rate=-1e-7, terminal_skew=-1e-4
+        )
+        assert clock.skew_at(1000.0) == pytest.approx(0.0, abs=1e-12)
+        assert clock.skew_at(10_000.0) == pytest.approx(-1e-4)
+
+    def test_aging_survives_resets(self):
+        """Resetting the value does not rejuvenate the crystal."""
+        clock = AgingClock(initial_skew=0.0, aging_rate=1e-6)
+        clock.read(1000.0)
+        clock.set(1000.0, 0.0)
+        assert clock.skew_at(1000.0) == pytest.approx(1e-3)
+        # Over [1000, 1100] the skew ramps 1.0e-3 -> 1.1e-3: mean 1.05e-3.
+        gained = clock.read(1100.0) - 100.0
+        assert gained == pytest.approx(100.0 * 1.05e-3, rel=1e-6)
+
+    def test_unreachable_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            AgingClock(initial_skew=1e-4, aging_rate=1e-7, terminal_skew=0.0)
+        with pytest.raises(ValueError):
+            AgingClock(initial_skew=0.0, aging_rate=-1e-7, terminal_skew=1e-4)

@@ -1,0 +1,110 @@
+"""Tests for the error-budget decomposition and the topology study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error_budget import (
+    budget_series,
+    render_budget_table,
+    reset_budget_from_trace,
+    server_budget,
+    service_budgets,
+)
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.experiments import topology_study
+
+from tests.helpers import make_mesh_service
+
+
+class TestErrorBudget:
+    def test_components_sum_to_total(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(300.0)
+        for budget in service_budgets(service).values():
+            assert budget.total == pytest.approx(
+                budget.inherited + budget.age_drift
+            )
+
+    def test_fresh_reset_is_all_inherited(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0, trace_enabled=True)
+        service.run_until(300.0)
+        # Find a reset instant and sample right at it.
+        resets = service.trace.filter(kind="reset")
+        assert resets
+        last = resets[-1]
+        server = service.servers[last.source]
+        budget = server_budget(server)
+        # Age since the reset is small (we are shortly after it at most τ).
+        assert budget.age <= 25.0
+
+    def test_unsynced_server_is_all_drift(self):
+        service = make_mesh_service(2, MMPolicy(), tau=30.0, delta=1e-4)
+        # Homogeneous δ: MM never resets; ε stays 0.
+        service.run_until(600.0)
+        budget = server_budget(service.servers["S1"])
+        assert budget.inherited == 0.0
+        assert budget.age_drift == pytest.approx(budget.total)
+        assert budget.drift_fraction == pytest.approx(1.0)
+
+    def test_budget_series_tracks_sawtooth(self):
+        service = make_mesh_service(3, IMPolicy(), tau=30.0)
+        series = budget_series(
+            service, [60.0, 90.0, 120.0, 150.0], "S1"
+        )
+        assert len(series) == 4
+        # Between resets the age-drift term grows with clock age.
+        assert all(b.age >= 0.0 for b in series)
+
+    def test_reset_provenance_from_trace(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0, trace_enabled=True)
+        service.run_until(200.0)
+        rows = reset_budget_from_trace(service)
+        assert rows
+        for row in rows:
+            assert row.kind in ("sync", "recovery")
+            assert row.inherited >= 0.0
+            assert row.server in ("S1", "S2", "S3")
+
+    def test_render_budget_table(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        table = render_budget_table(service_budgets(service))
+        assert "drift share" in table and "S1" in table
+
+
+class TestTopologyStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            r.shape: r
+            for r in topology_study.run_all(
+                shapes=("mesh", "line", "ring"), n=7, horizon=2400.0
+            )
+        }
+
+    def test_all_topologies_stay_correct(self, results):
+        for shape, result in results.items():
+            assert result.all_correct, shape
+
+    def test_line_has_positive_gradient(self, results):
+        line_result = results["line"]
+        assert len(line_result.by_hops) == 6
+        assert line_result.gradient > 0
+        errors = [row.mean_error for row in line_result.by_hops]
+        assert errors[-1] > errors[0]
+
+    def test_mesh_is_flat(self, results):
+        mesh_result = results["mesh"]
+        assert len(mesh_result.by_hops) == 1  # everyone one hop away
+        assert mesh_result.gradient == 0.0
+
+    def test_mesh_beats_line_far_from_reference(self, results):
+        mesh_error = results["mesh"].by_hops[0].mean_error
+        line_far = results["line"].by_hops[-1].mean_error
+        assert line_far > mesh_error
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            topology_study.run_topology("torus")

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs clean and prints its claim.
+
+Examples are user-facing documentation; a broken one is a bug.  Each test
+runs the script in a subprocess (as a user would) and asserts on the
+headline output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Algorithm IM" in out and "Algorithm MM" in out
+        assert "asynchronism" in out
+
+    def test_xerox_internet(self):
+        out = run_example("xerox_internet.py")
+        assert "Service state after 2 simulated hours" in out
+        assert "intersect" in out
+
+    def test_bad_clock_recovery(self):
+        out = run_example("bad_clock_recovery.py")
+        assert "sawtooth" in out
+        assert "worst offset" in out
+
+    def test_ntp_style_selection(self):
+        out = run_example("ntp_style_selection.py")
+        assert "falsetickers identified" in out
+        assert "Marzullo" in out
+
+    def test_monotonic_client(self):
+        out = run_example("monotonic_client.py")
+        assert "backward steps in the monotonic view: 0" in out
+        assert "backward steps in the raw clock:" in out
+        # The raw clock must actually step back for the demo to mean anything.
+        raw_line = next(
+            line for line in out.splitlines() if "raw clock" in line
+        )
+        assert int(raw_line.rsplit(" ", 1)[1]) > 0
+
+    def test_consonance_diagnosis(self):
+        out = run_example("consonance_diagnosis.py")
+        assert "dissonant servers" in out
+        assert "S6" in out
+
+    def test_event_ordering(self):
+        out = run_example("event_ordering.py")
+        assert "indeterminate" in out
+        assert "certainly later: True" in out
+
+    def test_parameter_study(self):
+        out = run_example("parameter_study.py", timeout=600.0)
+        assert "Headlines from the surface" in out
+        assert "IM mean error vs MM" in out

@@ -1,0 +1,218 @@
+"""Integration tests: every experiment reproduces its paper claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    correctness,
+    drift_recovery,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    partition,
+    tenfold,
+    theorem4,
+    theorem8,
+)
+from repro.experiments.scenarios import MeshScenario
+
+
+class TestScenarioBuilder:
+    def test_default_skews_inside_bound(self):
+        scenario = MeshScenario(n=5, delta=1e-4)
+        for skew, delta in zip(scenario.resolved_skews(), scenario.resolved_deltas()):
+            assert abs(skew) < delta
+
+    def test_explicit_lengths_validated(self):
+        with pytest.raises(ValueError):
+            MeshScenario(n=3, deltas=[1e-5]).resolved_deltas()
+        with pytest.raises(ValueError):
+            MeshScenario(n=3, skews=[0.0]).resolved_skews()
+
+    def test_names_and_xi(self):
+        scenario = MeshScenario(n=2, one_way=0.05)
+        assert scenario.names() == ["S1", "S2"]
+        assert scenario.xi == pytest.approx(0.1)
+
+
+class TestFigure1:
+    def test_all_intervals_stay_correct(self):
+        result = figure1.run()
+        assert result.all_correct
+
+    def test_widths_grow_at_two_delta(self):
+        """Lemma 1: width grows at 2δ per real second (±δ² slop)."""
+        result = figure1.run()
+        t0, t1 = result.snapshots[0].time, result.snapshots[-1].time
+        for name, delta, _skew in figure1.FIGURE1_SERVERS:
+            w0 = result.intervals_at(0)[name].width
+            w1 = result.intervals_at(-1)[name].width
+            expected = 2.0 * delta * (t1 - t0)
+            assert w1 - w0 == pytest.approx(expected, rel=1e-3)
+
+    def test_centres_shift_at_actual_skew(self):
+        result = figure1.run()
+        t0, t1 = result.snapshots[0].time, result.snapshots[-1].time
+        for name, _delta, skew in figure1.FIGURE1_SERVERS:
+            c0 = result.intervals_at(0)[name].center - t0
+            c1 = result.intervals_at(-1)[name].center - t1
+            assert c1 - c0 == pytest.approx(skew * (t1 - t0), rel=1e-6)
+
+    def test_diagrams_rendered(self):
+        result = figure1.run()
+        assert len(result.diagrams) == 3
+        assert all("S1" in d for d in result.diagrams)
+
+
+class TestFigure2:
+    def test_theorem6_holds(self):
+        assert figure2.run().theorem6_holds
+
+    def test_nested_case_edges_same_server(self):
+        result = figure2.run()
+        assert result.nested.same_server_edges
+        assert result.nested.intersection.width == pytest.approx(
+            result.nested.smallest_width
+        )
+
+    def test_overlap_case_beats_smallest(self):
+        result = figure2.run()
+        assert not result.overlapping.same_server_edges
+        assert (
+            result.overlapping.intersection.width
+            < result.overlapping.smallest_width
+        )
+
+
+class TestFigure3:
+    def test_state_is_consistent(self):
+        assert figure3.run().consistent
+
+    def test_mm_recovers_im_does_not(self):
+        result = figure3.run()
+        assert result.mm_correct
+        assert not result.im_correct
+
+    def test_mm_chooses_s3(self):
+        assert figure3.run().mm_source == "S3"
+
+    def test_im_result_is_s2_s3_intersection(self):
+        result = figure3.run()
+        assert set(result.im_source.split("∩")) == {"S2", "S3"}
+
+
+class TestFigure4:
+    def test_not_globally_consistent(self):
+        assert not figure4.run().globally_consistent
+
+    def test_exactly_three_groups(self):
+        result = figure4.run()
+        assert len(result.groups) == 3
+
+    def test_exactly_one_group_contains_truth(self):
+        result = figure4.run()
+        assert len(result.correct) == 1
+
+
+class TestTheorem4:
+    def test_converges_within_predicted_bound(self):
+        result = theorem4.run()
+        assert result.report.converged
+        assert result.within_bound
+
+    def test_final_holder_is_most_accurate(self):
+        result = theorem4.run()
+        assert result.report.holder_series[-1] == "S1"
+
+
+class TestTheorem8:
+    def test_expected_error_decreases_with_n(self):
+        result = theorem8.run_monte_carlo(trials=1500)
+        assert result.monotone_decreasing
+
+    def test_large_n_approaches_e0(self):
+        result = theorem8.run_monte_carlo(trials=1500)
+        largest = max(result.mean_error)
+        assert result.mean_error[largest] < 2.0 * result.e0
+        assert result.mean_error[1] == pytest.approx(
+            result.single_clock_error, rel=0.05
+        )
+
+    def test_overspecification_growth_matches_prediction(self):
+        for row in theorem8.run_overspecified(trials=1500):
+            assert row.measured_excess == pytest.approx(
+                row.limit_growth, abs=0.02
+            )
+
+
+class TestTenfold:
+    def test_ratio_is_about_ten(self):
+        result = tenfold.run(horizon=3.0 * 3600.0, samples=60)
+        assert 7.0 < result.ratio < 13.0
+
+    def test_fits_are_clean_lines(self):
+        result = tenfold.run(horizon=3.0 * 3600.0, samples=60)
+        assert result.mm.r_squared > 0.99
+        assert result.im.r_squared > 0.95
+
+
+class TestDriftRecovery:
+    def test_inconsistencies_drive_recoveries(self):
+        result = drift_recovery.run(tau=120.0, horizon=3600.0)
+        assert result.inconsistencies > 0
+        assert result.recoveries > 0
+
+    def test_recovery_keeps_racing_clock_bounded(self):
+        result = drift_recovery.run(tau=120.0, horizon=3600.0)
+        assert result.b_kept_bounded
+
+    def test_worst_offset_grows_with_tau(self):
+        rows = drift_recovery.sweep_tau(taus=(60.0, 600.0), horizon=3600.0)
+        assert rows[1].worst_offset > rows[0].worst_offset * 2
+
+
+class TestPartition:
+    def test_service_partitions(self):
+        result = partition.run()
+        assert result.partitioned
+
+    def test_recovery_poisoning_observed(self):
+        result = partition.run()
+        assert result.poisoned_recoveries > 0
+
+    def test_good_core_survives(self):
+        assert partition.run().core_still_correct
+
+    def test_consonance_diagnosis(self):
+        assert partition.run().diagnosis_correct
+
+
+class TestCorrectnessSuite:
+    def test_all_valid_runs_correct(self):
+        for run in correctness.run_suite(seeds=(0, 1), sizes=(3,), horizon=900.0):
+            assert run.correct, run
+
+    def test_invalid_control_violates(self):
+        control = correctness.run_invalid_bound_control(horizon=900.0)
+        assert control.violations > 0
+
+
+class TestAblations:
+    def test_mm_inflation_prevents_unsafe_resets(self):
+        result = ablations.run_mm_inflation()
+        assert result.violations_with == 0
+        assert result.violations_without > 0
+
+    def test_im_variants_ordered(self):
+        by_name = {v.name: v for v in ablations.run_im_variants(horizon=1800.0)}
+        assert by_name["widen-both-edges"].ratio_to_paper > 1.0
+        assert by_name["no-self-interval"].ratio_to_paper > 1.0
+        assert by_name["trailing-reset"].ratio_to_paper > 1.0
+
+    def test_tau_sweep_monotone(self):
+        rows = ablations.run_tau_sweep(taus=(30.0, 120.0))
+        assert rows[1].mean_error > rows[0].mean_error
+        assert rows[1].max_asynchronism > rows[0].max_asynchronism

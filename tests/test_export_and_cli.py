@@ -1,0 +1,220 @@
+"""Tests for trace/snapshot export and the CLI."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    snapshots_to_csv,
+    snapshots_to_json,
+    trace_to_csv,
+    trace_to_json,
+)
+from repro.cli import build_parser, main
+from repro.core.im import IMPolicy
+from repro.simulation.trace import TraceRecorder
+
+from tests.helpers import make_mesh_service
+
+
+@pytest.fixture
+def sample_trace():
+    trace = TraceRecorder()
+    trace.record(1.0, "reset", "S1", new_error=0.5, from_server="S2")
+    trace.record(2.0, "reject", "S1")
+    trace.record(3.0, "reset", "S2", new_error=0.1, from_server="S1")
+    return trace
+
+
+@pytest.fixture
+def sample_snapshots():
+    service = make_mesh_service(3, IMPolicy(), tau=20.0)
+    return service.sample([50.0, 100.0, 150.0])
+
+
+class TestTraceExport:
+    def test_csv_roundtrip(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert trace_to_csv(sample_trace, path) == 3
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["kind"] == "reset"
+        assert rows[0]["new_error"] == "0.5"
+        assert rows[1]["new_error"] == ""  # missing field -> empty cell
+
+    def test_json_roundtrip(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        assert trace_to_json(sample_trace, path) == 3
+        payload = json.loads(path.read_text())
+        assert payload[2] == {
+            "time": 3.0,
+            "kind": "reset",
+            "source": "S2",
+            "new_error": 0.1,
+            "from_server": "S1",
+        }
+
+    def test_empty_trace(self, tmp_path):
+        trace = TraceRecorder()
+        assert trace_to_csv(trace, tmp_path / "empty.csv") == 0
+        assert trace_to_json(trace, tmp_path / "empty.json") == 0
+
+
+class TestSnapshotExport:
+    def test_csv_long_form(self, sample_snapshots, tmp_path):
+        path = tmp_path / "snaps.csv"
+        written = snapshots_to_csv(sample_snapshots, path)
+        assert written == 3 * 3  # 3 snapshots x 3 servers
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["server"] for row in rows} == {"S1", "S2", "S3"}
+        assert all(row["correct"] == "1" for row in rows)
+
+    def test_json_structure(self, sample_snapshots, tmp_path):
+        path = tmp_path / "snaps.json"
+        assert snapshots_to_json(sample_snapshots, path) == 3
+        payload = json.loads(path.read_text())
+        assert payload[0]["time"] == 50.0
+        assert set(payload[0]["errors"]) == {"S1", "S2", "S3"}
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--policy", "mm"])
+        assert args.policy == "mm"
+
+    def test_simulate_returns_zero_when_correct(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--policy",
+                "im",
+                "--hours",
+                "0.2",
+                "--samples",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "asynchronism" in out
+        assert "all correct True" in out
+
+    def test_simulate_exports_csv(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        code = main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--hours",
+                "0.1",
+                "--samples",
+                "5",
+                "--export-csv",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5 * 3
+
+    def test_simulate_all_policies(self, capsys):
+        for policy in ("mm", "im", "max", "median", "mean", "first"):
+            code = main(
+                [
+                    "simulate",
+                    "--servers",
+                    "3",
+                    "--policy",
+                    policy,
+                    "--hours",
+                    "0.1",
+                    "--samples",
+                    "4",
+                ]
+            )
+            assert code == 0, policy
+
+    def test_simulate_topologies(self, capsys):
+        for topology in ("mesh", "ring", "line", "star", "internet", "random"):
+            code = main(
+                [
+                    "simulate",
+                    "--topology",
+                    topology,
+                    "--servers",
+                    "6",
+                    "--hours",
+                    "0.05",
+                    "--samples",
+                    "3",
+                ]
+            )
+            assert code == 0, topology
+
+    def test_simulate_with_reference_and_recovery(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--servers",
+                "4",
+                "--reference",
+                "1",
+                "--recovery",
+                "--rate-tracking",
+                "--hours",
+                "0.1",
+                "--samples",
+                "4",
+            ]
+        )
+        assert code == 0
+
+    def test_figures_subcommand(self, capsys):
+        assert main(["figures", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 6" in out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "tenfold" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "consistency groups" in out
+
+
+class TestCliSweep:
+    def test_sweep_subcommand(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--policies",
+                "IM",
+                "--sizes",
+                "3",
+                "--taus",
+                "30",
+                "--replications",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_error" in out
+        assert "IM" in out

@@ -1,0 +1,79 @@
+"""Tests for the failure-injection matrix and the overhead sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import failures, overhead
+
+
+class TestFailureMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {
+            (o.failure, o.policy, o.recovery): o
+            for o in failures.run_matrix(horizon=2400.0)
+        }
+
+    def test_all_cells_present(self, matrix):
+        assert len(matrix) == 12
+
+    def test_healthy_servers_survive_mm(self, matrix):
+        for key, outcome in matrix.items():
+            if outcome.policy == "MM":
+                assert outcome.healthy_correct, key
+
+    def test_recovery_bounds_stopped_clock(self, matrix):
+        without = matrix[("stopped", "MM", False)]
+        with_rec = matrix[("stopped", "MM", True)]
+        assert not without.faulty_recovered
+        assert with_rec.faulty_recovered
+        assert with_rec.faulty_final_offset < without.faulty_final_offset / 10
+
+    def test_recovery_bounds_racing_clock(self, matrix):
+        without = matrix[("racing", "IM", False)]
+        with_rec = matrix[("racing", "IM", True)]
+        assert not without.faulty_recovered
+        assert with_rec.faulty_recovered
+
+    def test_stuck_clock_unfixable_but_harmless_here(self, matrix):
+        """A stuck clock with healthy natural drift never goes far enough
+        to alarm anyone; its hazard is the silent bookkeeping corruption
+        tested in test_server.py."""
+        outcome = matrix[("stuck-on-reset", "MM", True)]
+        assert outcome.inconsistencies == 0
+        assert outcome.faulty_recovered  # trivially: tiny natural drift
+
+    def test_failures_raise_inconsistency_alarms(self, matrix):
+        for failure in ("stopped", "racing"):
+            outcome = matrix[(failure, "MM", False)]
+            assert outcome.inconsistencies > 0
+
+
+class TestOverheadSweeps:
+    def test_message_cost_scales_inverse_tau(self):
+        rows = overhead.sweep_tau(taus=(30.0, 60.0, 120.0))
+        assert rows[0].messages_per_server_hour == pytest.approx(
+            2 * rows[1].messages_per_server_hour, rel=0.1
+        )
+        assert rows[1].messages_per_server_hour == pytest.approx(
+            2 * rows[2].messages_per_server_hour, rel=0.1
+        )
+
+    def test_accuracy_degrades_with_tau(self):
+        rows = overhead.sweep_tau(taus=(30.0, 240.0))
+        assert rows[1].worst_offset > rows[0].worst_offset
+        assert rows[1].mean_error > rows[0].mean_error
+
+    def test_loss_degrades_gracefully(self):
+        rows = overhead.sweep_loss(losses=(0.0, 0.5), horizon=2400.0)
+        clean, lossy = rows
+        assert clean.reply_rate > 0.95
+        assert lossy.reply_rate < 0.5
+        # Correctness survives; the error floor merely rises.
+        assert clean.correct and lossy.correct
+        assert lossy.mean_error >= clean.mean_error
+
+    def test_heavy_loss_still_correct(self):
+        rows = overhead.sweep_loss(losses=(0.8,), horizon=2400.0)
+        assert rows[0].correct

@@ -1,0 +1,183 @@
+"""Unit tests for algorithm IM (rule IM-2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.im import IMPolicy
+from repro.core.sync import LocalState, Reply
+
+
+def state(clock=100.0, error=1.0, delta=1e-5) -> LocalState:
+    return LocalState(clock_value=clock, error=error, delta=delta)
+
+
+def reply(server="S2", clock=100.0, error=0.5, rtt=0.0) -> Reply:
+    return Reply(server=server, clock_value=clock, error=error, rtt_local=rtt)
+
+
+class TestTransform:
+    def test_transformation_formulas(self):
+        """T_j = C_j - E_j - C_i ; L_j = C_j + E_j + (1+δ)ξ - C_i."""
+        policy = IMPolicy()
+        local = state(clock=100.0, delta=0.5)
+        transformed = policy.transform(local, reply(clock=101.0, error=0.2, rtt=0.4))
+        assert transformed.trailing == pytest.approx(101.0 - 0.2 - 100.0)
+        assert transformed.leading == pytest.approx(
+            101.0 + 0.2 + 1.5 * 0.4 - 100.0
+        )
+
+    def test_widening_is_leading_edge_only(self):
+        policy = IMPolicy()
+        local = state(clock=0.0, delta=0.0)
+        with_rtt = policy.transform(local, reply(clock=0.0, error=1.0, rtt=0.5))
+        without = policy.transform(local, reply(clock=0.0, error=1.0, rtt=0.0))
+        assert with_rtt.trailing == without.trailing
+        assert with_rtt.leading == without.leading + 0.5
+
+    def test_widen_both_edges_ablation(self):
+        policy = IMPolicy(widen_both_edges=True)
+        local = state(clock=0.0, delta=0.0)
+        transformed = policy.transform(local, reply(clock=0.0, error=1.0, rtt=0.5))
+        assert transformed.trailing == pytest.approx(-1.5)
+        assert transformed.leading == pytest.approx(1.5)
+
+
+class TestRound:
+    def test_reset_to_midpoint_of_intersection(self):
+        """ε <- (b-a)/2, C <- (a+b)/2 + C_i (rule IM-2)."""
+        policy = IMPolicy(include_self=False)
+        local = state(clock=100.0, error=5.0, delta=0.0)
+        replies = [
+            reply(server="A", clock=100.0, error=1.0),  # [-1, 1]
+            reply(server="B", clock=100.5, error=1.0),  # [-0.5, 1.5]
+        ]
+        outcome = policy.on_round_complete(local, replies)
+        assert outcome.consistent and outcome.decision is not None
+        # Intersection of offsets: [-0.5, 1.0] -> midpoint 0.25, error 0.75.
+        assert outcome.decision.clock_value == pytest.approx(100.25)
+        assert outcome.decision.inherited_error == pytest.approx(0.75)
+
+    def test_self_interval_participates(self):
+        policy = IMPolicy(include_self=True)
+        local = state(clock=100.0, error=0.1, delta=0.0)
+        wide = [reply(clock=100.0, error=5.0)]
+        outcome = policy.on_round_complete(local, wide)
+        assert outcome.decision is not None
+        # The tight local interval dominates: no change beyond itself.
+        assert outcome.decision.inherited_error == pytest.approx(0.1)
+        assert outcome.decision.clock_value == pytest.approx(100.0)
+
+    def test_intersection_smaller_than_smallest_input(self):
+        """Theorem 6 at the policy level (overlapping case)."""
+        policy = IMPolicy(include_self=False)
+        local = state(clock=0.0, error=10.0, delta=0.0)
+        replies = [
+            reply(server="A", clock=-0.3, error=1.0),
+            reply(server="B", clock=+0.3, error=1.0),
+        ]
+        outcome = policy.on_round_complete(local, replies)
+        assert outcome.decision is not None
+        assert outcome.decision.inherited_error < 1.0
+
+    def test_inconsistent_round_reports_conflict(self):
+        policy = IMPolicy(include_self=False)
+        local = state(clock=0.0, error=1.0, delta=0.0)
+        replies = [
+            reply(server="A", clock=-10.0, error=0.1),
+            reply(server="B", clock=+10.0, error=0.1),
+        ]
+        outcome = policy.on_round_complete(local, replies)
+        assert not outcome.consistent
+        assert outcome.decision is None
+        assert set(outcome.conflicting) == {"A", "B"}
+
+    def test_point_intersection_accepted_by_default(self):
+        policy = IMPolicy(include_self=False)
+        local = state(clock=0.0, error=1.0, delta=0.0)
+        replies = [
+            reply(server="A", clock=-1.0, error=1.0),  # [-2, 0]
+            reply(server="B", clock=+1.0, error=1.0),  # [0, 2]
+        ]
+        outcome = policy.on_round_complete(local, replies)
+        assert outcome.consistent
+        assert outcome.decision is not None
+        assert outcome.decision.inherited_error == pytest.approx(0.0)
+
+    def test_point_intersection_rejected_in_strict_mode(self):
+        policy = IMPolicy(include_self=False, allow_point_intersection=False)
+        local = state(clock=0.0, error=1.0, delta=0.0)
+        replies = [
+            reply(server="A", clock=-1.0, error=1.0),
+            reply(server="B", clock=+1.0, error=1.0),
+        ]
+        assert not policy.on_round_complete(local, replies).consistent
+
+    def test_trailing_reset_ablation_doubles_error(self):
+        midpoint = IMPolicy(include_self=False)
+        trailing = IMPolicy(include_self=False, reset_to="trailing")
+        local = state(clock=0.0, error=10.0, delta=0.0)
+        replies = [reply(server="A", clock=0.0, error=1.0)]
+        mid = midpoint.on_round_complete(local, replies).decision
+        tra = trailing.on_round_complete(local, replies).decision
+        assert tra.inherited_error == pytest.approx(2 * mid.inherited_error)
+
+    def test_empty_round_with_self_resets_to_self(self):
+        policy = IMPolicy(include_self=True)
+        local = state(clock=50.0, error=2.0)
+        outcome = policy.on_round_complete(local, [])
+        assert outcome.consistent
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == pytest.approx(50.0)
+        assert outcome.decision.inherited_error == pytest.approx(2.0)
+
+    def test_empty_round_without_self_noop(self):
+        policy = IMPolicy(include_self=False)
+        assert policy.on_round_complete(state(), []).decision is None
+
+    def test_invalid_reset_to_rejected(self):
+        with pytest.raises(ValueError):
+            IMPolicy(reset_to="leading")
+
+    def test_policy_is_batch(self):
+        assert not IMPolicy().incremental
+
+
+class TestCorrectnessProperty:
+    @given(
+        true_time=st.floats(min_value=0.0, max_value=1e4),
+        offsets=st.lists(
+            st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=6
+        ),
+        errors=st.lists(
+            st.floats(min_value=1.0, max_value=3.0), min_size=1, max_size=6
+        ),
+    )
+    def test_theorem5_correct_inputs_give_correct_output(
+        self, true_time, offsets, errors
+    ):
+        """If every input interval contains the true time, so does IM's
+        result (the heart of Theorem 5, at zero rtt)."""
+        n = min(len(offsets), len(errors))
+        local = state(clock=true_time, error=3.5, delta=0.0)
+        replies = [
+            reply(
+                server=f"S{k}",
+                clock=true_time + offsets[k],
+                error=errors[k],  # error >= |offset| -> correct interval
+                rtt=0.0,
+            )
+            for k in range(n)
+        ]
+        outcome = IMPolicy().on_round_complete(local, replies)
+        assert outcome.consistent and outcome.decision is not None
+        decision = outcome.decision
+        # Tolerance absorbs float rounding when an input interval touches
+        # the true time exactly at an edge.
+        slack = 1e-9
+        assert (
+            decision.clock_value - decision.inherited_error - slack
+            <= true_time
+            <= decision.clock_value + decision.inherited_error + slack
+        )

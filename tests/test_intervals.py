@@ -1,0 +1,178 @@
+"""Unit and property tests for the interval algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import (
+    TimeInterval,
+    consistency,
+    intersect_all,
+    pairwise_consistent,
+    smallest,
+)
+
+# Bounded floats keep interval arithmetic exact enough for property tests.
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+widths = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(coords)
+    width = draw(widths)
+    return TimeInterval(lo, lo + width)
+
+
+class TestConstruction:
+    def test_edge_form(self):
+        interval = TimeInterval(1.0, 3.0)
+        assert interval.center == 2.0
+        assert interval.error == 1.0
+        assert interval.width == 2.0
+        assert interval.trailing_edge == 1.0
+        assert interval.leading_edge == 3.0
+
+    def test_center_error_form(self):
+        interval = TimeInterval.from_center_error(10.0, 0.5)
+        assert interval.lo == 9.5 and interval.hi == 10.5
+
+    def test_point_interval(self):
+        point = TimeInterval.point(5.0)
+        assert point.width == 0.0 and point.contains(5.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(3.0, 1.0)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval.from_center_error(0.0, -1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(float("nan"), 1.0)
+
+    def test_ordering_is_by_edges(self):
+        assert TimeInterval(0, 1) < TimeInterval(0, 2) < TimeInterval(1, 2)
+
+
+class TestPredicates:
+    def test_contains_edges_inclusive(self):
+        interval = TimeInterval(1.0, 3.0)
+        assert interval.contains(1.0) and interval.contains(3.0)
+        assert not interval.contains(0.999)
+
+    def test_touching_intervals_intersect(self):
+        assert TimeInterval(0, 1).intersects(TimeInterval(1, 2))
+
+    def test_disjoint_do_not_intersect(self):
+        assert not TimeInterval(0, 1).intersects(TimeInterval(1.1, 2))
+
+    def test_containment(self):
+        outer, inner = TimeInterval(0, 10), TimeInterval(2, 3)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+
+    def test_consistency_matches_paper_definition(self):
+        """Section 2.3: |C_i - C_j| <= E_i + E_j  <=>  intervals intersect."""
+        a = TimeInterval.from_center_error(3.01 * 60, 2 * 60)  # 3:01 ± 0:02
+        b = TimeInterval.from_center_error(3.06 * 60, 2 * 60)  # 3:06 ± 0:02
+        assert consistency(a.center, a.error, b.center, b.error) == a.intersects(b)
+
+    def test_papers_301_306_example(self):
+        """The Section 2.3 example: 3:01±0:02 vs 3:06±0:02 are inconsistent."""
+        minutes = lambda m: m * 60.0
+        assert not consistency(
+            minutes(181), minutes(2), minutes(186), minutes(2)
+        )
+
+
+class TestOperations:
+    def test_intersection_overlapping(self):
+        result = TimeInterval(0, 5).intersection(TimeInterval(3, 8))
+        assert result == TimeInterval(3, 5)
+
+    def test_intersection_disjoint_is_none(self):
+        assert TimeInterval(0, 1).intersection(TimeInterval(2, 3)) is None
+
+    def test_hull(self):
+        assert TimeInterval(0, 1).hull(TimeInterval(5, 6)) == TimeInterval(0, 6)
+
+    def test_shifted(self):
+        assert TimeInterval(0, 1).shifted(2.5) == TimeInterval(2.5, 3.5)
+
+    def test_widened_asymmetric(self):
+        widened = TimeInterval(2, 3).widened(trailing=0.5, leading=1.0)
+        assert widened == TimeInterval(1.5, 4.0)
+
+    def test_widened_inversion_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(2, 3).widened(trailing=-2.0)
+
+    def test_intersect_all(self):
+        common = intersect_all(
+            [TimeInterval(0, 5), TimeInterval(2, 8), TimeInterval(1, 4)]
+        )
+        assert common == TimeInterval(2, 4)
+
+    def test_intersect_all_empty_input(self):
+        assert intersect_all([]) is None
+
+    def test_intersect_all_inconsistent(self):
+        assert intersect_all([TimeInterval(0, 1), TimeInterval(2, 3)]) is None
+
+    def test_smallest(self):
+        assert smallest(
+            [TimeInterval(0, 10), TimeInterval(1, 2), TimeInterval(0, 5)]
+        ) == TimeInterval(1, 2)
+
+    def test_smallest_empty_rejected(self):
+        with pytest.raises(ValueError):
+            smallest([])
+
+
+class TestProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_subset_of_both(self, a, b):
+        common = a.intersection(b)
+        if common is not None:
+            assert a.contains_interval(common)
+            assert b.contains_interval(common)
+
+    @given(intervals())
+    def test_self_intersection_identity(self, a):
+        assert a.intersection(a) == a
+
+    @given(intervals(), intervals())
+    def test_intersects_iff_intersection_exists(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains_interval(a) and hull.contains_interval(b)
+
+    @given(st.lists(intervals(), min_size=1, max_size=8))
+    def test_theorem6_intersection_never_larger_than_smallest(self, ivs):
+        """Theorem 6, as a universal property."""
+        common = intersect_all(ivs)
+        if common is not None:
+            assert common.width <= smallest(ivs).width + 1e-9
+
+    @given(st.lists(intervals(), min_size=1, max_size=6))
+    def test_helly_pairwise_implies_common_point(self, ivs):
+        """In 1-D, pairwise intersection implies a common point."""
+        if pairwise_consistent(ivs):
+            assert intersect_all(ivs) is not None
+
+    @given(intervals(), coords)
+    def test_shift_preserves_width(self, a, amount):
+        assert a.shifted(amount).width == pytest.approx(a.width, abs=1e-6)

@@ -1,0 +1,191 @@
+"""Unit and property tests for Marzullo's algorithm and the NTP variant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import TimeInterval
+from repro.core.marzullo import (
+    intersect_tolerating,
+    marzullo,
+    ntp_select,
+)
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(coords)
+    return TimeInterval(lo, lo + draw(widths))
+
+
+class TestMarzullo:
+    def test_single_interval(self):
+        result = marzullo([TimeInterval(1, 3)])
+        assert result.count == 1
+        assert result.interval == TimeInterval(1, 3)
+
+    def test_full_agreement(self):
+        ivs = [TimeInterval(0, 10), TimeInterval(2, 8), TimeInterval(4, 6)]
+        result = marzullo(ivs)
+        assert result.count == 3
+        assert result.interval == TimeInterval(4, 6)
+
+    def test_majority_beats_outlier(self):
+        """The classic falseticker case: 3 agree, 1 is far off."""
+        ivs = [
+            TimeInterval(8, 12),
+            TimeInterval(9, 13),
+            TimeInterval(10, 14),
+            TimeInterval(100, 104),  # falseticker
+        ]
+        result = marzullo(ivs)
+        assert result.count == 3
+        assert result.interval == TimeInterval(10, 12)
+
+    def test_wikipedia_example(self):
+        """The canonical 8-12 / 11-13 / 10-12 example -> [11, 12] by 3."""
+        ivs = [TimeInterval(8, 12), TimeInterval(11, 13), TimeInterval(10, 12)]
+        result = marzullo(ivs)
+        assert result.count == 3
+        assert result.interval == TimeInterval(11, 12)
+
+    def test_touching_counts_as_overlap(self):
+        ivs = [TimeInterval(0, 5), TimeInterval(5, 10)]
+        result = marzullo(ivs)
+        assert result.count == 2
+        assert result.interval == TimeInterval(5, 5)
+
+    def test_disjoint_picks_first_best(self):
+        ivs = [TimeInterval(0, 1), TimeInterval(5, 6)]
+        result = marzullo(ivs)
+        assert result.count == 1
+        assert result.interval == TimeInterval(0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            marzullo([])
+
+    @given(st.lists(intervals(), min_size=1, max_size=10))
+    def test_count_is_achievable(self, ivs):
+        """The returned region really is covered by `count` intervals."""
+        result = marzullo(ivs)
+        mid = result.interval.center
+        covering = sum(1 for iv in ivs if iv.contains(mid))
+        assert covering == result.count
+
+    @given(st.lists(intervals(), min_size=1, max_size=10))
+    def test_count_is_maximal_on_endpoints(self, ivs):
+        """No endpoint is covered by more than `count` intervals."""
+        result = marzullo(ivs)
+        for probe in [edge for iv in ivs for edge in (iv.lo, iv.hi)]:
+            covering = sum(1 for iv in ivs if iv.contains(probe))
+            assert covering <= result.count
+
+    @given(st.lists(intervals(), min_size=1, max_size=10))
+    def test_result_within_hull(self, ivs):
+        result = marzullo(ivs)
+        lo = min(iv.lo for iv in ivs)
+        hi = max(iv.hi for iv in ivs)
+        assert lo <= result.interval.lo <= result.interval.hi <= hi
+
+
+class TestIntersectTolerating:
+    def test_zero_faults_requires_unanimity(self):
+        agreeing = [TimeInterval(0, 10), TimeInterval(5, 15)]
+        assert intersect_tolerating(agreeing, 0) is not None
+        split = [TimeInterval(0, 1), TimeInterval(5, 15)]
+        assert intersect_tolerating(split, 0) is None
+
+    def test_one_fault_tolerated(self):
+        ivs = [
+            TimeInterval(8, 12),
+            TimeInterval(9, 13),
+            TimeInterval(100, 104),
+        ]
+        result = intersect_tolerating(ivs, 1)
+        assert result is not None
+        assert result.interval == TimeInterval(9, 12)
+
+    def test_thesis_guarantee(self):
+        """If <= f of n are incorrect and the rest contain t, the result
+        contains t."""
+        true_time = 50.0
+        good = [
+            TimeInterval(true_time - e, true_time + e) for e in (1.0, 2.0, 3.0)
+        ]
+        bad = [TimeInterval(90, 95)]
+        result = intersect_tolerating(good + bad, 1)
+        assert result is not None
+        assert result.interval.contains(true_time)
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_tolerating([TimeInterval(0, 1)], -1)
+
+    @given(
+        st.lists(intervals(), min_size=2, max_size=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_tolerance_monotone(self, ivs, faults):
+        """If the intersection exists at tolerance f, it exists at f+1."""
+        at_f = intersect_tolerating(ivs, faults)
+        if at_f is not None:
+            assert intersect_tolerating(ivs, faults + 1) is not None
+
+
+class TestNtpSelect:
+    def test_clean_majority(self):
+        ivs = [
+            TimeInterval(8, 12),
+            TimeInterval(9, 13),
+            TimeInterval(10, 14),
+        ]
+        result = ntp_select(ivs)
+        assert result is not None
+        assert result.falsetickers == ()
+        assert set(result.truechimers) == {0, 1, 2}
+
+    def test_falseticker_identified(self):
+        ivs = [
+            TimeInterval(8, 12),
+            TimeInterval(9, 13),
+            TimeInterval(10, 14),
+            TimeInterval(100, 101),
+        ]
+        result = ntp_select(ivs)
+        assert result is not None
+        assert 3 in result.falsetickers
+        assert set(result.truechimers) == {0, 1, 2}
+
+    def test_no_majority_returns_none(self):
+        ivs = [TimeInterval(0, 1), TimeInterval(10, 11)]
+        assert ntp_select(ivs) is None
+
+    def test_empty_returns_none(self):
+        assert ntp_select([]) is None
+
+    def test_selection_contains_truechimer_midpoints(self):
+        ivs = [
+            TimeInterval(8, 12),
+            TimeInterval(9, 13),
+            TimeInterval(10, 14),
+            TimeInterval(200, 201),
+        ]
+        result = ntp_select(ivs)
+        assert result is not None
+        for index in result.truechimers:
+            assert result.interval.contains(ivs[index].center)
+
+    @given(st.lists(intervals(), min_size=1, max_size=9))
+    def test_truechimers_are_majority_when_selected(self, ivs):
+        result = ntp_select(ivs)
+        if result is not None:
+            assert 2 * len(result.truechimers) > len(ivs)
+            # Partition is exact.
+            assert sorted(result.truechimers + result.falsetickers) == list(
+                range(len(ivs))
+            )

@@ -1,0 +1,230 @@
+"""Gap-filling tests: messages, reference servers, builder options, CLI
+failure paths, export of live runs, and the cold-start experiment."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.export import trace_to_csv
+from repro.cli import main as cli_main
+from repro.core.im import IMPolicy
+from repro.core.intervals import TimeInterval
+from repro.core.mm import MMPolicy
+from repro.experiments import cold_start
+from repro.network.delay import ConstantDelay
+from repro.network.topology import full_mesh
+from repro.service.builder import ServerSpec, build_service
+from repro.service.messages import RequestKind, TimeReply, TimeRequest
+from repro.service.reference import ReferenceServer
+
+from tests.helpers import make_mesh_service
+
+
+class TestMessages:
+    def test_reply_interval_property(self):
+        reply = TimeReply(
+            request_id=1,
+            server="S1",
+            destination="C",
+            clock_value=10.0,
+            error=0.5,
+        )
+        assert reply.interval == TimeInterval(9.5, 10.5)
+
+    def test_request_kinds(self):
+        assert RequestKind.POLL.value == "poll"
+        assert RequestKind.CLIENT.value == "client"
+        assert RequestKind.RECOVERY.value == "recovery"
+
+    def test_messages_are_immutable(self):
+        request = TimeRequest(request_id=1, origin="A", destination="B")
+        with pytest.raises(AttributeError):
+            request.origin = "C"  # type: ignore[misc]
+
+    def test_reply_carries_claimed_delta(self):
+        """Replies carry δ_j for the Section 5 consonance machinery."""
+        service = make_mesh_service(2, MMPolicy(), tau=10.0, delta=3e-5)
+        replies = []
+        original_send = service.network.send
+
+        def spy(source, destination, message):
+            if isinstance(message, TimeReply):
+                replies.append(message)
+            return original_send(source, destination, message)
+
+        service.network.send = spy  # type: ignore[method-assign]
+        service.run_until(30.0)
+        assert replies
+        assert all(r.delta == pytest.approx(3e-5) for r in replies)
+
+
+class TestReferenceServer:
+    def test_constant_error_forever(self):
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=5e-6),
+            ServerSpec("S2", reference=True, initial_error=0.02),
+        ]
+        service = build_service(
+            full_mesh(2),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+        )
+        service.run_until(2000.0)
+        ref = service.servers["S2"]
+        assert isinstance(ref, ReferenceServer)
+        value, error = ref.report()
+        assert value == pytest.approx(2000.0)
+        assert error == pytest.approx(0.02)
+
+    def test_reference_anchors_the_service(self):
+        specs = [
+            ServerSpec("S1", delta=1e-4, skew=8e-5),
+            ServerSpec("S2", reference=True, initial_error=0.001),
+        ]
+        service = build_service(
+            full_mesh(2),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.005),
+        )
+        service.run_until(3600.0)
+        snap = service.snapshot()
+        # Without the reference S1 would drift 8e-5*3600 = 0.29 s.
+        assert abs(snap.offsets["S1"]) < 0.02
+
+
+class TestBuilderOptions:
+    def test_round_timeout_override(self):
+        service = make_mesh_service(3, IMPolicy(), round_timeout=0.2)
+        service.run_until(200.0)
+        assert all(s.stats.rounds > 0 for s in service.servers.values())
+
+    def test_loss_probability_passthrough(self):
+        service = make_mesh_service(3, IMPolicy(), loss_probability=1.0)
+        service.run_until(200.0)
+        # All messages lost: nobody ever handles a reply.
+        assert all(
+            s.stats.replies_handled == 0 for s in service.servers.values()
+        )
+
+    def test_no_stagger_all_first_polls_at_tau(self):
+        service = make_mesh_service(3, IMPolicy(), tau=40.0, stagger_polls=False)
+        service.run_until(39.0)
+        assert all(s.stats.rounds == 0 for s in service.servers.values())
+        service.run_until(41.0)
+        assert all(s.stats.rounds == 1 for s in service.servers.values())
+
+
+class TestTraceExportLiveRun:
+    def test_export_real_trace(self, tmp_path):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0, trace_enabled=True)
+        service.run_until(200.0)
+        path = tmp_path / "run.csv"
+        written = trace_to_csv(service.trace, path)
+        assert written == len(service.trace)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        kinds = {row["kind"] for row in rows}
+        assert "reset" in kinds
+
+
+class TestCliFailurePaths:
+    def test_exit_code_one_when_incorrect(self, capsys):
+        """A service with skews beyond the claimed bound exits non-zero."""
+        code = cli_main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--policy",
+                "im",
+                "--delta",
+                "1e-6",
+                "--fill",
+                "50",  # skews 50x the claimed bound: incorrect service
+                "--hours",
+                "0.3",
+                "--samples",
+                "5",
+            ]
+        )
+        assert code == 1
+
+    def test_figures_all(self, capsys):
+        assert cli_main(["figures", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+
+
+class TestColdStart:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.policy: r for r in cold_start.run(horizon=2400.0)}
+
+    def test_correct_throughout(self, results):
+        for result in results.values():
+            assert result.correct_throughout
+
+    def test_both_settle_fast(self, results):
+        for result in results.values():
+            assert result.settle_rounds is not None
+            assert result.settle_rounds <= 3.0
+
+    def test_asynchronism_collapses(self, results):
+        for result in results.values():
+            assert result.initial_asynchronism > 10.0
+            assert result.steady_asynchronism < 0.05
+
+    def test_steady_error_floor_is_best_source(self, results):
+        """The service cannot be more certain than its best clock: the
+        radio-checked server's ±0.3 s bound is the floor."""
+        for result in results.values():
+            assert 0.25 < result.steady_max_error < 0.45
+
+
+class TestDelayAsymmetry:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        from repro.experiments import delay_asymmetry
+
+        return {
+            (r.policy, r.asymmetric): r
+            for r in delay_asymmetry.run(horizon=1200.0)
+        }
+
+    def test_im_stays_correct_under_asymmetry(self, matrix):
+        assert matrix[("IM", True)].correct
+
+    def test_baselines_pick_up_systematic_bias(self, matrix):
+        """Midpoint compensation converts asymmetry into a positive bias
+        of roughly (E[rho] - E[sigma]) / 2 ~ 9.5 ms."""
+        for policy in ("median", "mean", "first-reply"):
+            symmetric = matrix[(policy, False)]
+            asymmetric = matrix[(policy, True)]
+            assert asymmetric.mean_offset > 5 * abs(symmetric.mean_offset)
+            assert asymmetric.mean_offset > 0.003
+
+    def test_im_bias_smaller_than_baselines(self, matrix):
+        im_bias = abs(matrix[("IM", True)].mean_offset)
+        for policy in ("median", "mean", "first-reply"):
+            assert im_bias < abs(matrix[(policy, True)].mean_offset)
+
+    def test_reverse_delay_only_affects_reverse_direction(self):
+        import numpy as np
+
+        from repro.network.delay import ConstantDelay
+        from repro.network.link import Link
+
+        link = Link(
+            delay=ConstantDelay(0.001), reverse_delay=ConstantDelay(0.5)
+        )
+        rng = np.random.default_rng(0)
+        assert link.try_send(rng, forward=True) == 0.001
+        assert link.try_send(rng, forward=False) == 0.5

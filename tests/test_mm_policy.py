@@ -1,0 +1,119 @@
+"""Unit tests for algorithm MM (rule MM-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mm import MMPolicy
+from repro.core.sync import LocalState, Reply
+
+
+def state(clock=100.0, error=1.0, delta=1e-5) -> LocalState:
+    return LocalState(clock_value=clock, error=error, delta=delta)
+
+
+def reply(server="S2", clock=100.0, error=0.5, rtt=0.1, **kwargs) -> Reply:
+    return Reply(server=server, clock_value=clock, error=error, rtt_local=rtt, **kwargs)
+
+
+class TestPredicate:
+    def test_accepts_strictly_better_reply(self):
+        policy = MMPolicy()
+        assert policy.accepts(state(error=1.0), reply(error=0.5, rtt=0.1))
+
+    def test_rejects_worse_reply(self):
+        policy = MMPolicy()
+        assert not policy.accepts(state(error=0.2), reply(error=0.5, rtt=0.1))
+
+    def test_rtt_counts_against_the_reply(self):
+        """E_j alone is better, but E_j + (1+δ)ξ is not."""
+        policy = MMPolicy()
+        assert not policy.accepts(state(error=0.55), reply(error=0.5, rtt=0.1))
+
+    def test_equality_accepted_by_default(self):
+        """The paper's predicate is <=; the self-reply device needs it."""
+        policy = MMPolicy()
+        local = state(error=0.5 + 1.1 * (1 + 1e-5) - 1.1)  # engineered
+        the_reply = reply(error=0.5, rtt=0.0)
+        assert policy.accepts(state(error=0.5), the_reply)
+
+    def test_strict_mode_rejects_equality(self):
+        policy = MMPolicy(strict_improvement=True)
+        assert not policy.accepts(state(error=0.5), reply(error=0.5, rtt=0.0))
+
+    def test_adoption_error_inflates_rtt(self):
+        policy = MMPolicy()
+        local = state(delta=0.5)
+        assert policy.adoption_error(local, reply(error=1.0, rtt=2.0)) == (
+            pytest.approx(1.0 + 1.5 * 2.0)
+        )
+
+    def test_ablation_raw_rtt(self):
+        policy = MMPolicy(inflate_rtt=False)
+        local = state(delta=0.5)
+        assert policy.adoption_error(local, reply(error=1.0, rtt=2.0)) == (
+            pytest.approx(3.0)
+        )
+
+
+class TestOnReply:
+    def test_reset_decision_carries_mm2_values(self):
+        """ε_i <- E_j + (1+δ_i)ξ, C_i <- C_j (rule MM-2)."""
+        policy = MMPolicy()
+        local = state(clock=100.0, error=1.0, delta=1e-5)
+        the_reply = reply(server="S9", clock=100.2, error=0.3, rtt=0.1)
+        outcome = policy.on_reply(local, the_reply)
+        assert outcome.consistent
+        assert outcome.decision is not None
+        assert outcome.decision.clock_value == 100.2
+        assert outcome.decision.inherited_error == pytest.approx(
+            0.3 + (1 + 1e-5) * 0.1
+        )
+        assert outcome.decision.source == "S9"
+
+    def test_consistent_but_worse_reply_not_adopted(self):
+        policy = MMPolicy()
+        outcome = policy.on_reply(state(error=0.1), reply(error=0.5))
+        assert outcome.consistent and outcome.decision is None
+
+    def test_inconsistent_reply_ignored(self):
+        """'Any reply that is inconsistent with S_i is ignored.'"""
+        policy = MMPolicy()
+        local = state(clock=100.0, error=0.1)
+        far = reply(clock=200.0, error=0.1, rtt=0.0)
+        outcome = policy.on_reply(local, far)
+        assert not outcome.consistent and outcome.decision is None
+
+    def test_consistency_uses_transit_widened_interval(self):
+        """A reply whose raw interval misses the local one, but whose
+        rtt-widened (transit) interval reaches it, is consistent."""
+        policy = MMPolicy()
+        local = state(clock=100.5, error=0.1, delta=0.0)
+        # Raw reply interval [99.8, 100.2] misses [100.4, 100.6]; with the
+        # round trip 0.3 the leading edge reaches 100.5.
+        lagged = reply(clock=100.0, error=0.2, rtt=0.3)
+        outcome = policy.on_reply(local, lagged)
+        assert outcome.consistent
+
+    def test_round_outcome_reports_all_inconsistent(self):
+        policy = MMPolicy()
+        local = state(clock=100.0, error=0.01)
+        replies = [reply(clock=200.0, error=0.01, rtt=0.0, server=f"S{k}") for k in range(3)]
+        outcome = policy.on_round_complete(local, replies)
+        assert not outcome.consistent
+
+    def test_round_outcome_consistent_when_any_reply_is(self):
+        policy = MMPolicy()
+        local = state(clock=100.0, error=0.01)
+        replies = [
+            reply(clock=200.0, error=0.01, rtt=0.0, server="far"),
+            reply(clock=100.0, error=0.01, rtt=0.0, server="near"),
+        ]
+        assert policy.on_round_complete(local, replies).consistent
+
+    def test_empty_round_is_consistent(self):
+        policy = MMPolicy()
+        assert policy.on_round_complete(state(), []).consistent
+
+    def test_policy_is_incremental(self):
+        assert MMPolicy().incremental

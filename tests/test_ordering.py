@@ -1,0 +1,155 @@
+"""Tests for interval timestamps and certain event ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.im import IMPolicy
+from repro.core.intervals import TimeInterval
+from repro.ordering.timestamps import (
+    IntervalTimestamp,
+    Order,
+    TimestampAuthority,
+    certain_order,
+    commit_wait,
+)
+
+from tests.helpers import make_mesh_service
+
+
+def stamp(lo, hi, issuer="", sequence=0):
+    return IntervalTimestamp(TimeInterval(lo, hi), issuer=issuer, sequence=sequence)
+
+
+class TestCompare:
+    def test_disjoint_is_certain(self):
+        early, late = stamp(0, 1), stamp(2, 3)
+        assert early.compare(late) is Order.BEFORE
+        assert late.compare(early) is Order.AFTER
+        assert early.definitely_before(late)
+
+    def test_overlap_is_indeterminate(self):
+        a, b = stamp(0, 2), stamp(1, 3)
+        assert a.compare(b) is Order.INDETERMINATE
+        assert a.possibly_concurrent(b)
+
+    def test_touching_is_indeterminate(self):
+        a, b = stamp(0, 1), stamp(1, 2)
+        assert a.compare(b) is Order.INDETERMINATE
+
+    def test_same_issuer_orders_by_sequence(self):
+        a = stamp(0, 10, issuer="S1", sequence=1)
+        b = stamp(0, 10, issuer="S1", sequence=2)
+        assert a.compare(b) is Order.BEFORE
+        assert b.compare(a) is Order.AFTER
+
+    def test_cross_issuer_ignores_sequence(self):
+        a = stamp(0, 10, issuer="S1", sequence=1)
+        b = stamp(0, 10, issuer="S2", sequence=2)
+        assert a.compare(b) is Order.INDETERMINATE
+
+    @given(
+        lo1=st.floats(min_value=0, max_value=100, allow_nan=False),
+        w1=st.floats(min_value=0, max_value=10, allow_nan=False),
+        lo2=st.floats(min_value=0, max_value=100, allow_nan=False),
+        w2=st.floats(min_value=0, max_value=10, allow_nan=False),
+    )
+    def test_compare_antisymmetric(self, lo1, w1, lo2, w2):
+        a, b = stamp(lo1, lo1 + w1), stamp(lo2, lo2 + w2)
+        forward, backward = a.compare(b), b.compare(a)
+        if forward is Order.BEFORE:
+            assert backward is Order.AFTER
+        elif forward is Order.AFTER:
+            assert backward is Order.BEFORE
+        else:
+            assert backward is Order.INDETERMINATE
+
+
+class TestCertainOrder:
+    def test_disjoint_chain_fully_ordered(self):
+        stamps = [stamp(2, 3), stamp(0, 1), stamp(4, 5)]
+        order, indeterminate = certain_order(stamps)
+        assert order == [1, 0, 2]
+        assert indeterminate == []
+
+    def test_overlaps_reported(self):
+        stamps = [stamp(0, 2), stamp(1, 3), stamp(10, 11)]
+        _order, indeterminate = certain_order(stamps)
+        assert indeterminate == [(0, 1)]
+
+    def test_order_is_linear_extension(self):
+        """Every certain BEFORE relation is respected by the output order."""
+        stamps = [stamp(0, 1), stamp(5, 6), stamp(0.5, 5.5), stamp(7, 8)]
+        order, _ = certain_order(stamps)
+        position = {index: rank for rank, index in enumerate(order)}
+        for a in range(len(stamps)):
+            for b in range(len(stamps)):
+                if stamps[a].definitely_before(stamps[b]):
+                    assert position[a] < position[b]
+
+    def test_empty(self):
+        assert certain_order([]) == ([], [])
+
+
+class TestCommitWait:
+    def test_self_wait_covers_both_errors(self):
+        # width 3 + 2 * own error (1.5) when peers are assumed comparable.
+        assert commit_wait(stamp(0, 3)) == pytest.approx(6.0)
+
+    def test_self_wait_with_explicit_peer_error(self):
+        assert commit_wait(stamp(0, 3), max_peer_error=0.5) == pytest.approx(4.0)
+
+    def test_reference_wait_zero_when_certain(self):
+        mine, reference = stamp(10, 11), stamp(0, 1)
+        assert commit_wait(mine, reference) == 0.0
+
+    def test_reference_wait_closes_the_gap(self):
+        mine, reference = stamp(0, 2), stamp(1, 5)
+        # Reference leading edge 5 vs my trailing edge 0: wait 5.
+        assert commit_wait(mine, reference) == pytest.approx(5.0)
+
+
+class TestTimestampAuthority:
+    def test_mints_from_live_service(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(120.0)
+        authority = TimestampAuthority(service.servers["S1"])
+        first = authority.now()
+        service.run_until(121.0)
+        second = authority.now()
+        assert first.issuer == "S1"
+        assert second.sequence == first.sequence + 1
+        # Both intervals contain the true time (correct server).
+        assert first.interval.contains(120.0)
+        assert second.interval.contains(121.0)
+        # Same issuer: order certain by sequence despite overlap.
+        assert first.compare(second) is Order.BEFORE
+
+    def test_cross_server_ordering_with_real_uncertainty(self):
+        """Events far apart in real time order certainly; events closer
+        than the uncertainty do not."""
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        a1 = TimestampAuthority(service.servers["S1"])
+        a2 = TimestampAuthority(service.servers["S2"])
+        early = a1.now()
+        width = early.interval.width
+        # An event within the uncertainty window: indeterminate.
+        service.run_until(100.0 + width / 10.0)
+        near = a2.now()
+        assert early.possibly_concurrent(near)
+        # An event comfortably beyond the combined widths: certain.
+        service.run_until(100.0 + 10.0 * width + 1.0)
+        far = a2.now()
+        assert early.definitely_before(far)
+
+    def test_commit_wait_makes_order_certain(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(200.0)
+        authority = TimestampAuthority(service.servers["S1"])
+        mine = authority.now()
+        wait = commit_wait(mine)
+        service.run_until(200.0 + wait + 1e-6)
+        later = TimestampAuthority(service.servers["S2"]).now()
+        assert mine.definitely_before(later)

@@ -1,0 +1,86 @@
+"""Public-API surface guards.
+
+Every name in every package's ``__all__`` must resolve, the top-level
+quickstart names must exist, and the version must be a sane string —
+cheap insurance against broken re-exports during refactors.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.clocks",
+    "repro.core",
+    "repro.experiments",
+    "repro.network",
+    "repro.ordering",
+    "repro.service",
+    "repro.simulation",
+    "repro.sweeps",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_all_lists_are_sorted_sets():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names = list(package.__all__)
+        assert len(names) == len(set(names)), f"duplicates in {package_name}"
+
+
+def test_version_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_names_importable():
+    from repro import (  # noqa: F401
+        IMPolicy,
+        MMPolicy,
+        ServerSpec,
+        TimeInterval,
+        UniformDelay,
+        build_service,
+        full_mesh,
+        intersect_tolerating,
+        marzullo,
+        ntp_select,
+    )
+
+
+def test_readme_quickstart_executes():
+    """The README's quickstart snippet, verbatim in spirit."""
+    from repro import IMPolicy, ServerSpec, UniformDelay, build_service, full_mesh
+
+    delta = 1e-5
+    specs = [
+        ServerSpec(f"S{k + 1}", delta=delta, skew=0.8 * delta * (k - 1.5) / 1.5)
+        for k in range(4)
+    ]
+    service = build_service(
+        full_mesh(4),
+        specs,
+        policy=IMPolicy(),
+        tau=60.0,
+        lan_delay=UniformDelay(0.05),
+        seed=42,
+    )
+    service.run_until(3600.0)
+    snap = service.snapshot()
+    assert snap.all_correct and snap.consistent
+    assert set(snap.errors) == {"S1", "S2", "S3", "S4"}

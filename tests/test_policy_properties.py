@@ -1,0 +1,129 @@
+"""Hypothesis properties of the synchronization policies themselves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.averaging import MeanPolicy, MedianPolicy
+from repro.baselines.lamport_max import LamportMaxPolicy
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.core.sync import LocalState, Reply
+
+errors = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+clocks = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+rtts = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+deltas = st.floats(min_value=0.0, max_value=0.01, allow_nan=False)
+
+
+@st.composite
+def states(draw):
+    return LocalState(
+        clock_value=draw(clocks), error=draw(errors), delta=draw(deltas)
+    )
+
+
+@st.composite
+def replies(draw, near: float | None = None):
+    center = draw(clocks) if near is None else near + draw(
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+    )
+    return Reply(
+        server=f"S{draw(st.integers(min_value=2, max_value=9))}",
+        clock_value=center,
+        error=draw(errors),
+        rtt_local=draw(rtts),
+    )
+
+
+class TestMMProperties:
+    @given(states(), st.data())
+    def test_never_adopts_a_worse_error(self, state, data):
+        """Any reset MM performs strictly (weakly) improves the error."""
+        reply = data.draw(replies(near=state.clock_value))
+        outcome = MMPolicy().on_reply(state, reply)
+        if outcome.decision is not None:
+            assert outcome.decision.inherited_error <= state.error + 1e-12
+
+    @given(states(), st.data())
+    def test_adoption_error_formula(self, state, data):
+        reply = data.draw(replies(near=state.clock_value))
+        outcome = MMPolicy().on_reply(state, reply)
+        if outcome.decision is not None:
+            expected = reply.error + (1.0 + state.delta) * reply.rtt_local
+            assert outcome.decision.inherited_error == pytest.approx(expected)
+            assert outcome.decision.clock_value == reply.clock_value
+
+    @given(states(), st.data())
+    def test_monotone_in_reply_error(self, state, data):
+        """If MM accepts a reply, it also accepts the same reply with a
+        smaller error."""
+        reply = data.draw(replies(near=state.clock_value))
+        policy = MMPolicy()
+        if policy.accepts(state, reply) and reply.error > 0:
+            better = Reply(
+                server=reply.server,
+                clock_value=reply.clock_value,
+                error=reply.error / 2.0,
+                rtt_local=reply.rtt_local,
+            )
+            assert policy.accepts(state, better)
+
+
+class TestIMProperties:
+    @given(states(), st.lists(st.data(), min_size=0, max_size=5))
+    def test_result_never_worse_than_own_interval(self, state, datas):
+        """With the self interval included, IM's new error never exceeds
+        the current one (Theorem 6 applied to the local view)."""
+        reply_list = [d.draw(replies(near=state.clock_value)) for d in datas]
+        outcome = IMPolicy().on_round_complete(state, reply_list)
+        if outcome.consistent and outcome.decision is not None:
+            assert outcome.decision.inherited_error <= state.error + 1e-9
+
+    @given(states(), st.data())
+    def test_single_self_consistent_reply_only_shrinks(self, state, data):
+        reply = data.draw(replies(near=state.clock_value))
+        outcome = IMPolicy().on_round_complete(state, [reply])
+        if outcome.consistent and outcome.decision is not None:
+            new = outcome.decision
+            # The new interval is a subset of the old one.
+            assert new.clock_value - new.inherited_error >= (
+                state.clock_value - state.error - 1e-9
+            )
+            assert new.clock_value + new.inherited_error <= (
+                state.clock_value + state.error + 1e-9
+            )
+
+
+class TestBaselineProperties:
+    @given(states(), st.lists(st.data(), min_size=1, max_size=5))
+    def test_lamport_max_never_steps_backwards(self, state, datas):
+        reply_list = [d.draw(replies()) for d in datas]
+        outcome = LamportMaxPolicy().on_round_complete(state, reply_list)
+        if outcome.decision is not None:
+            assert outcome.decision.clock_value >= state.clock_value
+
+    @given(states(), st.lists(st.data(), min_size=1, max_size=5))
+    def test_median_adjustment_within_offset_range(self, state, datas):
+        reply_list = [d.draw(replies()) for d in datas]
+        outcome = MedianPolicy().on_round_complete(state, reply_list)
+        if outcome.decision is not None:
+            offsets = [0.0] + [
+                r.clock_value + r.rtt_local / 2.0 - state.clock_value
+                for r in reply_list
+            ]
+            adjustment = outcome.decision.clock_value - state.clock_value
+            assert min(offsets) - 1e-9 <= adjustment <= max(offsets) + 1e-9
+
+    @given(states(), st.lists(st.data(), min_size=1, max_size=5))
+    def test_mean_adjustment_within_offset_range(self, state, datas):
+        reply_list = [d.draw(replies()) for d in datas]
+        outcome = MeanPolicy().on_round_complete(state, reply_list)
+        if outcome.decision is not None:
+            offsets = [0.0] + [
+                r.clock_value + r.rtt_local / 2.0 - state.clock_value
+                for r in reply_list
+            ]
+            adjustment = outcome.decision.clock_value - state.clock_value
+            assert min(offsets) - 1e-9 <= adjustment <= max(offsets) + 1e-9

@@ -1,0 +1,214 @@
+"""Cross-cutting property tests: engine, clocks, consistency structure.
+
+These complement the per-module unit tests with hypothesis-driven
+invariants that hold for *any* inputs — the properties a maintainer should
+be able to rely on when extending the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.disciplined import DisciplinedClock
+from repro.clocks.drift import DriftingClock, SegmentDriftClock
+from repro.clocks.monotonic import MonotonicClock
+from repro.analysis.consistency_graph import consistency_groups
+from repro.core.intervals import TimeInterval, intersect_all
+from repro.core.marzullo import intersect_tolerating, marzullo
+from repro.simulation.engine import SimulationEngine
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_always_fire_in_nondecreasing_time(self, times):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_run_until_never_overshoots(self, times, horizon):
+        engine = SimulationEngine()
+        for t in times:
+            engine.schedule_at(t, lambda: None)
+        engine.run(until=horizon)
+        assert engine.now <= max(horizon, max(times)) + 1e-12
+        # Everything at or before the horizon fired.
+        remaining = engine.pending_events
+        assert remaining == sum(1 for t in times if t > horizon)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_event_count_conserved(self, n):
+        engine = SimulationEngine()
+        fired = []
+        for k in range(n):
+            engine.schedule_at(float(k % 7), lambda: fired.append(1))
+        engine.run()
+        assert len(fired) == n == engine.events_processed
+
+
+class TestClockProperties:
+    @given(
+        skew=st.floats(min_value=-0.1, max_value=0.1, allow_nan=False),
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+    )
+    def test_drifting_clock_is_linear(self, skew, times):
+        clock = DriftingClock(skew)
+        ordered = sorted(times)
+        values = [clock.read(t) for t in ordered]
+        for (t0, v0), (t1, v1) in zip(
+            zip(ordered, values), zip(ordered[1:], values[1:])
+        ):
+            assert v1 - v0 == pytest.approx((t1 - t0) * (1 + skew), abs=1e-6)
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),  # time advance
+                st.floats(min_value=-50.0, max_value=50.0),  # set offset
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_monotonic_view_never_decreases(self, steps):
+        base = DriftingClock(0.0)
+        mono = MonotonicClock(base, slew=0.5)
+        t = 0.0
+        last = mono.read(t)
+        for advance, offset in steps:
+            t += advance
+            reading = mono.read(t)
+            assert reading >= last - 1e-9
+            last = reading
+            base.set(t, base.read(t) + offset)
+            reading = mono.read(t)
+            assert reading >= last - 1e-9
+            last = reading
+
+    @given(
+        skews=st.lists(
+            st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_segment_drift_clock_continuous_at_resets(self, skews):
+        source = iter(skews + [0.0])
+        clock = SegmentDriftClock(lambda: next(source, 0.0))
+        t = 0.0
+        for _ in skews:
+            t += 10.0
+            before = clock.read(t)
+            clock.set(t, before)  # reset to own value: must be seamless
+            assert clock.read(t) == pytest.approx(before, abs=1e-9)
+
+    @given(
+        corrections=st.lists(
+            st.floats(min_value=-0.01, max_value=0.01, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_disciplined_clock_continuous_across_adjustments(self, corrections):
+        clock = DisciplinedClock(DriftingClock(1e-4))
+        t = 0.0
+        for correction in corrections:
+            t += 5.0
+            before = clock.read(t)
+            clock.adjust_rate(t, correction)
+            assert clock.read(t) == pytest.approx(before, abs=1e-9)
+
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def named_intervals(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    result = {}
+    for k in range(n):
+        lo = draw(coords)
+        result[f"S{k + 1}"] = TimeInterval(lo, lo + draw(widths))
+    return result
+
+
+class TestConsistencyStructureProperties:
+    @given(named_intervals())
+    def test_groups_cover_every_server(self, intervals):
+        groups = consistency_groups(intervals)
+        covered = set()
+        for group in groups:
+            covered.update(group.members)
+        assert covered == set(intervals)
+
+    @given(named_intervals())
+    def test_group_members_share_the_intersection(self, intervals):
+        for group in consistency_groups(intervals):
+            for name in group.members:
+                assert intervals[name].contains_interval(group.intersection) or (
+                    intervals[name].intersects(group.intersection)
+                )
+
+    @given(named_intervals())
+    def test_single_group_iff_globally_consistent(self, intervals):
+        groups = consistency_groups(intervals)
+        globally = intersect_all(intervals.values()) is not None
+        if globally:
+            assert groups[0].members == tuple(sorted(intervals))
+
+    @given(named_intervals())
+    def test_groups_are_maximal(self, intervals):
+        """No group can absorb an extra server and stay consistent."""
+        groups = consistency_groups(intervals)
+        for group in groups:
+            outside = set(intervals) - set(group.members)
+            for name in outside:
+                extended = [intervals[m] for m in group.members]
+                extended.append(intervals[name])
+                assert intersect_all(extended) is None or any(
+                    set(group.members) | {name} <= set(other.members)
+                    for other in groups
+                )
+
+
+class TestMarzulloConsistencyAgreement:
+    @given(named_intervals())
+    def test_marzullo_count_equals_biggest_group(self, intervals):
+        """The sweep's max overlap equals the largest consistency group's
+        size (both are 'most mutually-intersecting intervals', by 1-D
+        Helly)."""
+        sweep = marzullo(list(intervals.values()))
+        groups = consistency_groups(intervals)
+        assert sweep.count == groups[0].size
+
+    @given(named_intervals(), st.integers(min_value=0, max_value=7))
+    def test_tolerating_result_contains_biggest_group_region(self, intervals, faults):
+        result = intersect_tolerating(list(intervals.values()), faults)
+        groups = consistency_groups(intervals)
+        if result is not None:
+            assert result.count >= len(intervals) - faults
+            assert result.count == groups[0].size

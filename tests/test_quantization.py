@@ -1,0 +1,41 @@
+"""Tests for the tick-granularity experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import quantization
+
+
+class TestQuantizationExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return quantization.run(ticks=(0.01, 0.1), horizon=1200.0)
+
+    def test_naive_bookkeeping_violates(self, rows):
+        for row in rows:
+            assert row.naive_violations > 0, row
+
+    def test_budgeted_bookkeeping_correct(self, rows):
+        for row in rows:
+            assert row.budgeted_violations == 0, row
+
+    def test_budgeted_error_scales_with_tick(self, rows):
+        small, large = rows
+        assert large.budgeted_mean_error > small.budgeted_mean_error
+        # The floor is at least the tick itself.
+        assert small.budgeted_mean_error >= small.tick
+
+    def test_policy_wrapper_pads_error(self):
+        from repro.core.sync import LocalState, Reply
+
+        policy = quantization.TickBudgetedIM(tick=0.5)
+        state = LocalState(clock_value=100.0, error=1.0, delta=0.0)
+        replies = [Reply(server="A", clock_value=100.0, error=0.4, rtt_local=0.0)]
+        outcome = policy.on_round_complete(state, replies)
+        assert outcome.decision is not None
+        assert outcome.decision.inherited_error == pytest.approx(0.4 + 0.5)
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            quantization.TickBudgetedIM(tick=-1.0)

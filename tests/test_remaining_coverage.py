@@ -1,0 +1,171 @@
+"""Remaining-coverage tests: bound series, plots, CLI flags, sweep scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    theorem2_bound_series,
+    theorem3_bound_series,
+)
+from repro.analysis.plots import render_series
+from repro.cli import main as cli_main
+from repro.core.bounds import ServiceParameters
+from repro.core.im import IMPolicy
+from repro.experiments.theorem_bounds import _default_deltas
+
+from tests.helpers import make_mesh_service
+
+
+class TestBoundSeries:
+    @pytest.fixture()
+    def snapshots(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        return service.sample([50.0, 100.0, 150.0])
+
+    def test_theorem2_series_matches_formula(self, snapshots):
+        params = ServiceParameters(xi=0.02, tau=20.0)
+        deltas = {"S1": 1e-5, "S2": 1e-5, "S3": 1e-5}
+        series = theorem2_bound_series(snapshots, params, deltas, "S1")
+        assert len(series) == 3
+        for snap, bound in zip(snapshots, series):
+            assert bound == pytest.approx(
+                snap.min_error + 0.02 + 1e-5 * (20.0 + 0.04)
+            )
+
+    def test_theorem3_series_matches_formula(self, snapshots):
+        params = ServiceParameters(xi=0.02, tau=20.0)
+        series = theorem3_bound_series(snapshots, params, 1e-5, 2e-5)
+        for snap, bound in zip(snapshots, series):
+            assert bound == pytest.approx(
+                2 * snap.min_error + 0.04 + 3e-5 * 20.04
+            )
+
+    def test_default_deltas_span_two_decades(self):
+        deltas = _default_deltas(5, 1e-6)
+        assert deltas[0] == pytest.approx(1e-6)
+        assert deltas[-1] == pytest.approx(1e-4)
+        assert deltas == sorted(deltas)
+
+
+class TestRenderSeriesMulti:
+    def test_multiple_series_distinct_glyphs(self):
+        t = list(range(10))
+        art = render_series(
+            t,
+            {"alpha": [k * 1.0 for k in t], "beta": [k * 2.0 for k in t]},
+            width=30,
+            height=8,
+        )
+        assert "o=alpha" in art and "x=beta" in art
+        assert "o" in art and "x" in art
+
+    def test_constant_series_does_not_crash(self):
+        art = render_series([0, 1, 2], {"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in art
+
+
+class TestCliExtendedFlags:
+    def test_simulate_with_discipline(self, capsys):
+        code = cli_main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--discipline",
+                "--hours",
+                "0.1",
+                "--samples",
+                "4",
+            ]
+        )
+        assert code == 0
+
+    def test_simulate_with_churn(self, capsys):
+        code = cli_main(
+            [
+                "simulate",
+                "--servers",
+                "4",
+                "--churn",
+                "--tau",
+                "20",
+                "--hours",
+                "0.3",
+                "--samples",
+                "6",
+            ]
+        )
+        assert code == 0
+
+    def test_simulate_report_flag(self, capsys):
+        code = cli_main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--report",
+                "--hours",
+                "0.05",
+                "--samples",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time service report" in out
+
+    def test_simulate_json_export(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        code = cli_main(
+            [
+                "simulate",
+                "--servers",
+                "3",
+                "--hours",
+                "0.05",
+                "--samples",
+                "3",
+                "--export-json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_sweep_failure_reporting(self, capsys):
+        """An impossible grid cell is reported, not raised."""
+        code = cli_main(
+            [
+                "sweep",
+                "--policies",
+                "IM",
+                "--sizes",
+                "1",  # n=1: resolved_skews fine, but mesh of 1 has no edges
+                "--taus",
+                "30",
+            ]
+        )
+        # Either clean (degenerate but runnable) or reported failure.
+        assert code in (0, 1)
+
+
+class TestSweepScenarioEdges:
+    def test_growth_comparison_infinite_ratio_guard(self):
+        from repro.sweeps.scenarios import growth_rate_comparison
+
+        metrics = growth_rate_comparison(
+            seed=1, n=4, fill=0.9, horizon=3600.0
+        )
+        assert metrics["ratio"] > 1.0
+        assert np.isfinite(metrics["mm_growth"])
+
+    def test_mesh_steady_state_mm_no_resets_homogeneous(self):
+        from repro.sweeps.scenarios import mesh_steady_state
+
+        metrics = mesh_steady_state(
+            seed=0, policy="MM", n=3, delta=1e-5, tau=30.0, horizon_taus=10.0
+        )
+        # Homogeneous δ: MM never finds a strictly better neighbour.
+        assert metrics["resets_per_round"] == 0.0

@@ -1,0 +1,183 @@
+"""Tests for the operator report and the refined consonance diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import service_report
+from repro.clocks.drift import DriftingClock
+from repro.clocks.failures import RacingClock
+from repro.core.consonance import RateEstimator, RateObservation
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.network.delay import ConstantDelay
+from repro.network.topology import full_mesh
+from repro.service.builder import ServerSpec, build_service
+
+from tests.helpers import make_mesh_service
+
+
+class TestServiceReport:
+    def test_healthy_service_report_structure(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(300.0)
+        report = service_report(service)
+        assert "time service report" in report
+        for name in ("S1", "S2", "S3"):
+            assert name in report
+        assert "asynchronism" in report
+        assert "network:" in report
+        assert "WARNING" not in report
+
+    def test_report_without_oracle_columns(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        report = service_report(service, include_oracle=False)
+        assert "offset" not in report
+        assert "all correct" not in report
+
+    def test_report_without_diagram(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        with_diagram = service_report(service, include_diagram=True)
+        without = service_report(service, include_diagram=False)
+        assert len(with_diagram.splitlines()) > len(without.splitlines())
+
+    def test_partitioned_service_warns(self):
+        specs = [
+            ServerSpec("S1", delta=1e-6, skew=0.0),
+            ServerSpec("S2", delta=1e-6, skew=5e-3),  # races away
+            ServerSpec("S3", delta=1e-6, skew=0.0),
+        ]
+        service = build_service(
+            full_mesh(3),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.005),
+        )
+        service.run_until(1200.0)
+        report = service_report(service)
+        assert "WARNING" in report and "consistency groups" in report
+
+    def test_consonance_diagnosis_names_racer(self):
+        def racing_factory(rng, name):
+            return RacingClock(DriftingClock(1e-6), fail_at=0.0, racing_skew=3e-3)
+
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=0.0, rate_tracking=True),
+            ServerSpec("S2", delta=1e-5, skew=2e-6, rate_tracking=True),
+            ServerSpec("S3", delta=1e-5, skew=-2e-6, rate_tracking=True),
+            ServerSpec(
+                "S4", delta=1e-5, clock_factory=racing_factory, rate_tracking=True
+            ),
+        ]
+        service = build_service(
+            full_mesh(4),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=1,
+            lan_delay=ConstantDelay(0.005),
+        )
+        service.run_until(900.0)
+        report = service_report(service)
+        assert "dissonant servers ['S4']" in report
+
+    def test_no_trackers_no_diagnosis_line(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        assert "consonance" not in service_report(service)
+
+
+class TestRateEstimateStderr:
+    def test_linear_data_has_tiny_stderr(self):
+        estimator = RateEstimator(min_span=1.0)
+        for t in range(0, 200, 10):
+            estimator.add(RateObservation(float(t), 1e-4 * t, reading_error=0.1))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.stderr < 1e-12
+        # The diagnostic noise exploits the linearity...
+        assert estimate.noise < estimate.uncertainty
+
+    def test_jumpy_data_has_large_stderr(self):
+        estimator = RateEstimator(min_span=1.0)
+        for index, t in enumerate(range(0, 200, 10)):
+            jump = 0.5 if index % 4 == 0 else 0.0
+            estimator.add(RateObservation(float(t), jump, reading_error=0.1))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.stderr > 1e-4
+
+    def test_two_samples_stderr_falls_back_to_hard_bound(self):
+        estimator = RateEstimator(min_span=1.0)
+        estimator.add(RateObservation(0.0, 0.0, reading_error=0.2))
+        estimator.add(RateObservation(10.0, 0.1, reading_error=0.2))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.stderr == pytest.approx(estimate.uncertainty)
+
+    def test_noise_never_exceeds_hard_bound(self):
+        estimator = RateEstimator(min_span=1.0)
+        for index, t in enumerate(range(0, 100, 5)):
+            estimator.add(
+                RateObservation(float(t), (index % 3) * 5.0, reading_error=1e-6)
+            )
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert estimate.noise <= estimate.uncertainty
+
+
+class TestSelfSuspect:
+    def test_coherent_recession_implicates_self(self):
+        """A fast clock sees every neighbour drift away the same way."""
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=4e-4, rate_tracking=True),
+            ServerSpec("S2", delta=1e-5, skew=0.0, polls=False),
+            ServerSpec("S3", delta=1e-5, skew=2e-6, polls=False),
+            ServerSpec("S4", delta=1e-5, skew=-2e-6, polls=False),
+        ]
+        service = build_service(
+            full_mesh(4),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=2,
+            lan_delay=ConstantDelay(0.005),
+        )
+        service.run_until(900.0)
+        assert service.servers["S1"].self_suspect()
+
+    def test_healthy_server_does_not_self_suspect(self):
+        service = make_mesh_service(4, MMPolicy(), tau=30.0)
+        # Rebuild with tracking via specs is cleaner:
+        specs = [
+            ServerSpec(f"S{k + 1}", delta=1e-5, skew=(k - 1.5) * 4e-6, rate_tracking=True)
+            for k in range(4)
+        ]
+        service = build_service(
+            full_mesh(4),
+            specs,
+            policy=MMPolicy(),
+            tau=30.0,
+            seed=3,
+            lan_delay=ConstantDelay(0.005),
+        )
+        service.run_until(900.0)
+        for server in service.servers.values():
+            assert not server.self_suspect()
+
+
+class TestBudgetInReport:
+    def test_budget_section_optional(self):
+        service = make_mesh_service(3, IMPolicy(), tau=20.0)
+        service.run_until(100.0)
+        plain = service_report(service, include_diagram=False)
+        with_budget = service_report(
+            service, include_diagram=False, include_budget=True
+        )
+        assert "error budget" not in plain
+        assert "error budget:" in with_budget
+        assert "inherited" in with_budget

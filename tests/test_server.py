@@ -1,0 +1,256 @@
+"""Unit tests for the TimeServer process (rules MM-1/IM-1 and the round
+machinery)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.clocks.drift import DriftingClock
+from repro.clocks.failures import StuckOnResetClock
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.core.recovery import ThirdServerRecovery
+from repro.network.delay import ConstantDelay, UniformDelay
+from repro.network.topology import full_mesh
+from repro.network.transport import Network
+from repro.service.builder import ServerSpec, build_service
+from repro.service.messages import RequestKind, TimeRequest
+from repro.service.server import TimeServer
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngRegistry
+
+from tests.helpers import make_mesh_service
+
+
+def lone_server(delta=1e-4, skew=0.0, initial_error=0.5, epsilon_clock=None):
+    """A single answer-only server on a 2-node graph (for MM-1 tests)."""
+    engine = SimulationEngine()
+    graph = full_mesh(2)
+    network = Network(
+        engine, graph, RngRegistry(seed=0), lan_delay=ConstantDelay(0.01)
+    )
+    clock = epsilon_clock or DriftingClock(skew)
+    server = TimeServer(
+        engine,
+        "S1",
+        clock,
+        delta,
+        network,
+        policy=None,
+        initial_error=initial_error,
+    )
+    network.register(server)
+    server.start()
+    return engine, network, server
+
+
+class TestRuleMM1:
+    def test_initial_report(self):
+        engine, network, server = lone_server(initial_error=0.5)
+        value, error = server.report()
+        assert value == pytest.approx(0.0)
+        assert error == pytest.approx(0.5)
+
+    def test_error_grows_with_clock_age(self):
+        """E_i(t) = ε_i + (C_i(t) - r_i)·δ_i."""
+        engine, network, server = lone_server(delta=1e-3, initial_error=0.5)
+        engine.advance_to(100.0)
+        value, error = server.report()
+        assert error == pytest.approx(0.5 + 100.0 * 1e-3, rel=1e-6)
+
+    def test_error_growth_uses_local_clock_age(self):
+        """A fast clock's error grows slightly faster in real time."""
+        engine, network, server = lone_server(
+            delta=1e-3, skew=0.5, initial_error=0.0
+        )
+        engine.advance_to(100.0)
+        _value, error = server.report()
+        assert error == pytest.approx(150.0 * 1e-3, rel=1e-6)
+
+    def test_is_correct_oracle(self):
+        engine, network, server = lone_server(
+            delta=1e-3, skew=5e-4, initial_error=0.0
+        )
+        engine.advance_to(100.0)
+        assert server.is_correct()  # |offset| = 0.05 <= E = ~0.1
+
+    def test_answers_requests_with_report(self):
+        engine, network, server = lone_server(initial_error=0.25)
+        replies = []
+
+        class Probe(TimeServer):
+            def on_message(self, message, sender):
+                replies.append(message)
+
+        probe = Probe(
+            engine, "S2", DriftingClock(0.0), 0.0, network, policy=None
+        )
+        network.register(probe)
+        probe.start()
+        network.send(
+            "S2",
+            "S1",
+            TimeRequest(request_id=7, origin="S2", destination="S1"),
+        )
+        engine.run()
+        assert len(replies) == 1
+        assert replies[0].request_id == 7
+        assert replies[0].server == "S1"
+        assert replies[0].error >= 0.25
+
+
+class TestPollingRounds:
+    def test_mm_resets_toward_better_neighbour(self):
+        """A server with a large error adopts a reference-grade neighbour."""
+        graph = full_mesh(2)
+        specs = [
+            ServerSpec("S1", delta=1e-4, skew=5e-5, initial_error=5.0),
+            ServerSpec("S2", delta=0.0, skew=0.0, initial_error=0.0, polls=False),
+        ]
+        service = build_service(
+            graph,
+            specs,
+            policy=MMPolicy(),
+            tau=10.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+        )
+        service.run_until(60.0)
+        server = service.servers["S1"]
+        assert server.stats.resets >= 1
+        _value, error = server.report()
+        assert error < 1.0  # slashed from 5.0 toward the neighbour's 0
+
+    def test_mm_never_adopts_worse(self):
+        graph = full_mesh(2)
+        specs = [
+            ServerSpec("S1", delta=1e-6, skew=0.0, initial_error=0.0),
+            ServerSpec("S2", delta=1e-6, skew=0.0, initial_error=9.0, polls=False),
+        ]
+        service = build_service(
+            graph, specs, policy=MMPolicy(), tau=10.0, seed=0,
+            lan_delay=ConstantDelay(0.01),
+        )
+        service.run_until(100.0)
+        assert service.servers["S1"].stats.resets == 0
+
+    def test_im_resets_every_round(self, im_service):
+        im_service.run_until(200.0)
+        for server in im_service.servers.values():
+            assert server.stats.resets == server.stats.rounds
+
+    def test_round_counts(self, mm_service):
+        mm_service.run_until(100.0)
+        server = mm_service.servers["S1"]
+        # Staggered first poll at τ/4 = 7.5, then every τ = 30 s.
+        assert server.stats.rounds == 4
+
+    def test_stopped_server_ignores_requests(self):
+        engine, network, server = lone_server()
+        server.stop()
+        before = server.stats.requests_answered
+        server.deliver(
+            TimeRequest(request_id=1, origin="S2", destination="S1"), None
+        )
+        assert server.stats.requests_answered == before
+
+    def test_late_replies_dropped(self):
+        """Replies arriving after their round closed are ignored."""
+        service = make_mesh_service(3, MMPolicy(), one_way=0.01, tau=30.0)
+        service.run_until(300.0)
+        # No crash and sane accounting: handled <= rounds * (n-1).
+        for server in service.servers.values():
+            assert server.stats.replies_handled <= server.stats.rounds * 2
+
+    def test_validation_errors(self):
+        engine = SimulationEngine()
+        graph = full_mesh(2)
+        network = Network(
+            engine, graph, RngRegistry(0), lan_delay=ConstantDelay(0.01)
+        )
+        with pytest.raises(ValueError):
+            TimeServer(
+                engine, "S1", DriftingClock(0.0), -1.0, network
+            )
+        with pytest.raises(ValueError):
+            TimeServer(
+                engine,
+                "S1",
+                DriftingClock(0.0),
+                1e-5,
+                network,
+                policy=MMPolicy(),
+                tau=0.0,
+            )
+        with pytest.raises(ValueError):
+            TimeServer(
+                engine,
+                "S1",
+                DriftingClock(0.0),
+                1e-5,
+                network,
+                initial_error=-1.0,
+            )
+
+
+class TestResetBookkeeping:
+    def test_reset_reads_back_clock(self):
+        """r_i comes from the clock, so a stuck clock corrupts the error —
+        the paper's 'refusing to change its value when reset' hazard."""
+        graph = full_mesh(2)
+        stuck_clock = StuckOnResetClock(DriftingClock(skew=0.01), fail_at=0.0)
+        specs = [
+            ServerSpec(
+                "S1",
+                delta=1e-4,
+                clock_factory=lambda rng, name: stuck_clock,
+                initial_error=5.0,
+            ),
+            ServerSpec("S2", delta=0.0, skew=0.0, polls=False),
+        ]
+        service = build_service(
+            graph, specs, policy=MMPolicy(), tau=10.0, seed=0,
+            lan_delay=ConstantDelay(0.01),
+        )
+        service.run_until(50.0)
+        server = service.servers["S1"]
+        if server.stats.resets:
+            # The server *believes* it adopted S2's small error, but the
+            # clock kept racing: the oracle sees an incorrect server.
+            assert not server.is_correct()
+
+    def test_recovery_unconditional_adoption(self):
+        """On inconsistency, the server adopts the arbiter regardless of
+        error size (Section 3's rule)."""
+        graph = full_mesh(3)
+        specs = [
+            # S1 races far beyond its claimed bound.
+            ServerSpec("S1", delta=1e-6, skew=0.01),
+            ServerSpec("S2", delta=1e-6, skew=0.0, polls=False),
+            ServerSpec("S3", delta=1e-6, skew=0.0, polls=False, initial_error=2.0),
+        ]
+        service = build_service(
+            graph,
+            specs,
+            policy=MMPolicy(),
+            tau=20.0,
+            seed=0,
+            lan_delay=ConstantDelay(0.01),
+            recovery_factory=lambda name: ThirdServerRecovery(),
+            trace_enabled=True,
+        )
+        service.run_until(600.0)
+        server = service.servers["S1"]
+        assert server.stats.inconsistencies > 0
+        assert server.stats.recovery_resets > 0
+        # After recovery the racing server is near the truth again at the
+        # recovery instants (it keeps racing in between).
+        recoveries = service.trace.filter(
+            kind="reset",
+            source="S1",
+            predicate=lambda row: row.data.get("reset_kind") == "recovery",
+        )
+        assert recoveries
+        for row in recoveries:
+            assert abs(row.data["new_value"] - row.time) < 1.0

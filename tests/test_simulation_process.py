@@ -1,0 +1,96 @@
+"""Unit tests for SimProcess lifecycle and messaging hooks."""
+
+from __future__ import annotations
+
+from repro.simulation.process import SimProcess
+
+
+class Recorder(SimProcess):
+    """Test double that records lifecycle and messages."""
+
+    def __init__(self, engine, name="P"):
+        super().__init__(engine, name)
+        self.events = []
+
+    def on_start(self):
+        self.events.append("start")
+
+    def on_stop(self):
+        self.events.append("stop")
+
+    def on_message(self, message, sender):
+        self.events.append(("msg", message))
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        proc.start()
+        assert proc.events == ["start"]
+        assert proc.started and proc.running
+
+    def test_stop_is_idempotent(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        proc.stop()
+        proc.stop()
+        assert proc.events == ["start", "stop"]
+        assert not proc.running
+
+    def test_stop_cancels_periodic_tasks(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        fired = []
+        proc.every(1.0, lambda: fired.append(engine.now))
+        engine.run(until=2.5)
+        proc.stop()
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_guarded_callback_noop_after_stop(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        fired = []
+        proc.call_after(1.0, lambda: fired.append(1))
+        proc.stop()
+        engine.run()
+        assert fired == []
+
+
+class TestMessaging:
+    def test_deliver_dispatches_when_running(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        proc.deliver("hello", proc)
+        assert ("msg", "hello") in proc.events
+
+    def test_deliver_dropped_before_start(self, engine):
+        proc = Recorder(engine)
+        proc.deliver("hello", proc)
+        assert proc.events == []
+
+    def test_deliver_dropped_after_stop(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        proc.stop()
+        proc.deliver("hello", proc)
+        assert ("msg", "hello") not in proc.events
+
+
+class TestScheduling:
+    def test_call_at_and_now(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        seen = []
+        proc.call_at(4.0, lambda: seen.append(proc.now))
+        engine.run()
+        assert seen == [4.0]
+
+    def test_every_first_at(self, engine):
+        proc = Recorder(engine)
+        proc.start()
+        fired = []
+        proc.every(2.0, lambda: fired.append(engine.now), first_at=0.5)
+        engine.run(until=5.0)
+        assert fired == [0.5, 2.5, 4.5]

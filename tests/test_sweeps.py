@@ -1,0 +1,142 @@
+"""Tests for the parameter-sweep framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweeps.grid import ParameterGrid, point_label
+from repro.sweeps.runner import run_sweep
+from repro.sweeps.scenarios import growth_rate_comparison, mesh_steady_state
+
+
+class TestParameterGrid:
+    def test_product_size_and_order(self):
+        grid = ParameterGrid.of(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+        points = list(grid)
+        assert points[0] == {"a": 1, "b": "x"}
+        assert points[-1] == {"a": 2, "b": "z"}
+
+    def test_deterministic_iteration(self):
+        grid = ParameterGrid.of(b=[1], a=[2, 3])
+        assert list(grid) == list(grid)
+        assert grid.names == ("a", "b")  # sorted
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid.of(a=[])
+
+    def test_extend_adds_axis(self):
+        grid = ParameterGrid.of(a=[1]).extend(b=[1, 2])
+        assert len(grid) == 2
+
+    def test_extend_replaces_axis(self):
+        grid = ParameterGrid.of(a=[1, 2]).extend(a=[9])
+        assert list(grid) == [{"a": 9}]
+
+    def test_subset_pins_value(self):
+        grid = ParameterGrid.of(a=[1, 2], b=[3, 4]).subset(a=2)
+        assert list(grid) == [{"a": 2, "b": 3}, {"a": 2, "b": 4}]
+
+    def test_subset_validation(self):
+        grid = ParameterGrid.of(a=[1, 2])
+        with pytest.raises(KeyError):
+            grid.subset(z=1)
+        with pytest.raises(ValueError):
+            grid.subset(a=99)
+
+    def test_point_label_stable(self):
+        assert point_label({"b": 2, "a": 1}) == "a=1,b=2"
+
+
+class TestRunSweep:
+    def test_maps_scenario_over_grid(self):
+        calls = []
+
+        def scenario(*, seed, x):
+            calls.append((seed, x))
+            return {"double": 2 * x}
+
+        grid = ParameterGrid.of(x=[1, 2, 3])
+        result = run_sweep(scenario, grid)
+        assert len(result.points) == 3
+        assert [p.metrics["double"] for p in result.points] == [2, 4, 6]
+        assert not result.failures
+
+    def test_replications_get_distinct_seeds(self):
+        seeds = []
+
+        def scenario(*, seed, x):
+            seeds.append(seed)
+            return {"v": seed}
+
+        grid = ParameterGrid.of(x=[1, 2])
+        run_sweep(scenario, grid, replications=3)
+        assert len(set(seeds)) == 6
+
+    def test_failures_captured_not_raised(self):
+        def scenario(*, seed, x):
+            if x == 2:
+                raise RuntimeError("boom")
+            return {"v": x}
+
+        result = run_sweep(scenario, ParameterGrid.of(x=[1, 2, 3]))
+        assert len(result.failures) == 1
+        assert "boom" in result.failures[0].error
+        assert len([p for p in result.points if p.ok]) == 2
+
+    def test_aggregate_means_replications(self):
+        counter = iter(range(100))
+
+        def scenario(*, seed, x):
+            return {"v": x * 10 + next(counter) % 2}
+
+        result = run_sweep(
+            scenario, ParameterGrid.of(x=[1]), replications=2
+        )
+        rows = result.aggregate()
+        assert len(rows) == 1
+        assert rows[0]["replications"] == 2
+        assert rows[0]["v"] == pytest.approx(10.5)
+
+    def test_to_table_renders(self):
+        result = run_sweep(
+            lambda *, seed, x: {"v": x}, ParameterGrid.of(x=[1, 2])
+        )
+        table = result.to_table()
+        assert "x" in table and "v" in table
+
+    def test_on_point_callback(self):
+        seen = []
+        run_sweep(
+            lambda *, seed, x: {"v": x},
+            ParameterGrid.of(x=[1, 2]),
+            on_point=seen.append,
+        )
+        assert len(seen) == 2
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda *, seed: {}, ParameterGrid.of(a=[1]), replications=0)
+
+
+class TestServiceScenarios:
+    def test_mesh_steady_state_metrics(self):
+        metrics = mesh_steady_state(seed=0, n=4, tau=30.0, horizon_taus=20.0)
+        assert metrics["correct"] == 1.0
+        assert 0.0 < metrics["mean_error"] < 1.0
+        assert metrics["worst_offset"] < metrics["max_error"]
+
+    def test_mesh_sweep_error_grows_with_xi(self):
+        grid = ParameterGrid.of(one_way=[0.005, 0.05])
+        result = run_sweep(mesh_steady_state, grid, base_seed=1)
+        rows = result.aggregate()
+        assert rows[0]["mean_error"] < rows[1]["mean_error"]
+
+    def test_growth_comparison_tracks_fill(self):
+        low = growth_rate_comparison(seed=0, fill=0.5, horizon=2 * 3600.0)
+        high = growth_rate_comparison(seed=0, fill=0.9, horizon=2 * 3600.0)
+        # Higher fill -> IM grows slower -> larger MM/IM ratio.
+        assert high["ratio"] > low["ratio"]
+        assert low["ratio"] == pytest.approx(2.0, rel=0.4)
+        assert high["ratio"] == pytest.approx(10.0, rel=0.4)

@@ -1,0 +1,109 @@
+"""Property-style integration tests for the paper's theorems.
+
+These run whole simulated services and check the theorem statements as
+executable properties: correctness preservation (Theorems 1 and 5), the
+never-decreasing minimum error (Lemma 3), the error/asynchronism bounds
+(Theorems 2, 3, 7), and convergence (Theorem 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    correctness_violations,
+    min_error_series,
+    pairwise_asynchronism,
+)
+from repro.core.bounds import ServiceParameters
+from repro.core.im import IMPolicy
+from repro.core.mm import MMPolicy
+from repro.experiments.scenarios import MeshScenario, build_mesh_service, grid
+from repro.experiments.theorem_bounds import (
+    _default_deltas,
+    run_im_bounds,
+    run_mm_bounds,
+)
+
+
+@pytest.mark.parametrize("policy_factory", [MMPolicy, IMPolicy], ids=["MM", "IM"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n", [3, 6])
+def test_theorem1_and_5_correctness_preserved(policy_factory, seed, n):
+    """Valid δ bounds => the service never becomes incorrect."""
+    scenario = MeshScenario(n=n, delta=1e-4, seed=seed)
+    service = build_mesh_service(scenario, policy_factory())
+    snapshots = service.sample(grid(0.0, 1200.0, 60))
+    assert correctness_violations(snapshots) == []
+
+
+@pytest.mark.parametrize("policy_factory", [MMPolicy, IMPolicy], ids=["MM", "IM"])
+def test_lemma3_min_error_never_decreases(policy_factory):
+    """E_M(t) is non-decreasing (Lemma 3), up to float jitter."""
+    scenario = MeshScenario(n=5, deltas=_default_deltas(5, 1e-5), seed=3)
+    service = build_mesh_service(scenario, policy_factory())
+    snapshots = service.sample(grid(0.0, 1200.0, 120))
+    series = min_error_series(snapshots)
+    assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+
+
+def test_theorem2_and_3_hold_on_sweep_cell():
+    scenario = MeshScenario(n=4, deltas=_default_deltas(4, 1e-5), tau=30.0, seed=0)
+    result = run_mm_bounds(scenario, horizon=900.0, samples=60)
+    assert result.theorem2 is not None and result.theorem2.holds
+    assert result.theorem3 is not None and result.theorem3.holds
+
+
+def test_theorem7_holds_on_sweep_cell():
+    scenario = MeshScenario(n=4, deltas=_default_deltas(4, 1e-5), tau=30.0, seed=0)
+    result = run_im_bounds(scenario, horizon=900.0, samples=60)
+    assert result.theorem7 is not None and result.theorem7.holds
+
+
+def test_theorem7_bound_is_tighter_than_theorem3():
+    """IM's asynchronism bound beats MM's whenever E_M > 0 — the paper's
+    central comparison."""
+    params = ServiceParameters(xi=0.1, tau=60.0)
+    for e_min in (0.01, 0.1, 1.0):
+        assert params.im_asynchronism_bound(1e-5, 1e-5) < (
+            params.mm_asynchronism_bound(e_min, 1e-5, 1e-5)
+        )
+
+
+def test_im_outsyncs_mm_in_practice():
+    """Measured asynchronism under IM is much smaller than under MM on the
+    same scenario (Theorem 7 vs Theorem 3, empirically)."""
+    scenario = MeshScenario(n=5, delta=1e-4, seed=7)
+    horizon = 1800.0
+    sample_times = grid(300.0, horizon, 40)
+
+    mm_snaps = build_mesh_service(scenario, MMPolicy()).sample(sample_times)
+    im_snaps = build_mesh_service(scenario, IMPolicy()).sample(sample_times)
+    mm_asyn = float(np.mean([snap.asynchronism for snap in mm_snaps]))
+    im_asyn = float(np.mean([snap.asynchronism for snap in im_snaps]))
+    assert im_asyn < mm_asyn
+
+
+def test_asynchronism_respects_theorem7_for_every_pair():
+    scenario = MeshScenario(n=4, delta=1e-4, tau=30.0, seed=1)
+    service = build_mesh_service(scenario, IMPolicy())
+    snapshots = service.sample(grid(30.0, 900.0, 60))
+    params = ServiceParameters(xi=scenario.xi, tau=scenario.tau)
+    bound = params.im_asynchronism_bound(1e-4, 1e-4)
+    names = scenario.names()
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            measured = pairwise_asynchronism(snapshots, a, b)
+            assert measured.max() <= bound
+
+
+def test_invalid_bound_breaks_correctness():
+    """The contrapositive: an invalid δ lets the service go incorrect —
+    the premise of Sections 3 and 5."""
+    scenario = MeshScenario(
+        n=3, delta=1e-5, skews=[0.0, 5e-6, 3e-4], seed=2
+    )  # S3's skew is 30x its claimed bound
+    service = build_mesh_service(scenario, IMPolicy())
+    snapshots = service.sample(grid(0.0, 1200.0, 60))
+    assert correctness_violations(snapshots)

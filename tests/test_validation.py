@@ -1,0 +1,119 @@
+"""Tests for the configuration validator."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.network.delay import UniformDelay
+from repro.network.topology import full_mesh
+from repro.service.builder import ServerSpec
+from repro.service.validation import Severity, validate_specs
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestValidateSpecs:
+    def test_clean_config_no_findings(self):
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=5e-6),
+            ServerSpec("S2", delta=1e-5, skew=-5e-6),
+        ]
+        findings = validate_specs(
+            full_mesh(2), specs, tau=60.0, lan_delay=UniformDelay(0.05)
+        )
+        assert findings == []
+
+    def test_skew_exceeding_delta_is_error(self):
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=2e-5),
+            ServerSpec("S2", delta=1e-5, skew=0.0),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert "skew-exceeds-delta" in codes(findings)
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].subject == "S1"
+
+    def test_skew_at_bound_is_warning(self):
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=0.99e-5),
+            ServerSpec("S2", delta=1e-5, skew=0.0),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert "skew-at-bound" in codes(findings)
+
+    def test_zero_delta_drifting_is_error(self):
+        specs = [
+            ServerSpec("S1", delta=0.0, skew=1e-6),
+            ServerSpec("S2", delta=1e-5, skew=0.0),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert "zero-delta-drifting" in codes(findings)
+
+    def test_isolated_polling_server(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["S1", "S2"])
+        graph.add_edge("S1", "S2")
+        graph.add_node("S3")
+        specs = [
+            ServerSpec("S1", delta=1e-5),
+            ServerSpec("S2", delta=1e-5),
+            ServerSpec("S3", delta=1e-5),
+        ]
+        findings = validate_specs(graph, specs, tau=60.0)
+        assert any(
+            f.code == "isolated-server" and f.subject == "S3" for f in findings
+        )
+
+    def test_tau_below_xi(self):
+        specs = [ServerSpec("S1", delta=1e-5), ServerSpec("S2", delta=1e-5)]
+        findings = validate_specs(
+            full_mesh(2), specs, tau=0.05, lan_delay=UniformDelay(0.05)
+        )
+        assert "tau-vs-xi" in codes(findings)
+
+    def test_round_timeout_at_tau(self):
+        specs = [ServerSpec("S1", delta=1e-5), ServerSpec("S2", delta=1e-5)]
+        findings = validate_specs(
+            full_mesh(2), specs, tau=60.0, round_timeout=60.0
+        )
+        assert "timeout-vs-tau" in codes(findings)
+
+    def test_no_polling_servers(self):
+        specs = [
+            ServerSpec("S1", reference=True),
+            ServerSpec("S2", delta=1e-5, polls=False),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert "no-polling-servers" in codes(findings)
+
+    def test_custom_clock_factory_skipped(self):
+        """The validator cannot judge a custom clock; no false alarms."""
+        specs = [
+            ServerSpec("S1", delta=0.0, clock_factory=lambda rng, name: None),
+            ServerSpec("S2", delta=1e-5),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert "zero-delta-drifting" not in codes(findings)
+
+    def test_reference_specs_skipped(self):
+        specs = [
+            ServerSpec("S1", reference=True, initial_error=0.01),
+            ServerSpec("S2", delta=1e-5, skew=5e-6),
+        ]
+        findings = validate_specs(full_mesh(2), specs, tau=60.0)
+        assert all(f.subject != "S1" for f in findings)
+
+    def test_errors_sort_first(self):
+        specs = [
+            ServerSpec("S1", delta=1e-5, skew=2e-5),   # error
+            ServerSpec("S2", delta=1e-5, skew=0.99e-5),  # warning
+        ]
+        findings = validate_specs(
+            full_mesh(2), specs, tau=0.01, lan_delay=UniformDelay(0.05)
+        )
+        severities = [f.severity for f in findings]
+        assert severities == sorted(
+            severities, key=lambda s: {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}[s]
+        )
