@@ -1,0 +1,103 @@
+"""Chaos soak: a fault storm with the correctness oracle watching.
+
+Three acts:
+
+1. Build a five-server mesh, sample a seeded fault schedule (link flaps,
+   loss bursts, partitions, crashes, stepped/frozen/racing clocks, a
+   Byzantine liar), replay it with the injector, and let the invariant
+   monitor assert — every five simulated seconds — that each *non-faulty*
+   server's interval still contains true time.
+2. Replay the identical seeds and show the run is bit-for-bit
+   reproducible (same schedule signature, same trace digest).
+3. Pit a plain service against a hardened one under a targeted attack
+   (30% loss, flapping links, a liar that underreports its error) and
+   compare what each paid.
+
+Run:
+    python examples/chaos_soak.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.analysis.plots import render_table
+from repro.experiments.chaos_soak import compare_hardening, run_soak
+
+
+def act_one_and_two() -> None:
+    print("=" * 72)
+    print("Act 1 — soak: seeded fault storm, oracle on")
+    print("=" * 72)
+    headers = [
+        "policy", "seed", "faults", "checks", "violations",
+        "exempt", "survive", "digest",
+    ]
+    rows = []
+    digests = {}
+    for policy in ("MM", "IM"):
+        for seed in (0, 1):
+            outcome = run_soak(policy, seed, horizon=900.0)
+            digests[(policy, seed)] = outcome.trace_digest
+            rows.append(
+                [
+                    policy,
+                    seed,
+                    outcome.events_applied,
+                    outcome.checks,
+                    outcome.violations,
+                    outcome.exemptions,
+                    f"{outcome.survival_rate:.2f}",
+                    f"{outcome.trace_digest:08x}",
+                ]
+            )
+            assert outcome.violations == 0
+    print(render_table(headers, rows))
+    print("zero violations: every un-excused interval contained true time.")
+
+    print()
+    print("=" * 72)
+    print("Act 2 — determinism: same seeds, same storm, same trace")
+    print("=" * 72)
+    again = run_soak("MM", 0, horizon=900.0)
+    print(f"first run digest : {digests[('MM', 0)]:08x}")
+    print(f"second run digest: {again.trace_digest:08x}")
+    assert again.trace_digest == digests[("MM", 0)]
+
+
+def act_three() -> None:
+    print()
+    print("=" * 72)
+    print("Act 3 — hardening: plain vs hardened under a targeted attack")
+    print("=" * 72)
+    c = compare_hardening(seed=0, horizon=1200.0)
+    headers = [
+        "service", "inconsistencies", "invalid caught", "quarantines",
+        "retries", "worst err (s)", "honest correct",
+    ]
+    rows = [
+        [
+            "plain", c.baseline_inconsistencies, "-", "-", "-",
+            f"{c.baseline_worst_error:.4f}", f"{c.baseline_honest_correct:.4f}",
+        ],
+        [
+            "hardened", c.hardened_inconsistencies, c.hardened_invalid_replies,
+            c.hardened_quarantines, c.hardened_retries,
+            f"{c.hardened_worst_error:.4f}", f"{c.hardened_honest_correct:.4f}",
+        ],
+    ]
+    print(render_table(headers, rows))
+    print(
+        "The plain service raises inconsistency alarms without bound and\n"
+        "believes the liar's precise-looking intervals; the hardened one\n"
+        "rejects the lies as implausible, quarantines the liar, retries\n"
+        "through the loss, and keeps every honest server correct."
+    )
+
+
+if __name__ == "__main__":
+    act_one_and_two()
+    act_three()

@@ -27,6 +27,7 @@ from .core.mm import MMPolicy
 from .core.recovery import ThirdServerRecovery
 from .experiments import (
     ablations,
+    chaos_soak,
     churn as churn_experiment,
     cold_start,
     correctness,
@@ -83,6 +84,7 @@ EXPERIMENTS = {
     "correctness": correctness.main,
     "asymmetry": delay_asymmetry.main,
     "ablations": ablations.main,
+    "chaos-soak": chaos_soak.main,
 }
 
 
@@ -231,6 +233,78 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: seeded fault storms with the oracle on."""
+    if args.horizon <= 0 or args.tau <= 0:
+        print("chaos: --horizon and --tau must be positive", file=sys.stderr)
+        return 2
+    if args.servers < 3:
+        print("chaos: --servers must be at least 3", file=sys.stderr)
+        return 2
+    failures_seen = 0
+    rows = []
+    for seed in range(args.seeds):
+        for policy_name in [p.upper() for p in args.policies]:
+            outcome = chaos_soak.run_soak(
+                policy_name,
+                seed,
+                n=args.servers,
+                tau=args.tau,
+                horizon=args.horizon,
+            )
+            failures_seen += outcome.violations
+            rows.append(
+                [
+                    policy_name,
+                    seed,
+                    outcome.events_applied,
+                    outcome.checks,
+                    outcome.violations,
+                    outcome.exemptions,
+                    f"{outcome.survival_rate:.3f}",
+                    f"{outcome.schedule_signature:08x}",
+                    f"{outcome.trace_digest:08x}",
+                ]
+            )
+    print(
+        f"chaos soak: {args.seeds} seed(s) x {args.policies} on a "
+        f"{args.servers}-mesh, {args.horizon:g}s horizon"
+    )
+    print(
+        render_table(
+            [
+                "policy",
+                "seed",
+                "faults",
+                "checks",
+                "violations",
+                "exempt",
+                "survival",
+                "schedule sig",
+                "trace digest",
+            ],
+            rows,
+        )
+    )
+    if args.compare:
+        comparison = chaos_soak.compare_hardening(
+            args.seed, n=args.servers, tau=args.tau, horizon=args.horizon
+        )
+        print(
+            f"\nhardening payoff vs Byzantine {comparison.liar} + 30% loss: "
+            f"inconsistencies {comparison.baseline_inconsistencies} (plain) "
+            f"-> {comparison.hardened_inconsistencies} (hardened), "
+            f"worst honest E {comparison.baseline_worst_error:.3f} -> "
+            f"{comparison.hardened_worst_error:.3f}, "
+            f"{comparison.hardened_quarantines} quarantines"
+        )
+    if failures_seen:
+        print(f"\n{failures_seen} invariant violation(s)!", file=sys.stderr)
+        return 1
+    print("\nzero invariant violations for non-faulty servers.")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: map the steady-state response surface."""
     from .sweeps import ParameterGrid, mesh_steady_state, run_sweep
@@ -310,6 +384,21 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run an experiment by name")
     exp.add_argument("name", help="experiment name, or 'list'")
     exp.set_defaults(func=cmd_experiment)
+
+    cha = sub.add_parser("chaos", help="seeded chaos soak with invariant oracle")
+    cha.add_argument("--policies", nargs="+", default=["mm", "im"],
+                     choices=["mm", "im"])
+    cha.add_argument("--servers", type=int, default=5)
+    cha.add_argument("--tau", type=float, default=30.0)
+    cha.add_argument("--horizon", type=float, default=1800.0,
+                     help="simulated seconds per storm")
+    cha.add_argument("--seeds", type=int, default=3,
+                     help="number of seeded storms per policy")
+    cha.add_argument("--seed", type=int, default=0,
+                     help="seed for the --compare run")
+    cha.add_argument("--compare", action="store_true",
+                     help="also run the plain-vs-hardened comparison")
+    cha.set_defaults(func=cmd_chaos)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

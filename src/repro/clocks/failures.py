@@ -29,6 +29,19 @@ class _FailureWrapper(Clock):
         """Whether the fault is active at real time ``t``."""
         return t >= self.fail_at
 
+    def detach(self, t: float) -> Clock:
+        """End the fault at real time ``t`` and return the inner clock.
+
+        The inner clock is reset so that it continues from the *wrapper's*
+        current reading — a thawed frozen clock resumes from its frozen
+        value (it stays behind real time), a repaired racing clock keeps
+        the surplus it accumulated.  Used by the chaos injector to model
+        transient clock faults that end mid-run.
+        """
+        value = self.read(t)
+        self.inner.set(t, value)
+        return self.inner
+
 
 class StoppedClock(_FailureWrapper):
     """A clock that freezes at its value as of ``fail_at``.

@@ -40,12 +40,16 @@ class RecoveryStats:
         inconsistencies: Inconsistency events observed.
         recoveries_started: Third-party polls initiated.
         recoveries_completed: Unconditional resets applied.
+        recoveries_timed_out: Polls abandoned because the reply never came
+            (lost request or reply); balances ``recoveries_started`` so
+            ``started == completed + timed_out + in_flight``.
         no_arbiter: Events where no eligible third server existed.
     """
 
     inconsistencies: int = 0
     recoveries_started: int = 0
     recoveries_completed: int = 0
+    recoveries_timed_out: int = 0
     no_arbiter: int = 0
 
 
@@ -82,6 +86,10 @@ class RecoveryStrategy(abc.ABC):
     def note_completed(self) -> None:
         """Record that an unconditional reset was applied."""
         self.stats.recoveries_completed += 1
+
+    def note_timed_out(self) -> None:
+        """Record that a recovery poll was abandoned without a reply."""
+        self.stats.recoveries_timed_out += 1
 
 
 class NullRecovery(RecoveryStrategy):

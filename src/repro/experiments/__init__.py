@@ -8,6 +8,7 @@ the experiment index and EXPERIMENTS.md for paper-vs-measured records.
 
 from . import (
     ablations,
+    chaos_soak,
     churn,
     cold_start,
     correctness,
@@ -32,6 +33,7 @@ from . import (
 
 __all__ = [
     "ablations",
+    "chaos_soak",
     "churn",
     "cold_start",
     "correctness",

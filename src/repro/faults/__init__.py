@@ -1,0 +1,118 @@
+"""Chaos engineering for the simulated time service.
+
+Three pieces, composable but independent:
+
+* :mod:`~repro.faults.schedule` — a declarative, deterministic fault
+  timeline (build programmatically or sample one from a seed);
+* :mod:`~repro.faults.injector` — a process that replays a schedule
+  against the live network, links, clocks and servers;
+* :mod:`~repro.faults.monitor` — a continuous oracle asserting the
+  paper's correctness invariants for every non-faulty server.
+
+:func:`attach_chaos` wires all three onto a built service in one call::
+
+    service = build_service(graph, specs, policy=MMPolicy(), ...)
+    schedule = FaultSchedule.random(seed=7, names=[...], edges=[...],
+                                    horizon=1800.0)
+    injector, monitor = attach_chaos(service, schedule)
+    service.run_until(1800.0)
+    assert monitor.stats.total_violations == 0
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .injector import FaultInjector, InjectorStats
+from .monitor import InvariantMonitor, MonitorStats, Violation
+from .schedule import (
+    SERVER_FAULT_KINDS,
+    ByzantineReplies,
+    ClockFreeze,
+    ClockRace,
+    ClockStep,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    FaultWindow,
+    LinkFlap,
+    LossBurst,
+    MessageCorruption,
+    MessageDuplication,
+    MessageReorder,
+    PartitionFault,
+    ServerCrash,
+)
+
+__all__ = [
+    "SERVER_FAULT_KINDS",
+    "ByzantineReplies",
+    "ClockFreeze",
+    "ClockRace",
+    "ClockStep",
+    "DelaySpike",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultWindow",
+    "InjectorStats",
+    "InvariantMonitor",
+    "LinkFlap",
+    "LossBurst",
+    "MessageCorruption",
+    "MessageDuplication",
+    "MessageReorder",
+    "MonitorStats",
+    "PartitionFault",
+    "ServerCrash",
+    "Violation",
+    "attach_chaos",
+]
+
+
+def attach_chaos(
+    service,
+    schedule: FaultSchedule,
+    *,
+    monitor_period: float = 5.0,
+    monitor_grace: float = 2.0,
+    monitor: bool = True,
+    start: bool = True,
+) -> Tuple[FaultInjector, Optional[InvariantMonitor]]:
+    """Attach an injector (and optionally a monitor) to a built service.
+
+    Args:
+        service: A :class:`~repro.service.builder.SimulatedService`.
+        schedule: The fault timeline to replay.
+        monitor_period: Seconds between invariant checks.
+        monitor_grace: In-flight grace for taint attribution (see
+            :class:`~repro.faults.monitor.InvariantMonitor`).
+        monitor: Attach the invariant monitor at all.
+        start: Start both processes immediately.
+
+    Returns:
+        ``(injector, monitor)`` — monitor is None when disabled.
+    """
+    injector = FaultInjector(
+        service.engine,
+        service.network,
+        service.servers,
+        schedule,
+        rng=service.rng.stream("faults/injector"),
+        trace=service.trace,
+    )
+    watcher: Optional[InvariantMonitor] = None
+    if monitor:
+        watcher = InvariantMonitor(
+            service.engine,
+            service.servers,
+            service.trace,
+            schedule,
+            period=monitor_period,
+            grace=monitor_grace,
+        )
+    if start:
+        injector.start()
+        if watcher is not None:
+            watcher.start()
+    return injector, watcher

@@ -1,0 +1,309 @@
+"""The fault injector: replays a :class:`FaultSchedule` against a service.
+
+:class:`FaultInjector` is a :class:`~repro.simulation.process.SimProcess`
+that arms every event of a schedule on the engine at start and applies it
+when it fires:
+
+* link faults flip :class:`~repro.network.link.Link` state (``up``,
+  ``fault_loss``, ``delay_scale``/``delay_extra``) and are reference-
+  counted so overlapping windows compose;
+* message faults install :class:`~repro.network.transport.Network` taps
+  that corrupt, duplicate, or hold back messages in flight;
+* server faults crash/rejoin :class:`~repro.service.server.TimeServer`
+  processes, step their clocks behind the algorithm's back, or wrap them
+  in the Section 1.1 failure wrappers for the fault window;
+* Byzantine faults install a tap that rewrites the liar's outgoing
+  replies (offset added, error underreported).
+
+Every application is recorded into the trace (kind ``"fault"``) so a run's
+fault timeline is part of its replayable artefact.  All randomness (which
+message is corrupted, how far one is delayed) flows through a dedicated
+named RNG stream, keeping runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..clocks.failures import RacingClock, StoppedClock, _FailureWrapper
+from ..network.transport import Network
+from ..service.messages import TimeReply
+from ..service.server import TimeServer
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from ..simulation.trace import TraceRecorder
+from .schedule import (
+    ByzantineReplies,
+    ClockFreeze,
+    ClockRace,
+    ClockStep,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    LinkFlap,
+    LossBurst,
+    MessageCorruption,
+    MessageDuplication,
+    MessageReorder,
+    PartitionFault,
+    ServerCrash,
+)
+
+
+@dataclass
+class InjectorStats:
+    """What the injector actually did."""
+
+    events_applied: int = 0
+    messages_corrupted: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    lies_told: int = 0
+
+
+class FaultInjector(SimProcess):
+    """Replays a fault schedule against a live simulated service.
+
+    Args:
+        engine: The simulation engine.
+        network: The transport whose links/taps are manipulated.
+        servers: Server registry (schedule events name servers by name;
+            unknown names are ignored with a trace note).
+        schedule: The timeline to replay.
+        rng: Random stream for per-message fault decisions; pass the
+            service registry's ``stream("faults/injector")`` so runs stay
+            reproducible.  None makes per-message probabilities behave as
+            certainties (useful in unit tests).
+        trace: Optional trace recorder (fault applications are recorded).
+        name: Process name (shows up in trace rows).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        network: Network,
+        servers: Dict[str, TimeServer],
+        schedule: FaultSchedule,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        name: str = "chaos",
+    ) -> None:
+        super().__init__(engine, name)
+        self.network = network
+        self.servers = dict(servers)
+        self.schedule = schedule
+        self.trace = trace
+        self.stats = InjectorStats()
+        self._rng = rng
+        self._link_down_counts: Dict[Tuple[str, str], int] = {}
+        self._loss_bursts: Dict[Tuple[str, str], List[float]] = {}
+        self._partitions_active = 0
+        self._wrapped: Dict[str, _FailureWrapper] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        for event in self.schedule:
+            at = max(event.at, self.now)
+            self.call_at(at, lambda e=event: self._fire(e))
+
+    def _fire(self, event: FaultEvent) -> None:
+        self.stats.events_applied += 1
+        self._trace_fault(event)
+        handler = getattr(self, f"_apply_{type(event).__name__}")
+        handler(event)
+
+    def _trace_fault(self, event: FaultEvent, note: str = "") -> None:
+        if self.trace is not None:
+            data = {"event": event.describe()}
+            if note:
+                data["note"] = note
+            self.trace.record(self.now, "fault", self.name, **data)
+
+    def _chance(self, probability: float) -> bool:
+        if self._rng is None:
+            return True
+        return float(self._rng.uniform()) < probability
+
+    # ---------------------------------------------------------- link faults
+
+    def _apply_LinkFlap(self, event: LinkFlap) -> None:
+        try:
+            link = self.network.link(event.a, event.b)
+        except KeyError:
+            return
+        key = self.network._key(event.a, event.b)
+        self._link_down_counts[key] = self._link_down_counts.get(key, 0) + 1
+        link.take_down()
+        self.call_after(event.downtime, lambda: self._link_up(key))
+
+    def _link_up(self, key: Tuple[str, str]) -> None:
+        # Reference-counted so overlapping flaps don't resurrect a link
+        # another window still holds down.
+        self._link_down_counts[key] -= 1
+        if self._link_down_counts[key] <= 0:
+            self.network._links[key].bring_up()
+
+    def _apply_DelaySpike(self, event: DelaySpike) -> None:
+        try:
+            link = self.network.link(event.a, event.b)
+        except KeyError:
+            return
+        link.delay_scale *= event.scale
+        link.delay_extra += event.extra
+        self.call_after(event.duration, lambda: self._delay_restore(link, event))
+
+    def _delay_restore(self, link, event: DelaySpike) -> None:
+        link.delay_scale /= event.scale
+        link.delay_extra -= event.extra
+
+    def _apply_LossBurst(self, event: LossBurst) -> None:
+        try:
+            link = self.network.link(event.a, event.b)
+        except KeyError:
+            return
+        key = self.network._key(event.a, event.b)
+        bursts = self._loss_bursts.setdefault(key, [])
+        bursts.append(event.probability)
+        self._recompute_loss(key)
+        self.call_after(event.duration, lambda: self._loss_end(key, event.probability))
+
+    def _loss_end(self, key: Tuple[str, str], probability: float) -> None:
+        self._loss_bursts[key].remove(probability)
+        self._recompute_loss(key)
+
+    def _recompute_loss(self, key: Tuple[str, str]) -> None:
+        survive = 1.0
+        for p in self._loss_bursts.get(key, []):
+            survive *= 1.0 - p
+        self.network._links[key].fault_loss = 1.0 - survive
+
+    def _apply_PartitionFault(self, event: PartitionFault) -> None:
+        self.network.partition([list(group) for group in event.groups])
+        self._partitions_active += 1
+        self.call_after(event.duration, self._partition_heal)
+
+    def _partition_heal(self) -> None:
+        # heal() clears every partition flag, so only the last active
+        # window may heal (overlapping partitions extend the outage).
+        self._partitions_active -= 1
+        if self._partitions_active <= 0:
+            self.network.heal()
+
+    # ------------------------------------------------------- message faults
+
+    def _windowed_tap(self, tap, duration: float) -> None:
+        self.network.add_tap(tap)
+        self.call_after(duration, lambda: self.network.remove_tap(tap))
+
+    def _apply_MessageCorruption(self, event: MessageCorruption) -> None:
+        def tap(source, destination, message, delay):
+            if not isinstance(message, TimeReply):
+                return None
+            if not self._chance(event.probability):
+                return None
+            self.stats.messages_corrupted += 1
+            mode = 0 if self._rng is None else int(self._rng.integers(3))
+            if mode == 0:
+                garbled = replace(message, clock_value=float("nan"))
+            elif mode == 1:
+                garbled = replace(message, error=-1.0)
+            else:
+                sign = 1.0 if (self._rng is None or self._rng.uniform() < 0.5) else -1.0
+                garbled = replace(
+                    message, clock_value=message.clock_value + sign * 1e6
+                )
+            return [(garbled, delay)]
+
+        self._windowed_tap(tap, event.duration)
+
+    def _apply_MessageDuplication(self, event: MessageDuplication) -> None:
+        def tap(source, destination, message, delay):
+            if not self._chance(event.probability):
+                return None
+            self.stats.messages_duplicated += 1
+            return [(message, delay), (message, delay + event.extra_delay)]
+
+        self._windowed_tap(tap, event.duration)
+
+    def _apply_MessageReorder(self, event: MessageReorder) -> None:
+        def tap(source, destination, message, delay):
+            if not self._chance(event.probability):
+                return None
+            self.stats.messages_reordered += 1
+            extra = (
+                event.max_extra
+                if self._rng is None
+                else float(self._rng.uniform(0.0, event.max_extra))
+            )
+            return [(message, delay + extra)]
+
+        self._windowed_tap(tap, event.duration)
+
+    # -------------------------------------------------------- server faults
+
+    def _apply_ServerCrash(self, event: ServerCrash) -> None:
+        server = self.servers.get(event.server)
+        if server is None:
+            return
+        server.leave()
+        self.call_after(
+            event.downtime, lambda: self._server_rejoin(server, event.rejoin_error)
+        )
+
+    def _server_rejoin(self, server: TimeServer, rejoin_error: float) -> None:
+        if server.departed:
+            server.rejoin(rejoin_error)
+
+    def _apply_ClockStep(self, event: ClockStep) -> None:
+        server = self.servers.get(event.server)
+        if server is None:
+            return
+        clock = server.clock
+        clock.set(self.now, clock.read(self.now) + event.offset)
+
+    def _apply_ClockFreeze(self, event: ClockFreeze) -> None:
+        server = self.servers.get(event.server)
+        if server is None or event.server in self._wrapped:
+            self._trace_fault(event, note="skipped: clock already wrapped")
+            return
+        wrapper = StoppedClock(server.clock, fail_at=self.now)
+        self._install_wrapper(server, wrapper, event.duration)
+
+    def _apply_ClockRace(self, event: ClockRace) -> None:
+        server = self.servers.get(event.server)
+        if server is None or event.server in self._wrapped:
+            self._trace_fault(event, note="skipped: clock already wrapped")
+            return
+        wrapper = RacingClock(server.clock, fail_at=self.now, racing_skew=event.skew)
+        self._install_wrapper(server, wrapper, event.duration)
+
+    def _install_wrapper(
+        self, server: TimeServer, wrapper: _FailureWrapper, duration: float
+    ) -> None:
+        self._wrapped[server.name] = wrapper
+        server.clock = wrapper
+        self.call_after(duration, lambda: self._unwrap(server, wrapper))
+
+    def _unwrap(self, server: TimeServer, wrapper: _FailureWrapper) -> None:
+        self._wrapped.pop(server.name, None)
+        if server.clock is wrapper:
+            server.clock = wrapper.detach(self.now)
+
+    def _apply_ByzantineReplies(self, event: ByzantineReplies) -> None:
+        def tap(source, destination, message, delay):
+            if source != event.server or not isinstance(message, TimeReply):
+                return None
+            self.stats.lies_told += 1
+            lie = replace(
+                message,
+                clock_value=message.clock_value + event.offset,
+                error=message.error * event.error_scale,
+            )
+            return [(lie, delay)]
+
+        self._windowed_tap(tap, event.duration)

@@ -1,0 +1,497 @@
+"""A declarative, deterministic fault-schedule DSL.
+
+A :class:`FaultSchedule` is a timeline of typed fault events — the chaos
+experiments' single source of truth.  Schedules can be written by hand::
+
+    schedule = (
+        FaultSchedule()
+        .add(LinkFlap(at=120.0, a="S1", b="S2", downtime=30.0))
+        .add(ByzantineReplies(at=300.0, server="S3", duration=120.0,
+                              offset=0.4, error_scale=0.1))
+    )
+
+or sampled from a seeded RNG for soak runs::
+
+    schedule = FaultSchedule.random(
+        seed=7, names=names, edges=edges, horizon=3600.0
+    )
+
+Events are frozen dataclasses; the schedule itself is just sorted data.
+Interpretation lives in :class:`~repro.faults.injector.FaultInjector`, and
+:meth:`FaultSchedule.signature` gives a stable fingerprint used by the
+deterministic-replay tests (same seed ⇒ identical timeline).
+
+Event menu (mirroring the failure modes of Section 1.1 plus the network
+pathologies the paper assumes away):
+
+=====================  =====================================================
+:class:`LinkFlap`      link goes down, comes back after ``downtime``
+:class:`DelaySpike`    one link's delays scaled/offset for a window
+:class:`LossBurst`     extra message loss on one link for a window
+:class:`PartitionFault` the network splits into groups, heals after a while
+:class:`MessageCorruption` replies garbled in flight (NaN/garbage fields)
+:class:`MessageDuplication` messages delivered twice
+:class:`MessageReorder` messages randomly delayed so later ones overtake
+:class:`ServerCrash`   server leaves, rejoins later with a fresh error
+:class:`ClockStep`     clock silently jumps (server bookkeeping unaware)
+:class:`ClockFreeze`   clock stops for a window ("stopping" failure)
+:class:`ClockRace`     clock races beyond its claimed δ for a window
+:class:`ByzantineReplies` server's replies lie: offset added, error
+                       underreported — the adversary of the Byzantine
+                       clock-sync literature
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one typed fault at absolute real time ``at``."""
+
+    at: float
+
+    @property
+    def kind(self) -> str:
+        """Machine-readable event kind (the class name)."""
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """One-line human-readable rendering, stable across runs."""
+        parts = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if f.name != "at"
+        )
+        return f"t={self.at:.3f} {self.kind}({parts})"
+
+
+# --------------------------------------------------------------- link faults
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """Edge ``(a, b)`` goes down at ``at`` and back up after ``downtime``."""
+
+    a: str = ""
+    b: str = ""
+    downtime: float = 10.0
+
+
+@dataclass(frozen=True)
+class DelaySpike(FaultEvent):
+    """Edge ``(a, b)`` delays scaled by ``scale`` (+``extra`` s) for
+    ``duration`` seconds — congestion, not disconnection."""
+
+    a: str = ""
+    b: str = ""
+    scale: float = 4.0
+    extra: float = 0.0
+    duration: float = 60.0
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Extra loss ``probability`` on edge ``(a, b)`` for ``duration`` s."""
+
+    a: str = ""
+    b: str = ""
+    probability: float = 0.5
+    duration: float = 60.0
+
+
+@dataclass(frozen=True)
+class PartitionFault(FaultEvent):
+    """The network splits into ``groups`` for ``duration`` seconds."""
+
+    groups: Tuple[Tuple[str, ...], ...] = ()
+    duration: float = 120.0
+
+
+# ------------------------------------------------------------ message faults
+
+
+@dataclass(frozen=True)
+class MessageCorruption(FaultEvent):
+    """Each reply is garbled with ``probability`` for ``duration`` s.
+
+    Corruption is gross by design (NaN fields, sign flips, huge offsets):
+    it models bit rot and broken serializers, which reply validation must
+    reject — subtle adversarial lying is :class:`ByzantineReplies`.
+    """
+
+    probability: float = 0.2
+    duration: float = 120.0
+
+
+@dataclass(frozen=True)
+class MessageDuplication(FaultEvent):
+    """Each message is delivered twice with ``probability`` for a window;
+    the duplicate arrives ``extra_delay`` seconds after the original."""
+
+    probability: float = 0.3
+    duration: float = 120.0
+    extra_delay: float = 0.05
+
+
+@dataclass(frozen=True)
+class MessageReorder(FaultEvent):
+    """Messages are randomly held back up to ``max_extra`` seconds with
+    ``probability`` for a window, letting later messages overtake."""
+
+    probability: float = 0.3
+    duration: float = 120.0
+    max_extra: float = 0.2
+
+
+# ------------------------------------------------------------- server faults
+
+
+@dataclass(frozen=True)
+class ServerCrash(FaultEvent):
+    """``server`` crashes (leaves) at ``at`` and rejoins after ``downtime``
+    with inherited error ``rejoin_error`` (operator-set clock)."""
+
+    server: str = ""
+    downtime: float = 120.0
+    rejoin_error: float = 2.0
+
+
+@dataclass(frozen=True)
+class ClockStep(FaultEvent):
+    """``server``'s clock silently jumps by ``offset`` seconds.
+
+    The server's error bookkeeping is *not* told — exactly the hazard of a
+    clock that changes value behind the algorithm's back.
+    """
+
+    server: str = ""
+    offset: float = 0.5
+
+
+@dataclass(frozen=True)
+class ClockFreeze(FaultEvent):
+    """``server``'s clock stops for ``duration`` seconds, then resumes
+    from its frozen value (permanently behind)."""
+
+    server: str = ""
+    duration: float = 60.0
+
+
+@dataclass(frozen=True)
+class ClockRace(FaultEvent):
+    """``server``'s clock races at ``1 + skew`` for ``duration`` seconds —
+    a drift-bound violation (the paper's "racing ahead" failure)."""
+
+    server: str = ""
+    skew: float = 0.01
+    duration: float = 60.0
+
+
+@dataclass(frozen=True)
+class ByzantineReplies(FaultEvent):
+    """``server`` lies in every reply for ``duration`` seconds.
+
+    Its reported clock value is shifted by ``offset`` and its reported
+    error multiplied by ``error_scale`` (< 1 = underreporting, making the
+    lie look precise and attractive to interval policies).
+    """
+
+    server: str = ""
+    duration: float = 120.0
+    offset: float = 0.5
+    error_scale: float = 0.2
+
+
+#: Events that target a single server's clock or honesty.
+SERVER_FAULT_KINDS = (ClockStep, ClockFreeze, ClockRace, ByzantineReplies)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """The interval during which one server-targeted fault is active.
+
+    Attributes:
+        server: The faulted server.
+        start: Window start (the event's ``at``).
+        end: Window end (``at`` for instantaneous faults like a step).
+        taints_self: Whether the fault corrupts the server's *own* clock
+            (steps/freezes/races do; Byzantine lying leaves the liar's own
+            interval honest while poisoning everyone it answers).
+    """
+
+    server: str
+    start: float
+    end: float
+    taints_self: bool
+
+
+class FaultSchedule:
+    """An ordered, immutable-after-build timeline of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = sorted(events, key=lambda e: e.at)
+
+    # ------------------------------------------------------------- building
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Insert an event (keeps the timeline sorted); returns self."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.at)
+        return self
+
+    def extend(self, events: Sequence[FaultEvent]) -> "FaultSchedule":
+        """Insert many events; returns self."""
+        self._events.extend(events)
+        self._events.sort(key=lambda e: e.at)
+        return self
+
+    # -------------------------------------------------------------- viewing
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The timeline, sorted by activation time."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind, for summaries."""
+        result: Dict[str, int] = {}
+        for event in self._events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return dict(sorted(result.items()))
+
+    def describe(self) -> str:
+        """The whole timeline, one line per event."""
+        return "\n".join(event.describe() for event in self._events)
+
+    def signature(self) -> int:
+        """A stable fingerprint of the exact timeline.
+
+        Two schedules have equal signatures iff they contain identical
+        events at identical times — the deterministic-replay tests assert
+        this across runs with the same seed.
+        """
+        import zlib
+
+        return zlib.crc32(self.describe().encode("utf-8"))
+
+    def server_fault_windows(self) -> List[FaultWindow]:
+        """Active windows of all server-targeted faults (for the monitor)."""
+        windows: List[FaultWindow] = []
+        for event in self._events:
+            if isinstance(event, ClockStep):
+                windows.append(
+                    FaultWindow(event.server, event.at, event.at, True)
+                )
+            elif isinstance(event, (ClockFreeze, ClockRace)):
+                windows.append(
+                    FaultWindow(
+                        event.server, event.at, event.at + event.duration, True
+                    )
+                )
+            elif isinstance(event, ByzantineReplies):
+                windows.append(
+                    FaultWindow(
+                        event.server, event.at, event.at + event.duration, False
+                    )
+                )
+        return windows
+
+    # ------------------------------------------------------------- sampling
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        names: Sequence[str],
+        edges: Sequence[Tuple[str, str]],
+        horizon: float,
+        warmup: float = 60.0,
+        link_fault_rate: float = 4.0,
+        message_fault_rate: float = 2.0,
+        server_fault_rate: float = 2.0,
+        include_server_faults: bool = True,
+        include_partitions: bool = True,
+        rejoin_error: float = 2.0,
+        max_clock_offset: float = 1.0,
+    ) -> "FaultSchedule":
+        """Sample a soak schedule from a seeded RNG.
+
+        Args:
+            seed: Root seed; the same seed always yields the identical
+                timeline (``numpy`` PCG64, draws in a fixed order).
+            names: Server names eligible for server-targeted faults.
+            edges: Topology edges eligible for link faults.
+            horizon: Schedule events in ``[warmup, horizon]``.
+            warmup: Fault-free initial period so the service converges.
+            link_fault_rate: Expected link-level events per hour.
+            message_fault_rate: Expected message-level fault windows/hour.
+            server_fault_rate: Expected server-targeted events per hour.
+            include_server_faults: Sample crash/clock/Byzantine events.
+            include_partitions: Allow partition events.
+            rejoin_error: ε assigned when a crashed server rejoins; must
+                dominate the offset its clock can accumulate while away.
+            max_clock_offset: Largest sampled step/lie offset in seconds.
+
+        Returns:
+            A new schedule.  Per-server clock/Byzantine windows are kept
+            non-overlapping so the injector's wrap/unwrap logic stays
+            simple and the monitor's exemptions stay well-defined.
+        """
+        rng = np.random.Generator(np.random.PCG64(seed))
+        span = max(0.0, horizon - warmup)
+        hours = span / 3600.0
+        events: List[FaultEvent] = []
+
+        def when() -> float:
+            return float(warmup + rng.uniform(0.0, span))
+
+        def pick_edge() -> Tuple[str, str]:
+            a, b = edges[int(rng.integers(len(edges)))]
+            return str(a), str(b)
+
+        # --- link-level -------------------------------------------------
+        for _ in range(int(rng.poisson(link_fault_rate * hours))):
+            a, b = pick_edge()
+            choice = int(rng.integers(4)) if include_partitions else int(rng.integers(3))
+            if choice == 0:
+                events.append(
+                    LinkFlap(
+                        at=when(), a=a, b=b,
+                        downtime=float(rng.uniform(5.0, 90.0)),
+                    )
+                )
+            elif choice == 1:
+                events.append(
+                    DelaySpike(
+                        at=when(), a=a, b=b,
+                        scale=float(rng.uniform(2.0, 8.0)),
+                        extra=float(rng.uniform(0.0, 0.05)),
+                        duration=float(rng.uniform(30.0, 180.0)),
+                    )
+                )
+            elif choice == 2:
+                events.append(
+                    LossBurst(
+                        at=when(), a=a, b=b,
+                        probability=float(rng.uniform(0.2, 0.8)),
+                        duration=float(rng.uniform(30.0, 180.0)),
+                    )
+                )
+            else:
+                shuffled = [str(n) for n in names]
+                rng.shuffle(shuffled)
+                cut = max(1, int(rng.integers(1, max(2, len(shuffled)))))
+                groups = (tuple(shuffled[:cut]), tuple(shuffled[cut:]))
+                events.append(
+                    PartitionFault(
+                        at=when(),
+                        groups=groups,
+                        duration=float(rng.uniform(30.0, 150.0)),
+                    )
+                )
+
+        # --- message-level ----------------------------------------------
+        for _ in range(int(rng.poisson(message_fault_rate * hours))):
+            choice = int(rng.integers(3))
+            if choice == 0:
+                events.append(
+                    MessageCorruption(
+                        at=when(),
+                        probability=float(rng.uniform(0.05, 0.4)),
+                        duration=float(rng.uniform(30.0, 180.0)),
+                    )
+                )
+            elif choice == 1:
+                events.append(
+                    MessageDuplication(
+                        at=when(),
+                        probability=float(rng.uniform(0.1, 0.5)),
+                        duration=float(rng.uniform(30.0, 180.0)),
+                        extra_delay=float(rng.uniform(0.01, 0.1)),
+                    )
+                )
+            else:
+                events.append(
+                    MessageReorder(
+                        at=when(),
+                        probability=float(rng.uniform(0.1, 0.5)),
+                        duration=float(rng.uniform(30.0, 180.0)),
+                        max_extra=float(rng.uniform(0.05, 0.3)),
+                    )
+                )
+
+        # --- server-level -----------------------------------------------
+        if include_server_faults and names:
+            # Track per-server busy windows so clock faults never overlap.
+            busy: Dict[str, List[Tuple[float, float]]] = {}
+
+            def reserve(server: str, start: float, end: float) -> bool:
+                for s, e in busy.get(server, []):
+                    if start < e and s < end:
+                        return False
+                busy.setdefault(server, []).append((start, end))
+                return True
+
+            for _ in range(int(rng.poisson(server_fault_rate * hours))):
+                server = str(names[int(rng.integers(len(names)))])
+                choice = int(rng.integers(4))
+                at = when()
+                if choice == 0:
+                    duration = float(rng.uniform(30.0, 240.0))
+                    events.append(
+                        ServerCrash(
+                            at=at, server=server, downtime=duration,
+                            rejoin_error=rejoin_error,
+                        )
+                    )
+                elif choice == 1:
+                    if reserve(server, at, at + 1.0):
+                        offset = float(
+                            rng.uniform(0.05, max_clock_offset)
+                            * (1.0 if rng.uniform() < 0.5 else -1.0)
+                        )
+                        events.append(
+                            ClockStep(at=at, server=server, offset=offset)
+                        )
+                elif choice == 2:
+                    duration = float(rng.uniform(20.0, 120.0))
+                    if reserve(server, at, at + duration):
+                        events.append(
+                            ClockFreeze(at=at, server=server, duration=duration)
+                        )
+                else:
+                    duration = float(rng.uniform(20.0, 120.0))
+                    if reserve(server, at, at + duration):
+                        if rng.uniform() < 0.5:
+                            events.append(
+                                ClockRace(
+                                    at=at, server=server,
+                                    skew=float(rng.uniform(0.002, 0.05)),
+                                    duration=duration,
+                                )
+                            )
+                        else:
+                            events.append(
+                                ByzantineReplies(
+                                    at=at, server=server, duration=duration,
+                                    offset=float(
+                                        rng.uniform(0.05, max_clock_offset)
+                                    ),
+                                    error_scale=float(rng.uniform(0.05, 0.5)),
+                                )
+                            )
+
+        return cls(events)

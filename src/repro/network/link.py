@@ -4,6 +4,12 @@ A :class:`Link` bundles everything the transport needs to know about one
 communication path: the one-way delay model for each direction, a loss
 probability, and an up/down flag (used both for injected link failures and
 for network partitions).
+
+Chaos hooks: :attr:`Link.fault_loss`, :attr:`Link.delay_scale` and
+:attr:`Link.delay_extra` let a fault injector superimpose loss bursts and
+delay spikes on a live link without replacing its delay models; at their
+defaults they are exact no-ops (same RNG draws, same sampled delays), so
+fault-free runs are bit-identical with or without the hooks.
 """
 
 from __future__ import annotations
@@ -56,6 +62,10 @@ class Link:
         self.up = bool(up)
         self.partitioned = False
         self.stats = LinkStats()
+        # Fault-injection knobs (see module docstring); no-ops at defaults.
+        self.fault_loss = 0.0
+        self.delay_scale = 1.0
+        self.delay_extra = 0.0
 
     @property
     def available(self) -> bool:
@@ -86,11 +96,16 @@ class Link:
         if not self.available:
             self.stats.blocked += 1
             return None
+        # Independent native-loss and fault-burst coin flips so that a
+        # fault_loss of 0 draws exactly the same RNG sequence as before.
         if self.loss_probability > 0.0 and rng.uniform() < self.loss_probability:
+            self.stats.lost += 1
+            return None
+        if self.fault_loss > 0.0 and rng.uniform() < self.fault_loss:
             self.stats.lost += 1
             return None
         self.stats.delivered += 1
         model = self.delay
         if not forward and self.reverse_delay is not None:
             model = self.reverse_delay
-        return model.sample(rng)
+        return model.sample(rng) * self.delay_scale + self.delay_extra

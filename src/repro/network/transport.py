@@ -12,13 +12,16 @@ schedules deliveries.  It exposes:
   [Boggs 82] the paper assumes for data collection: one message to every
   neighbour;
 * partition control (:meth:`partition` / :meth:`heal`) used by the
-  fault-injection experiments.
+  fault-injection experiments;
+* message taps (:meth:`add_tap` / :meth:`remove_tap`) — an interception
+  hook the chaos injector uses to corrupt, duplicate, reorder, or drop
+  individual messages in flight.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -37,6 +40,15 @@ class NetworkStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    tapped: int = 0  # deliveries rewritten (or multiplied) by a message tap
+
+
+#: A message tap: called with ``(source, destination, message, delay)`` for
+#: every message the transport accepted.  Return ``None`` to pass the
+#: message through untouched, or a list of ``(message, delay)`` deliveries
+#: replacing it — ``[]`` drops it, one entry modifies/delays it, several
+#: entries duplicate it.
+MessageTap = Callable[[str, str, Any, float], Optional[List[Tuple[Any, float]]]]
 
 
 class Network:
@@ -77,6 +89,7 @@ class Network:
         self._long_haul = long_haul
         self._processes: Dict[str, SimProcess] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
+        self._taps: List[MessageTap] = []
         self.stats = NetworkStats()
         for a, b, data in graph.edges(data=True):
             delay = self._wan_delay if data.get("kind") == "wan" else self._lan_delay
@@ -118,6 +131,19 @@ class Network:
     def neighbours(self, name: str) -> list[str]:
         """Sorted neighbour names of ``name``."""
         return sorted(self.graph.neighbors(name))
+
+    # ------------------------------------------------------------------ taps
+
+    def add_tap(self, tap: MessageTap) -> None:
+        """Install a message tap (taps run in installation order)."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: MessageTap) -> None:
+        """Remove a previously installed tap; unknown taps are ignored."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     @property
     def names(self) -> list[str]:
@@ -168,13 +194,29 @@ class Network:
         if delay is None:
             self.stats.dropped += 1
             return False
+        deliveries: List[Tuple[Any, float]] = [(message, delay)]
+        if self._taps:
+            for tap in self._taps:
+                rewritten: List[Tuple[Any, float]] = []
+                for msg, dly in deliveries:
+                    out = tap(source, destination, msg, dly)
+                    if out is None:
+                        rewritten.append((msg, dly))
+                    else:
+                        self.stats.tapped += 1
+                        rewritten.extend(out)
+                deliveries = rewritten
+            if not deliveries:
+                self.stats.dropped += 1
+                return False
         target = self._processes[destination]
         sender = self._processes.get(source)
-        self.engine.schedule_after(
-            delay,
-            lambda: self._deliver(target, message, sender),
-            label=f"{source}->{destination}",
-        )
+        for msg, dly in deliveries:
+            self.engine.schedule_after(
+                dly,
+                lambda m=msg: self._deliver(target, m, sender),
+                label=f"{source}->{destination}",
+            )
         return True
 
     def _deliver(self, target: SimProcess, message: Any, sender: Optional[SimProcess]) -> None:

@@ -27,6 +27,7 @@ from ..simulation.rng import RngRegistry
 from ..simulation.trace import TraceRecorder
 from .client import TimeClient
 from .discipline import DiscipliningServer
+from .hardening import HardenedTimeServer, HardeningConfig
 from .rate_tracking import RateTrackingServer
 from .reference import ReferenceServer
 from .server import TimeServer
@@ -245,6 +246,7 @@ def build_service(
     trace_enabled: bool = True,
     start: bool = True,
     stagger_polls: bool = True,
+    hardening: Optional[HardeningConfig] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -267,6 +269,11 @@ def build_service(
         start: Start all servers immediately.
         stagger_polls: Give each server a deterministic phase offset so
             rounds do not all fire at the same instant.
+        hardening: When set, plain polling servers are built as
+            :class:`~repro.service.hardening.HardenedTimeServer` with this
+            configuration (reply validation, retries, adaptive timeouts,
+            neighbour quarantine).  Reference, rate-tracking and
+            disciplining servers are unaffected.
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -331,11 +338,18 @@ def build_service(
                 clock = DriftingClock(spec.skew, epoch=0.0, initial=0.0)
             server_policy = policies[spec.name]
             recovery = recovery_factory(spec.name) if recovery_factory else None
+            extra = {}
             if spec.discipline:
                 clock = DisciplinedClock(clock)
                 server_class = DiscipliningServer
             elif spec.rate_tracking:
                 server_class = RateTrackingServer
+            elif hardening is not None and server_policy is not None:
+                server_class = HardenedTimeServer
+                extra = {
+                    "hardening": hardening,
+                    "hardening_rng": rng.stream(f"hardening/{spec.name}"),
+                }
             else:
                 server_class = TimeServer
             server = server_class(
@@ -351,6 +365,7 @@ def build_service(
                 recovery=recovery,
                 trace=trace,
                 first_poll_at=phase.get(spec.name),
+                **extra,
             )
         network.register(server)
         servers[spec.name] = server

@@ -31,6 +31,7 @@ Correctness bookkeeping subtleties faithfully reproduced:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -59,6 +60,7 @@ class _PollRound:
     round_id: int
     sent_local: Dict[str, float] = field(default_factory=dict)
     outstanding: set[str] = field(default_factory=set)
+    unsent: set[str] = field(default_factory=set)  # transport-dropped at send
     pending: list[_PendingReply] = field(default_factory=list)
     closed: bool = False
 
@@ -74,6 +76,8 @@ class ServerStats:
     inconsistencies: int = 0
     recovery_resets: int = 0
     requests_answered: int = 0
+    polls_unsent: int = 0  # poll requests the transport dropped at send time
+    invalid_replies: int = 0  # replies rejected by _validate_reply
 
 
 class TimeServer(SimProcess):
@@ -153,6 +157,7 @@ class TimeServer(SimProcess):
         self._recovery_inflight: Optional[tuple[int, str, float]] = None
         self._recovery_counter = 10_000_000  # distinct id space from rounds
         self._departed = False
+        self._rejoin_count = 0
 
     # ------------------------------------------------------------- MM-1/IM-1
 
@@ -235,7 +240,10 @@ class TimeServer(SimProcess):
         self._periodic_tasks.clear()
         if self._round is not None:
             self._round.closed = True
-        self._recovery_inflight = None
+        if self._recovery_inflight is not None:
+            self._recovery_inflight = None
+            if self.recovery is not None:
+                self.recovery.note_timed_out()
         self._trace("leave")
 
     def rejoin(self, initial_error: float) -> None:
@@ -256,10 +264,24 @@ class TimeServer(SimProcess):
         if not self._departed:
             return
         self._departed = False
+        self._rejoin_count += 1
         self._epsilon = float(initial_error)
         self._last_reset_value = self.clock.read(self.now)
         if self.policy is not None and self.tau is not None:
-            self.every(self.tau, self._start_round, jitter=self._poll_jitter)
+            # Re-derive a deterministic phase offset: churn tends to fire
+            # rejoins at correlated times (e.g. after a healed partition),
+            # and restarting every returning server exactly one period
+            # later would lock their rounds into the same phase.  Hash the
+            # name and rejoin ordinal into a fraction of τ instead.
+            key = f"rejoin/{self.name}/{self._rejoin_count}"
+            frac = (zlib.crc32(key.encode("utf-8")) % 9973) / 9973.0
+            first = self.now + self.tau * (0.5 + 0.5 * frac)
+            self.every(
+                self.tau,
+                self._start_round,
+                first_at=first,
+                jitter=self._poll_jitter,
+            )
         self._trace("rejoin", initial_error=initial_error)
 
     # --------------------------------------------------------------- serving
@@ -288,6 +310,18 @@ class TimeServer(SimProcess):
 
     # -------------------------------------------------------------- polling
 
+    def _poll_targets(self) -> list[str]:
+        """Hook: which neighbours this round polls.
+
+        The base server polls every topology neighbour; the hardened
+        server excludes quarantined ones.
+        """
+        return self.network.neighbours(self.name)
+
+    def _effective_round_timeout(self) -> float:
+        """Hook: how long the round now starting stays open."""
+        return self._round_timeout if self._round_timeout is not None else 1.0
+
     def _start_round(self) -> None:
         if self.policy is None:
             return
@@ -298,11 +332,9 @@ class TimeServer(SimProcess):
         round_ = _PollRound(round_id=self._round_counter)
         self._round = round_
         self.stats.rounds += 1
-        neighbours = self.network.neighbours(self.name)
-        for destination in neighbours:
+        for destination in self._poll_targets():
             round_.sent_local[destination] = self.clock_value()
-            round_.outstanding.add(destination)
-            self.network.send(
+            accepted = self.network.send(
                 self.name,
                 destination,
                 TimeRequest(
@@ -312,11 +344,37 @@ class TimeServer(SimProcess):
                     kind=RequestKind.POLL,
                 ),
             )
-        if not round_.outstanding:
+            if accepted:
+                round_.outstanding.add(destination)
+            else:
+                # The transport dropped the request at send time (link
+                # down, partitioned, or lost on the request leg): no reply
+                # can ever arrive, so don't make the round wait for one.
+                del round_.sent_local[destination]
+                round_.unsent.add(destination)
+                self.stats.polls_unsent += 1
+        if not round_.outstanding and not self._may_revive(round_):
             self._complete_round(round_)
             return
-        timeout = self._round_timeout if self._round_timeout is not None else 1.0
+        self._on_round_started(round_)
+        timeout = self._effective_round_timeout()
         self.call_after(timeout, lambda: self._round_timeout_fired(round_))
+
+    def _on_round_started(self, round_: _PollRound) -> None:
+        """Hook: called once per round after its requests went out.
+
+        The base server ignores it; the hardened server arms its
+        per-neighbour retry schedule here.
+        """
+
+    def _may_revive(self, round_: _PollRound) -> bool:
+        """Hook: can send-time-dropped polls still be retransmitted?
+
+        The base server never retries, so a round with nothing outstanding
+        is closed immediately; the hardened server keeps it open while its
+        retry schedule could still reach an ``unsent`` neighbour.
+        """
+        return False
 
     def _round_timeout_fired(self, round_: _PollRound) -> None:
         if not round_.closed:
@@ -335,6 +393,13 @@ class TimeServer(SimProcess):
         ):
             return  # late, duplicate, or stale reply
         round_.outstanding.discard(reply.server)
+        rejection = self._validate_reply(reply)
+        if rejection is not None:
+            self.stats.invalid_replies += 1
+            self._trace("invalid_reply", server=reply.server, reason=rejection)
+            if not round_.outstanding and not self._may_revive(round_):
+                self._complete_round(round_)
+            return
         self.stats.replies_handled += 1
         local_now = self.clock_value()
         rtt_local = max(0.0, local_now - round_.sent_local[reply.server])
@@ -359,13 +424,24 @@ class TimeServer(SimProcess):
             round_.pending.append(
                 _PendingReply(reply=policy_reply, local_at_receipt=local_now)
             )
-        if not round_.outstanding:
+        if not round_.outstanding and not self._may_revive(round_):
             self._complete_round(round_)
+
+    def _validate_reply(self, reply: TimeReply) -> Optional[str]:
+        """Hook: sanity-check a poll/recovery reply before it is used.
+
+        Return None to accept or a short reason string to reject.  The
+        base server accepts everything (the paper's servers trust each
+        other); :class:`~repro.service.hardening.HardenedTimeServer`
+        rejects NaN/negative/implausible ``⟨C_j, E_j⟩`` pairs here.
+        """
+        return None
 
     def _complete_round(self, round_: _PollRound) -> None:
         if round_.closed:
             return
         round_.closed = True
+        self._on_round_closed(round_)
         assert self.policy is not None
         if self.policy.incremental:
             return  # MM already acted reply-by-reply
@@ -388,6 +464,13 @@ class TimeServer(SimProcess):
             return
         if outcome.decision is not None:
             self._apply_reset(outcome.decision, kind="sync")
+
+    def _on_round_closed(self, round_: _PollRound) -> None:
+        """Hook: called as a round closes, before the policy's round hook.
+
+        ``round_.outstanding`` still names the neighbours that never
+        answered; the hardened server feeds its health scores from it.
+        """
 
     # --------------------------------------------------------------- resets
 
@@ -449,12 +532,25 @@ class TimeServer(SimProcess):
             and self._recovery_inflight[0] == request_id
         ):
             self._recovery_inflight = None
+            if self.recovery is not None:
+                self.recovery.note_timed_out()
+            self._trace("recovery_timeout")
 
     def _handle_recovery_reply(self, reply: TimeReply) -> None:
         if self._recovery_inflight is None:
             return
         request_id, arbiter, sent_local = self._recovery_inflight
         if reply.request_id != request_id or reply.server != arbiter:
+            return
+        rejection = self._validate_reply(reply)
+        if rejection is not None:
+            # A poisoned arbiter reply must not become an unconditional
+            # reset; abandon the recovery attempt instead.
+            self._recovery_inflight = None
+            self.stats.invalid_replies += 1
+            if self.recovery is not None:
+                self.recovery.note_timed_out()
+            self._trace("invalid_reply", server=reply.server, reason=rejection)
             return
         self._recovery_inflight = None
         rtt_local = max(0.0, self.clock_value() - sent_local)

@@ -56,6 +56,7 @@ def test_registry_complete():
         "cold_start": "cold-start",
         "delay_asymmetry": "asymmetry",
         "churn": "churn",
+        "chaos_soak": "chaos-soak",
     }
     registered = set(EXPERIMENTS)
     for module_name in expected:

@@ -268,3 +268,46 @@ class TestMonotonicClock:
             MonotonicClock(PerfectClock(), slew=0.0)
         with pytest.raises(ValueError):
             MonotonicClock(PerfectClock(), slew=1.5)
+
+
+class TestFailureDetach:
+    """detach() ends a transient fault and hands back the inner clock."""
+
+    def test_stopped_clock_thaws_from_frozen_value(self):
+        clock = StoppedClock(DriftingClock(skew=0.0), fail_at=5.0)
+        frozen = clock.read(8.0)
+        assert frozen == pytest.approx(5.0)
+        inner = clock.detach(10.0)
+        # The thawed clock resumes from the frozen value: permanently
+        # behind real time until a reset corrects it.
+        assert inner.read(10.0) == pytest.approx(frozen)
+        assert inner.read(13.0) == pytest.approx(frozen + 3.0)
+
+    def test_racing_clock_keeps_surplus(self):
+        clock = RacingClock(DriftingClock(skew=0.0), fail_at=0.0, racing_skew=1.0)
+        assert clock.read(10.0) == pytest.approx(20.0)
+        inner = clock.detach(10.0)
+        # Repaired clock runs at its natural rate but keeps the gain.
+        assert inner.read(12.0) == pytest.approx(22.0)
+
+    def test_stuck_on_reset_detach_restores_settability(self):
+        clock = StuckOnResetClock(DriftingClock(skew=0.0), fail_at=0.0)
+        clock.set(5.0, 100.0)  # silently dropped while wedged
+        assert clock.read(5.5) == pytest.approx(5.5)
+        inner = clock.detach(6.0)
+        inner.set(7.0, 100.0)
+        assert inner.read(7.5) == pytest.approx(100.5)
+
+    def test_set_during_freeze_rewrites_frozen_value(self):
+        clock = StoppedClock(DriftingClock(skew=0.0), fail_at=0.0)
+        clock.set(2.0, 50.0)
+        assert clock.read(4.0) == pytest.approx(50.0)
+        inner = clock.detach(5.0)
+        assert inner.read(6.0) == pytest.approx(51.0)
+
+    def test_set_during_race_restarts_segment(self):
+        clock = RacingClock(DriftingClock(skew=0.0), fail_at=0.0, racing_skew=1.0)
+        clock.set(4.0, 0.0)
+        assert clock.read(6.0) == pytest.approx(4.0)  # races again from 0
+        inner = clock.detach(6.0)
+        assert inner.read(8.0) == pytest.approx(6.0)

@@ -298,3 +298,65 @@ class TestTransport:
         engine.run()
         assert network.stats.sent == 1
         assert network.stats.delivered == 1
+
+
+class TestMessageTaps:
+    """add_tap/remove_tap: the interception point the chaos injector uses."""
+
+    def test_pass_through_tap_leaves_delivery_alone(self):
+        engine, network, sinks = make_network()
+        seen = []
+
+        def observer(source, destination, message, delay):
+            seen.append((source, destination, message, delay))
+            return None
+
+        network.add_tap(observer)
+        assert network.send("S1", "S2", "hello")
+        engine.run()
+        assert seen == [("S1", "S2", "hello", 0.1)]
+        assert sinks["S2"].received == [(0.1, "hello")]
+        assert network.stats.tapped == 0
+
+    def test_rewrite_tap_replaces_message(self):
+        engine, network, sinks = make_network()
+        network.add_tap(lambda s, d, m, dly: [(m.upper(), dly)])
+        network.send("S1", "S2", "hello")
+        engine.run()
+        assert sinks["S2"].received == [(0.1, "HELLO")]
+        assert network.stats.tapped == 1
+
+    def test_drop_tap_fails_the_send(self):
+        engine, network, sinks = make_network()
+        network.add_tap(lambda s, d, m, dly: [])
+        dropped_before = network.stats.dropped
+        assert not network.send("S1", "S2", "hello")
+        engine.run()
+        assert sinks["S2"].received == []
+        assert network.stats.dropped == dropped_before + 1
+
+    def test_duplicate_tap_delivers_twice(self):
+        engine, network, sinks = make_network()
+        network.add_tap(lambda s, d, m, dly: [(m, dly), (m, dly + 0.5)])
+        network.send("S1", "S2", "hello")
+        engine.run()
+        assert sinks["S2"].received == [(0.1, "hello"), (0.6, "hello")]
+
+    def test_taps_compose_in_registration_order(self):
+        engine, network, sinks = make_network()
+        network.add_tap(lambda s, d, m, dly: [(m + "-a", dly)])
+        network.add_tap(lambda s, d, m, dly: [(m + "-b", dly)])
+        network.send("S1", "S2", "x")
+        engine.run()
+        assert sinks["S2"].received == [(0.1, "x-a-b")]
+
+    def test_remove_tap_restores_plain_delivery(self):
+        engine, network, sinks = make_network()
+        tap = lambda s, d, m, dly: []
+        network.add_tap(tap)
+        assert not network.send("S1", "S2", "one")
+        network.remove_tap(tap)
+        network.remove_tap(tap)  # removing twice is harmless
+        assert network.send("S1", "S2", "two")
+        engine.run()
+        assert sinks["S2"].received == [(0.1, "two")]

@@ -15,7 +15,7 @@ from repro.network.delay import ConstantDelay, UniformDelay
 from repro.network.topology import full_mesh
 from repro.network.transport import Network
 from repro.service.builder import ServerSpec, build_service
-from repro.service.messages import RequestKind, TimeRequest
+from repro.service.messages import RequestKind, TimeReply, TimeRequest
 from repro.service.server import TimeServer
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngRegistry
@@ -254,3 +254,143 @@ class TestResetBookkeeping:
         assert recoveries
         for row in recoveries:
             assert abs(row.data["new_value"] - row.time) < 1.0
+
+
+class TestReplyHygiene:
+    """Duplicate, stale, and undeliverable-poll handling."""
+
+    @staticmethod
+    def _poll_reply(server, origin="S2"):
+        return TimeReply(
+            request_id=server._round.round_id,
+            server=origin,
+            destination=server.name,
+            clock_value=1.0,
+            error=0.05,
+            kind=RequestKind.POLL,
+            delta=1e-5,
+        )
+
+    def test_duplicate_reply_counted_once(self):
+        service = make_mesh_service(2, tau=1000.0)
+        s1 = service.servers["S1"]
+        service.run_until(1.0)
+        s1._start_round()
+        good = self._poll_reply(s1)
+        s1._handle_reply(good)
+        assert s1.stats.replies_handled == 1
+        s1._handle_reply(good)  # retransmission of the same reply
+        assert s1.stats.replies_handled == 1
+
+    def test_stale_request_id_ignored(self):
+        service = make_mesh_service(2, tau=1000.0)
+        s1 = service.servers["S1"]
+        service.run_until(1.0)
+        s1._start_round()
+        good = self._poll_reply(s1)
+        from dataclasses import replace
+
+        s1._handle_reply(replace(good, request_id=good.request_id + 999))
+        assert s1.stats.replies_handled == 0
+
+    def test_unknown_sender_ignored(self):
+        service = make_mesh_service(3, tau=1000.0)
+        s1 = service.servers["S1"]
+        service.run_until(1.0)
+        s1._start_round()
+        s1._round.outstanding.discard("S3")
+        s1._handle_reply(self._poll_reply(s1, origin="S3"))
+        assert s1.stats.replies_handled == 0
+
+    def test_all_sends_failing_closes_round_immediately(self):
+        service = make_mesh_service(2, tau=1000.0)
+        service.run_until(1.0)
+        service.network.link("S1", "S2").take_down()
+        s1 = service.servers["S1"]
+        s1._start_round()
+        # The transport refused every poll: nothing can ever answer, so
+        # the round must not sit open until the timeout.
+        assert s1.stats.polls_unsent == 1
+        assert s1._round.closed
+        assert s1.stats.rounds == 1
+
+
+class TestChurn:
+    def _rejoin_round_time(self, name, rejoin_at=50.0):
+        service = make_mesh_service(3, tau=30.0)
+        server = service.servers[name]
+        service.run_until(rejoin_at)
+        server.leave()
+        times = []
+        original = server._start_round
+
+        def recording():
+            times.append(service.engine.now)
+            original()
+
+        server._start_round = recording
+        server.rejoin(1.0)
+        service.run_until(rejoin_at + 40.0)
+        return times[0]
+
+    def test_rejoin_stagger_deterministic(self):
+        assert self._rejoin_round_time("S1") == self._rejoin_round_time("S1")
+
+    def test_rejoin_stagger_decorrelated_across_servers(self):
+        t1 = self._rejoin_round_time("S1")
+        t2 = self._rejoin_round_time("S2")
+        assert t1 != t2
+        # Both restart within (τ/2, τ] of the rejoin instant.
+        for t in (t1, t2):
+            assert 50.0 + 15.0 <= t <= 50.0 + 30.0
+
+    def test_recovery_timeout_releases_inflight_and_counts(self):
+        engine = SimulationEngine()
+        network = Network(
+            engine, full_mesh(3), RngRegistry(seed=0),
+            lan_delay=ConstantDelay(0.01),
+        )
+        recovery = ThirdServerRecovery()
+        server = TimeServer(
+            engine,
+            "S1",
+            DriftingClock(0.0),
+            1e-4,
+            network,
+            policy=None,
+            initial_error=0.5,
+            recovery=recovery,
+        )
+        network.register(server)
+        server.start()
+        server._recovery_inflight = (42, "S2", 0.0)
+        server._recovery_timeout(42)
+        assert server._recovery_inflight is None
+        assert recovery.stats.recoveries_timed_out == 1
+        # A stale timeout for an already-settled attempt is a no-op.
+        server._recovery_timeout(42)
+        assert recovery.stats.recoveries_timed_out == 1
+
+    def test_leave_abandons_inflight_recovery(self):
+        engine = SimulationEngine()
+        network = Network(
+            engine, full_mesh(3), RngRegistry(seed=0),
+            lan_delay=ConstantDelay(0.01),
+        )
+        recovery = ThirdServerRecovery()
+        server = TimeServer(
+            engine,
+            "S1",
+            DriftingClock(0.0),
+            1e-4,
+            network,
+            policy=None,
+            initial_error=0.5,
+            recovery=recovery,
+        )
+        network.register(server)
+        server.start()
+        server._recovery_inflight = (7, "S3", 0.0)
+        server.leave()
+        assert server._recovery_inflight is None
+        assert recovery.stats.recoveries_timed_out == 1
