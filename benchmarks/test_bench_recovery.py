@@ -1,0 +1,63 @@
+"""Benchmarks for the recovery subsystem: stable-store checkpoint I/O and
+the self-stabilizing group-merge convergence of the Figure 4 repair."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4_repair
+from repro.recovery import Checkpoint, StableStore
+
+
+def test_bench_checkpoint_write_restore(benchmark):
+    """Raw checkpoint cycle: encode + CRC + store + read-back + verify."""
+
+    def cycle(iterations: int = 1000) -> int:
+        store = StableStore()
+        hits = 0
+        for k in range(iterations):
+            store.write(
+                Checkpoint(
+                    server="S1",
+                    clock_value=1000.0 + k,
+                    error=0.02 + 1e-5 * k,
+                    rate_estimate=0.0,
+                    epoch=k % 7,
+                    sequence=k,
+                )
+            )
+            if store.read("S1") is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(cycle, rounds=3)
+    assert hits == 1000
+    print(f"\nCheckpoint cycle: {hits}/1000 write+read round trips verified")
+
+
+def test_bench_crash_restart(benchmark):
+    """A full simulated crash/restart: the warm path must revive correct."""
+    row = benchmark.pedantic(
+        figure4_repair.run_soak, kwargs=dict(seed=1), rounds=1
+    )
+    assert row.warm_restarts >= 1 and row.warm_all_correct
+    assert row.correctness_violations == 0
+    print(
+        f"\nCrash soak (seed 1): {row.restarts} restarts "
+        f"({row.warm_restarts} warm, {row.cold_restarts} cold), "
+        f"all warm correct: {row.warm_all_correct}"
+    )
+
+
+def test_bench_group_merge_convergence(benchmark):
+    """The Figure 4 repair: the stabilized arm must end in one group of
+    non-faulty servers with zero correctness violations."""
+    result = benchmark.pedantic(
+        figure4_repair.run, kwargs=dict(self_stabilizing=True), rounds=1
+    )
+    assert result.merged
+    assert result.correctness_violations == 0
+    print(
+        f"\nGroup merge: {len(result.groups_good)} non-faulty group(s); "
+        f"census detected split at t={result.census_detection_time}; "
+        f"{result.total_recoveries} recoveries "
+        f"({result.poisoned_recoveries} poisoned)"
+    )

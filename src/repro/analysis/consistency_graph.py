@@ -22,7 +22,7 @@ This module materialises that structure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
 
@@ -105,6 +105,29 @@ def group_of(
 def is_partitioned(intervals: Dict[str, TimeInterval]) -> bool:
     """Whether the service has split into more than one consistency group."""
     return len(consistency_groups(intervals)) > 1
+
+
+def groups_from_verdicts(
+    nodes: Iterable[str], edges: Iterable[tuple[str, str]]
+) -> List[tuple[str, ...]]:
+    """Consistency groups from *pairwise verdicts* instead of intervals.
+
+    The live census (:mod:`repro.recovery.census`) knows booleans, not
+    intervals, so there is no Helly intersection to report — just the
+    maximal cliques of the verdict graph.  Sorted largest-first with
+    lexicographic ties, matching :func:`consistency_groups`.
+
+    Args:
+        nodes: Every server that should appear (isolated ones become
+            singleton groups).
+        edges: The pairs judged consistent.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    groups = [tuple(sorted(clique)) for clique in nx.find_cliques(graph)]
+    groups.sort(key=lambda members: (-len(members), members))
+    return groups
 
 
 def correct_groups(

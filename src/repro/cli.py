@@ -39,6 +39,7 @@ from .experiments import (
     figure2,
     figure3,
     figure4,
+    figure4_repair,
     overhead,
     partition,
     quantization,
@@ -50,6 +51,7 @@ from .experiments import (
 )
 from .network.delay import UniformDelay
 from .network.topology import full_mesh, line, random_connected, ring, star, two_level_internet
+from .recovery import SelfStabilizingRecovery
 from .service.builder import ServerSpec, build_service
 from .service.churn import ChurnController
 from .simulation.rng import RngRegistry
@@ -68,6 +70,7 @@ EXPERIMENTS = {
     "figure2": figure2.main,
     "figure3": figure3.main,
     "figure4": figure4.main,
+    "figure4-repair": figure4_repair.main,
     "theorem4": theorem4.main,
     "theorem8": theorem8.main,
     "theorem-bounds": theorem_bounds.main,
@@ -127,10 +130,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 skew=skew,
                 rate_tracking=args.rate_tracking,
                 discipline=args.discipline,
+                self_stabilizing=args.self_stabilizing,
             )
         )
     recovery_factory = None
-    if args.recovery:
+    if args.self_stabilizing:
+        recovery_factory = lambda name: SelfStabilizingRecovery()  # noqa: E731
+    elif args.recovery:
         recovery_factory = lambda name: ThirdServerRecovery()  # noqa: E731
     service = build_service(
         graph,
@@ -364,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable third-server recovery")
     sim.add_argument("--rate-tracking", action="store_true",
                      help="enable Section 5 consonance tracking")
+    sim.add_argument("--self-stabilizing", action="store_true",
+                     help="enable the recovery subsystem: checkpoints, "
+                          "consistency census, census-vetted group merges "
+                          "(implies --recovery and rate tracking)")
     sim.add_argument("--discipline", action="store_true",
                      help="enable frequency discipline (implies tracking)")
     sim.add_argument("--report", action="store_true",

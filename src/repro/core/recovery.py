@@ -41,8 +41,14 @@ class RecoveryStats:
         recoveries_started: Third-party polls initiated.
         recoveries_completed: Unconditional resets applied.
         recoveries_timed_out: Polls abandoned because the reply never came
-            (lost request or reply); balances ``recoveries_started`` so
+            (lost request or reply, a poisoned reply, or the server left
+            mid-recovery); balances ``recoveries_started`` so
             ``started == completed + timed_out + in_flight``.
+        recoveries_in_flight: Polls currently awaiting a reply —
+            incremented by :meth:`RecoveryStrategy.note_started` and
+            decremented by exactly one of ``note_completed`` /
+            ``note_timed_out``; going negative means an outcome was
+            recorded for a recovery that never started.
         no_arbiter: Events where no eligible third server existed.
     """
 
@@ -50,7 +56,19 @@ class RecoveryStats:
     recoveries_started: int = 0
     recoveries_completed: int = 0
     recoveries_timed_out: int = 0
+    recoveries_in_flight: int = 0
     no_arbiter: int = 0
+
+    @property
+    def balanced(self) -> bool:
+        """The accounting invariant every strategy must maintain."""
+        return (
+            self.recoveries_in_flight >= 0
+            and self.recoveries_started
+            == self.recoveries_completed
+            + self.recoveries_timed_out
+            + self.recoveries_in_flight
+        )
 
 
 class RecoveryStrategy(abc.ABC):
@@ -71,8 +89,12 @@ class RecoveryStrategy(abc.ABC):
         Args:
             server_name: The recovering server (never a valid arbiter).
             neighbours: Servers reachable from the recovering server.
-            conflicting: Servers the recovering server found itself
-                inconsistent with in this episode.
+            conflicting: *Every* server the recovering server has found
+                itself inconsistent with in the current or previous poll
+                round — not just the reply that triggered this episode.
+                (Excluding only the trigger left the second liar of a
+                Figure 4 pair eligible as arbiter, which is exactly how
+                the partition forms.)  All names here are banned.
         """
 
     def note_inconsistency(self) -> None:
@@ -82,14 +104,17 @@ class RecoveryStrategy(abc.ABC):
     def note_started(self) -> None:
         """Record that a recovery poll was sent."""
         self.stats.recoveries_started += 1
+        self.stats.recoveries_in_flight += 1
 
     def note_completed(self) -> None:
         """Record that an unconditional reset was applied."""
         self.stats.recoveries_completed += 1
+        self.stats.recoveries_in_flight -= 1
 
     def note_timed_out(self) -> None:
         """Record that a recovery poll was abandoned without a reply."""
         self.stats.recoveries_timed_out += 1
+        self.stats.recoveries_in_flight -= 1
 
 
 class NullRecovery(RecoveryStrategy):

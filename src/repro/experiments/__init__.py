@@ -20,6 +20,7 @@ from . import (
     figure2,
     figure3,
     figure4,
+    figure4_repair,
     overhead,
     partition,
     quantization,
@@ -45,6 +46,7 @@ __all__ = [
     "figure2",
     "figure3",
     "figure4",
+    "figure4_repair",
     "overhead",
     "partition",
     "quantization",

@@ -28,6 +28,7 @@ from .monitor import InvariantMonitor, MonitorStats, Violation
 from .schedule import (
     SERVER_FAULT_KINDS,
     ByzantineReplies,
+    CheckpointCorruption,
     ClockFreeze,
     ClockRace,
     ClockStep,
@@ -42,11 +43,13 @@ from .schedule import (
     MessageReorder,
     PartitionFault,
     ServerCrash,
+    TornCheckpoint,
 )
 
 __all__ = [
     "SERVER_FAULT_KINDS",
     "ByzantineReplies",
+    "CheckpointCorruption",
     "ClockFreeze",
     "ClockRace",
     "ClockStep",
@@ -65,6 +68,7 @@ __all__ = [
     "MonitorStats",
     "PartitionFault",
     "ServerCrash",
+    "TornCheckpoint",
     "Violation",
     "attach_chaos",
 ]
@@ -100,6 +104,7 @@ def attach_chaos(
         schedule,
         rng=service.rng.stream("faults/injector"),
         trace=service.trace,
+        store=getattr(service, "stable_store", None),
     )
     watcher: Optional[InvariantMonitor] = None
     if monitor:

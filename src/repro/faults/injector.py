@@ -37,6 +37,7 @@ from ..simulation.process import SimProcess
 from ..simulation.trace import TraceRecorder
 from .schedule import (
     ByzantineReplies,
+    CheckpointCorruption,
     ClockFreeze,
     ClockRace,
     ClockStep,
@@ -50,6 +51,7 @@ from .schedule import (
     MessageReorder,
     PartitionFault,
     ServerCrash,
+    TornCheckpoint,
 )
 
 
@@ -78,6 +80,8 @@ class FaultInjector(SimProcess):
             reproducible.  None makes per-message probabilities behave as
             certainties (useful in unit tests).
         trace: Optional trace recorder (fault applications are recorded).
+        store: The service's stable store, if it has one — target of the
+            checkpoint-corruption/torn-write events (skipped otherwise).
         name: Process name (shows up in trace rows).
     """
 
@@ -90,6 +94,7 @@ class FaultInjector(SimProcess):
         *,
         rng: Optional[np.random.Generator] = None,
         trace: Optional[TraceRecorder] = None,
+        store=None,
         name: str = "chaos",
     ) -> None:
         super().__init__(engine, name)
@@ -97,6 +102,7 @@ class FaultInjector(SimProcess):
         self.servers = dict(servers)
         self.schedule = schedule
         self.trace = trace
+        self.store = store
         self.stats = InjectorStats()
         self._rng = rng
         self._link_down_counts: Dict[Tuple[str, str], int] = {}
@@ -250,14 +256,39 @@ class FaultInjector(SimProcess):
         server = self.servers.get(event.server)
         if server is None:
             return
-        server.leave()
+        # Servers with the recovery subsystem take the crash/restart
+        # path: the restart rebuilds the interval from the stable store
+        # (warm) and only uses rejoin_error as the cold-start fallback.
+        crash = getattr(server, "crash", None)
+        if callable(crash):
+            crash()
+        else:
+            server.leave()
         self.call_after(
             event.downtime, lambda: self._server_rejoin(server, event.rejoin_error)
         )
 
     def _server_rejoin(self, server: TimeServer, rejoin_error: float) -> None:
-        if server.departed:
+        if not server.departed:
+            return
+        restart = getattr(server, "restart", None)
+        if callable(restart):
+            restart(cold_error=rejoin_error)
+        else:
             server.rejoin(rejoin_error)
+
+    def _apply_CheckpointCorruption(self, event: CheckpointCorruption) -> None:
+        if self.store is None:
+            self._trace_fault(event, note="skipped: no stable store")
+            return
+        if not self.store.corrupt(event.server):
+            self._trace_fault(event, note="skipped: no checkpoint slot")
+
+    def _apply_TornCheckpoint(self, event: TornCheckpoint) -> None:
+        if self.store is None:
+            self._trace_fault(event, note="skipped: no stable store")
+            return
+        self.store.tear(event.server)
 
     def _apply_ClockStep(self, event: ClockStep) -> None:
         server = self.servers.get(event.server)

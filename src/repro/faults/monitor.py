@@ -116,6 +116,9 @@ class InvariantMonitor(SimProcess):
         self.violations: List[Violation] = []
         windows = schedule.server_fault_windows() if schedule is not None else []
         self._windows: List[FaultWindow] = windows
+        self._crash_windows: List[FaultWindow] = (
+            schedule.crash_windows() if schedule is not None else []
+        )
         # Taint state: closed dirty intervals plus the open one, if any.
         self._dirty_spans: Dict[str, List[Tuple[float, float]]] = {}
         self._dirty_since: Dict[str, float] = {}
@@ -162,6 +165,18 @@ class InvariantMonitor(SimProcess):
         return any(
             w.server == server and w.start <= t <= w.end + pad
             for w in self._windows
+        )
+
+    def _in_crash_window(self, server: str, t: float) -> bool:
+        """Whether a scheduled crash keeps ``server`` exempt at ``t``.
+
+        The departed flag covers the downtime itself; the window (plus
+        grace) also covers the revival instant, so a restarted server
+        re-enters the checks as non-faulty only once this expires.
+        """
+        return any(
+            w.server == server and w.start <= t <= w.end + self.grace
+            for w in self._crash_windows
         )
 
     def _poisoned_source(self, source: str, t: float) -> bool:
@@ -235,7 +250,11 @@ class InvariantMonitor(SimProcess):
         clean: Dict[str, TimeInterval] = {}
         for name in sorted(self.servers):
             server = self.servers[name]
-            if server.departed or self.is_dirty(name):
+            if (
+                server.departed
+                or self.is_dirty(name)
+                or self._in_crash_window(name, t)
+            ):
                 self.stats.exemptions += 1
                 continue
             value, error = server.report()

@@ -33,6 +33,8 @@ pathologies the paper assumes away):
 :class:`MessageDuplication` messages delivered twice
 :class:`MessageReorder` messages randomly delayed so later ones overtake
 :class:`ServerCrash`   server leaves, rejoins later with a fresh error
+:class:`CheckpointCorruption` server's stored checkpoint is garbled in place
+:class:`TornCheckpoint` server's next checkpoint write persists torn
 :class:`ClockStep`     clock silently jumps (server bookkeeping unaware)
 :class:`ClockFreeze`   clock stops for a window ("stopping" failure)
 :class:`ClockRace`     clock races beyond its claimed δ for a window
@@ -160,6 +162,30 @@ class ServerCrash(FaultEvent):
     server: str = ""
     downtime: float = 120.0
     rejoin_error: float = 2.0
+
+
+@dataclass(frozen=True)
+class CheckpointCorruption(FaultEvent):
+    """``server``'s stored checkpoint is garbled in place (bit rot).
+
+    Only meaningful for services with a stable store
+    (:class:`~repro.recovery.store.StableStore`); the injector skips it
+    otherwise.  The next restart must detect the checksum mismatch and
+    fall back to a cold start.
+    """
+
+    server: str = ""
+
+
+@dataclass(frozen=True)
+class TornCheckpoint(FaultEvent):
+    """``server``'s *next* checkpoint write is torn (crash mid-write).
+
+    The store persists only a prefix of the record; the next restart must
+    detect it and fall back to a cold start.
+    """
+
+    server: str = ""
 
 
 @dataclass(frozen=True)
@@ -307,6 +333,22 @@ class FaultSchedule:
                     )
                 )
         return windows
+
+    def crash_windows(self) -> List[FaultWindow]:
+        """Downtime windows of every :class:`ServerCrash`.
+
+        The monitor exempts a server from invariant checks while a crash
+        window (plus its grace) is open — the departed flag already covers
+        the downtime itself, but the window also covers the revival
+        instant, so a restarted server re-enters the checks as non-faulty
+        only once its exemption expires.  ``taints_self`` is False: a
+        crash never corrupts the clock, it only stops the server.
+        """
+        return [
+            FaultWindow(event.server, event.at, event.at + event.downtime, False)
+            for event in self._events
+            if isinstance(event, ServerCrash)
+        ]
 
     # ------------------------------------------------------------- sampling
 

@@ -1,0 +1,225 @@
+"""An online consistency census, gossip-fed over poll replies.
+
+The analysis layer (:mod:`repro.analysis.consistency_graph`) can show the
+Figure 4 partition *post hoc*, from an oracle snapshot of every interval.
+A live server has no oracle: it only learns, one poll round at a time,
+whether each neighbour's reply intersected its own interval.  The census
+turns those local verdicts into an approximate global consistency graph:
+
+* every poll reply a server judges yields a **direct verdict**
+  ``(me, neighbour, ok)``;
+* every reply a server *sends* piggybacks its current fresh verdicts as
+  ``(observer, subject, ok, age)`` quadruples, so verdicts gossip across
+  the topology (a server two hops from a conflict still learns about it);
+* verdicts expire after a freshness ``horizon`` of local-clock seconds —
+  the census describes the *current* grouping, not history.  Ages ride
+  along in the gossip and accumulate across relays, so a verdict cannot
+  circulate forever.
+
+Clock-rate caveat: ages are exchanged in the sender's local seconds and
+re-anchored on the receiver's clock.  With drift rates of order δ the
+error this introduces in a freshness comparison is ``O(δ·horizon)`` —
+microseconds against horizons of minutes — so the census deliberately
+ignores it.
+
+From the assembled verdicts a server can ask for the consistency groups
+(maximal cliques, exactly as the analysis layer computes them), whether
+the service looks partitioned, and the **support** a candidate arbiter
+enjoys: the fraction of fresh census edges touching the candidate that
+are consistent.  The stabilizer (:mod:`repro.recovery.stabilizer`) vets
+arbiters on that support instead of trusting "any third server".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Wire form of one gossiped verdict: (observer, subject, ok, age_seconds).
+CensusTriple = Tuple[str, str, bool, float]
+
+
+@dataclass(frozen=True)
+class CensusEntry:
+    """One pairwise verdict as currently known to the holding server.
+
+    Attributes:
+        observer: The server that judged the pair.
+        subject: The server it judged.
+        ok: Whether the observer found the subject consistent with itself.
+        stamp: Holder-local clock value at which the verdict was current
+            (for relayed verdicts: merge time minus the carried age).
+        direct: Whether the holder observed this verdict itself, as
+            opposed to learning it via gossip.
+    """
+
+    observer: str
+    subject: str
+    ok: bool
+    stamp: float
+    direct: bool
+
+
+class ConsistencyCensus:
+    """The gossip-fed pairwise-consistency state of one server.
+
+    Args:
+        owner: The holding server's name (its own verdicts are *direct*).
+        horizon: Freshness horizon in holder-local clock seconds; verdicts
+            older than this are ignored and not re-gossiped.
+    """
+
+    def __init__(self, owner: str, horizon: float = 600.0) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.owner = owner
+        self.horizon = float(horizon)
+        self._entries: Dict[Tuple[str, str], CensusEntry] = {}
+
+    # ------------------------------------------------------------- feeding
+
+    def observe(self, subject: str, ok: bool, now_local: float) -> None:
+        """Record a direct verdict: the owner judged ``subject`` just now."""
+        self._entries[(self.owner, subject)] = CensusEntry(
+            observer=self.owner,
+            subject=subject,
+            ok=ok,
+            stamp=now_local,
+            direct=True,
+        )
+
+    def merge(self, triples: Iterable[CensusTriple], now_local: float) -> int:
+        """Fold gossiped verdicts in; returns how many were accepted.
+
+        A relayed verdict is re-anchored at ``now_local - age`` and only
+        replaces what the owner already knows when it is *fresher* — in
+        particular it never clobbers a newer direct observation, and an
+        already-expired relay is dropped on arrival.
+        """
+        accepted = 0
+        for observer, subject, ok, age in triples:
+            if observer == self.owner:
+                continue  # our own verdicts round-tripped; direct state wins
+            stamp = now_local - max(0.0, age)
+            if now_local - stamp > self.horizon:
+                continue
+            key = (observer, subject)
+            existing = self._entries.get(key)
+            if existing is not None and existing.stamp >= stamp:
+                continue
+            self._entries[key] = CensusEntry(
+                observer=observer,
+                subject=subject,
+                ok=ok,
+                stamp=stamp,
+                direct=False,
+            )
+            accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------ exporting
+
+    def fresh_entries(self, now_local: float) -> List[CensusEntry]:
+        """Every verdict still inside the freshness horizon."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if now_local - entry.stamp <= self.horizon
+        ]
+
+    def export(self, now_local: float) -> Tuple[CensusTriple, ...]:
+        """The fresh verdicts in wire form, ready to piggyback on a reply."""
+        return tuple(
+            (entry.observer, entry.subject, entry.ok, now_local - entry.stamp)
+            for entry in sorted(
+                self.fresh_entries(now_local),
+                key=lambda e: (e.observer, e.subject),
+            )
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def edge_verdicts(self, now_local: float) -> Dict[frozenset, bool]:
+        """Collapse fresh verdicts to per-pair booleans.
+
+        A pair is judged consistent only when every fresh verdict about it
+        (either direction, any observer) says so: consistency is symmetric
+        in truth, so one fresh "inconsistent" from either side condemns
+        the edge even if the other side's older view disagreed.
+        """
+        verdicts: Dict[frozenset, bool] = {}
+        for entry in self.fresh_entries(now_local):
+            pair = frozenset((entry.observer, entry.subject))
+            if len(pair) != 2:
+                continue
+            verdicts[pair] = verdicts.get(pair, True) and entry.ok
+        return verdicts
+
+    def groups(
+        self, nodes: Iterable[str], now_local: float
+    ) -> List[tuple[str, ...]]:
+        """The consistency groups implied by the fresh census.
+
+        Maximal cliques of the verdict graph, exactly as the analysis
+        layer computes them from oracle intervals — largest first.  Nodes
+        without any fresh edge appear as singleton groups.
+        """
+        # Imported here, not at module top: the analysis package pulls in
+        # the service builder, which builds recovery servers — a cycle.
+        from ..analysis.consistency_graph import groups_from_verdicts
+
+        edges = [
+            tuple(sorted(pair))
+            for pair, ok in self.edge_verdicts(now_local).items()
+            if ok
+        ]
+        return groups_from_verdicts(nodes, edges)
+
+    def partitioned(self, nodes: Iterable[str], now_local: float) -> bool:
+        """Whether the fresh census shows more than one consistency group."""
+        return len(self.groups(nodes, now_local)) > 1
+
+    def support(
+        self,
+        candidate: str,
+        now_local: float,
+        exclude: Iterable[str] = (),
+    ) -> Optional[float]:
+        """The fraction of fresh census edges at ``candidate`` that are ok.
+
+        Args:
+            candidate: The prospective arbiter.
+            now_local: The owner's current local clock value.
+            exclude: Servers whose edges with the candidate are not
+                counted — the stabilizer excludes the recovering server
+                itself, since a server in the wrong group would otherwise
+                vote down every good arbiter.
+
+        Returns:
+            ``ok_edges / total_edges`` over the counted pairs, or None
+            when the census has no fresh edge for the candidate at all
+            (the caller must then fall back to a censusless choice).
+        """
+        excluded = set(exclude)
+        total = 0
+        ok_count = 0
+        for pair, ok in self.edge_verdicts(now_local).items():
+            if candidate not in pair:
+                continue
+            (other,) = pair - {candidate}
+            if other in excluded:
+                continue
+            total += 1
+            if ok:
+                ok_count += 1
+        if total == 0:
+            return None
+        return ok_count / total
+
+    def forget(self, subject: str) -> None:
+        """Drop every verdict involving ``subject`` (it left the service)."""
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if subject not in key
+        }

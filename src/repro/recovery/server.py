@@ -1,0 +1,286 @@
+"""A time server with durable state, a live census, and merge epochs.
+
+:class:`SelfStabilizingServer` is the integration point of the recovery
+subsystem.  On top of :class:`~repro.service.rate_tracking.
+RateTrackingServer` (whose Section 5 consonance machinery the stabilizer's
+veto needs) it adds:
+
+* **Checkpointing** — every ``checkpoint_period`` local seconds the MM-1
+  state ``<C, E, rate estimate, epoch>`` goes to the shared
+  :class:`~repro.recovery.store.StableStore`; a merge also checkpoints
+  immediately, so the newly-adopted group survives a crash.
+* **Crash/restart** — :meth:`crash` is an abrupt kill (no farewell
+  protocol); :meth:`restart` rebuilds the interval from the checkpoint by
+  inflating the stored ``E`` by ``max(δ, |rate estimate|)`` per local
+  second of downtime.  The clock kept drifting while the server was down
+  and the checkpoint interval contained true time when written, so the
+  inflated interval still does — Theorem 1 carried through the outage.
+  A missing, corrupt, torn, or stale checkpoint falls back to the
+  cold-start bootstrap (the operator-set ``cold_error``), exactly like
+  the paper's rejoin path.  Every restart appends a
+  :class:`RestartReport` recording whether the rebuilt interval was
+  actually correct at revival (oracle check, for experiments and tests).
+* **Census** — each judged poll reply feeds a direct verdict into the
+  :class:`~repro.recovery.census.ConsistencyCensus`; outgoing replies
+  piggyback the fresh census (gossip) and the server's merge epoch.
+* **Epochs** — a counter bumped on every applied merge (recovery reset),
+  adopting ``max(own, arbiter's) + 1`` so epoch order tracks "how
+  recently consolidated" a group is; the stabilizer breaks ties on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.sync import Reply
+from ..service.messages import TimeReply
+from ..service.rate_tracking import RateTrackingServer
+from .census import ConsistencyCensus
+from .stabilizer import StabilizerConfig
+from .store import Checkpoint, StableStore
+
+
+@dataclass(frozen=True)
+class RestartReport:
+    """What one restart did, scored by the oracle at the instant of revival.
+
+    Attributes:
+        server: The restarting server.
+        at: True (simulation) time of the restart.
+        warm: True when the interval was rebuilt from a checkpoint,
+            False on a cold-start bootstrap.
+        downtime_local: Local-clock seconds between the last checkpoint
+            and the restart (0.0 for cold starts).
+        rebuilt_error: The ``ε`` the server came back with.
+        correct: Whether the rebuilt interval contained true time at
+            revival — the acceptance oracle for warm restarts.
+    """
+
+    server: str
+    at: float
+    warm: bool
+    downtime_local: float
+    rebuilt_error: float
+    correct: bool
+
+
+class SelfStabilizingServer(RateTrackingServer):
+    """A rate-tracking server wired into the recovery subsystem.
+
+    Accepts all :class:`RateTrackingServer` arguments plus:
+
+    Args:
+        store: The shared simulated stable store (one per service).
+        stabilizer_config: Subsystem knobs; also consumed by a bound
+            :class:`~repro.recovery.stabilizer.SelfStabilizingRecovery`.
+            Defaults to :class:`StabilizerConfig`'s defaults.
+    """
+
+    def __init__(
+        self,
+        *args,
+        store: StableStore,
+        stabilizer_config: Optional[StabilizerConfig] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._store = store
+        self._config = (
+            stabilizer_config if stabilizer_config is not None else StabilizerConfig()
+        )
+        self.census = ConsistencyCensus(
+            owner=self.name, horizon=self._config.census_horizon
+        )
+        self.epoch = 0
+        self.last_merge_local: Optional[float] = None
+        self.restart_reports: List[RestartReport] = []
+        self._neighbour_epochs: Dict[str, int] = {}
+        self._checkpoint_seq = 0
+        self._pending_arbiter_epoch: Optional[int] = None
+        # A bindable strategy (SelfStabilizingRecovery) gets its server.
+        bind = getattr(self.recovery, "bind", None)
+        if callable(bind):
+            bind(self)
+
+    @property
+    def stabilizer_config(self) -> StabilizerConfig:
+        """The subsystem configuration this server runs with."""
+        return self._config
+
+    def epoch_of(self, neighbour: str) -> int:
+        """The neighbour's last gossiped merge epoch (0 when unheard)."""
+        return self._neighbour_epochs.get(neighbour, 0)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._schedule_checkpoints()
+
+    def _schedule_checkpoints(self) -> None:
+        self.every(
+            self._config.checkpoint_period,
+            self._write_checkpoint,
+            first_at=self.now + self._config.checkpoint_period,
+        )
+
+    def rejoin(self, initial_error: float) -> None:
+        was_departed = self.departed
+        super().rejoin(initial_error)
+        # leave()/crash() cancelled every periodic task, including the
+        # checkpointer; polling is re-armed by the base rejoin, the
+        # checkpointer here.
+        if was_departed and not self.departed:
+            self._schedule_checkpoints()
+
+    # --------------------------------------------------------- checkpointing
+
+    def _own_rate_estimate(self) -> float:
+        """Best guess at the *local* oscillator's skew magnitude.
+
+        The rate machinery measures separation against neighbours, not the
+        local skew directly.  When the common-mode test says the local
+        clock is the problem, the largest dissonant separation rate is a
+        (conservative) bound on our own skew; otherwise the local clock is
+        behaving and 0.0 — i.e. the claimed δ — is the right inflation.
+        """
+        if not self.self_suspect():
+            return 0.0
+        rates = [
+            abs(report.estimate.rate)
+            for report in self.rate_reports().values()
+            if report.consonant is False and report.estimate is not None
+        ]
+        return max(rates, default=0.0)
+
+    def _write_checkpoint(self) -> None:
+        if self.departed:
+            return
+        value, error = self.report()
+        self._checkpoint_seq += 1
+        self._store.write(
+            Checkpoint(
+                server=self.name,
+                clock_value=value,
+                error=error,
+                rate_estimate=self._own_rate_estimate(),
+                epoch=self.epoch,
+                sequence=self._checkpoint_seq,
+            )
+        )
+        self._trace("checkpoint", clock_value=value, error=error)
+
+    # --------------------------------------------------------- crash/restart
+
+    def crash(self) -> None:
+        """Abrupt kill: stop serving and polling; the clock keeps drifting.
+
+        Unlike a graceful :meth:`leave`, a crash is what the checkpoint
+        subsystem exists for — the last durable state is whatever the
+        periodic checkpointer managed to persist.
+        """
+        if self.departed:
+            return
+        self._trace("crash")
+        self.leave()
+
+    def restart(self, cold_error: float) -> Optional[RestartReport]:
+        """Come back from a crash, warm if the stable store allows it.
+
+        Args:
+            cold_error: The operator-set ε used when no usable checkpoint
+                exists (missing, corrupt, torn, or stale) — the paper's
+                original rejoin bootstrap.
+
+        Returns:
+            The :class:`RestartReport` for this revival, or None if the
+            server was not down.
+        """
+        if not self.departed:
+            return None
+        checkpoint = self._store.read(self.name)
+        now_local = self.clock.read(self.now)
+        warm = False
+        downtime_local = 0.0
+        if checkpoint is not None:
+            downtime_local = now_local - checkpoint.clock_value
+            if 0.0 <= downtime_local <= self._config.checkpoint_stale_after:
+                # ρ·downtime inflation: the clock drifted at most
+                # max(δ, measured |skew|) per local second while down.
+                rho = max(self.delta, abs(checkpoint.rate_estimate))
+                rebuilt = checkpoint.error + downtime_local * rho
+                self.rejoin(rebuilt)
+                self.epoch = checkpoint.epoch
+                warm = True
+        if not warm:
+            downtime_local = 0.0
+            self.rejoin(cold_error)
+        report = RestartReport(
+            server=self.name,
+            at=self.now,
+            warm=warm,
+            downtime_local=downtime_local,
+            rebuilt_error=self.epsilon,
+            correct=self.is_correct(),
+        )
+        self.restart_reports.append(report)
+        self._trace(
+            "restart",
+            warm=warm,
+            rebuilt_error=report.rebuilt_error,
+            correct=report.correct,
+        )
+        return report
+
+    # ------------------------------------------------------- census plumbing
+
+    def _reply_extras(self) -> dict:
+        now_local = self.clock_value()
+        return {
+            "epoch": self.epoch,
+            "verdicts": self.census.export(now_local),
+        }
+
+    def _observe_reply(
+        self, reply: TimeReply, rtt_local: float, local_now: float
+    ) -> None:
+        super()._observe_reply(reply, rtt_local, local_now)
+        self._neighbour_epochs[reply.server] = reply.epoch
+        self.census.merge(reply.verdicts, local_now)
+        # Direct verdict: same consistency judgment the policies use —
+        # the reply aged across its transit against the local interval.
+        judged = Reply(
+            server=reply.server,
+            clock_value=reply.clock_value,
+            error=reply.error,
+            rtt_local=rtt_local,
+        )
+        ok = judged.transit_interval(self.delta).intersects(
+            self.local_state().interval
+        )
+        self.census.observe(reply.server, ok, local_now)
+
+    # ---------------------------------------------------------------- merges
+
+    def _handle_recovery_reply(self, reply: TimeReply) -> None:
+        self._pending_arbiter_epoch = reply.epoch
+        self._neighbour_epochs[reply.server] = reply.epoch
+        try:
+            super()._handle_recovery_reply(reply)
+        finally:
+            self._pending_arbiter_epoch = None
+
+    def _apply_reset(self, decision, kind: str) -> None:
+        super()._apply_reset(decision, kind)
+        if kind != "recovery":
+            return
+        peer_epoch = (
+            self._pending_arbiter_epoch
+            if self._pending_arbiter_epoch is not None
+            else self.epoch
+        )
+        self.epoch = max(self.epoch, peer_epoch) + 1
+        self.last_merge_local = self.clock_value()
+        # A merge is a state the group must not lose to a crash.
+        self._write_checkpoint()

@@ -22,6 +22,9 @@ from ..core.recovery import RecoveryStrategy
 from ..core.sync import SynchronizationPolicy
 from ..network.delay import DelayModel, UniformDelay
 from ..network.transport import Network
+from ..recovery.server import SelfStabilizingServer
+from ..recovery.stabilizer import StabilizerConfig
+from ..recovery.store import StableStore
 from ..simulation.engine import SimulationEngine
 from ..simulation.rng import RngRegistry
 from ..simulation.trace import TraceRecorder
@@ -66,6 +69,11 @@ class ServerSpec:
             :class:`~repro.service.discipline.DiscipliningServer` that
             trims its own frequency from the measured neighbour rates
             (implies ``rate_tracking``).
+        self_stabilizing: Build a
+            :class:`~repro.recovery.server.SelfStabilizingServer`
+            (checkpointing, consistency census, merge epochs — implies
+            ``rate_tracking``); all such servers share the service's
+            :class:`~repro.recovery.store.StableStore`.
     """
 
     name: str
@@ -77,6 +85,7 @@ class ServerSpec:
     polls: bool = True
     rate_tracking: bool = False
     discipline: bool = False
+    self_stabilizing: bool = False
 
 
 @dataclass(frozen=True)
@@ -148,6 +157,7 @@ class SimulatedService:
         trace: TraceRecorder,
         xi: float,
         tau: Optional[float],
+        stable_store: Optional[StableStore] = None,
     ) -> None:
         self.engine = engine
         self.network = network
@@ -156,6 +166,7 @@ class SimulatedService:
         self.trace = trace
         self.xi = xi
         self.tau = tau
+        self.stable_store = stable_store
         self.clients: List[TimeClient] = []
 
     # --------------------------------------------------------------- control
@@ -247,6 +258,7 @@ def build_service(
     start: bool = True,
     stagger_polls: bool = True,
     hardening: Optional[HardeningConfig] = None,
+    stabilizer: Optional[StabilizerConfig] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -274,6 +286,10 @@ def build_service(
             configuration (reply validation, retries, adaptive timeouts,
             neighbour quarantine).  Reference, rate-tracking and
             disciplining servers are unaffected.
+        stabilizer: Recovery-subsystem knobs for servers with
+            ``self_stabilizing=True`` (checkpoint cadence, census
+            horizon, merge hysteresis); None uses
+            :class:`~repro.recovery.stabilizer.StabilizerConfig` defaults.
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -322,6 +338,9 @@ def build_service(
             phase[name] = tau * (k + 1) / (len(polling_names) + 1)
 
     servers: Dict[str, TimeServer] = {}
+    stable_store: Optional[StableStore] = None
+    if any(spec.self_stabilizing for spec in specs):
+        stable_store = StableStore()
     for spec in specs:
         if spec.reference:
             server: TimeServer = ReferenceServer(
@@ -342,6 +361,12 @@ def build_service(
             if spec.discipline:
                 clock = DisciplinedClock(clock)
                 server_class = DiscipliningServer
+            elif spec.self_stabilizing:
+                server_class = SelfStabilizingServer
+                extra = {
+                    "store": stable_store,
+                    "stabilizer_config": stabilizer,
+                }
             elif spec.rate_tracking:
                 server_class = RateTrackingServer
             elif hardening is not None and server_policy is not None:
@@ -371,7 +396,14 @@ def build_service(
         servers[spec.name] = server
 
     service = SimulatedService(
-        engine, network, servers, rng, trace, xi=network.xi, tau=tau
+        engine,
+        network,
+        servers,
+        rng,
+        trace,
+        xi=network.xi,
+        tau=tau,
+        stable_store=stable_store,
     )
     if start:
         service.start()

@@ -475,10 +475,20 @@ class HardenedTimeServer(TimeServer):
         if inflight is None or inflight[0] != request_id:
             return
         retry = self.hardening.retry
+        _request_id, arbiter, _sent_local = inflight
+        quarantine = self.hardening.quarantine
+        if quarantine is not None and self._health(arbiter).is_quarantined(
+            self.now
+        ):
+            # The arbiter was benched after this recovery started (its
+            # silence may be what benched it): retrying the same benched
+            # server would just extend the outage — abandon instead, and
+            # the next inconsistency picks a fresh arbiter.
+            super()._recovery_timeout(request_id)
+            return
         if self._recovery_attempts + 1 < retry.max_attempts:
             self._recovery_attempts += 1
             self.hardening_stats.recovery_retries += 1
-            _request_id, arbiter, _sent_local = inflight
             self.network.send(
                 self.name,
                 arbiter,

@@ -63,6 +63,13 @@ class TimeReply:
             Not used by rules MM-2/IM-2 (the paper's replies carry only
             ``<C, E>``), but needed by the Section 5 consonance machinery,
             whose predicate is ``|rate| <= δ_i + δ_j``.
+        epoch: The answering server's consistency-group merge epoch
+            (0 for servers without the recovery subsystem); lets the
+            stabilizer prefer arbiters from recently-consolidated groups.
+        verdicts: Piggybacked consistency-census gossip — a tuple of
+            ``(observer, subject, ok, age)`` quadruples (empty for servers
+            without the recovery subsystem).  See
+            :mod:`repro.recovery.census`.
     """
 
     request_id: int
@@ -72,6 +79,8 @@ class TimeReply:
     error: float
     kind: RequestKind = RequestKind.POLL
     delta: float = 0.0
+    epoch: int = 0
+    verdicts: tuple = ()
 
     @property
     def interval(self) -> TimeInterval:

@@ -154,6 +154,8 @@ class TimeServer(SimProcess):
         self._last_reset_value: Optional[float] = None  # r_i; set on start
         self._round: Optional[_PollRound] = None
         self._round_counter = 0
+        self._round_inconsistent: set[str] = set()
+        self._prev_round_inconsistent: set[str] = set()
         self._recovery_inflight: Optional[tuple[int, str, float]] = None
         self._recovery_counter = 10_000_000  # distinct id space from rounds
         self._departed = False
@@ -267,6 +269,8 @@ class TimeServer(SimProcess):
         self._rejoin_count += 1
         self._epsilon = float(initial_error)
         self._last_reset_value = self.clock.read(self.now)
+        self._round_inconsistent = set()
+        self._prev_round_inconsistent = set()
         if self.policy is not None and self.tau is not None:
             # Re-derive a deterministic phase offset: churn tends to fire
             # rejoins at correlated times (e.g. after a healed partition),
@@ -305,8 +309,18 @@ class TimeServer(SimProcess):
             error=error,
             kind=request.kind,
             delta=self.delta,
+            **self._reply_extras(),
         )
         self.network.send(self.name, request.origin, reply)
+
+    def _reply_extras(self) -> dict:
+        """Hook: extra :class:`TimeReply` fields for outgoing answers.
+
+        The base server's replies carry exactly the paper's payload;
+        :class:`~repro.recovery.server.SelfStabilizingServer` piggybacks
+        its merge epoch and census gossip here.
+        """
+        return {}
 
     # -------------------------------------------------------------- polling
 
@@ -328,6 +342,8 @@ class TimeServer(SimProcess):
         # A still-open previous round is closed first (slow networks).
         if self._round is not None and not self._round.closed:
             self._complete_round(self._round)
+        self._prev_round_inconsistent = self._round_inconsistent
+        self._round_inconsistent = set()
         self._round_counter += 1
         round_ = _PollRound(round_id=self._round_counter)
         self._round = round_
@@ -497,14 +513,32 @@ class TimeServer(SimProcess):
     def _note_inconsistency(self, conflicting: tuple[str, ...]) -> None:
         self.stats.inconsistencies += 1
         self._trace("inconsistent", conflicting=",".join(conflicting))
+        self._round_inconsistent.update(conflicting)
         if self.recovery is None:
             return
         self.recovery.note_inconsistency()
         if self._recovery_inflight is not None:
             return  # one recovery at a time
-        arbiter = self.recovery.choose_arbiter(
-            self.name, self.network.neighbours(self.name), conflicting
+        # Exclude every neighbour flagged inconsistent this round *or*
+        # the previous one, not just the servers in this event: with MM's
+        # incremental evaluation the recovery fires on the round's first
+        # inconsistent reply, before the second liar of a Figure 4 pair
+        # has been flagged this round — the previous round's flags are
+        # what stop the arbiter being that second liar.
+        flagged = self._round_inconsistent | self._prev_round_inconsistent
+        banned = tuple(conflicting) + tuple(
+            sorted(flagged - set(conflicting))
         )
+        neighbours = self.network.neighbours(self.name)
+        arbiter = self.recovery.choose_arbiter(self.name, neighbours, banned)
+        if arbiter is None and set(banned) != set(conflicting):
+            # The widened ban starved the choice — a server whose *own*
+            # clock is bad flags every neighbour, and refusing to recover
+            # at all would strand it.  Under the paper's rule some arbiter
+            # beats none: retry banning only this event's conflicting set.
+            arbiter = self.recovery.choose_arbiter(
+                self.name, neighbours, conflicting
+            )
         if arbiter is None:
             return
         self._recovery_counter += 1

@@ -57,6 +57,7 @@ def test_registry_complete():
         "delay_asymmetry": "asymmetry",
         "churn": "churn",
         "chaos_soak": "chaos-soak",
+        "figure4_repair": "figure4-repair",
     }
     registered = set(EXPERIMENTS)
     for module_name in expected:
