@@ -1,0 +1,114 @@
+"""The adaptive per-round fault budget ``f``.
+
+A fixed budget is either wasteful (tolerating faults that are not there
+costs intersection tightness — Theorem 6's dominance shrinks as ``f``
+grows) or insufficient (a second liar appears and the round collapses to
+the plain fallback).  The controller follows the evidence:
+
+* **raise** — when a round detects falsetickers beyond the current
+  budget, or fails to find any tolerant intersection at all, the budget
+  steps up; :meth:`FaultBudgetController.current` caps the effective
+  value at ``(n - 1) // 2`` so ``2f < n`` always holds.
+* **decay** — after ``decay_after`` consecutive clean rounds (tolerant,
+  no falsetickers) the budget steps back down toward ``minimum``.
+* **floor** — the owning server pins a temporary floor at the number of
+  *known* (classified) falsetickers it is currently polling, so a probe
+  round that readmits a benched liar is already budgeted for it.
+
+The value survives a crash: it rides in the PR-2 checkpoint next to the
+reputation blob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultBudgetConfig:
+    """Tuning knobs for the adaptive budget.
+
+    Attributes:
+        initial: Budget at start.
+        minimum: Budget never decays below this.
+        decay_after: Consecutive clean rounds before one decay step.
+    """
+
+    initial: int = 1
+    minimum: int = 1
+    decay_after: int = 4
+
+
+@dataclass
+class BudgetStats:
+    """What the controller did (analysis and tests)."""
+
+    raises: int = 0
+    decays: int = 0
+
+
+class FaultBudgetController:
+    """Evidence-driven fault budget, pluggable into ``FTIMPolicy``.
+
+    Exposes ``current(n_sources)`` — the protocol
+    :class:`~repro.core.ft_im.FTIMPolicy` accepts as ``fault_budget``.
+
+    Args:
+        config: Tuning knobs; defaults to :class:`FaultBudgetConfig`.
+    """
+
+    def __init__(self, config: Optional[FaultBudgetConfig] = None) -> None:
+        self.config = config if config is not None else FaultBudgetConfig()
+        if self.config.minimum < 0 or self.config.initial < self.config.minimum:
+            raise ValueError(
+                f"need 0 <= minimum <= initial, got {self.config}"
+            )
+        self.value = self.config.initial
+        self.stats = BudgetStats()
+        self._clean_streak = 0
+        self._floor = 0
+
+    def current(self, n_sources: int) -> int:
+        """The budget for a round of ``n_sources``, honouring ``2f < n``."""
+        cap = max(0, (n_sources - 1) // 2)
+        return min(max(self.value, self._floor), cap)
+
+    def set_floor(self, known_falsetickers: int) -> None:
+        """Pin a temporary floor (classified liars in this round's poll)."""
+        self._floor = max(0, int(known_falsetickers))
+
+    def note_round(
+        self, *, falsetickers: int, tolerated: bool, n_sources: int
+    ) -> None:
+        """Fold in one completed round's outcome.
+
+        Args:
+            falsetickers: Sources the round classified incorrect (0 for a
+                plain-fallback round — it classifies nothing).
+            tolerated: Whether the round ended consistent (a tolerant
+                intersection was accepted, or the plain fallback found
+                unanimity).
+            n_sources: Sources the round considered.
+        """
+        cap = max(0, (n_sources - 1) // 2)
+        if not tolerated or falsetickers > self.value:
+            # Evidence of more liars than budgeted: step up, jumping
+            # straight to the observed falseticker count when larger.
+            raised = min(max(self.value + 1, falsetickers), max(cap, self.config.minimum))
+            if raised > self.value:
+                self.value = raised
+                self.stats.raises += 1
+            self._clean_streak = 0
+            return
+        if falsetickers > 0:
+            self._clean_streak = 0
+            return
+        self._clean_streak += 1
+        if (
+            self._clean_streak >= self.config.decay_after
+            and self.value > self.config.minimum
+        ):
+            self.value -= 1
+            self.stats.decays += 1
+            self._clean_streak = 0

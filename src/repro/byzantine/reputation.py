@@ -1,0 +1,173 @@
+"""Per-neighbour truechimer/falseticker reputation.
+
+A single lying round proves little — honest servers look like
+falsetickers for a round after a bad reset, and a liar may lie subtly
+enough to survive one classification.  The tracker therefore smooths
+per-round verdicts into an EWMA score per neighbour and classifies with
+*hysteresis*: a neighbour becomes a falseticker only when its score falls
+below ``falseticker_below`` (after ``min_observations`` verdicts) and is
+rehabilitated only when the score climbs back above ``truechimer_above``.
+Three kinds of evidence feed the score:
+
+* a round's truechimer classification (score pulled toward 1),
+* a round's falseticker classification (score pulled toward 0),
+* a reply-validation failure (also toward 0 — a reply so broken it never
+  reached the policy is at least as damning as a classified lie).
+
+The tracker serialises to a compact string so
+:class:`~repro.recovery.store.Checkpoint` can carry it across a crash:
+a warm-restarted server remembers who was lying before it went down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ReputationConfig:
+    """Tuning knobs for the reputation tracker.
+
+    Attributes:
+        alpha: EWMA gain per observation.
+        falseticker_below: Classify as falseticker when the score drops
+            below this (with enough observations).
+        truechimer_above: Rehabilitate when the score climbs above this —
+            the gap to ``falseticker_below`` is the hysteresis band.
+        min_observations: Verdicts required before any classification
+            (protects a freshly-met neighbour from one unlucky round).
+        initial_score: Score a neighbour starts from (trusted).
+    """
+
+    alpha: float = 0.35
+    falseticker_below: float = 0.35
+    truechimer_above: float = 0.6
+    min_observations: int = 3
+    initial_score: float = 1.0
+
+
+@dataclass
+class NeighbourReputation:
+    """Mutable reputation record for one neighbour.
+
+    Attributes:
+        score: EWMA of verdicts in ``[0, 1]`` (1 = always truechimer).
+        observations: Total verdicts folded in.
+        classified_falseticker: Current classification.
+        truechimer_rounds: Rounds this neighbour was judged correct.
+        falseticker_rounds: Rounds it was judged incorrect.
+        validation_failures: Replies rejected before reaching the policy.
+    """
+
+    score: float = 1.0
+    observations: int = 0
+    classified_falseticker: bool = False
+    truechimer_rounds: int = 0
+    falseticker_rounds: int = 0
+    validation_failures: int = 0
+
+
+class ReputationTracker:
+    """EWMA-with-hysteresis reputation over round classifications.
+
+    Args:
+        config: Tuning knobs; defaults to :class:`ReputationConfig`.
+    """
+
+    def __init__(self, config: Optional[ReputationConfig] = None) -> None:
+        self.config = config if config is not None else ReputationConfig()
+        self.records: Dict[str, NeighbourReputation] = {}
+
+    def record(self, name: str) -> NeighbourReputation:
+        """The (created-on-demand) record for ``name``."""
+        if name not in self.records:
+            self.records[name] = NeighbourReputation(
+                score=self.config.initial_score
+            )
+        return self.records[name]
+
+    # ------------------------------------------------------------- evidence
+
+    def observe_truechimer(self, name: str) -> bool:
+        """Fold in a truechimer verdict; True if classification changed."""
+        record = self.record(name)
+        record.truechimer_rounds += 1
+        return self._update(record, 1.0)
+
+    def observe_falseticker(self, name: str) -> bool:
+        """Fold in a falseticker verdict; True if classification changed."""
+        record = self.record(name)
+        record.falseticker_rounds += 1
+        return self._update(record, 0.0)
+
+    def observe_validation_failure(self, name: str) -> bool:
+        """Fold in a rejected reply; True if classification changed."""
+        record = self.record(name)
+        record.validation_failures += 1
+        return self._update(record, 0.0)
+
+    def _update(self, record: NeighbourReputation, verdict: float) -> bool:
+        alpha = self.config.alpha
+        record.score = record.score * (1.0 - alpha) + alpha * verdict
+        record.observations += 1
+        before = record.classified_falseticker
+        if record.observations >= self.config.min_observations:
+            if record.score < self.config.falseticker_below:
+                record.classified_falseticker = True
+            elif record.score > self.config.truechimer_above:
+                record.classified_falseticker = False
+        return record.classified_falseticker != before
+
+    # -------------------------------------------------------------- queries
+
+    def is_falseticker(self, name: str) -> bool:
+        """Whether ``name`` is currently classified a falseticker."""
+        record = self.records.get(name)
+        return record is not None and record.classified_falseticker
+
+    def falsetickers(self) -> Tuple[str, ...]:
+        """Sorted names currently classified falsetickers."""
+        return tuple(
+            sorted(
+                name
+                for name, record in self.records.items()
+                if record.classified_falseticker
+            )
+        )
+
+    # -------------------------------------------------- checkpoint plumbing
+
+    def encode(self) -> str:
+        """Serialise for the stable-store checkpoint.
+
+        The blob must not contain ``|`` (the checkpoint field separator):
+        records are ``;``-joined, fields ``,``-joined.
+        """
+        return ";".join(
+            f"{name},{record.score!r},{record.observations},"
+            f"{int(record.classified_falseticker)}"
+            for name, record in sorted(self.records.items())
+        )
+
+    def restore(self, blob: str) -> None:
+        """Inverse of :meth:`encode`; replaces the current records.
+
+        Raises:
+            ValueError: On a malformed blob (a corrupted checkpoint that
+                still checksummed is caught here, like
+                :meth:`~repro.recovery.store.Checkpoint.decode`).
+        """
+        records: Dict[str, NeighbourReputation] = {}
+        if blob:
+            for chunk in blob.split(";"):
+                parts = chunk.split(",")
+                if len(parts) != 4:
+                    raise ValueError(f"malformed reputation blob: {blob!r}")
+                name, score, observations, flag = parts
+                records[name] = NeighbourReputation(
+                    score=float(score),
+                    observations=int(observations),
+                    classified_falseticker=bool(int(flag)),
+                )
+        self.records = records

@@ -1,0 +1,291 @@
+"""The Byzantine-tolerant time server.
+
+:class:`ByzantineTolerantServer` is a
+:class:`~repro.recovery.server.SelfStabilizingServer` (checkpointing,
+census, merge epochs) whose synchronization policy is expected to be an
+:class:`~repro.core.ft_im.FTIMPolicy`.  On top of the recovery stack it
+adds the full liar-handling loop:
+
+* **Round classification → reputation** — every FT-IM round's
+  truechimer/falseticker split feeds the
+  :class:`~repro.byzantine.reputation.ReputationTracker`; persistent
+  falsetickers are *demoted from the poll set* through the hardening
+  subsystem's :class:`~repro.service.hardening.NeighbourHealth` score and
+  quarantine machinery (with its starvation guard and cooldown-probing),
+  and their census verdicts are overwritten with the classification so
+  liars lose recovery-arbiter support service-wide.
+* **Reply validation → reputation** — the hardened sanity checks plus
+  the rule MM-1 error-physics clamp run on every reply; each rejection
+  counts against the sender's reputation.
+* **Adaptive fault budget** — when the policy's budget is a
+  :class:`~repro.byzantine.budget.FaultBudgetController`, round outcomes
+  drive it (raise on detected liars, decay on clean rounds) and the poll
+  set pins its floor at the number of classified liars being probed.
+* **Recovery exclusion** — :meth:`falseticker_neighbours` feeds the
+  stabilizer's arbiter veto, and classified liars widen the conflicting
+  set exactly like dissonant neighbours do.
+* **Durable reputation** — the reputation blob and budget ride in every
+  checkpoint; a warm restart restores them, so a revived server does not
+  re-trust a known liar (nor pick one as its rejoin arbiter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.ft_im import FTIMPolicy, FTRoundOutcome
+from ..recovery.server import SelfStabilizingServer
+from ..recovery.store import Checkpoint
+from ..service.hardening import (
+    NeighbourHealth,
+    QuarantinePolicy,
+    quarantine_poll_filter,
+    reply_sanity_rejection,
+)
+from ..service.messages import TimeReply
+from ..service.server import _PollRound
+from .budget import FaultBudgetController
+from .reputation import ReputationConfig, ReputationTracker
+
+
+@dataclass(frozen=True)
+class ByzantineConfig:
+    """Knobs for the Byzantine-tolerance layer.
+
+    Attributes:
+        reputation: Reputation tracker tuning.
+        quarantine: Health/demotion policy — reuses the hardening
+            subsystem's machinery; the defaults quarantine a persistent
+            liar after roughly three bad rounds and probe it back in
+            after ``cooldown`` seconds.
+        validate: Run the hardened reply sanity checks.
+        max_error: Largest believable ``E_j`` (see
+            :class:`~repro.service.hardening.HardeningConfig`).
+        plausibility_slack: Plausibility margin (same).
+        error_physics: Enforce the rule MM-1 growth clamp.
+    """
+
+    reputation: ReputationConfig = field(default_factory=ReputationConfig)
+    quarantine: QuarantinePolicy = field(default_factory=QuarantinePolicy)
+    validate: bool = True
+    max_error: float = 3600.0
+    plausibility_slack: float = 0.5
+    error_physics: bool = True
+
+
+@dataclass
+class ByzantineStats:
+    """Counters the Byzantine layer adds (analysis and tests)."""
+
+    tolerant_rounds: int = 0
+    plain_rounds: int = 0
+    falseticker_observations: int = 0
+    validation_rejections: int = 0
+    demotions: int = 0
+    starvation_overrides: int = 0
+
+
+@dataclass(frozen=True)
+class DemotionEvent:
+    """One neighbour's demotion from the poll set.
+
+    Attributes:
+        at: Real time of the demotion.
+        neighbour: Who was demoted.
+    """
+
+    at: float
+    neighbour: str
+
+
+class ByzantineTolerantServer(SelfStabilizingServer):
+    """A self-stabilizing server that tolerates, detects and benches liars.
+
+    Accepts all :class:`~repro.recovery.server.SelfStabilizingServer`
+    arguments plus:
+
+    Args:
+        byzantine: The tolerance-layer knobs; defaults to
+            :class:`ByzantineConfig`'s defaults.
+
+    The synchronization policy should be a per-server
+    :class:`~repro.core.ft_im.FTIMPolicy`; when its ``fault_budget`` is a
+    :class:`~repro.byzantine.budget.FaultBudgetController` the server
+    adopts and drives it.  Any other batch policy still works — the
+    server then only gets validation-based (not classification-based)
+    reputation evidence.
+    """
+
+    def __init__(
+        self,
+        *args,
+        byzantine: Optional[ByzantineConfig] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.byzantine = byzantine if byzantine is not None else ByzantineConfig()
+        self.reputation = ReputationTracker(self.byzantine.reputation)
+        self.byzantine_stats = ByzantineStats()
+        self.health: Dict[str, NeighbourHealth] = {}
+        self.demotion_log: List[DemotionEvent] = []
+        controller = None
+        if isinstance(self.policy, FTIMPolicy) and isinstance(
+            self.policy.fault_budget, FaultBudgetController
+        ):
+            controller = self.policy.fault_budget
+        self.budget_controller = controller
+
+    # --------------------------------------------------------------- health
+
+    def _health(self, name: str) -> NeighbourHealth:
+        if name not in self.health:
+            self.health[name] = NeighbourHealth()
+        return self.health[name]
+
+    def quarantined_peers(self) -> List[str]:
+        """Neighbours currently demoted from the poll set."""
+        return sorted(
+            name
+            for name, record in self.health.items()
+            if record.is_quarantined(self.now)
+        )
+
+    def _note_demotion(self, name: str) -> None:
+        self.byzantine_stats.demotions += 1
+        self.demotion_log.append(DemotionEvent(at=self.now, neighbour=name))
+        self._trace("demote", server=name)
+
+    def falseticker_neighbours(self) -> tuple[str, ...]:
+        return self.reputation.falsetickers()
+
+    # ------------------------------------------------------- poll targeting
+
+    def _poll_targets(self) -> list[str]:
+        neighbours = super()._poll_targets()
+        active, readmitted = quarantine_poll_filter(
+            neighbours, self._health, self.now, self.byzantine.quarantine
+        )
+        self.byzantine_stats.starvation_overrides += len(readmitted)
+        if self.budget_controller is not None:
+            # Classified liars still being polled (probation probes or
+            # pre-demotion rounds) are *known* faults: budget for them
+            # before the round even runs.
+            known = sum(
+                1 for name in active if self.reputation.is_falseticker(name)
+            )
+            self.budget_controller.set_floor(known)
+        return active
+
+    # ----------------------------------------------------------- validation
+
+    def _validate_reply(self, reply: TimeReply) -> Optional[str]:
+        cfg = self.byzantine
+        reason: Optional[str] = None
+        if cfg.validate:
+            value, error = self.report()
+            reason = reply_sanity_rejection(
+                reply,
+                local_value=value,
+                local_error=error,
+                delta=self.delta,
+                xi=self.network.xi,
+                max_error=cfg.max_error,
+                plausibility_slack=cfg.plausibility_slack,
+            )
+        if reason is None and cfg.error_physics:
+            reason = self._error_physics_rejection(reply)
+        if reason is not None:
+            self.byzantine_stats.validation_rejections += 1
+            self.reputation.observe_validation_failure(reply.server)
+            if self._health(reply.server).record_invalid(
+                self.now, cfg.quarantine
+            ):
+                self._note_demotion(reply.server)
+        return reason
+
+    # ------------------------------------------------------- round feedback
+
+    def _on_round_closed(self, round_: _PollRound) -> None:
+        super()._on_round_closed(round_)
+        quarantine = self.byzantine.quarantine
+        for name in sorted(round_.outstanding | round_.unsent):
+            if self._health(name).record_timeout(self.now, quarantine):
+                self._note_demotion(name)
+
+    def _on_round_outcome(self, outcome) -> None:
+        super()._on_round_outcome(outcome)
+        if not isinstance(outcome, FTRoundOutcome):
+            return
+        if outcome.mode == "tolerant":
+            self.byzantine_stats.tolerant_rounds += 1
+        else:
+            self.byzantine_stats.plain_rounds += 1
+        quarantine = self.byzantine.quarantine
+        now_local = self.clock_value()
+        for name in outcome.truechimers:
+            self.reputation.observe_truechimer(name)
+            self._health(name).record_good(quarantine)
+        for name in outcome.falsetickers:
+            self.byzantine_stats.falseticker_observations += 1
+            if self.reputation.observe_falseticker(name):
+                if self.reputation.is_falseticker(name):
+                    self._trace("falseticker", server=name)
+            if self._health(name).record_inconsistent(self.now, quarantine):
+                self._note_demotion(name)
+            # Classification outranks the per-reply transit check the
+            # census already recorded: a tolerated liar's reply can still
+            # overlap the local interval, but the round-level majority
+            # judged it wrong — make the census agree so the liar loses
+            # recovery-arbiter support everywhere the verdict gossips.
+            self.census.observe(name, False, now_local)
+        if self.budget_controller is not None:
+            # A consistent plain round with a zero cap (too few sources
+            # for any tolerance) is genuinely clean, not a failure.
+            tolerated = outcome.consistent and (
+                outcome.mode == "tolerant" or outcome.fault_budget == 0
+            )
+            self.budget_controller.note_round(
+                falsetickers=len(outcome.falsetickers),
+                tolerated=tolerated,
+                n_sources=outcome.n_sources,
+            )
+
+    # --------------------------------------------------- recovery exclusion
+
+    def _note_inconsistency(self, conflicting: tuple[str, ...]) -> None:
+        flagged = tuple(
+            name
+            for name in self.reputation.falsetickers()
+            if name != self.name
+        )
+        benched = tuple(self.quarantined_peers())
+        conflicting = tuple(
+            dict.fromkeys(tuple(conflicting) + flagged + benched)
+        )
+        super()._note_inconsistency(conflicting)
+
+    # ------------------------------------------------- durable reputation
+
+    def _checkpoint_extras(self) -> dict:
+        extras = dict(super()._checkpoint_extras())
+        extras["reputation"] = self.reputation.encode()
+        extras["fault_budget"] = (
+            self.budget_controller.value
+            if self.budget_controller is not None
+            else 0
+        )
+        return extras
+
+    def _restore_checkpoint_extras(self, checkpoint: Checkpoint) -> None:
+        super()._restore_checkpoint_extras(checkpoint)
+        try:
+            self.reputation.restore(checkpoint.reputation)
+        except ValueError:
+            # A checkpoint that decoded but carries a garbled blob: start
+            # reputation fresh rather than fail the whole warm restart.
+            self.reputation = ReputationTracker(self.byzantine.reputation)
+        if self.budget_controller is not None and checkpoint.fault_budget > 0:
+            self.budget_controller.value = max(
+                self.budget_controller.config.minimum, checkpoint.fault_budget
+            )

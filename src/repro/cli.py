@@ -22,6 +22,8 @@ from .analysis.export import snapshots_to_csv, snapshots_to_json
 from .analysis.plots import render_intervals, render_table
 from .analysis.report import service_report
 from .baselines import FirstReplyPolicy, LamportMaxPolicy, MeanPolicy, MedianPolicy
+from .byzantine import FaultBudgetConfig, FaultBudgetController
+from .core.ft_im import FTIMPolicy
 from .core.im import IMPolicy
 from .core.mm import MMPolicy
 from .core.recovery import ThirdServerRecovery
@@ -38,6 +40,7 @@ from .experiments import (
     figure1,
     figure2,
     figure3,
+    figure3_liars,
     figure4,
     figure4_repair,
     overhead,
@@ -69,6 +72,7 @@ EXPERIMENTS = {
     "figure1": figure1.main,
     "figure2": figure2.main,
     "figure3": figure3.main,
+    "figure3-liars": figure3_liars.main,
     "figure4": figure4.main,
     "figure4-repair": figure4_repair.main,
     "theorem4": theorem4.main,
@@ -131,17 +135,32 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 rate_tracking=args.rate_tracking,
                 discipline=args.discipline,
                 self_stabilizing=args.self_stabilizing,
+                byzantine_tolerant=args.byzantine_tolerant,
             )
         )
     recovery_factory = None
-    if args.self_stabilizing:
+    if args.byzantine_tolerant or args.self_stabilizing:
         recovery_factory = lambda name: SelfStabilizingRecovery()  # noqa: E731
     elif args.recovery:
         recovery_factory = lambda name: ThirdServerRecovery()  # noqa: E731
+    policy = None
+    policy_factory = None
+    if args.byzantine_tolerant:
+        # FT-IM is the tolerant policy; each server gets its own adaptive
+        # budget controller seeded at --fault-budget.
+        budget = max(0, args.fault_budget)
+        policy_factory = lambda name: FTIMPolicy(  # noqa: E731
+            fault_budget=FaultBudgetController(
+                FaultBudgetConfig(initial=budget, minimum=min(1, budget))
+            )
+        )
+    else:
+        policy = POLICIES[args.policy]()
     service = build_service(
         graph,
         specs,
-        policy=POLICIES[args.policy](),
+        policy=policy,
+        policy_factory=policy_factory,
         tau=args.tau,
         seed=args.seed,
         lan_delay=UniformDelay(args.one_way),
@@ -166,8 +185,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     snapshots = service.sample([step * k for k in range(sample_count)])
     snap = snapshots[-1]
 
+    policy_label = "FT-IM" if args.byzantine_tolerant else args.policy.upper()
     print(
-        f"{args.policy.upper()} on {args.topology} ({n} servers), "
+        f"{policy_label} on {args.topology} ({n} servers), "
         f"τ={args.tau:g}s, ξ={2 * args.one_way:g}s, after {args.hours:g} h:"
     )
     rows = [
@@ -237,6 +257,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     runner()
     return 0
+
+
+def cmd_figure3_liars(args: argparse.Namespace) -> int:
+    """The ``figure3-liars`` subcommand: the Byzantine liar gauntlet."""
+    return 0 if figure3_liars.main(json_path=args.json) else 1
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -374,6 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the recovery subsystem: checkpoints, "
                           "consistency census, census-vetted group merges "
                           "(implies --recovery and rate tracking)")
+    sim.add_argument("--byzantine-tolerant", action="store_true",
+                     help="build Byzantine-tolerant servers running FT-IM "
+                          "(fault-tolerant intersection, falseticker "
+                          "reputation, liar demotion; overrides --policy "
+                          "and implies --self-stabilizing)")
+    sim.add_argument("--fault-budget", type=int, default=1,
+                     help="initial per-round fault budget f for "
+                          "--byzantine-tolerant (adapts at runtime, "
+                          "capped so 2f < n)")
     sim.add_argument("--discipline", action="store_true",
                      help="enable frequency discipline (implies tracking)")
     sim.add_argument("--report", action="store_true",
@@ -394,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run an experiment by name")
     exp.add_argument("name", help="experiment name, or 'list'")
     exp.set_defaults(func=cmd_experiment)
+
+    f3l = sub.add_parser(
+        "figure3-liars",
+        help="Byzantine liar gauntlet: plain IM vs FT-IM across topologies",
+    )
+    f3l.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the JSON report here (CI artefact)")
+    f3l.set_defaults(func=cmd_figure3_liars)
 
     cha = sub.add_parser("chaos", help="seeded chaos soak with invariant oracle")
     cha.add_argument("--policies", nargs="+", default=["mm", "im"],

@@ -22,6 +22,7 @@ from .consonance import (
     rate_im_step,
     rate_mm_step,
 )
+from .ft_im import FTIMPolicy, FTRoundOutcome
 from .im import IMPolicy, TransformedReply
 from .intervals import (
     TimeInterval,
@@ -54,6 +55,8 @@ from .sync import (
 )
 
 __all__ = [
+    "FTIMPolicy",
+    "FTRoundOutcome",
     "IMPolicy",
     "LocalState",
     "MMPolicy",

@@ -1,0 +1,214 @@
+"""Fault-tolerant algorithm IM — rule IM-2 over Marzullo's intersection.
+
+Algorithm IM fails open (Section 4, Figure 3): one incorrect reply empties
+the round's intersection or drags it off the true time.  The companion
+thesis [Marzullo 83] already holds the repair — intersect *tolerating* up
+to ``f`` faulty sources — and the repo implements it in
+:mod:`repro.core.marzullo`; this module finally feeds the server-side sync
+loop with it.
+
+:class:`FTIMPolicy` keeps rule IM-2's reply transformation untouched and
+replaces only the combination step:
+
+1. transform every reply (and optionally the local interval) exactly as
+   :class:`~repro.core.im.IMPolicy` does;
+2. with ``n`` transformed sources and a per-round fault budget ``f``
+   (a fixed int or an adaptive controller exposing ``current(n)``), try
+   :func:`~repro.core.marzullo.intersect_tolerating` for decreasing
+   ``f`` — capped at ``(n - 1) // 2`` so ``2f < n`` always holds and the
+   accepted region is covered by ``n - f > n/2`` sources: the policy can
+   never reset onto a *minority* intersection;
+3. if every tolerant attempt fails, fall back to plain IM-2's
+   all-sources consistency check (which is then necessarily inconsistent
+   and hands the round to the Section 3 recovery machinery with IM's
+   usual conflicting-pair attribution);
+4. on success, classify the sources into truechimers and falsetickers —
+   :func:`~repro.core.marzullo.ntp_select`'s midpoint test plus the hard
+   evidence of not overlapping the accepted region — and report them in
+   the :class:`FTRoundOutcome` so the server layer can feed reputation,
+   health scores and the consistency census.
+
+The thesis guarantee carries over: with at most ``f`` incorrect sources
+and ``2f < n``, the accepted region contains the true time, so the reset
+preserves Theorem 1 correctness even while liars are present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .im import IMPolicy, TransformedReply
+from .intervals import TimeInterval
+from .marzullo import intersect_tolerating, ntp_select
+from .sync import LocalState, Reply, RoundOutcome
+
+
+@dataclass(frozen=True)
+class FTRoundOutcome(RoundOutcome):
+    """A :class:`~repro.core.sync.RoundOutcome` with tolerance diagnostics.
+
+    Attributes:
+        mode: ``"tolerant"`` when a fault-tolerant intersection was
+            accepted, ``"plain"`` when the round fell back to plain IM-2
+            (including budget-0 and too-few-sources rounds).
+        fault_budget: The budget requested for this round (already capped
+            at ``(n - 1) // 2``).
+        faults_used: The ``f`` that produced the accepted intersection
+            (0 for plain rounds).
+        overlap: How many sources cover the accepted region (0 for plain
+            inconsistent rounds).
+        n_sources: Total sources considered (replies plus the local
+            interval when ``include_self``).
+        truechimers: Neighbour names judged correct this round (never
+            includes the local ``"self"`` source).
+        falsetickers: Neighbour names judged incorrect this round.
+    """
+
+    mode: str = "plain"
+    fault_budget: int = 0
+    faults_used: int = 0
+    overlap: int = 0
+    n_sources: int = 0
+    truechimers: tuple[str, ...] = ()
+    falsetickers: tuple[str, ...] = ()
+
+
+class FTIMPolicy(IMPolicy):
+    """Rule IM-2 with Marzullo's ``f``-fault-tolerant intersection.
+
+    Args:
+        fault_budget: Maximum sources allowed to be faulty per round.
+            Either a non-negative int or an object exposing
+            ``current(n_sources) -> int`` (the adaptive
+            :class:`~repro.byzantine.budget.FaultBudgetController`).
+            Budget 0 makes the policy behave exactly like plain IM.
+        **im_kwargs: Forwarded to :class:`~repro.core.im.IMPolicy`
+            (``include_self``, ``widen_both_edges``, ``reset_to``,
+            ``allow_point_intersection``).
+    """
+
+    name = "FT-IM"
+    incremental = False
+
+    def __init__(self, *, fault_budget=1, **im_kwargs) -> None:
+        super().__init__(**im_kwargs)
+        if isinstance(fault_budget, int) and fault_budget < 0:
+            raise ValueError(
+                f"fault_budget must be non-negative, got {fault_budget}"
+            )
+        self.fault_budget = fault_budget
+
+    # -------------------------------------------------------------- budget
+
+    def budget_for(self, n_sources: int) -> int:
+        """Resolve the per-round budget, capped so ``2f < n`` holds."""
+        budget = self.fault_budget
+        current = getattr(budget, "current", None)
+        if callable(current):
+            requested = int(current(n_sources))
+        else:
+            requested = int(budget)
+        return max(0, min(requested, (n_sources - 1) // 2))
+
+    # ---------------------------------------------------------------- FT-IM
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> FTRoundOutcome:
+        if not replies and not self.include_self:
+            return FTRoundOutcome(consistent=True, mode="plain")
+        transformed = [self.transform(state, reply) for reply in replies]
+        if self.include_self:
+            transformed.append(
+                TransformedReply("self", -state.error, state.error)
+            )
+        names = [entry.server for entry in transformed]
+        intervals = [
+            TimeInterval(entry.trailing, entry.leading) for entry in transformed
+        ]
+        n = len(intervals)
+        budget = self.budget_for(n)
+        for faults in range(budget, 0, -1):
+            result = intersect_tolerating(intervals, faults)
+            if result is None:
+                continue
+            return self._tolerant_outcome(
+                state, names, intervals, result.interval, result.count,
+                faults, budget,
+            )
+        # No tolerant intersection within budget (or budget 0): plain
+        # IM-2's all-sources test.  When any tolerant attempt failed the
+        # full intersection is necessarily empty too, so this reports the
+        # inconsistency with IM's usual conflicting-pair attribution and
+        # lets Section 3 recovery take over — never a minority reset.
+        plain = super().on_round_complete(state, replies)
+        return FTRoundOutcome(
+            consistent=plain.consistent,
+            decision=plain.decision,
+            conflicting=plain.conflicting,
+            mode="plain",
+            fault_budget=budget,
+            n_sources=n,
+        )
+
+    # -------------------------------------------------------- classification
+
+    def _tolerant_outcome(
+        self,
+        state: LocalState,
+        names: Sequence[str],
+        intervals: Sequence[TimeInterval],
+        chosen: TimeInterval,
+        overlap: int,
+        faults: int,
+        budget: int,
+    ) -> FTRoundOutcome:
+        n = len(intervals)
+        # Hard falsetickers: sources that provably cannot contain the true
+        # time if the accepted (majority-covered) region does.
+        false_set = {
+            index
+            for index in range(n)
+            if not intervals[index].intersects(chosen)
+        }
+        # Soft falsetickers: RFC-5905's midpoint test — a source whose
+        # centre falls outside the majority selection is suspect even when
+        # its (wide) interval still overlaps it.
+        selection = ntp_select(intervals)
+        if selection is not None:
+            false_set.update(selection.falsetickers)
+        truechimers = tuple(
+            names[index]
+            for index in range(n)
+            if index not in false_set and names[index] != "self"
+        )
+        falsetickers = tuple(
+            names[index] for index in sorted(false_set) if names[index] != "self"
+        )
+        containing = [
+            index
+            for index in range(n)
+            if intervals[index].lo <= chosen.lo and intervals[index].hi >= chosen.hi
+        ]
+        # Attribute the reset to the sources defining the accepted edges,
+        # exactly as plain IM's "S2∩S3" tracing does.
+        a_index = max(containing, key=lambda index: intervals[index].lo)
+        b_index = min(containing, key=lambda index: intervals[index].hi)
+        source = (
+            names[a_index]
+            if a_index == b_index
+            else f"{names[a_index]}∩{names[b_index]}"
+        )
+        decision = self._decision(state, chosen.lo, chosen.hi, source)
+        return FTRoundOutcome(
+            consistent=True,
+            decision=decision,
+            mode="tolerant",
+            fault_budget=budget,
+            faults_used=faults,
+            overlap=overlap,
+            n_sources=n,
+            truechimers=truechimers,
+            falsetickers=falsetickers,
+        )

@@ -19,6 +19,7 @@ from . import (
     figure1,
     figure2,
     figure3,
+    figure3_liars,
     figure4,
     figure4_repair,
     overhead,
@@ -45,6 +46,7 @@ __all__ = [
     "figure1",
     "figure2",
     "figure3",
+    "figure3_liars",
     "figure4",
     "figure4_repair",
     "overhead",

@@ -350,6 +350,20 @@ class FaultSchedule:
             if isinstance(event, ServerCrash)
         ]
 
+    def liar_windows(self) -> List[FaultWindow]:
+        """Lying windows of every :class:`ByzantineReplies`.
+
+        The liar's *own* clock stays honest (``taints_self`` is False);
+        the window marks when its replies poison others, so experiments
+        can split monitor violations into "during an active lie" versus
+        "after the liars went quiet" — the latter are unforgivable.
+        """
+        return [
+            FaultWindow(event.server, event.at, event.at + event.duration, False)
+            for event in self._events
+            if isinstance(event, ByzantineReplies)
+        ]
+
     # ------------------------------------------------------------- sampling
 
     @classmethod

@@ -167,9 +167,30 @@ class SelfStabilizingServer(RateTrackingServer):
                 rate_estimate=self._own_rate_estimate(),
                 epoch=self.epoch,
                 sequence=self._checkpoint_seq,
+                **self._checkpoint_extras(),
             )
         )
         self._trace("checkpoint", clock_value=value, error=error)
+
+    def _checkpoint_extras(self) -> dict:
+        """Hook: extra :class:`Checkpoint` fields to persist.
+
+        The base recovery server persists only the MM-1 state;
+        :class:`~repro.byzantine.server.ByzantineTolerantServer` adds its
+        reputation blob and fault budget here.
+        """
+        return {}
+
+    def _restore_checkpoint_extras(self, checkpoint: Checkpoint) -> None:
+        """Hook: restore the extras after a successful warm restart."""
+
+    def falseticker_neighbours(self) -> tuple[str, ...]:
+        """Neighbours currently classified falsetickers (none here).
+
+        The stabilizer's arbiter vetting consults this on every recovery;
+        the Byzantine server overrides it with its reputation verdicts.
+        """
+        return ()
 
     # --------------------------------------------------------- crash/restart
 
@@ -212,6 +233,7 @@ class SelfStabilizingServer(RateTrackingServer):
                 rebuilt = checkpoint.error + downtime_local * rho
                 self.rejoin(rebuilt)
                 self.epoch = checkpoint.epoch
+                self._restore_checkpoint_extras(checkpoint)
                 warm = True
         if not warm:
             downtime_local = 0.0

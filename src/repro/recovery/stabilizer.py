@@ -78,6 +78,7 @@ class StabilizerStats:
 
     held: int = 0  # decisions suppressed by merge hysteresis
     vetoed_dissonant: int = 0  # candidates removed by the consonance veto
+    vetoed_falseticker: int = 0  # candidates removed by the reputation veto
     vetoed_support: int = 0  # candidates removed by census-majority vetting
     census_choices: int = 0  # arbiters chosen with census backing
     fallback_choices: int = 0  # arbiters chosen with no census data
@@ -150,6 +151,23 @@ class SelfStabilizingRecovery(RecoveryStrategy):
         if not vetted:
             self.stats.no_arbiter += 1
             return None
+
+        # Falseticker veto: a neighbour the reputation tracker currently
+        # classifies as lying is never an arbiter — the paper's
+        # unconditional reset would adopt the lie wholesale, and census
+        # majorities lag (a liar's gossiped verdicts can keep it looking
+        # supported for a horizon).  Stronger than census vetting, so it
+        # runs first and unconditionally.
+        flagged = set(getattr(server, "falseticker_neighbours", tuple)())
+        if flagged:
+            survivors = [name for name in vetted if name not in flagged]
+            self.stabilizer_stats.vetoed_falseticker += len(vetted) - len(
+                survivors
+            )
+            vetted = survivors
+            if not vetted:
+                self.stats.no_arbiter += 1
+                return None
 
         # Census-majority vetting.  Edges with the recovering server are
         # excluded from the support count: we *know* we conflict with

@@ -49,6 +49,12 @@ class Checkpoint:
             :mod:`repro.recovery.stabilizer`).
         sequence: Monotone per-server write counter — a restart can tell
             which of two surviving checkpoints is newer.
+        reputation: The Byzantine reputation tracker's serialised state
+            (see :meth:`~repro.byzantine.reputation.ReputationTracker.
+            encode`); empty for servers without one.  Carried so a warm
+            restart does not re-trust a known liar.
+        fault_budget: The adaptive fault budget at write time (0 when the
+            server runs no budget controller).
     """
 
     server: str
@@ -57,6 +63,8 @@ class Checkpoint:
     rate_estimate: float
     epoch: int
     sequence: int
+    reputation: str = ""
+    fault_budget: int = 0
 
     def encode(self) -> str:
         """Canonical payload the checksum is computed over."""
@@ -68,6 +76,8 @@ class Checkpoint:
                 repr(self.rate_estimate),
                 repr(self.epoch),
                 repr(self.sequence),
+                self.reputation,
+                repr(self.fault_budget),
             ]
         )
 
@@ -80,7 +90,7 @@ class Checkpoint:
                 record that happens to still checksum is caught here).
         """
         parts = payload.split("|")
-        if len(parts) != 6:
+        if len(parts) != 8:
             raise ValueError(f"malformed checkpoint payload: {payload!r}")
         return cls(
             server=parts[0],
@@ -89,6 +99,8 @@ class Checkpoint:
             rate_estimate=float(parts[3]),
             epoch=int(parts[4]),
             sequence=int(parts[5]),
+            reputation=parts[6],
+            fault_budget=int(parts[7]),
         )
 
 

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import networkx as nx
 
+from ..byzantine.server import ByzantineConfig, ByzantineTolerantServer
 from ..clocks.base import Clock
 from ..clocks.disciplined import DisciplinedClock
 from ..clocks.drift import DriftingClock
@@ -74,6 +75,11 @@ class ServerSpec:
             (checkpointing, consistency census, merge epochs — implies
             ``rate_tracking``); all such servers share the service's
             :class:`~repro.recovery.store.StableStore`.
+        byzantine_tolerant: Build a
+            :class:`~repro.byzantine.server.ByzantineTolerantServer`
+            (implies ``self_stabilizing``); pair it with an
+            :class:`~repro.core.ft_im.FTIMPolicy` via ``policy_factory``
+            to get classification-driven reputation.
     """
 
     name: str
@@ -86,6 +92,7 @@ class ServerSpec:
     rate_tracking: bool = False
     discipline: bool = False
     self_stabilizing: bool = False
+    byzantine_tolerant: bool = False
 
 
 @dataclass(frozen=True)
@@ -259,6 +266,7 @@ def build_service(
     stagger_polls: bool = True,
     hardening: Optional[HardeningConfig] = None,
     stabilizer: Optional[StabilizerConfig] = None,
+    byzantine: Optional[ByzantineConfig] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -290,6 +298,10 @@ def build_service(
             ``self_stabilizing=True`` (checkpoint cadence, census
             horizon, merge hysteresis); None uses
             :class:`~repro.recovery.stabilizer.StabilizerConfig` defaults.
+        byzantine: Tolerance-layer knobs for servers with
+            ``byzantine_tolerant=True`` (reputation, demotion, reply
+            validation); None uses
+            :class:`~repro.byzantine.server.ByzantineConfig` defaults.
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -339,7 +351,7 @@ def build_service(
 
     servers: Dict[str, TimeServer] = {}
     stable_store: Optional[StableStore] = None
-    if any(spec.self_stabilizing for spec in specs):
+    if any(spec.self_stabilizing or spec.byzantine_tolerant for spec in specs):
         stable_store = StableStore()
     for spec in specs:
         if spec.reference:
@@ -361,6 +373,13 @@ def build_service(
             if spec.discipline:
                 clock = DisciplinedClock(clock)
                 server_class = DiscipliningServer
+            elif spec.byzantine_tolerant:
+                server_class = ByzantineTolerantServer
+                extra = {
+                    "store": stable_store,
+                    "stabilizer_config": stabilizer,
+                    "byzantine": byzantine,
+                }
             elif spec.self_stabilizing:
                 server_class = SelfStabilizingServer
                 extra = {

@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..clocks.base import Clock
 from ..clocks.perfect import PerfectClock
 from ..core.intervals import TimeInterval
-from ..core.marzullo import intersect_tolerating
+from ..core.marzullo import intersect_tolerating, ntp_select
 from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
@@ -244,15 +244,32 @@ class TimeClient(SimProcess):
             source = names[index]
         else:  # INTERSECT
             result = intersect_tolerating(intervals, query.faults)
-            if result is None:
-                # Too many falsetickers for the budget: degrade to MIN_ERROR
-                # (documented fallback; the result still reports correctly).
-                index = min(range(len(intervals)), key=lambda i: intervals[i].width)
-                chosen = intervals[index]
-                source = f"fallback:{names[index]}"
-            else:
+            if result is not None:
                 chosen = result.interval
                 source = f"intersect[{result.count}/{len(intervals)}]"
+            else:
+                # Too many falsetickers for the requested budget.  Falling
+                # straight back to MIN_ERROR would prefer the narrowest
+                # interval — exactly the liar that *underreports* its
+                # error to look attractive.  Try the RFC-5905 selection
+                # first: it scans the falseticker count upward while a
+                # majority still agrees, so the estimate stays anchored to
+                # the truechimers.
+                selection = ntp_select(intervals)
+                if selection is not None:
+                    chosen = selection.interval
+                    source = (
+                        f"ntp-select[{len(selection.truechimers)}"
+                        f"/{len(intervals)}]"
+                    )
+                else:
+                    # No majority at all: MIN_ERROR is the last resort
+                    # (documented; the result still reports its source).
+                    index = min(
+                        range(len(intervals)), key=lambda i: intervals[i].width
+                    )
+                    chosen = intervals[index]
+                    source = f"fallback:{names[index]}"
         return ClientResult(
             estimate=chosen.center,
             error=chosen.error,

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -121,6 +121,11 @@ class HardeningConfig:
         plausibility_slack: Extra margin, in seconds, allowed between the
             local and remote clock readings beyond ``E_i + E_j`` plus the
             measured round trip before a reply is called implausible.
+        error_physics: Enforce the rule MM-1 growth clamp (see
+            :meth:`~repro.service.server.TimeServer.
+            _error_physics_rejection`): replies whose claimed error grew,
+            but slower than ``δ_j`` mandates since the neighbour's last
+            observed report, are rejected after two consecutive strikes.
         retry: Retransmission policy for polls and recovery fetches.
         adaptive_timeout: Derive round timeouts from observed RTTs.
         rtt_alpha: EWMA gain for the RTT mean.
@@ -134,6 +139,7 @@ class HardeningConfig:
     validate: bool = True
     max_error: float = 3600.0
     plausibility_slack: float = 0.5
+    error_physics: bool = True
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     adaptive_timeout: bool = True
     rtt_alpha: float = 0.125
@@ -204,6 +210,75 @@ class NeighbourHealth:
         """The neighbour never answered a round; True if quarantined."""
         self.timeouts += 1
         return self._decay(policy.timeout_penalty, now, policy)
+
+
+def reply_sanity_rejection(
+    reply: TimeReply,
+    *,
+    local_value: float,
+    local_error: float,
+    delta: float,
+    xi: float,
+    max_error: float,
+    plausibility_slack: float,
+) -> Optional[str]:
+    """The shared reply sanity checks (hardened and Byzantine servers).
+
+    Returns None to accept or a short reason string.  Pure function of
+    the reply and the local view, so any server class can reuse it.
+    """
+    if not math.isfinite(reply.clock_value):
+        return "non-finite clock value"
+    if not math.isfinite(reply.error):
+        return "non-finite error"
+    if reply.error < 0.0:
+        return "negative error"
+    if reply.error > max_error:
+        return "implausibly large error"
+    # Plausibility: the remote reading must be explainable by the two
+    # error bounds plus the (inflated) round trip.  A liar that
+    # underreports its error to look attractive fails exactly here.
+    slack = (
+        local_error
+        + reply.error
+        + (1.0 + delta) * xi
+        + plausibility_slack
+    )
+    if abs(reply.clock_value - local_value) > slack:
+        return "implausible clock value"
+    return None
+
+
+def quarantine_poll_filter(
+    neighbours: Sequence[str],
+    health_of: Callable[[str], "NeighbourHealth"],
+    now: float,
+    policy: QuarantinePolicy,
+) -> tuple[List[str], List[str]]:
+    """Shared poll-target filtering with the starvation guard.
+
+    Releases due quarantines, drops benched neighbours, and re-admits
+    the healthiest benched ones when fewer than ``min_peers`` remain.
+
+    Returns:
+        ``(active, readmitted)`` — the names to poll, and the subset of
+        them the starvation guard forced back in.
+    """
+    for name in neighbours:
+        health_of(name).release_if_due(now, policy)
+    active = [
+        name for name in neighbours if not health_of(name).is_quarantined(now)
+    ]
+    floor = min(policy.min_peers, len(neighbours))
+    readmitted: List[str] = []
+    if len(active) < floor:
+        benched = sorted(
+            (name for name in neighbours if name not in active),
+            key=lambda name: (-health_of(name).score, name),
+        )
+        readmitted = benched[: floor - len(active)]
+        active = sorted(active + readmitted)
+    return active, readmitted
 
 
 @dataclass
@@ -297,25 +372,10 @@ class HardenedTimeServer(TimeServer):
         quarantine = self.hardening.quarantine
         if quarantine is None:
             return neighbours
-        for name in neighbours:
-            self._health(name).release_if_due(self.now, quarantine)
-        active = [
-            name
-            for name in neighbours
-            if not self._health(name).is_quarantined(self.now)
-        ]
-        floor = min(quarantine.min_peers, len(neighbours))
-        if len(active) < floor:
-            # Starvation guard: re-admit the healthiest benched neighbours
-            # rather than polling too few peers to stay synchronized.
-            benched = sorted(
-                (name for name in neighbours if name not in active),
-                key=lambda name: (-self._health(name).score, name),
-            )
-            needed = floor - len(active)
-            readmitted = benched[:needed]
-            self.hardening_stats.starvation_overrides += len(readmitted)
-            active = sorted(active + readmitted)
+        active, readmitted = quarantine_poll_filter(
+            neighbours, self._health, self.now, quarantine
+        )
+        self.hardening_stats.starvation_overrides += len(readmitted)
         return active
 
     # --------------------------------------------------------- validation
@@ -333,26 +393,20 @@ class HardenedTimeServer(TimeServer):
         return reason
 
     def _rejection_reason(self, reply: TimeReply) -> Optional[str]:
-        if not math.isfinite(reply.clock_value):
-            return "non-finite clock value"
-        if not math.isfinite(reply.error):
-            return "non-finite error"
-        if reply.error < 0.0:
-            return "negative error"
-        if reply.error > self.hardening.max_error:
-            return "implausibly large error"
-        # Plausibility: the remote reading must be explainable by the two
-        # error bounds plus the (inflated) round trip.  A liar that
-        # underreports its error to look attractive fails exactly here.
         value, error = self.report()
-        slack = (
-            error
-            + reply.error
-            + (1.0 + self.delta) * self.network.xi
-            + self.hardening.plausibility_slack
+        reason = reply_sanity_rejection(
+            reply,
+            local_value=value,
+            local_error=error,
+            delta=self.delta,
+            xi=self.network.xi,
+            max_error=self.hardening.max_error,
+            plausibility_slack=self.hardening.plausibility_slack,
         )
-        if abs(reply.clock_value - value) > slack:
-            return "implausible clock value"
+        if reason is not None:
+            return reason
+        if self.hardening.error_physics:
+            return self._error_physics_rejection(reply)
         return None
 
     # ------------------------------------------------------------ retries

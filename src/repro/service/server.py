@@ -31,6 +31,7 @@ Correctness bookkeeping subtleties faithfully reproduced:
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -103,6 +104,12 @@ class TimeServer(SimProcess):
             round trip yet well inside the period.
         recovery: Strategy consulted on inconsistencies; None disables
             recovery (inconsistent replies are only ignored/logged).
+        error_physics: Enforce the rule MM-1 growth clamp in
+            :meth:`_validate_reply` — reject replies whose claimed error
+            grew slower than ``δ_j`` allows since the neighbour's last
+            observed report (see :meth:`_error_physics_rejection`).
+            Default False: the paper's servers trust each other, and the
+            hardened/Byzantine subclasses opt in instead.
         trace: Optional shared trace recorder.
         poll_jitter: Optional callable giving additive jitter to each poll
             gap, de-phasing the servers' rounds.
@@ -124,6 +131,7 @@ class TimeServer(SimProcess):
         initial_error: float = 0.0,
         round_timeout: Optional[float] = None,
         recovery: Optional[RecoveryStrategy] = None,
+        error_physics: bool = False,
         trace: Optional[TraceRecorder] = None,
         poll_jitter=None,
         first_poll_at: Optional[float] = None,
@@ -160,6 +168,11 @@ class TimeServer(SimProcess):
         self._recovery_counter = 10_000_000  # distinct id space from rounds
         self._departed = False
         self._rejoin_count = 0
+        self._error_physics = bool(error_physics)
+        # Last observed <C_j, E_j> per neighbour, valid or not — the
+        # error-physics clamp needs the previous *claim* to test growth.
+        self._last_reports: Dict[str, tuple[float, float]] = {}
+        self._physics_strikes: Dict[str, int] = {}
 
     # ------------------------------------------------------------- MM-1/IM-1
 
@@ -410,6 +423,7 @@ class TimeServer(SimProcess):
             return  # late, duplicate, or stale reply
         round_.outstanding.discard(reply.server)
         rejection = self._validate_reply(reply)
+        self._note_report(reply)
         if rejection is not None:
             self.stats.invalid_replies += 1
             self._trace("invalid_reply", server=reply.server, reason=rejection)
@@ -448,9 +462,65 @@ class TimeServer(SimProcess):
 
         Return None to accept or a short reason string to reject.  The
         base server accepts everything (the paper's servers trust each
-        other); :class:`~repro.service.hardening.HardenedTimeServer`
-        rejects NaN/negative/implausible ``⟨C_j, E_j⟩`` pairs here.
+        other) unless ``error_physics`` opted into the rule MM-1 growth
+        clamp; :class:`~repro.service.hardening.HardenedTimeServer`
+        additionally rejects NaN/negative/implausible ``⟨C_j, E_j⟩``
+        pairs here.
         """
+        if self._error_physics:
+            return self._error_physics_rejection(reply)
+        return None
+
+    def _note_report(self, reply: TimeReply) -> None:
+        """Remember a neighbour's last observed (finite) ``⟨C_j, E_j⟩``."""
+        if (
+            math.isfinite(reply.clock_value)
+            and math.isfinite(reply.error)
+            and reply.error >= 0.0
+        ):
+            self._last_reports[reply.server] = (reply.clock_value, reply.error)
+
+    def _error_physics_rejection(
+        self,
+        reply: TimeReply,
+        *,
+        tolerance: float = 0.5,
+        slack: float = 1e-9,
+        strikes_to_reject: int = 2,
+    ) -> Optional[str]:
+        """The rule MM-1 growth clamp: is the claimed error physical?
+
+        Between two reports with no reset in between, MM-1 makes a
+        server's error grow *exactly* ``δ_j`` per local second:
+        ``E_j(t) = ε_j + (C_j(t) - r_j)·δ_j``.  A shrink is presumed to
+        be a legitimate reset; but an error that *grew* while growing
+        slower than ``δ_j · elapsed`` (minus ``tolerance``'s fraction
+        and a float-rounding ``slack``) is non-physical — exactly the
+        signature of a liar rescaling its reported error.  A legitimate
+        reset can land the error inside the mandated-growth window by
+        coincidence, so a reply is only rejected on the
+        ``strikes_to_reject``-th *consecutive* non-physical observation:
+        coincidences don't repeat, liars do (every round).
+        """
+        last = self._last_reports.get(reply.server)
+        if last is None:
+            return None
+        last_value, last_error = last
+        elapsed = reply.clock_value - last_value
+        if elapsed <= 0.0:
+            return None  # reordered/duplicate claim; other checks apply
+        if reply.error < last_error:
+            self._physics_strikes[reply.server] = 0
+            return None  # presumed reset
+        mandated = reply.delta * elapsed
+        growth = reply.error - last_error
+        if growth + slack < mandated * (1.0 - tolerance):
+            strikes = self._physics_strikes.get(reply.server, 0) + 1
+            self._physics_strikes[reply.server] = strikes
+            if strikes >= strikes_to_reject:
+                return "non-physical error growth"
+            return None
+        self._physics_strikes[reply.server] = 0
         return None
 
     def _complete_round(self, round_: _PollRound) -> None:
@@ -475,6 +545,7 @@ class TimeServer(SimProcess):
                 )
             )
         outcome = self.policy.on_round_complete(self.local_state(), aged)
+        self._on_round_outcome(outcome)
         if not outcome.consistent:
             self._note_inconsistency(outcome.conflicting)
             return
@@ -486,6 +557,15 @@ class TimeServer(SimProcess):
 
         ``round_.outstanding`` still names the neighbours that never
         answered; the hardened server feeds its health scores from it.
+        """
+
+    def _on_round_outcome(self, outcome) -> None:
+        """Hook: called with every batch round's policy outcome.
+
+        Runs before the server acts on it (reset or recovery).  The base
+        server ignores it; :class:`~repro.byzantine.server.
+        ByzantineTolerantServer` feeds its reputation tracker, fault
+        budget and census from the FT-IM classification here.
         """
 
     # --------------------------------------------------------------- resets
@@ -577,6 +657,7 @@ class TimeServer(SimProcess):
         if reply.request_id != request_id or reply.server != arbiter:
             return
         rejection = self._validate_reply(reply)
+        self._note_report(reply)
         if rejection is not None:
             # A poisoned arbiter reply must not become an unconditional
             # reset; abandon the recovery attempt instead.

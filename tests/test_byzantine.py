@@ -1,0 +1,153 @@
+"""Unit tests for the Byzantine layer's bookkeeping.
+
+Covers the EWMA reputation tracker (hysteresis classification,
+rehabilitation, checkpoint round-trip) and the adaptive fault-budget
+controller (evidence-driven raises, clean-streak decay, the known-liar
+floor, the 2f < n cap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.byzantine import (
+    FaultBudgetConfig,
+    FaultBudgetController,
+    ReputationConfig,
+    ReputationTracker,
+)
+
+
+class TestReputationTracker:
+    def test_classification_needs_min_observations(self):
+        tracker = ReputationTracker()
+        assert not tracker.observe_falseticker("S9")
+        assert not tracker.is_falseticker("S9")
+        assert not tracker.observe_falseticker("S9")
+        assert not tracker.is_falseticker("S9")
+        # Third strike: score below the threshold with enough verdicts.
+        assert tracker.observe_falseticker("S9")
+        assert tracker.is_falseticker("S9")
+        assert tracker.falsetickers() == ("S9",)
+
+    def test_hysteresis_band_and_rehabilitation(self):
+        tracker = ReputationTracker()
+        for _ in range(3):
+            tracker.observe_falseticker("S9")
+        # One good round lands inside the hysteresis band: still flagged.
+        assert not tracker.observe_truechimer("S9")
+        assert tracker.is_falseticker("S9")
+        # A second good round crosses truechimer_above: rehabilitated.
+        assert tracker.observe_truechimer("S9")
+        assert not tracker.is_falseticker("S9")
+        assert tracker.falsetickers() == ()
+
+    def test_validation_failures_are_bad_verdicts(self):
+        tracker = ReputationTracker()
+        for _ in range(3):
+            tracker.observe_validation_failure("S9")
+        assert tracker.is_falseticker("S9")
+        assert tracker.record("S9").validation_failures == 3
+
+    def test_unknown_neighbour_is_trusted(self):
+        tracker = ReputationTracker()
+        assert not tracker.is_falseticker("never-seen")
+        assert tracker.falsetickers() == ()
+
+    def test_encode_restore_round_trip(self):
+        tracker = ReputationTracker()
+        for _ in range(3):
+            tracker.observe_falseticker("S9")
+        for _ in range(2):
+            tracker.observe_truechimer("S2")
+        blob = tracker.encode()
+        assert "|" not in blob  # must survive the checkpoint separator
+        fresh = ReputationTracker()
+        fresh.restore(blob)
+        assert fresh.falsetickers() == ("S9",)
+        assert fresh.record("S2").observations == 2
+        assert fresh.record("S9").score == tracker.record("S9").score
+
+    def test_restore_rejects_malformed_blob(self):
+        tracker = ReputationTracker()
+        with pytest.raises(ValueError):
+            tracker.restore("S1,0.5,3")  # missing the flag field
+        with pytest.raises(ValueError):
+            tracker.restore("garbage")
+
+    def test_restore_empty_blob_clears_records(self):
+        tracker = ReputationTracker()
+        tracker.observe_falseticker("S9")
+        tracker.restore("")
+        assert tracker.falsetickers() == ()
+        assert not tracker.records
+
+    def test_config_is_honoured(self):
+        config = ReputationConfig(min_observations=1, falseticker_below=0.9)
+        tracker = ReputationTracker(config)
+        assert tracker.observe_falseticker("S9")
+        assert tracker.is_falseticker("S9")
+
+
+class TestFaultBudgetController:
+    def test_untolerated_round_raises_budget(self):
+        controller = FaultBudgetController()
+        assert controller.value == 1
+        controller.note_round(falsetickers=0, tolerated=False, n_sources=5)
+        assert controller.value == 2
+        assert controller.stats.raises == 1
+
+    def test_jumps_to_observed_falseticker_count(self):
+        controller = FaultBudgetController()
+        controller.note_round(falsetickers=3, tolerated=True, n_sources=9)
+        assert controller.value == 3
+        assert controller.stats.raises == 1
+
+    def test_raise_respects_the_cap(self):
+        controller = FaultBudgetController()
+        controller.note_round(falsetickers=5, tolerated=False, n_sources=5)
+        assert controller.value == 2  # (5 - 1) // 2
+
+    def test_decay_after_clean_streak(self):
+        controller = FaultBudgetController(
+            FaultBudgetConfig(initial=3, minimum=1, decay_after=2)
+        )
+        for _ in range(4):
+            controller.note_round(
+                falsetickers=0, tolerated=True, n_sources=5
+            )
+        assert controller.value == 1
+        assert controller.stats.decays == 2
+        # Never below the configured minimum.
+        for _ in range(4):
+            controller.note_round(
+                falsetickers=0, tolerated=True, n_sources=5
+            )
+        assert controller.value == 1
+
+    def test_tolerated_liars_block_decay(self):
+        controller = FaultBudgetController(
+            FaultBudgetConfig(initial=2, minimum=1, decay_after=2)
+        )
+        # Rounds that still see (budgeted-for) liars are not clean.
+        for _ in range(6):
+            controller.note_round(
+                falsetickers=1, tolerated=True, n_sources=5
+            )
+        assert controller.value == 2
+        assert controller.stats.decays == 0
+
+    def test_floor_pins_current_budget(self):
+        controller = FaultBudgetController()
+        assert controller.current(7) == 1
+        controller.set_floor(2)  # two classified liars still polled
+        assert controller.current(7) == 2
+        assert controller.current(3) == 1  # the cap still wins
+        controller.set_floor(0)
+        assert controller.current(7) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultBudgetController(FaultBudgetConfig(initial=0, minimum=1))
+        with pytest.raises(ValueError):
+            FaultBudgetController(FaultBudgetConfig(initial=1, minimum=-1))

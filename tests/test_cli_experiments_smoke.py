@@ -58,6 +58,7 @@ def test_registry_complete():
         "churn": "churn",
         "chaos_soak": "chaos-soak",
         "figure4_repair": "figure4-repair",
+        "figure3_liars": "figure3-liars",
     }
     registered = set(EXPERIMENTS)
     for module_name in expected:

@@ -110,6 +110,48 @@ class TestStrategies:
         assert result.correct
         assert abs(result.true_offset) < 0.1
 
+    def test_intersect_falls_back_to_ntp_select(self):
+        """Budget too small for the liars: INTERSECT degrades to the
+        RFC-5905 selection, which stays anchored to the truechimer
+        majority instead of trusting the narrowest (liar) interval."""
+        service, client = make_service_with_client(
+            n_servers=5, errors=(0.1,) * 5, skews=None
+        )
+        # Two colluding liars with confident (small-error) replies; a
+        # budget of one fault cannot cover them both.
+        service.servers["N5"].clock.set(0.0, 500.0)
+        service.servers["N6"].clock.set(0.0, 500.3)
+        results = []
+        client.ask(
+            ["N2", "N3", "N4", "N5", "N6"],
+            QueryStrategy.INTERSECT,
+            callback=results.append,
+            faults=1,
+        )
+        service.engine.run(until=2.0)
+        result = results[0]
+        assert result.source.startswith("ntp-select[")
+        assert result.correct
+        assert abs(result.true_offset) < 0.2
+
+    def test_intersect_last_resort_is_labelled_fallback(self):
+        """No majority at all (every server disagrees): the documented
+        MIN_ERROR last resort, clearly labelled in the result source."""
+        service, client = make_service_with_client(
+            errors=(0.1, 0.1, 0.1), skews=None
+        )
+        service.servers["N3"].clock.set(0.0, 500.0)
+        service.servers["N4"].clock.set(0.0, -500.0)
+        results = []
+        client.ask(
+            ["N2", "N3", "N4"],
+            QueryStrategy.INTERSECT,
+            callback=results.append,
+            faults=0,
+        )
+        service.engine.run(until=2.0)
+        assert results[0].source.startswith("fallback:")
+
     def test_all_results_recorded(self):
         service, client = make_service_with_client()
         for _ in range(3):

@@ -1,0 +1,153 @@
+"""Unit tests for FT-IM — rule IM-2 over the fault-tolerant intersection.
+
+Rounds are built synthetically (a fixed LocalState plus hand-placed
+replies) so each test pins one behaviour: tolerant acceptance and
+classification, the plain fallback, the 2f < n budget cap, and the
+adaptive-controller protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.byzantine import FaultBudgetConfig, FaultBudgetController
+from repro.core.ft_im import FTIMPolicy, FTRoundOutcome
+from repro.core.im import IMPolicy
+from repro.core.sync import LocalState, Reply
+
+STATE = LocalState(clock_value=1000.0, error=0.05, delta=1e-5)
+
+
+def reply(server, offset, error=0.05, rtt=0.02):
+    return Reply(
+        server=server,
+        clock_value=STATE.clock_value + offset,
+        error=error,
+        rtt_local=rtt,
+    )
+
+
+def honest_round(liars=()):
+    """Three honest replies near zero offset, plus any liars."""
+    return [
+        reply("S2", 0.0),
+        reply("S3", 0.005),
+        reply("S4", -0.005),
+        *liars,
+    ]
+
+
+class TestTolerantRounds:
+    def test_liar_is_tolerated_and_classified(self):
+        policy = FTIMPolicy(fault_budget=1)
+        replies = honest_round(liars=[reply("S5", 0.5, error=0.01)])
+        outcome = policy.on_round_complete(STATE, replies)
+        assert isinstance(outcome, FTRoundOutcome)
+        assert outcome.consistent
+        assert outcome.mode == "tolerant"
+        assert outcome.faults_used == 1
+        assert outcome.n_sources == 5  # four replies + self
+        assert outcome.overlap == 4
+        assert "S5" in outcome.falsetickers
+        assert set(outcome.truechimers) == {"S2", "S3", "S4"}
+        # The local interval participates but is never reported.
+        assert "self" not in outcome.truechimers
+        assert "self" not in outcome.falsetickers
+
+    def test_decision_stays_in_the_honest_region(self):
+        policy = FTIMPolicy(fault_budget=1)
+        replies = honest_round(liars=[reply("S5", 0.5, error=0.01)])
+        outcome = policy.on_round_complete(STATE, replies)
+        decision = outcome.decision
+        assert decision is not None
+        # Not dragged toward the +0.5 lie.
+        assert abs(decision.clock_value - STATE.clock_value) < 0.1
+        # Reset attribution names edge definers, never the liar.
+        assert "S5" not in decision.source
+
+    def test_clean_round_classifies_nobody(self):
+        policy = FTIMPolicy(fault_budget=1)
+        outcome = policy.on_round_complete(STATE, honest_round())
+        assert outcome.consistent
+        assert outcome.mode == "tolerant"
+        assert outcome.falsetickers == ()
+        assert set(outcome.truechimers) == {"S2", "S3", "S4"}
+
+    def test_two_disjoint_liars_within_budget(self):
+        policy = FTIMPolicy(
+            fault_budget=FaultBudgetController(
+                FaultBudgetConfig(initial=2, minimum=1)
+            )
+        )
+        replies = [
+            reply("S2", 0.0),
+            reply("S3", 0.004),
+            reply("S4", 0.5, error=0.01),
+            reply("S5", -0.5, error=0.01),
+        ]
+        outcome = policy.on_round_complete(STATE, replies)
+        assert outcome.consistent
+        assert outcome.mode == "tolerant"
+        assert outcome.faults_used == 2
+        assert set(outcome.falsetickers) == {"S4", "S5"}
+        assert abs(outcome.decision.clock_value - STATE.clock_value) < 0.1
+
+
+class TestPlainFallback:
+    def test_budget_zero_behaves_like_plain_im(self):
+        replies = honest_round(liars=[reply("S5", 0.5, error=0.01)])
+        ft = FTIMPolicy(fault_budget=0).on_round_complete(STATE, replies)
+        plain = IMPolicy().on_round_complete(STATE, replies)
+        assert ft.mode == "plain"
+        assert ft.fault_budget == 0
+        assert ft.consistent == plain.consistent is False
+        assert ft.conflicting == plain.conflicting
+
+    def test_liars_beyond_cap_fall_back_never_minority_reset(self):
+        # One honest reply + self agree at 0; two liars pull apart.  With
+        # n=4 the cap is 1, no tolerant intersection exists, and the
+        # round must hand off to recovery rather than reset anywhere.
+        policy = FTIMPolicy(fault_budget=3)
+        replies = [
+            reply("S2", 0.0),
+            reply("S4", 0.5, error=0.01),
+            reply("S5", -0.5, error=0.01),
+        ]
+        outcome = policy.on_round_complete(STATE, replies)
+        assert outcome.mode == "plain"
+        assert not outcome.consistent
+        assert outcome.decision is None
+        assert outcome.fault_budget == 1  # capped at (4 - 1) // 2
+        assert len(outcome.conflicting) == 2
+
+    def test_empty_round_without_self_is_vacuously_consistent(self):
+        policy = FTIMPolicy(fault_budget=1, include_self=False)
+        outcome = policy.on_round_complete(STATE, [])
+        assert outcome.consistent
+        assert outcome.mode == "plain"
+
+
+class TestBudgetPlumbing:
+    def test_budget_capped_at_strict_majority(self):
+        policy = FTIMPolicy(fault_budget=10)
+        assert policy.budget_for(5) == 2
+        assert policy.budget_for(4) == 1
+        assert policy.budget_for(3) == 1
+        assert policy.budget_for(2) == 0
+        assert policy.budget_for(1) == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            FTIMPolicy(fault_budget=-1)
+
+    def test_controller_protocol_is_consulted(self):
+        class Fixed:
+            def __init__(self, value):
+                self.value = value
+
+            def current(self, n_sources):
+                return self.value
+
+        assert FTIMPolicy(fault_budget=Fixed(2)).budget_for(7) == 2
+        # The cap still applies to whatever the controller asks for.
+        assert FTIMPolicy(fault_budget=Fixed(9)).budget_for(7) == 3

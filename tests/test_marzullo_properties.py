@@ -1,0 +1,171 @@
+"""Property tests: the interval-intersection core vs a brute-force oracle.
+
+``marzullo()``'s endpoint sweep, ``intersect_tolerating()``'s fault gate
+and ``ntp_select()``'s majority scan are cross-checked against an O(n²)
+reference that evaluates coverage at every trailing edge — the maximum
+coverage of a finite set of closed intervals is always attained at some
+interval's ``lo``, so the reference is exact.  Two strategies feed them:
+free floats, and a small integer grid that forces degenerate zero-width
+intervals and exact-touch ties (the cases off-by-one sweeps hide in).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import TimeInterval
+from repro.core.marzullo import intersect_tolerating, marzullo, ntp_select
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def float_intervals(draw, min_size=1, max_size=8):
+    intervals = []
+    for _ in range(draw(st.integers(min_size, max_size))):
+        lo = draw(coords)
+        intervals.append(TimeInterval(lo, lo + draw(widths)))
+    return intervals
+
+
+@st.composite
+def grid_intervals(draw, min_size=1, max_size=8):
+    """Small-integer endpoints: points and exact-touch ties are common."""
+    intervals = []
+    for _ in range(draw(st.integers(min_size, max_size))):
+        lo = draw(st.integers(0, 8))
+        hi = draw(st.integers(lo, 8))
+        intervals.append(TimeInterval(float(lo), float(hi)))
+    return intervals
+
+
+any_intervals = st.one_of(float_intervals(), grid_intervals())
+
+
+def cover(intervals, point):
+    """How many closed intervals contain ``point``."""
+    return sum(1 for iv in intervals if iv.lo <= point <= iv.hi)
+
+
+def best_cover(intervals):
+    """Brute-force maximum coverage (attained at some trailing edge)."""
+    return max(cover(intervals, iv.lo) for iv in intervals)
+
+
+class TestMarzulloProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(any_intervals)
+    def test_count_matches_brute_force(self, intervals):
+        result = marzullo(intervals)
+        assert result.count == best_cover(intervals)
+        assert result.interval.lo <= result.interval.hi
+
+    @settings(max_examples=300, deadline=None)
+    @given(any_intervals)
+    def test_returned_point_is_maximally_covered(self, intervals):
+        result = marzullo(intervals)
+        assert cover(intervals, result.interval.lo) == result.count
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            marzullo([])
+
+    def test_exact_touch_counts_as_overlap(self):
+        # The paper's <=-based consistency: [0,1] and [1,2] share {1}.
+        result = marzullo([TimeInterval(0.0, 1.0), TimeInterval(1.0, 2.0)])
+        assert result.count == 2
+        assert result.interval.lo == result.interval.hi == 1.0
+
+    def test_degenerate_points_stack(self):
+        intervals = [TimeInterval(3.0, 3.0)] * 3 + [TimeInterval(5.0, 5.0)]
+        result = marzullo(intervals)
+        assert result.count == 3
+        assert result.interval.lo == result.interval.hi == 3.0
+
+
+class TestIntersectToleratingProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(any_intervals)
+    def test_gate_matches_brute_force(self, intervals):
+        best = best_cover(intervals)
+        n = len(intervals)
+        for faults in range(n + 2):
+            result = intersect_tolerating(intervals, faults)
+            if best >= n - faults:
+                assert result is not None
+                assert result.count == best
+            else:
+                assert result is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(any_intervals)
+    def test_zero_faults_demands_unanimity(self, intervals):
+        result = intersect_tolerating(intervals, 0)
+        unanimous = best_cover(intervals) == len(intervals)
+        assert (result is not None) == unanimous
+        if result is not None:
+            assert result == marzullo(intervals)
+
+    @settings(max_examples=200, deadline=None)
+    @given(any_intervals, st.integers(0, 8))
+    def test_monotone_in_faults(self, intervals, faults):
+        # A success at budget f cannot become a failure at f+1.
+        if intersect_tolerating(intervals, faults) is not None:
+            assert intersect_tolerating(intervals, faults + 1) is not None
+
+    def test_negative_faults_raise(self):
+        with pytest.raises(ValueError):
+            intersect_tolerating([TimeInterval(0.0, 1.0)], -1)
+
+
+class TestNtpSelectProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(any_intervals)
+    def test_selection_invariants(self, intervals):
+        selection = ntp_select(intervals)
+        if selection is None:
+            return
+        n = len(intervals)
+        chimers = set(selection.truechimers)
+        false = set(selection.falsetickers)
+        # Truechimers and falsetickers partition the sources...
+        assert chimers | false == set(range(n))
+        assert chimers & false == set()
+        # ...with the falsetickers a strict minority,
+        assert 2 * len(false) < n
+        # and every truechimer's midpoint inside the selection.
+        lo, hi = selection.interval.lo, selection.interval.hi
+        assert lo <= hi
+        for index in chimers:
+            assert lo <= intervals[index].center <= hi
+
+    def test_empty_input_is_none(self):
+        assert ntp_select([]) is None
+
+    def test_disjoint_pair_has_no_majority(self):
+        assert (
+            ntp_select([TimeInterval(0.0, 1.0), TimeInterval(5.0, 6.0)])
+            is None
+        )
+
+    def test_majority_survives_falseticker(self):
+        intervals = [
+            TimeInterval(0.0, 2.0),
+            TimeInterval(0.1, 2.1),
+            TimeInterval(10.0, 10.5),
+        ]
+        selection = ntp_select(intervals)
+        assert selection is not None
+        assert set(selection.truechimers) == {0, 1}
+        assert set(selection.falsetickers) == {2}
+
+    def test_unanimous_sources_all_chime(self):
+        intervals = [TimeInterval(1.0, 3.0)] * 4
+        selection = ntp_select(intervals)
+        assert selection is not None
+        assert set(selection.truechimers) == {0, 1, 2, 3}
+        assert selection.interval.lo == 1.0
+        assert selection.interval.hi == 3.0
