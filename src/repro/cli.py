@@ -43,6 +43,7 @@ from .experiments import (
     figure3_liars,
     figure4,
     figure4_repair,
+    flash_crowd,
     overhead,
     partition,
     quantization,
@@ -75,6 +76,7 @@ EXPERIMENTS = {
     "figure3-liars": figure3_liars.main,
     "figure4": figure4.main,
     "figure4-repair": figure4_repair.main,
+    "flash-crowd": flash_crowd.main,
     "theorem4": theorem4.main,
     "theorem8": theorem8.main,
     "theorem-bounds": theorem_bounds.main,
@@ -264,6 +266,15 @@ def cmd_figure3_liars(args: argparse.Namespace) -> int:
     return 0 if figure3_liars.main(json_path=args.json) else 1
 
 
+def cmd_flash_crowd(args: argparse.Namespace) -> int:
+    """The ``flash-crowd`` subcommand: overload vs the sync plane."""
+    if not args.seeds:
+        print("flash-crowd: need at least one seed", file=sys.stderr)
+        return 2
+    ok = flash_crowd.main(json_path=args.json, seeds=args.seeds)
+    return 0 if ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """The ``chaos`` subcommand: seeded fault storms with the oracle on."""
     if args.horizon <= 0 or args.tau <= 0:
@@ -436,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
     f3l.add_argument("--json", default=None, metavar="PATH",
                      help="also write the JSON report here (CI artefact)")
     f3l.set_defaults(func=cmd_figure3_liars)
+
+    fcw = sub.add_parser(
+        "flash-crowd",
+        help="client overload vs the sync plane: plain vs admission-controlled",
+    )
+    fcw.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the JSON report here (CI artefact)")
+    fcw.add_argument("--seeds", type=int, nargs="+", default=[11, 12, 13],
+                     help="seeds to run (each runs both arms)")
+    fcw.set_defaults(func=cmd_flash_crowd)
 
     cha = sub.add_parser("chaos", help="seeded chaos soak with invariant oracle")
     cha.add_argument("--policies", nargs="+", default=["mm", "im"],

@@ -22,6 +22,7 @@ from . import (
     figure3_liars,
     figure4,
     figure4_repair,
+    flash_crowd,
     overhead,
     partition,
     quantization,
@@ -49,6 +50,7 @@ __all__ = [
     "figure3_liars",
     "figure4",
     "figure4_repair",
+    "flash_crowd",
     "overhead",
     "partition",
     "quantization",

@@ -49,7 +49,8 @@ class Violation:
 
     Attributes:
         time: Real time of the check that caught it.
-        check: ``"correctness"``, ``"consistency"`` or ``"starvation"``.
+        check: ``"correctness"``, ``"consistency"``, ``"starvation"`` or
+            ``"sync-plane"``.
         servers: The offending server(s).
         detail: Human-readable specifics (offsets, bounds, peer counts).
     """
@@ -68,6 +69,7 @@ class MonitorStats:
     correctness_violations: int = 0
     consistency_violations: int = 0
     starvation_violations: int = 0
+    sync_plane_violations: int = 0
     exemptions: int = 0  # server-checks skipped as faulty/dirty/departed
 
     @property
@@ -76,6 +78,7 @@ class MonitorStats:
             self.correctness_violations
             + self.consistency_violations
             + self.starvation_violations
+            + self.sync_plane_violations
         )
 
 
@@ -94,6 +97,12 @@ class InvariantMonitor(SimProcess):
         grace: Slack added after a fault window or dirty period when
             deciding whether a reply that fed a reset was poisoned —
             covers lies still in flight when the window closed.
+        sync_window: The sync-plane progress assertion: every polling
+            server must handle at least one peer poll reply within any
+            window of this many seconds (set it to a few τ), else a
+            ``"sync-plane"`` violation is raised — the signature of
+            client traffic starving rule MM-2/IM-2 rounds.  None (the
+            default) disables the check.
     """
 
     def __init__(
@@ -105,6 +114,7 @@ class InvariantMonitor(SimProcess):
         *,
         period: float = 5.0,
         grace: float = 2.0,
+        sync_window: Optional[float] = None,
         name: str = "monitor",
     ) -> None:
         super().__init__(engine, name)
@@ -130,6 +140,11 @@ class InvariantMonitor(SimProcess):
         ]
         heapq.heapify(self._pending_opens)
         self._trace_index = 0
+        if sync_window is not None and sync_window <= 0:
+            raise ValueError(f"sync_window must be positive, got {sync_window}")
+        self.sync_window = sync_window
+        # Per-server (replies_handled watermark, time it last advanced).
+        self._sync_progress: Dict[str, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------ lifecycle
 
@@ -279,6 +294,46 @@ class InvariantMonitor(SimProcess):
             server = self.servers[name]
             if isinstance(server, HardenedTimeServer) and not server.departed:
                 self._check_starvation(name, server)
+        if self.sync_window is not None:
+            for name in sorted(self.servers):
+                self._check_sync_progress(name, self.servers[name], t)
+
+    def _check_sync_progress(self, name: str, server: TimeServer, t: float) -> None:
+        """Assert the sync plane is making progress despite client load.
+
+        A polling server whose ``replies_handled`` counter has not moved
+        for a full ``sync_window`` is being starved: its poll requests or
+        their replies are dying in overloaded run queues, and its error
+        bound ``E`` is growing without bound.  Departed/crashed servers
+        are exempt while away; their watermark resets so the window
+        restarts from revival.
+        """
+        if server.policy is None:
+            return  # answer-only servers never poll
+        handled = server.stats.replies_handled
+        if (
+            server.departed
+            or self._in_crash_window(name, t)
+            or self._in_fault_window(name, t, padded=True)
+        ):
+            self._sync_progress.pop(name, None)
+            return
+        previous = self._sync_progress.get(name)
+        if previous is None or handled > previous[0]:
+            self._sync_progress[name] = (handled, t)
+            return
+        stalled_for = t - previous[1]
+        if stalled_for > self.sync_window:
+            self._violation(
+                "sync-plane",
+                (name,),
+                f"no poll reply handled for {stalled_for:.1f}s "
+                f"(window {self.sync_window:.1f}s, "
+                f"watermark {handled})",
+            )
+            # Restart the window so one stall is one violation per period
+            # it persists, not a violation-per-check forever after.
+            self._sync_progress[name] = (handled, t)
 
     def _check_starvation(self, name: str, server: HardenedTimeServer) -> None:
         quarantine = server.hardening.quarantine
@@ -313,6 +368,8 @@ class InvariantMonitor(SimProcess):
             self.stats.correctness_violations += 1
         elif check == "consistency":
             self.stats.consistency_violations += 1
+        elif check == "sync-plane":
+            self.stats.sync_plane_violations += 1
         else:
             self.stats.starvation_violations += 1
         self.trace.record(

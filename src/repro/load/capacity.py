@@ -1,0 +1,255 @@
+"""The server capacity model: requests cost simulated CPU.
+
+The paper's :class:`~repro.service.server.TimeServer` services every
+message the instant it is delivered, so no amount of client traffic can
+ever starve the MM/IM synchronization rounds.  Real servers have a finite
+request path: each message costs CPU, waiting requests queue, and queues
+are bounded.  This module supplies that physics:
+
+* :class:`ServiceClass` — the three traffic planes, ordered by priority:
+  synchronization polls and Section-3 recovery fetches strictly above
+  ordinary client queries.
+* :class:`CapacityConfig` — the declarative knob bundle (service times,
+  queue bound, whether the queue respects priorities).
+* :class:`RequestQueue` — a bounded, optionally priority-ordered run
+  queue with per-class accounting, the single structure the overload
+  experiments observe.
+
+Nothing here decides *what to shed* — that is
+:mod:`repro.load.admission`'s job; the queue only refuses what it is told
+to refuse and keeps the books.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServiceClass(enum.IntEnum):
+    """Priority classes of the request path (lower value = served first).
+
+    ``POLL`` and ``RECOVERY`` are the *sync plane*: the traffic that rules
+    MM-2/IM-2 and Section 3 recovery need to keep the service synchronized.
+    ``CLIENT`` is the *client plane*: the open-ended traffic of
+    applications asking the time.  Admission control and shedding apply
+    only to the client plane; the whole point of the split is that a
+    client flash crowd must never starve the sync plane.
+    """
+
+    POLL = 0
+    RECOVERY = 1
+    CLIENT = 2
+
+    @property
+    def sync_plane(self) -> bool:
+        """Whether this class belongs to the protected sync plane."""
+        return self is not ServiceClass.CLIENT
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Declarative capacity/service-time model for one server.
+
+    Attributes:
+        service_time: Simulated CPU seconds to fully process one message
+            (answer a request with a fresh rule MM-1 report, or run a poll
+            reply through the synchronization policy).
+        degraded_time: CPU seconds to answer a client request from the
+            overload cache instead (must be ≤ ``service_time``; the gap is
+            the capacity that graceful degradation buys back).
+        busy_time: CPU seconds to emit a BUSY rejection (shedding must be
+            cheap or it is no defence at all).
+        queue_limit: Bound on queued messages; arrivals beyond it are
+            subject to the shedding policy.
+        prioritized: Serve the queue in :class:`ServiceClass` priority
+            order (the sync-plane isolation).  False degenerates to a
+            single FIFO — the "plain" arm of the flash-crowd experiment.
+        sync_evicts_client: When a sync-plane message arrives at a full
+            queue, evict the youngest queued client-plane entry to make
+            room rather than dropping the sync message.  Only meaningful
+            with ``prioritized``.
+    """
+
+    service_time: float = 0.008
+    degraded_time: float = 0.0015
+    busy_time: float = 0.0002
+    queue_limit: int = 128
+    prioritized: bool = True
+    sync_evicts_client: bool = True
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0:
+            raise ValueError(
+                f"service_time must be positive, got {self.service_time}"
+            )
+        if not 0 < self.degraded_time <= self.service_time:
+            raise ValueError(
+                "degraded_time must be in (0, service_time], got "
+                f"{self.degraded_time}"
+            )
+        if self.busy_time < 0:
+            raise ValueError(f"busy_time must be non-negative, got {self.busy_time}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+
+    @property
+    def fresh_capacity(self) -> float:
+        """Requests per second the fresh answer path can sustain."""
+        return 1.0 / self.service_time
+
+    @property
+    def degraded_capacity(self) -> float:
+        """Requests per second the stale-cache path can sustain."""
+        return 1.0 / self.degraded_time
+
+
+@dataclass
+class QueuedItem:
+    """One message waiting for CPU.
+
+    Attributes:
+        service_class: Which plane the message belongs to.
+        message: The wire message (request or reply).
+        sender: The transport-provided sender process (opaque here).
+        arrived: Real time the message entered the queue.
+    """
+
+    service_class: ServiceClass
+    message: Any
+    sender: Any
+    arrived: float
+
+    def waited(self, now: float) -> float:
+        """Queue delay accumulated so far."""
+        return max(0.0, now - self.arrived)
+
+
+@dataclass
+class QueueStats:
+    """Per-class accounting of everything the queue ever saw."""
+
+    enqueued: Dict[ServiceClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in ServiceClass}
+    )
+    served: Dict[ServiceClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in ServiceClass}
+    )
+    overflowed: Dict[ServiceClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in ServiceClass}
+    )
+    evicted: Dict[ServiceClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in ServiceClass}
+    )
+    peak_depth: int = 0
+
+    def total(self, counters: Dict[ServiceClass, int]) -> int:
+        """Sum one of the per-class counter maps."""
+        return sum(counters.values())
+
+
+class RequestQueue:
+    """A bounded run queue, optionally ordered by :class:`ServiceClass`.
+
+    Entries are (priority, seq) heap-ordered when ``prioritized`` — FIFO
+    within a class, sync plane ahead of client plane — and plain FIFO
+    otherwise.  The queue never sheds on its own: callers must check
+    :meth:`full` and use :meth:`push` / :meth:`evict_youngest_client`
+    according to their shedding policy, so every drop is an explicit,
+    counted decision.
+    """
+
+    def __init__(self, limit: int, prioritized: bool = True) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.prioritized = prioritized
+        self.stats = QueueStats()
+        self._heap: List[tuple[int, int, QueuedItem]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[QueuedItem]:
+        return (entry[2] for entry in sorted(self._heap))
+
+    @property
+    def full(self) -> bool:
+        """Whether the next push would exceed the bound."""
+        return len(self._heap) >= self.limit
+
+    def depth(self, service_class: Optional[ServiceClass] = None) -> int:
+        """Current occupancy, optionally restricted to one class."""
+        if service_class is None:
+            return len(self._heap)
+        return sum(
+            1 for _p, _s, item in self._heap if item.service_class is service_class
+        )
+
+    def push(self, item: QueuedItem) -> None:
+        """Enqueue; raises :class:`OverflowError` when full.
+
+        Overflow is the caller's decision point, not a silent drop — use
+        :meth:`note_overflow` to record what the shedding policy refused.
+        """
+        if self.full:
+            raise OverflowError("request queue full")
+        priority = int(item.service_class) if self.prioritized else 0
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+        self.stats.enqueued[item.service_class] += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._heap))
+
+    def pop(self) -> Optional[QueuedItem]:
+        """Dequeue the next item to serve (None when empty)."""
+        if not self._heap:
+            return None
+        _priority, _seq, item = heapq.heappop(self._heap)
+        self.stats.served[item.service_class] += 1
+        return item
+
+    def note_overflow(self, service_class: ServiceClass) -> None:
+        """Record an arrival the shedding policy refused at the door."""
+        self.stats.overflowed[service_class] += 1
+
+    def evict_youngest_client(self) -> Optional[QueuedItem]:
+        """Remove and return the youngest queued CLIENT entry, if any.
+
+        Used when a sync-plane message must enter a full queue: the
+        youngest client entry has waited least, so evicting it wastes the
+        least already-sunk queueing delay.
+        """
+        best_index: Optional[int] = None
+        best_seq = -1
+        for index, (_priority, seq, item) in enumerate(self._heap):
+            if item.service_class is ServiceClass.CLIENT and seq > best_seq:
+                best_index = index
+                best_seq = seq
+        if best_index is None:
+            return None
+        _priority, _seq, item = self._heap.pop(best_index)
+        heapq.heapify(self._heap)
+        self.stats.evicted[item.service_class] += 1
+        return item
+
+    def stale_client_items(self, now: float, deadline: float) -> List[QueuedItem]:
+        """Queued CLIENT entries that have already waited past ``deadline``."""
+        return [
+            item
+            for _p, _s, item in sorted(self._heap)
+            if item.service_class is ServiceClass.CLIENT
+            and item.waited(now) > deadline
+        ]
+
+    def remove(self, item: QueuedItem) -> bool:
+        """Remove a specific queued entry (identity match); True if found."""
+        for index, (_priority, _seq, queued) in enumerate(self._heap):
+            if queued is item:
+                self._heap.pop(index)
+                heapq.heapify(self._heap)
+                self.stats.evicted[item.service_class] += 1
+                return True
+        return False

@@ -1,0 +1,162 @@
+"""Open-loop client workload generation.
+
+A flash crowd is an *open-loop* phenomenon: arrivals keep coming at the
+offered rate no matter how slowly the service answers — which is exactly
+why a closed-loop generator (next request only after the last reply)
+cannot reproduce overload collapse.  :class:`WorkloadGenerator` drives a
+client with a non-homogeneous Poisson arrival process shaped by a
+:class:`FlashCrowdProfile`: a calm base rate that ramps into a crowd
+plateau and back down.
+
+Arrival times are drawn by Lewis–Shedler thinning against the profile's
+peak rate, so the process is exact for any rate shape and fully
+deterministic under a seeded RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..service.client import QueryStrategy, TimeClient
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+
+
+@dataclass(frozen=True)
+class FlashCrowdProfile:
+    """A piecewise-linear offered-rate shape: base → ramp → crowd → ramp → base.
+
+    Attributes:
+        base_rate: Queries per second outside the crowd.
+        crowd_rate: Queries per second at the crowd plateau.
+        crowd_start: When the up-ramp begins.
+        crowd_end: When the down-ramp ends.
+        ramp: Seconds each ramp takes (linear).
+    """
+
+    base_rate: float = 5.0
+    crowd_rate: float = 200.0
+    crowd_start: float = 30.0
+    crowd_end: float = 70.0
+    ramp: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0 or self.crowd_rate <= 0:
+            raise ValueError("rates must be non-negative (crowd positive)")
+        if self.ramp < 0:
+            raise ValueError(f"ramp must be non-negative, got {self.ramp}")
+        if not self.crowd_start + self.ramp <= self.crowd_end - self.ramp:
+            raise ValueError("crowd window too short for its ramps")
+
+    @property
+    def peak_rate(self) -> float:
+        """The majorising rate used for thinning."""
+        return max(self.base_rate, self.crowd_rate)
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate at time ``t``."""
+        if t < self.crowd_start or t >= self.crowd_end:
+            return self.base_rate
+        up_done = self.crowd_start + self.ramp
+        down_from = self.crowd_end - self.ramp
+        if t < up_done:
+            frac = (t - self.crowd_start) / max(self.ramp, 1e-12)
+            return self.base_rate + frac * (self.crowd_rate - self.base_rate)
+        if t >= down_from:
+            frac = (self.crowd_end - t) / max(self.ramp, 1e-12)
+            return self.base_rate + frac * (self.crowd_rate - self.base_rate)
+        return self.crowd_rate
+
+    def in_crowd(self, t: float) -> bool:
+        """Whether ``t`` lies in the full-rate crowd plateau."""
+        return self.crowd_start + self.ramp <= t < self.crowd_end - self.ramp
+
+
+class WorkloadGenerator(SimProcess):
+    """Drives one client with Poisson arrivals shaped by a profile.
+
+    Each arrival issues one ``client.ask`` to a uniformly drawn server
+    (one server per query — the resilient client's retry logic, not a
+    broadcast, is what provides redundancy).
+
+    Args:
+        engine: The simulation engine.
+        name: Process name (for event labels).
+        client: The client to drive.
+        servers: Candidate servers handed to each ``ask``.
+        profile: The offered-rate shape.
+        rng: Seeded RNG stream — the only source of randomness.
+        strategy: Query strategy passed through to ``ask``.
+        stop_at: No arrivals are generated at or beyond this time
+            (None: run for as long as the simulation does).
+        servers_per_ask: How many candidates each ``ask`` receives; the
+            base client broadcasts to all of them, the resilient client
+            rotates through them, so 1 keeps the plain arm honest while
+            the controlled arm typically wants the full list.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        client: TimeClient,
+        servers: Sequence[str],
+        profile: FlashCrowdProfile,
+        rng: np.random.Generator,
+        *,
+        strategy: QueryStrategy = QueryStrategy.FIRST_REPLY,
+        stop_at: Optional[float] = None,
+        servers_per_ask: int = 1,
+    ) -> None:
+        super().__init__(engine, name)
+        if not servers:
+            raise ValueError("the workload needs at least one server")
+        if not 1 <= servers_per_ask <= len(servers):
+            raise ValueError(
+                f"servers_per_ask must be in [1, {len(servers)}], got "
+                f"{servers_per_ask}"
+            )
+        self.client = client
+        self.servers = tuple(servers)
+        self.profile = profile
+        self.rng = rng
+        self.strategy = strategy
+        self.stop_at = stop_at
+        self.servers_per_ask = servers_per_ask
+        self.issued = 0
+        self.issued_in_crowd = 0
+
+    def on_start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        """Lewis–Shedler thinning: candidate gaps at the peak rate,
+        accepted with probability ``rate(t)/peak`` — exact and O(1) memory.
+        """
+        peak = self.profile.peak_rate
+        t = self.now
+        while True:
+            t += float(self.rng.exponential(1.0 / peak))
+            if self.stop_at is not None and t >= self.stop_at:
+                return
+            if float(self.rng.uniform()) <= self.profile.rate_at(t) / peak:
+                break
+        self.call_at(t, self._arrive)
+
+    def _arrive(self) -> None:
+        self.issued += 1
+        if self.profile.in_crowd(self.now):
+            self.issued_in_crowd += 1
+        if self.servers_per_ask == len(self.servers):
+            chosen = list(self.servers)
+        else:
+            start = int(self.rng.integers(len(self.servers)))
+            chosen = [
+                self.servers[(start + i) % len(self.servers)]
+                for i in range(self.servers_per_ask)
+            ]
+        self.client.ask(chosen, strategy=self.strategy)
+        self._schedule_next()

@@ -12,7 +12,7 @@ from .builder import (
 from .churn import ChurnController, ChurnStats
 from .discipline import DiscipliningServer
 from .client import ClientResult, QueryStrategy, TimeClient
-from .messages import RequestKind, TimeReply, TimeRequest
+from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 from .rate_tracking import NeighbourRateReport, RateTrackingServer
 from .reference import ReferenceServer
 from .server import ServerStats, TimeServer
@@ -30,6 +30,7 @@ __all__ = [
     "QueryStrategy",
     "RecoveryFactory",
     "ReferenceServer",
+    "ReplyStatus",
     "RequestKind",
     "ServerSpec",
     "ServerStats",

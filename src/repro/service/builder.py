@@ -21,6 +21,9 @@ from ..clocks.drift import DriftingClock
 from ..core.intervals import TimeInterval, intersect_all
 from ..core.recovery import RecoveryStrategy
 from ..core.sync import SynchronizationPolicy
+from ..load.capacity import CapacityConfig
+from ..load.client import ResilienceConfig, ResilientTimeClient
+from ..load.server import LoadAwareServer, LoadPolicy
 from ..network.delay import DelayModel, UniformDelay
 from ..network.transport import Network
 from ..recovery.server import SelfStabilizingServer
@@ -196,16 +199,35 @@ class SimulatedService:
         clock: Optional[Clock] = None,
         delta: float = 0.0,
         timeout: float = 1.0,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> TimeClient:
-        """Create, register and return a client occupying node ``name``."""
-        client = TimeClient(
-            self.engine,
-            name,
-            self.network,
-            clock=clock,
-            delta=delta,
-            timeout=timeout,
-        )
+        """Create, register and return a client occupying node ``name``.
+
+        With ``resilience`` set the client is a
+        :class:`~repro.load.client.ResilientTimeClient` (retries, circuit
+        breakers, hedging) drawing its backoff jitter from the service's
+        RNG registry; otherwise a plain :class:`TimeClient`.
+        """
+        if resilience is not None:
+            client: TimeClient = ResilientTimeClient(
+                self.engine,
+                name,
+                self.network,
+                clock=clock,
+                delta=delta,
+                timeout=timeout,
+                resilience=resilience,
+                rng=self.rng.stream(f"client/{name}"),
+            )
+        else:
+            client = TimeClient(
+                self.engine,
+                name,
+                self.network,
+                clock=clock,
+                delta=delta,
+                timeout=timeout,
+            )
         self.network.register(client)
         self.clients.append(client)
         return client
@@ -267,6 +289,8 @@ def build_service(
     hardening: Optional[HardeningConfig] = None,
     stabilizer: Optional[StabilizerConfig] = None,
     byzantine: Optional[ByzantineConfig] = None,
+    capacity: Optional[CapacityConfig] = None,
+    load_policy: Optional[LoadPolicy] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -302,6 +326,16 @@ def build_service(
             ``byzantine_tolerant=True`` (reputation, demotion, reply
             validation); None uses
             :class:`~repro.byzantine.server.ByzantineConfig` defaults.
+        capacity: When set, plain servers are built as
+            :class:`~repro.load.server.LoadAwareServer` with this
+            service-time/queue model — requests cost simulated CPU and
+            may be shed.  Not yet composable with hardening, recovery or
+            Byzantine server classes (those keep the paper's infinite
+            capacity); reference servers are unaffected.
+        load_policy: Overload defences for capacity-model servers
+            (admission bucket, shedding policy, degraded mode); None
+            uses :class:`~repro.load.server.LoadPolicy` defaults
+            (everything on).
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -394,8 +428,23 @@ def build_service(
                     "hardening": hardening,
                     "hardening_rng": rng.stream(f"hardening/{spec.name}"),
                 }
+            elif capacity is not None:
+                server_class = LoadAwareServer
+                extra = {
+                    "capacity": capacity,
+                    "load_policy": load_policy,
+                    "load_rng": rng.stream(f"load/{spec.name}"),
+                }
             else:
                 server_class = TimeServer
+            if capacity is not None and server_class not in (
+                LoadAwareServer,
+                TimeServer,
+            ):
+                raise ValueError(
+                    "capacity is not yet composable with hardened, "
+                    "rate-tracking, self-stabilizing or Byzantine servers"
+                )
             server = server_class(
                 engine,
                 spec.name,

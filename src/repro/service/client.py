@@ -22,6 +22,7 @@ workstations.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -31,8 +32,9 @@ from ..core.intervals import TimeInterval
 from ..core.marzullo import intersect_tolerating, ntp_select
 from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
+from ..simulation.events import Event
 from ..simulation.process import SimProcess
-from .messages import RequestKind, TimeReply, TimeRequest
+from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 
 
 class QueryStrategy(enum.Enum):
@@ -54,6 +56,11 @@ class ClientResult:
         true_time: Real time at completion (oracle, for scoring).
         replies_used: How many replies fed the estimate.
         source: Which server(s) the estimate came from.
+        failed: The query heard no usable reply; ``estimate``/``error``
+            are NaN/∞ and the result lives in :attr:`TimeClient.failures`
+            rather than :attr:`TimeClient.results`.
+        latency: Real seconds from issuing the query to this outcome
+            (oracle-measured; a failed query's latency is its timeout).
     """
 
     estimate: float
@@ -61,6 +68,8 @@ class ClientResult:
     true_time: float
     replies_used: int
     source: str
+    failed: bool = False
+    latency: float = float("nan")
 
     @property
     def true_offset(self) -> float:
@@ -70,6 +79,8 @@ class ClientResult:
     @property
     def correct(self) -> bool:
         """Whether the claimed interval contains the true time."""
+        if self.failed:
+            return False
         return abs(self.true_offset) <= self.error
 
 
@@ -83,7 +94,9 @@ class _Query:
     outstanding: set[str]
     callback: Callable[[ClientResult], None]
     faults: int
+    started: float = 0.0
     replies: List[tuple[TimeReply, float, float]] = field(default_factory=list)
+    timeout_event: Optional[Event] = None
     done: bool = False
 
 
@@ -124,6 +137,7 @@ class TimeClient(SimProcess):
         self._queries: Dict[int, _Query] = {}
         self._counter = 0
         self.results: List[ClientResult] = []
+        self.failures: List[ClientResult] = []
 
     # --------------------------------------------------------------- queries
 
@@ -140,7 +154,10 @@ class TimeClient(SimProcess):
             servers: Servers to ask (typically the client's neighbours).
             strategy: Combination rule.
             callback: Invoked with the :class:`ClientResult` when the query
-                completes; results are also appended to :attr:`results`.
+                completes — including a *failed* result (``failed=True``)
+                when the timeout fires with no usable reply.  Successful
+                results are also appended to :attr:`results`, failed ones
+                to :attr:`failures`.
             faults: For ``INTERSECT``: number of falsetickers to tolerate
                 via Marzullo's algorithm (0 reproduces plain IM-style
                 intersection).
@@ -163,6 +180,7 @@ class TimeClient(SimProcess):
             outstanding=set(servers),
             callback=callback if callback is not None else (lambda result: None),
             faults=faults,
+            started=self.now,
         )
         self._queries[query.query_id] = query
         for server in servers:
@@ -177,7 +195,9 @@ class TimeClient(SimProcess):
                     kind=RequestKind.CLIENT,
                 ),
             )
-        self.call_after(self.timeout, lambda: self._finalise(query))
+        query.timeout_event = self.call_after(
+            self.timeout, lambda: self._finalise(query)
+        )
         return query.query_id
 
     # --------------------------------------------------------------- replies
@@ -189,6 +209,13 @@ class TimeClient(SimProcess):
         if query is None or query.done or message.server not in query.outstanding:
             return
         query.outstanding.discard(message.server)
+        if message.status is ReplyStatus.BUSY:
+            # An overloaded server declined to answer: no time to use, but
+            # no point waiting for this server either.  (The resilient
+            # client in repro.load.client retries instead.)
+            if not query.outstanding:
+                self._finalise(query)
+            return
         local_now = self.clock.read(self.now)
         rtt_local = max(0.0, local_now - query.sent_local[message.server])
         query.replies.append((message, rtt_local, local_now))
@@ -202,8 +229,27 @@ class TimeClient(SimProcess):
             return
         query.done = True
         self._queries.pop(query.query_id, None)
+        if query.timeout_event is not None:
+            # A query finalised by its replies must not keep holding its
+            # timeout timer (and, through the closure, the whole query)
+            # on the engine's heap until the timeout would have fired.
+            query.timeout_event.cancel()
+            query.timeout_event = None
         if not query.replies:
-            return  # nothing heard; the query just fails silently
+            # Nothing heard: an explicit failure, not a silent drop, so
+            # experiments can count unanswered queries.
+            result = ClientResult(
+                estimate=math.nan,
+                error=math.inf,
+                true_time=self.now,
+                replies_used=0,
+                source="failed",
+                failed=True,
+                latency=self.now - query.started,
+            )
+            self.failures.append(result)
+            query.callback(result)
+            return
         local_now = self.clock.read(self.now)
         result = self._combine(query, local_now)
         self.results.append(result)
@@ -276,4 +322,5 @@ class TimeClient(SimProcess):
             true_time=self.now,
             replies_used=len(intervals),
             source=source,
+            latency=self.now - query.started,
         )

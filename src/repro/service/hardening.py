@@ -414,9 +414,11 @@ class HardenedTimeServer(TimeServer):
     def _on_round_started(self, round_: _PollRound) -> None:
         retry = self.hardening.retry
         if retry.max_attempts > 1:
-            self.call_after(
-                retry.delay(1, self._hrng),
-                lambda: self._retry_round(round_, attempt=2),
+            round_.timers.append(
+                self.call_after(
+                    retry.delay(1, self._hrng),
+                    lambda: self._retry_round(round_, attempt=2),
+                )
             )
 
     def _may_revive(self, round_: _PollRound) -> bool:
@@ -453,9 +455,11 @@ class HardenedTimeServer(TimeServer):
             elif revived:
                 del round_.sent_local[destination]
         if attempt < retry.max_attempts:
-            self.call_after(
-                retry.delay(attempt, self._hrng),
-                lambda: self._retry_round(round_, attempt=attempt + 1),
+            round_.timers.append(
+                self.call_after(
+                    retry.delay(attempt, self._hrng),
+                    lambda: self._retry_round(round_, attempt=attempt + 1),
+                )
             )
 
     # ----------------------------------------------------- adaptive timeout
@@ -553,7 +557,7 @@ class HardenedTimeServer(TimeServer):
                     kind=RequestKind.RECOVERY,
                 ),
             )
-            self.call_after(
+            self._recovery_timeout_event = self.call_after(
                 retry.delay(self._recovery_attempts, self._hrng),
                 lambda: self._recovery_timeout(request_id),
             )

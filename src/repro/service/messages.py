@@ -29,6 +29,28 @@ class RequestKind(enum.Enum):
     RECOVERY = "recovery"
 
 
+class ReplyStatus(enum.Enum):
+    """How a reply was produced — the overload subsystem's extension.
+
+    The paper's servers answer every request instantly and for free, so
+    every reply is ``OK``.  A :class:`~repro.load.server.LoadAwareServer`
+    can instead shed or degrade under load:
+
+    * ``OK`` — a fresh rule MM-1 answer (the paper's reply).
+    * ``DEGRADED`` — served from the overload cache: a stale ``⟨C, E⟩``
+      whose error was inflated by ``ρ·age`` so the interval still contains
+      the true time (Theorem 1 correctness preserved, accuracy shed).
+    * ``BUSY`` — no time at all: the request was shed by admission
+      control; ``retry_after`` hints when to try again.  A BUSY reply's
+      ``clock_value``/``error`` fields are meaningless and must never be
+      fed to a synchronization policy or a client combination rule.
+    """
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    BUSY = "busy"
+
+
 @dataclass(frozen=True)
 class TimeRequest:
     """A request for the time.
@@ -70,6 +92,11 @@ class TimeReply:
             ``(observer, subject, ok, age)`` quadruples (empty for servers
             without the recovery subsystem).  See
             :mod:`repro.recovery.census`.
+        status: How the reply was produced (see :class:`ReplyStatus`);
+            always ``OK`` for the paper's servers.
+        retry_after: For ``BUSY`` replies: the server's hint, in seconds,
+            of how long the requester should back off before retrying
+            (0 when the server has no estimate).
     """
 
     request_id: int
@@ -81,6 +108,8 @@ class TimeReply:
     delta: float = 0.0
     epoch: int = 0
     verdicts: tuple = ()
+    status: ReplyStatus = ReplyStatus.OK
+    retry_after: float = 0.0
 
     @property
     def interval(self) -> TimeInterval:

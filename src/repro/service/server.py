@@ -43,7 +43,7 @@ from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
 from ..simulation.trace import TraceRecorder
-from .messages import RequestKind, TimeReply, TimeRequest
+from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 
 
 @dataclass
@@ -63,7 +63,15 @@ class _PollRound:
     outstanding: set[str] = field(default_factory=set)
     unsent: set[str] = field(default_factory=set)  # transport-dropped at send
     pending: list[_PendingReply] = field(default_factory=list)
+    timers: list = field(default_factory=list)  # events cancelled at close
     closed: bool = False
+
+    def cancel_timers(self) -> None:
+        """Drop the round's scheduled events so a completed round does not
+        linger on the engine heap (closure retention under high volume)."""
+        for event in self.timers:
+            event.cancel()
+        self.timers.clear()
 
 
 @dataclass
@@ -165,6 +173,7 @@ class TimeServer(SimProcess):
         self._round_inconsistent: set[str] = set()
         self._prev_round_inconsistent: set[str] = set()
         self._recovery_inflight: Optional[tuple[int, str, float]] = None
+        self._recovery_timeout_event = None
         self._recovery_counter = 10_000_000  # distinct id space from rounds
         self._departed = False
         self._rejoin_count = 0
@@ -255,8 +264,10 @@ class TimeServer(SimProcess):
         self._periodic_tasks.clear()
         if self._round is not None:
             self._round.closed = True
+            self._round.cancel_timers()
         if self._recovery_inflight is not None:
             self._recovery_inflight = None
+            self._cancel_recovery_timer()
             if self.recovery is not None:
                 self.recovery.note_timed_out()
         self._trace("leave")
@@ -387,7 +398,9 @@ class TimeServer(SimProcess):
             return
         self._on_round_started(round_)
         timeout = self._effective_round_timeout()
-        self.call_after(timeout, lambda: self._round_timeout_fired(round_))
+        round_.timers.append(
+            self.call_after(timeout, lambda: self._round_timeout_fired(round_))
+        )
 
     def _on_round_started(self, round_: _PollRound) -> None:
         """Hook: called once per round after its requests went out.
@@ -467,6 +480,10 @@ class TimeServer(SimProcess):
         additionally rejects NaN/negative/implausible ``⟨C_j, E_j⟩``
         pairs here.
         """
+        if reply.status is ReplyStatus.BUSY:
+            # A BUSY reply carries no time at all; it must never reach a
+            # synchronization policy or become a recovery reset.
+            return "busy reply"
         if self._error_physics:
             return self._error_physics_rejection(reply)
         return None
@@ -527,6 +544,7 @@ class TimeServer(SimProcess):
         if round_.closed:
             return
         round_.closed = True
+        round_.cancel_timers()
         self._on_round_closed(round_)
         assert self.policy is not None
         if self.policy.incremental:
@@ -638,7 +656,16 @@ class TimeServer(SimProcess):
         )
         # Give up on a lost recovery reply after the round timeout.
         timeout = self._round_timeout if self._round_timeout is not None else 1.0
-        self.call_after(timeout, lambda: self._recovery_timeout(request_id))
+        self._recovery_timeout_event = self.call_after(
+            timeout, lambda: self._recovery_timeout(request_id)
+        )
+
+    def _cancel_recovery_timer(self) -> None:
+        """Drop the give-up timer once its recovery attempt is resolved,
+        so completed recoveries don't pile timers on the engine heap."""
+        if self._recovery_timeout_event is not None:
+            self._recovery_timeout_event.cancel()
+            self._recovery_timeout_event = None
 
     def _recovery_timeout(self, request_id: int) -> None:
         if (
@@ -646,6 +673,7 @@ class TimeServer(SimProcess):
             and self._recovery_inflight[0] == request_id
         ):
             self._recovery_inflight = None
+            self._recovery_timeout_event = None
             if self.recovery is not None:
                 self.recovery.note_timed_out()
             self._trace("recovery_timeout")
@@ -662,12 +690,14 @@ class TimeServer(SimProcess):
             # A poisoned arbiter reply must not become an unconditional
             # reset; abandon the recovery attempt instead.
             self._recovery_inflight = None
+            self._cancel_recovery_timer()
             self.stats.invalid_replies += 1
             if self.recovery is not None:
                 self.recovery.note_timed_out()
             self._trace("invalid_reply", server=reply.server, reason=rejection)
             return
         self._recovery_inflight = None
+        self._cancel_recovery_timer()
         rtt_local = max(0.0, self.clock_value() - sent_local)
         inherited = reply.error + (1.0 + self.delta) * rtt_local
         # The paper's rule: reset *unconditionally* to the third server.

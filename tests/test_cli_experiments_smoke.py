@@ -59,6 +59,7 @@ def test_registry_complete():
         "chaos_soak": "chaos-soak",
         "figure4_repair": "figure4-repair",
         "figure3_liars": "figure3-liars",
+        "flash_crowd": "flash-crowd",
     }
     registered = set(EXPERIMENTS)
     for module_name in expected:

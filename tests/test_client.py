@@ -210,7 +210,10 @@ class TestValidation:
         assert len(results) == 1
         assert results[0].replies_used == 2
 
-    def test_no_replies_no_result(self):
+    def test_no_replies_yields_explicit_failure(self):
+        # A query that hears nothing must fail *explicitly*: the callback
+        # fires with a failed result and the failure is recorded, so
+        # experiments can count unanswered queries (it used to vanish).
         service, client = make_service_with_client()
         for name in ("N2", "N3", "N4"):
             service.network.link("N1", name).take_down()
@@ -219,7 +222,14 @@ class TestValidation:
             ["N2", "N3", "N4"], QueryStrategy.FIRST_REPLY, callback=results.append
         )
         service.engine.run(until=5.0)
-        assert results == []
+        assert client.results == []
+        assert len(results) == 1
+        assert len(client.failures) == 1
+        failure = results[0]
+        assert failure.failed
+        assert failure.replies_used == 0
+        assert not failure.correct
+        assert failure.latency == pytest.approx(client.timeout)
 
     def test_client_validation(self):
         service, _client = make_service_with_client()

@@ -1,0 +1,113 @@
+"""The flash-crowd experiment: smoke (tier-1) and full acceptance.
+
+The smoke test runs a shortened crowd — hot enough to overload the mesh
+(600 q/s offered against ~500 q/s of fresh capacity) but too brief for
+the plain arm's sync-window starvation check to trip, so it asserts the
+*defended* arm's guarantees plus determinism.  The ``overload``-marked
+test runs the real 120 s profile over the paper seeds and asserts the
+full acceptance verdict, including plain-arm starvation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import flash_crowd
+from repro.load.workload import FlashCrowdProfile
+
+SMOKE_HORIZON = 30.0
+SMOKE_PROFILE = FlashCrowdProfile(
+    base_rate=15.0, crowd_rate=300.0, crowd_start=8.0, crowd_end=22.0, ramp=1.0
+)
+
+
+class TestProfile:
+    def test_rate_shape(self):
+        profile = SMOKE_PROFILE
+        assert profile.rate_at(0.0) == 15.0
+        assert profile.rate_at(10.0) == 300.0  # plateau
+        assert profile.rate_at(29.0) == 15.0
+        assert profile.rate_at(8.5) == pytest.approx(157.5)  # mid-ramp
+        assert profile.in_crowd(10.0)
+        assert not profile.in_crowd(8.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdProfile(crowd_start=10.0, crowd_end=11.0, ramp=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowdProfile(ramp=-1.0)
+
+
+class TestFlashCrowdSmoke:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return flash_crowd.run_comparison(
+            11, horizon=SMOKE_HORIZON, profile=SMOKE_PROFILE
+        )
+
+    def test_crowd_actually_overloads(self, comparison):
+        # The crowd pushed both arms past the fresh-serving capacity:
+        # the plain arm shed silently, the controlled arm shed loudly.
+        assert comparison.plain.shed_silent > 0
+        assert comparison.controlled.busy_replies > 0
+
+    def test_controlled_arm_keeps_every_invariant(self, comparison):
+        assert comparison.controlled.monitor_violations == 0
+        assert comparison.controlled.monitor_checks > 0
+
+    def test_degraded_replies_engage_and_stay_correct(self, comparison):
+        controlled = comparison.controlled
+        assert controlled.degraded_replies > 0
+        assert controlled.degraded_correct == controlled.degraded_replies
+
+    def test_no_arm_ever_returns_a_wrong_interval(self, comparison):
+        assert comparison.plain.incorrect_results == 0
+        assert comparison.controlled.incorrect_results == 0
+
+    def test_controlled_goodput_dominates(self, comparison):
+        assert comparison.controlled.goodput > comparison.plain.goodput
+        assert (
+            comparison.controlled.p99_latency < comparison.plain.p99_latency
+        )
+
+    def test_deterministic_for_a_seed(self, comparison):
+        again = flash_crowd.run_arm(
+            True, 11, horizon=SMOKE_HORIZON, profile=SMOKE_PROFILE
+        )
+        assert again == comparison.controlled
+        assert again.digest == comparison.controlled.digest
+
+    def test_seed_changes_the_run(self):
+        other = flash_crowd.run_arm(
+            True, 12, horizon=SMOKE_HORIZON, profile=SMOKE_PROFILE
+        )
+        base = flash_crowd.run_arm(
+            True, 11, horizon=SMOKE_HORIZON, profile=SMOKE_PROFILE
+        )
+        assert other.digest != base.digest
+
+
+@pytest.mark.overload
+class TestFlashCrowdAcceptance:
+    """The full 120 s profile, three seeds — the ISSUE's acceptance bar."""
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_comparison_passes(self, seed):
+        comparison = flash_crowd.run_comparison(seed)
+        plain, controlled = comparison.plain, comparison.controlled
+        # The undefended arm's sync plane starves under the crowd…
+        assert comparison.plain_starved, (
+            f"seed {seed}: expected plain-arm sync-plane violations, "
+            f"got {plain.sync_plane_violations}"
+        )
+        # …while the defended arm stays entirely clean…
+        assert controlled.monitor_violations == 0
+        # …degrades instead of lying…
+        assert controlled.degraded_replies > 0
+        assert controlled.degraded_correct == controlled.degraded_replies
+        assert plain.incorrect_results == 0
+        assert controlled.incorrect_results == 0
+        # …and still wins on throughput and tail latency.
+        assert controlled.goodput > plain.goodput
+        assert controlled.p99_latency < plain.p99_latency
+        assert comparison.passed

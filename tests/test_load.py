@@ -1,0 +1,247 @@
+"""Unit tests for the capacity model and admission machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.load.admission import (
+    DeadlineAwareShed,
+    DropTail,
+    OverloadConfig,
+    OverloadDetector,
+    RandomEarlyShed,
+    TokenBucket,
+    TokenBucketConfig,
+    make_shedding_policy,
+)
+from repro.load.capacity import (
+    CapacityConfig,
+    QueuedItem,
+    RequestQueue,
+    ServiceClass,
+)
+
+
+def item(service_class=ServiceClass.CLIENT, arrived=0.0):
+    return QueuedItem(
+        service_class=service_class, message=object(), sender=None, arrived=arrived
+    )
+
+
+class TestServiceClass:
+    def test_sync_plane_split(self):
+        assert ServiceClass.POLL.sync_plane
+        assert ServiceClass.RECOVERY.sync_plane
+        assert not ServiceClass.CLIENT.sync_plane
+
+    def test_priority_order(self):
+        assert ServiceClass.POLL < ServiceClass.RECOVERY < ServiceClass.CLIENT
+
+
+class TestCapacityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityConfig(service_time=0.0)
+        with pytest.raises(ValueError):
+            CapacityConfig(degraded_time=1.0, service_time=0.5)
+        with pytest.raises(ValueError):
+            CapacityConfig(queue_limit=0)
+
+    def test_capacities(self):
+        config = CapacityConfig(service_time=0.01, degraded_time=0.002)
+        assert config.fresh_capacity == pytest.approx(100.0)
+        assert config.degraded_capacity == pytest.approx(500.0)
+
+
+class TestRequestQueue:
+    def test_priority_serves_sync_plane_first(self):
+        queue = RequestQueue(limit=8, prioritized=True)
+        client = item(ServiceClass.CLIENT)
+        poll = item(ServiceClass.POLL)
+        recovery = item(ServiceClass.RECOVERY)
+        queue.push(client)
+        queue.push(recovery)
+        queue.push(poll)
+        order = [queue.pop().service_class for _ in range(3)]
+        assert order == [
+            ServiceClass.POLL,
+            ServiceClass.RECOVERY,
+            ServiceClass.CLIENT,
+        ]
+
+    def test_fifo_when_not_prioritized(self):
+        queue = RequestQueue(limit=8, prioritized=False)
+        first = item(ServiceClass.CLIENT)
+        second = item(ServiceClass.POLL)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first  # the flood ahead of the poll
+
+    def test_fifo_within_class(self):
+        queue = RequestQueue(limit=8, prioritized=True)
+        first, second = item(), item()
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+
+    def test_overflow_raises_and_is_counted_explicitly(self):
+        queue = RequestQueue(limit=1)
+        queue.push(item())
+        assert queue.full
+        with pytest.raises(OverflowError):
+            queue.push(item())
+        queue.note_overflow(ServiceClass.CLIENT)
+        assert queue.stats.overflowed[ServiceClass.CLIENT] == 1
+
+    def test_evict_youngest_client_spares_sync_plane(self):
+        queue = RequestQueue(limit=4)
+        old_client = item(arrived=0.0)
+        young_client = item(arrived=2.0)
+        poll = item(ServiceClass.POLL, arrived=1.0)
+        queue.push(old_client)
+        queue.push(young_client)
+        queue.push(poll)
+        evicted = queue.evict_youngest_client()
+        assert evicted is young_client
+        assert queue.stats.evicted[ServiceClass.CLIENT] == 1
+        remaining = [queue.pop() for _ in range(len(queue))]
+        assert poll in remaining and old_client in remaining
+
+    def test_evict_with_no_clients_returns_none(self):
+        queue = RequestQueue(limit=2)
+        queue.push(item(ServiceClass.POLL))
+        assert queue.evict_youngest_client() is None
+
+    def test_stale_items_and_remove(self):
+        queue = RequestQueue(limit=4)
+        stale = item(arrived=0.0)
+        fresh = item(arrived=9.9)
+        queue.push(stale)
+        queue.push(fresh)
+        found = queue.stale_client_items(now=10.0, deadline=1.0)
+        assert found == [stale]
+        assert queue.remove(stale)
+        assert not queue.remove(stale)  # already gone
+        assert len(queue) == 1
+
+    def test_accounting(self):
+        queue = RequestQueue(limit=4)
+        for _ in range(3):
+            queue.push(item())
+        assert queue.stats.peak_depth == 3
+        queue.pop()
+        assert queue.stats.total(queue.stats.enqueued) == 3
+        assert queue.stats.total(queue.stats.served) == 1
+        assert queue.depth(ServiceClass.CLIENT) == 2
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(TokenBucketConfig(rate=10.0, burst=2.0))
+        assert bucket.try_admit(0.0)
+        assert bucket.try_admit(0.0)
+        assert not bucket.try_admit(0.0)
+        assert bucket.admitted == 2 and bucket.refused == 1
+
+    def test_refill_readmits(self):
+        bucket = TokenBucket(TokenBucketConfig(rate=10.0, burst=1.0))
+        assert bucket.try_admit(0.0)
+        assert not bucket.try_admit(0.0)
+        assert bucket.try_admit(0.2)  # 2 tokens' worth of time elapsed
+
+    def test_retry_after_is_the_deficit(self):
+        bucket = TokenBucket(TokenBucketConfig(rate=10.0, burst=1.0))
+        bucket.try_admit(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(0.1)
+        assert bucket.retry_after(0.05) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketConfig(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketConfig(burst=0.5)
+
+
+class TestSheddingPolicies:
+    def test_registry(self):
+        assert isinstance(make_shedding_policy("drop-tail"), DropTail)
+        assert isinstance(
+            make_shedding_policy("random", threshold=0.25), RandomEarlyShed
+        )
+        assert isinstance(
+            make_shedding_policy("deadline", deadline=0.2), DeadlineAwareShed
+        )
+        with pytest.raises(ValueError):
+            make_shedding_policy("nope")
+
+    def test_drop_tail(self):
+        queue = RequestQueue(limit=1)
+        policy = DropTail()
+        assert policy.admit(queue, 0.0, None)
+        queue.push(item())
+        assert not policy.admit(queue, 0.0, None)
+
+    def test_random_early_shed_below_knee_always_admits(self):
+        queue = RequestQueue(limit=10)
+        policy = RandomEarlyShed(threshold=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assert policy.admit(queue, 0.0, rng)
+            queue.push(item())
+
+    def test_random_early_shed_sheds_above_knee(self):
+        queue = RequestQueue(limit=10)
+        policy = RandomEarlyShed(threshold=0.2)
+        rng = np.random.default_rng(1)
+        for _ in range(9):
+            queue.push(item())
+        decisions = [policy.admit(queue, 0.0, rng) for _ in range(200)]
+        # Depth 9/10 with knee at 2: shed probability 7/8 — some of each.
+        assert any(decisions) and not all(decisions)
+        queue.push(item())
+        assert not policy.admit(queue, 0.0, rng)  # full: certainty
+
+    def test_deadline_shed_evicts_stale_to_admit_fresh(self):
+        queue = RequestQueue(limit=2)
+        policy = DeadlineAwareShed(deadline=1.0)
+        stale = item(arrived=0.0)
+        queue.push(stale)
+        queue.push(item(arrived=4.9))
+        assert policy.admit(queue, 5.0, None)  # evicted the stale entry
+        assert len(queue) == 1
+        assert queue.stats.evicted[ServiceClass.CLIENT] == 1
+
+    def test_deadline_shed_refuses_when_nothing_is_stale(self):
+        queue = RequestQueue(limit=1)
+        policy = DeadlineAwareShed(deadline=1.0)
+        queue.push(item(arrived=0.0))
+        assert not policy.admit(queue, 0.5, None)
+
+
+class TestOverloadDetector:
+    def test_hysteresis(self):
+        detector = OverloadDetector(
+            OverloadConfig(alpha=1.0, enter_threshold=0.1, exit_threshold=0.02)
+        )
+        assert not detector.observe(0.05)  # above exit, below enter: calm
+        assert detector.observe(0.5)
+        assert detector.observe(0.05)  # inside the band: stays overloaded
+        assert not detector.observe(0.0)
+        assert detector.onsets == 1 and detector.recoveries == 1
+
+    def test_ewma_smooths(self):
+        detector = OverloadDetector(
+            OverloadConfig(alpha=0.1, enter_threshold=0.1, exit_threshold=0.02)
+        )
+        detector.observe(0.0)  # seed the EWMA at calm
+        # One spike folded at alpha=0.1 cannot cross the threshold.
+        assert not detector.observe(0.5)
+        assert detector.ewma == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            OverloadConfig(enter_threshold=0.01, exit_threshold=0.05)

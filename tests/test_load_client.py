@@ -1,0 +1,293 @@
+"""Tests for the resilient client: backoff, breakers, retries, hedging."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.load.capacity import CapacityConfig
+from repro.load.client import (
+    BackoffPolicy,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    CircuitState,
+    ResilienceConfig,
+)
+from repro.load.admission import TokenBucketConfig
+from repro.load.server import LoadPolicy
+from repro.network.delay import ConstantDelay
+from repro.service.builder import ServerSpec, build_service
+
+
+def make_service(n_servers=2, *, resilience=None, capacity=None, load_policy=None):
+    """A client hub C joined to ``n_servers`` answer-only servers."""
+    graph = nx.Graph()
+    names = [f"S{k + 1}" for k in range(n_servers)]
+    for name in names:
+        graph.add_edge("C", name)
+    service = build_service(
+        graph,
+        [
+            ServerSpec(name, delta=1e-4, initial_error=0.01, polls=False)
+            for name in names
+        ],
+        policy=None,
+        tau=60.0,
+        seed=5,
+        lan_delay=ConstantDelay(0.002),
+        capacity=capacity or CapacityConfig(service_time=0.002, degraded_time=0.001),
+        load_policy=load_policy,
+    )
+    client = service.add_client(
+        "C", resilience=resilience or ResilienceConfig(attempt_timeout=0.1)
+    )
+    client.start()
+    return service, client, names
+
+
+class TestBackoffPolicy:
+    def test_unjittered_growth_and_cap(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay(attempt, None) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(base=0.1, factor=1.0, max_delay=0.1, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            delay = policy.delay(1, rng)
+            assert 0.05 <= delay <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.5, max_delay=0.1)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_probes_after_cooldown(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(failure_threshold=2, reset_timeout=1.0)
+        )
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow(0.5)
+        assert breaker.allow(1.1)  # half-open probe
+        assert breaker.state is CircuitState.HALF_OPEN
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(failure_threshold=1, reset_timeout=1.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.5)
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow(2.0)  # timer restarted
+        assert breaker.trips == 2
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(CircuitBreakerConfig(failure_threshold=1))
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.failures == 0
+
+
+class TestResilienceConfig:
+    def test_hedge_must_precede_timeout(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(attempt_timeout=0.2, hedge_after=0.3)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_attempts=0)
+
+
+class TestResilientQueries:
+    def test_single_healthy_server_answers(self):
+        service, client, names = make_service(1)
+        results = []
+        client.ask([names[0]], callback=results.append)
+        service.engine.run(until=1.0)
+        assert len(results) == 1
+        assert results[0].correct
+        assert client.load_stats.attempts == 1
+
+    def test_retry_rotates_to_live_server(self):
+        service, client, names = make_service(2)
+        service.network.link("C", "S1").take_down()
+        results = []
+        client.ask(names, callback=results.append)
+        service.engine.run(until=2.0)
+        assert len(results) == 1
+        assert results[0].correct
+        assert results[0].source == "S2"
+        assert client.load_stats.attempt_timeouts >= 1
+        assert client.load_stats.retries >= 1
+
+    def test_exhausted_budget_fails_explicitly_and_cleans_up(self):
+        service, client, names = make_service(
+            2,
+            resilience=ResilienceConfig(max_attempts=2, attempt_timeout=0.05),
+        )
+        for name in names:
+            service.network.link("C", name).take_down()
+        results = []
+        client.ask(names, callback=results.append)
+        service.engine.run(until=5.0)
+        assert len(results) == 1
+        assert results[0].failed
+        assert client.failures == [results[0]]
+        assert client.results == []
+        assert client._rqueries == {} and client._attempts == {}
+
+    def test_open_breaker_is_skipped(self):
+        service, client, names = make_service(
+            2,
+            resilience=ResilienceConfig(
+                max_attempts=2,
+                attempt_timeout=0.05,
+                breaker=CircuitBreakerConfig(failure_threshold=1, reset_timeout=9.0),
+            ),
+        )
+        service.network.link("C", "S1").take_down()
+        client.ask(names)
+        service.engine.run(until=1.0)
+        assert client.breakers["S1"].state is CircuitState.OPEN
+        # The next query skips S1 entirely and answers from S2 at once.
+        results = []
+        client.ask(names, callback=results.append)
+        service.engine.run(until=2.0)
+        assert results[0].source == "S2"
+        assert client.load_stats.breaker_skips >= 1
+
+    def test_busy_reply_honors_retry_after(self):
+        service, client, names = make_service(
+            1,
+            resilience=ResilienceConfig(
+                max_attempts=3,
+                attempt_timeout=0.1,
+                backoff=BackoffPolicy(base=0.001, factor=1.0, max_delay=0.001, jitter=0.0),
+            ),
+            load_policy=LoadPolicy(
+                admission=TokenBucketConfig(rate=5.0, burst=1.0)
+            ),
+        )
+        results = []
+        client.ask(names)  # drains the bucket's one token
+        client.ask(names, callback=results.append)  # refused: BUSY + hint
+        service.engine.run(until=2.0)
+        assert client.load_stats.busy_received >= 1
+        assert len(results) == 1 and results[0].correct
+        # The hint (~1/rate = 0.2 s) dominates the tiny backoff.
+        assert results[0].latency >= 0.15
+
+    def test_hedge_races_a_silent_server(self):
+        service, client, names = make_service(
+            2,
+            resilience=ResilienceConfig(
+                max_attempts=3,
+                attempt_timeout=0.2,
+                hedge_after=0.05,
+            ),
+        )
+        service.network.link("C", "S1").take_down()
+        results = []
+        client.ask(names, callback=results.append)
+        service.engine.run(until=1.0)
+        assert len(results) == 1
+        assert results[0].correct
+        assert results[0].source == "S2"
+        assert client.load_stats.hedges == 1
+        # The hedge answered well before the first attempt's timeout.
+        assert results[0].latency < 0.2
+
+    def test_degraded_reply_accepted_and_labelled(self):
+        service, client, names = make_service(1)
+        server = service.servers["S1"]
+        server.detector.overloaded = True
+        server.detector.ewma = 1.0
+        results = []
+        client.ask(names, callback=results.append)
+        service.engine.run(until=1.0)
+        assert client.load_stats.degraded_accepted == 1
+        assert results[0].source == "degraded:S1"
+        assert results[0].correct
+
+
+class TestPendingStateBounded:
+    """The timer/closure-retention satellite: 10k queries must not
+    accumulate timers, query records, or attempt records."""
+
+    @staticmethod
+    def _instant_service():
+        """One paper-model (infinite-capacity) server: the tests probe
+        *client* bookkeeping, so the server must never be the bottleneck."""
+        graph = nx.Graph([("C", "S1")])
+        return build_service(
+            graph,
+            [ServerSpec("S1", delta=1e-4, initial_error=0.01, polls=False)],
+            policy=None,
+            tau=60.0,
+            seed=5,
+            lan_delay=ConstantDelay(0.002),
+        )
+
+    def test_resilient_client_state_is_bounded(self):
+        service = self._instant_service()
+        client = service.add_client("C", resilience=ResilienceConfig())
+        client.start()
+        for _ in range(10_000):
+            client.ask(["S1"])
+        service.engine.run(until=3.0)
+        assert len(client.results) == 10_000
+        assert client._rqueries == {} and client._attempts == {}
+        # Every attempt timeout was cancelled at completion: nothing from
+        # the queries may still be pending on the engine heap.
+        assert service.engine.pending_events < 50
+
+    def test_base_client_state_is_bounded(self):
+        service = self._instant_service()
+        base = service.add_client("C", timeout=1.0)  # plain TimeClient
+        base.start()
+        for _ in range(10_000):
+            base.ask(["S1"])
+        service.engine.run(until=3.0)
+        assert len(base.results) == 10_000
+        assert base._queries == {}
+        # Query timeout timers were cancelled at finalisation: nothing
+        # from the queries may still be pending on the engine heap.
+        assert service.engine.pending_events < 50
+
+    def test_poll_round_timers_are_cancelled(self):
+        """Polling servers over many rounds keep a bounded pending set:
+        round timeout timers are cancelled when rounds complete."""
+        graph = nx.complete_graph(3)
+        graph = nx.relabel_nodes(graph, {0: "S1", 1: "S2", 2: "S3"})
+        from repro.core.im import IMPolicy
+
+        service = build_service(
+            graph,
+            [
+                ServerSpec(f"S{k}", delta=1e-5, initial_error=0.01)
+                for k in (1, 2, 3)
+            ],
+            policy=IMPolicy(),
+            tau=0.2,
+            round_timeout=0.1,
+            seed=1,
+            lan_delay=ConstantDelay(0.001),
+        )
+        service.run_until(60.0)  # ~300 rounds per server
+        for server in service.servers.values():
+            assert server.stats.rounds > 200
+        # Steady state: the next poll + its jitter per server, the odd
+        # in-flight message — not hundreds of stale round timers.
+        assert service.engine.pending_events < 30

@@ -1,0 +1,177 @@
+"""Property tests for the overload PR's supporting machinery.
+
+Two targets the flash-crowd experiment leans on:
+
+* :meth:`TimeClient._aged_interval` — the client-side reply aging whose
+  correctness every accepted (fresh *or* degraded) answer depends on;
+* :class:`~repro.network.transport.NetworkStats` counter consistency
+  when message taps multiply or drop deliveries — the accounting the
+  experiment's shed/goodput numbers sit on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.delay import ConstantDelay
+from repro.network.transport import Network
+from repro.service.client import TimeClient
+from repro.service.messages import RequestKind, TimeReply
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import SimProcess
+from repro.simulation.rng import RngRegistry
+
+
+def reply(value: float, error: float) -> TimeReply:
+    return TimeReply(
+        request_id=1,
+        server="S",
+        destination="C",
+        clock_value=value,
+        error=error,
+        kind=RequestKind.CLIENT,
+    )
+
+
+def client_with(delta: float) -> TimeClient:
+    return TimeClient(SimulationEngine(), "C", network=None, delta=delta)
+
+
+class TestAgedInterval:
+    """The edges behave exactly as documented, for any claimed δ ≥ 0."""
+
+    @given(
+        value=st.floats(-1e3, 1e3),
+        error=st.floats(0.0, 10.0),
+        delta=st.floats(0.0, 0.5),
+        rtt=st.floats(0.0, 1.0),
+        elapsed=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_edge_formulas(self, value, error, delta, rtt, elapsed):
+        client = client_with(delta)
+        interval = client._aged_interval(
+            reply(value, error), rtt, received_local=0.0, local_now=elapsed
+        )
+        # The trailing edge ages by elapsed − δ·elapsed: slower than real
+        # time could have passed, so it can never overtake the truth.
+        assert math.isclose(
+            interval.lo,
+            value - error + elapsed * (1.0 - delta),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        # The leading edge absorbs the (1+δ)-inflated round trip and ages
+        # by elapsed + δ·elapsed.
+        assert math.isclose(
+            interval.hi,
+            value + error + (1.0 + delta) * rtt + elapsed * (1.0 + delta),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+    @given(
+        error=st.floats(0.0, 10.0),
+        delta=st.floats(0.0, 0.5),
+        rtt=st.floats(0.0, 1.0),
+        elapsed=st.floats(0.0, 100.0),
+        more_elapsed=st.floats(0.0, 100.0),
+        more_rtt=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_width_monotone_in_elapsed_and_rtt(
+        self, error, delta, rtt, elapsed, more_elapsed, more_rtt
+    ):
+        client = client_with(delta)
+
+        def width(r, e):
+            interval = client._aged_interval(
+                reply(0.0, error), r, received_local=0.0, local_now=e
+            )
+            return interval.hi - interval.lo
+
+        base = width(rtt, elapsed)
+        slack = 1e-9 * max(1.0, abs(base))  # float association noise only
+        assert width(rtt + more_rtt, elapsed) >= base - slack
+        assert width(rtt, elapsed + more_elapsed) >= base - slack
+
+    @given(
+        value=st.floats(-1e3, 1e3),
+        error=st.floats(0.0, 10.0),
+        delta=st.floats(0.0, 0.5),
+        rtt=st.floats(0.0, 1.0),
+        elapsed=st.floats(0.0, 100.0),
+        offset=st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_containment_oracle(
+        self, value, error, delta, rtt, elapsed, offset
+    ):
+        """If the reply's interval contained true time when it was
+        received, the aged interval contains true time now (client clock
+        perfect, claimed δ ≥ the actual drift 0 — Theorem 1, client side).
+        """
+        client = client_with(delta)
+        true_at_receipt = value + offset * error  # anywhere in ⟨C ± E⟩
+        interval = client._aged_interval(
+            reply(value, error), rtt, received_local=5.0, local_now=5.0 + elapsed
+        )
+        truth_now = true_at_receipt + elapsed
+        assert interval.lo <= truth_now + 1e-9
+        assert interval.hi >= truth_now - 1e-9
+
+
+class _Sink(SimProcess):
+    def on_message(self, message, sender):
+        pass
+
+
+class TestNetworkStatsUnderTaps:
+    """sent/tapped/delivered/dropped stay mutually consistent when a tap
+    multiplies each delivery k-fold (k = 0 drops everything)."""
+
+    @given(copies=st.integers(0, 4), sends=st.integers(1, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplying_tap_accounting(self, copies, sends):
+        engine = SimulationEngine()
+        graph = nx.Graph([("A", "B")])
+        network = Network(
+            engine, graph, RngRegistry(seed=0), lan_delay=ConstantDelay(0.001)
+        )
+        for name in ("A", "B"):
+            sink = _Sink(engine, name)
+            network.register(sink)
+            sink.start()
+        network.add_tap(
+            lambda source, destination, message, delay: [(message, delay)] * copies
+        )
+        for k in range(sends):
+            network.send("A", "B", f"m{k}")
+        engine.run(until=1.0)
+        stats = network.stats
+        assert stats.sent == sends
+        assert stats.tapped == sends
+        assert stats.delivered == sends * copies
+        assert stats.dropped == (sends if copies == 0 else 0)
+
+    def test_pass_through_tap_counts_nothing(self):
+        engine = SimulationEngine()
+        graph = nx.Graph([("A", "B")])
+        network = Network(
+            engine, graph, RngRegistry(seed=0), lan_delay=ConstantDelay(0.001)
+        )
+        for name in ("A", "B"):
+            sink = _Sink(engine, name)
+            network.register(sink)
+            sink.start()
+        network.add_tap(lambda source, destination, message, delay: None)
+        for k in range(5):
+            network.send("A", "B", f"m{k}")
+        engine.run(until=1.0)
+        assert network.stats.tapped == 0
+        assert network.stats.delivered == 5
+        assert network.stats.dropped == 0
