@@ -155,6 +155,7 @@ class ByzantineTolerantServer(SelfStabilizingServer):
         self.byzantine_stats.demotions += 1
         self.demotion_log.append(DemotionEvent(at=self.now, neighbour=name))
         self._trace("demote", server=name)
+        self.telemetry.demotion(self.now, name)
 
     def falseticker_neighbours(self) -> tuple[str, ...]:
         return self.reputation.falsetickers()

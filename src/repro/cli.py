@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands::
+Main subcommands::
 
     python -m repro simulate   # build and run a service from flags
     python -m repro figures    # regenerate the paper's figures
     python -m repro experiment # run any experiment module by name
+    python -m repro figure1    # instrumented Figure 1 (telemetry export)
+    python -m repro top        # live text dashboard over a running sim
 
 ``simulate`` is the workhorse: it assembles a topology, a clock population,
 and a synchronization policy from flags, runs for the requested simulated
@@ -15,6 +17,7 @@ sampled series to CSV/JSON).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -59,6 +62,7 @@ from .recovery import SelfStabilizingRecovery
 from .service.builder import ServerSpec, build_service
 from .service.churn import ChurnController
 from .simulation.rng import RngRegistry
+from .telemetry import ServiceTelemetry, render_dashboard, run_top
 
 POLICIES = {
     "mm": MMPolicy,
@@ -118,6 +122,11 @@ def _build_topology(args: argparse.Namespace):
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """The ``simulate`` subcommand."""
+    telemetry = (
+        ServiceTelemetry(sample_period=args.tau)
+        if args.telemetry_out
+        else None
+    )
     graph = _build_topology(args)
     names = sorted(graph.nodes)
     n = len(names)
@@ -169,6 +178,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         wan_delay=UniformDelay(args.one_way * 5),
         recovery_factory=recovery_factory,
         trace_enabled=True,
+        telemetry=telemetry,
     )
     if args.churn:
         controller = ChurnController(
@@ -224,6 +234,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.export_json:
         written = snapshots_to_json(snapshots, args.export_json)
         print(f"wrote {written} snapshots to {args.export_json}")
+    if telemetry is not None:
+        paths = telemetry.write(args.telemetry_out)
+        print(f"wrote telemetry ({', '.join(sorted(paths))}) to {args.telemetry_out}")
     return 0 if snap.all_correct else 1
 
 
@@ -261,6 +274,80 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_figure1(args: argparse.Namespace) -> int:
+    """The ``figure1`` subcommand: the instrumented Figure 1 run.
+
+    Unlike ``figures 1`` (the faithful, synchronization-free figure),
+    this runs Figure 1's clock population under rule IM with the full
+    telemetry plane attached, prints the dashboard's final frame, and —
+    with ``--telemetry-out`` — exports the Prometheus snapshot, the span
+    JSONL, and the summary for offline inspection.
+    """
+    result, service, telemetry = figure1.run_instrumented(
+        tau=args.tau, seed=args.seed, sample_period=args.tau
+    )
+    print("Figure 1 servers under rule IM — instrumented run")
+    for snap, diagram in zip(result.snapshots, result.diagrams):
+        print(f"\n  t = {snap.time:.0f} s")
+        for line in diagram.splitlines():
+            print("   ", line)
+    print()
+    telemetry.sampler.sample_now()
+    print(render_dashboard(service, telemetry))
+    if args.telemetry_out:
+        paths = telemetry.write(
+            args.telemetry_out,
+            summary_extra={"experiment": "figure1", "seed": args.seed},
+            time=service.engine.now,
+        )
+        print(
+            f"\nwrote telemetry ({', '.join(sorted(paths))}) "
+            f"to {args.telemetry_out}"
+        )
+    print(f"\nAll intervals contain the true time: {result.all_correct}")
+    return 0 if result.all_correct else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """The ``top`` subcommand: a live text dashboard over a running sim."""
+    telemetry = ServiceTelemetry(sample_period=args.refresh)
+    graph = _build_topology(args)
+    names = sorted(graph.nodes)
+    n = len(names)
+    specs = [
+        ServerSpec(
+            name,
+            delta=args.delta,
+            skew=(
+                args.fill * args.delta * (2.0 * k / (n - 1) - 1.0)
+                if n > 1
+                else 0.0
+            ),
+        )
+        for k, name in enumerate(names)
+    ]
+    service = build_service(
+        graph,
+        specs,
+        policy=POLICIES[args.policy](),
+        tau=args.tau,
+        seed=args.seed,
+        lan_delay=UniformDelay(args.one_way),
+        wan_delay=UniformDelay(args.one_way * 5),
+        trace_enabled=True,
+        telemetry=telemetry,
+    )
+    frames = run_top(
+        service,
+        telemetry,
+        horizon=args.horizon,
+        refresh=args.refresh,
+        interactive=sys.stdout.isatty() and not args.no_clear,
+    )
+    print(f"\n{frames} frames over {args.horizon:g} simulated seconds.")
+    return 0
+
+
 def cmd_figure3_liars(args: argparse.Namespace) -> int:
     """The ``figure3-liars`` subcommand: the Byzantine liar gauntlet."""
     return 0 if figure3_liars.main(json_path=args.json) else 1
@@ -287,13 +374,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     rows = []
     for seed in range(args.seeds):
         for policy_name in [p.upper() for p in args.policies]:
+            telemetry = (
+                ServiceTelemetry(spans=False, sample_period=args.tau)
+                if args.telemetry_out
+                else None
+            )
             outcome = chaos_soak.run_soak(
                 policy_name,
                 seed,
                 n=args.servers,
                 tau=args.tau,
                 horizon=args.horizon,
+                telemetry=telemetry,
             )
+            if telemetry is not None:
+                run_dir = os.path.join(
+                    args.telemetry_out, f"{policy_name.lower()}-seed{seed}"
+                )
+                telemetry.write(
+                    run_dir,
+                    summary_extra={
+                        "policy": policy_name,
+                        "seed": seed,
+                        "violations": outcome.violations,
+                        "exemptions": outcome.exemptions,
+                    },
+                )
             failures_seen += outcome.violations
             rows.append(
                 [
@@ -429,12 +535,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the final interval diagram")
     sim.add_argument("--export-csv", metavar="PATH")
     sim.add_argument("--export-json", metavar="PATH")
+    sim.add_argument("--telemetry-out", metavar="DIR",
+                     help="enable the telemetry plane and write the "
+                          "Prometheus snapshot, span JSONL, and summary "
+                          "into this directory")
     sim.set_defaults(func=cmd_simulate)
 
     fig = sub.add_parser("figures", help="regenerate the paper's figures")
     fig.add_argument("which", nargs="?", default="all",
                      choices=["all", "1", "2", "3", "4"])
     fig.set_defaults(func=cmd_figures)
+
+    f1 = sub.add_parser(
+        "figure1",
+        help="instrumented Figure 1: the figure's servers under rule IM "
+             "with the full telemetry plane attached",
+    )
+    f1.add_argument("--tau", type=float, default=60.0, help="poll period (s)")
+    f1.add_argument("--seed", type=int, default=7)
+    f1.add_argument("--telemetry-out", metavar="DIR",
+                    help="write metrics.prom, spans.jsonl, and summary.json "
+                         "into this directory")
+    f1.set_defaults(func=cmd_figure1)
+
+    top = sub.add_parser(
+        "top",
+        help="live text dashboard: advance a simulated service and render "
+             "its telemetry every refresh interval",
+    )
+    top.add_argument("--topology", default="mesh",
+                     choices=["mesh", "ring", "line", "star", "internet",
+                              "random"])
+    top.add_argument("--servers", type=int, default=4)
+    top.add_argument("--policy", default="im", choices=sorted(POLICIES))
+    top.add_argument("--delta", type=float, default=1e-5)
+    top.add_argument("--fill", type=float, default=0.9)
+    top.add_argument("--tau", type=float, default=60.0)
+    top.add_argument("--one-way", type=float, default=0.05)
+    top.add_argument("--horizon", type=float, default=3600.0,
+                     help="simulated seconds to run")
+    top.add_argument("--refresh", type=float, default=120.0,
+                     help="simulated seconds between dashboard frames")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of redrawing in place")
+    top.set_defaults(func=cmd_top)
 
     exp = sub.add_parser("experiment", help="run an experiment by name")
     exp.add_argument("name", help="experiment name, or 'list'")
@@ -471,6 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the --compare run")
     cha.add_argument("--compare", action="store_true",
                      help="also run the plain-vs-hardened comparison")
+    cha.add_argument("--telemetry-out", metavar="DIR",
+                     help="write each storm's Prometheus snapshot and "
+                          "summary into DIR/<policy>-seed<k>/ (the nightly "
+                          "soak artefacts)")
     cha.set_defaults(func=cmd_chaos)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")

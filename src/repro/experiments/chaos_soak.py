@@ -105,6 +105,7 @@ def _build(
     loss: float = 0.0,
     hardened: bool = True,
     reference: bool = False,
+    telemetry=None,
 ) -> SimulatedService:
     names = [f"S{k + 1}" for k in range(n)]
     specs = [
@@ -134,6 +135,7 @@ def _build(
         seed=seed,
         loss_probability=loss,
         hardening=HardeningConfig() if hardened else None,
+        telemetry=telemetry,
     )
 
 
@@ -145,9 +147,17 @@ def run_soak(
     tau: float = 30.0,
     horizon: float = 1800.0,
     monitor_period: float = 5.0,
+    telemetry=None,
 ) -> SoakOutcome:
-    """One seeded fault storm against a hardened service."""
-    service = _build(policy_name, seed + 100, n=n, tau=tau)
+    """One seeded fault storm against a hardened service.
+
+    Args:
+        telemetry: An optional :class:`~repro.telemetry.ServiceTelemetry`
+            to attach to the soaked service; :func:`attach_chaos` then
+            routes the monitor's ``repro_invariant_checks_total`` counters
+            into its registry (the nightly soak's archived artefacts).
+    """
+    service = _build(policy_name, seed + 100, n=n, tau=tau, telemetry=telemetry)
     names = sorted(service.servers)
     edges = sorted(
         tuple(sorted((str(a), str(b)))) for a, b in service.network.graph.edges

@@ -18,13 +18,20 @@ Checks encoded:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.plots import render_intervals
+from ..core.im import IMPolicy
 from ..core.intervals import TimeInterval
 from ..network.delay import UniformDelay
 from ..network.topology import full_mesh
-from ..service.builder import ServerSpec, ServiceSnapshot, build_service
+from ..service.builder import (
+    ServerSpec,
+    ServiceSnapshot,
+    SimulatedService,
+    build_service,
+)
+from ..telemetry import ServiceTelemetry
 
 #: The three servers of the figure: (name, claimed δ, actual skew).
 FIGURE1_SERVERS = (
@@ -93,6 +100,73 @@ def run(
     return Figure1Result(
         snapshots=snapshots, diagrams=diagrams, all_correct=all_correct
     )
+
+
+def run_instrumented(
+    times=FIGURE1_TIMES,
+    servers=FIGURE1_SERVERS,
+    initial_error: float = FIGURE1_INITIAL_ERROR,
+    *,
+    tau: float = 60.0,
+    seed: int = 7,
+    sample_period: float = 60.0,
+    one_way: float = 0.002,
+    telemetry: Optional[ServiceTelemetry] = None,
+) -> Tuple[Figure1Result, SimulatedService, ServiceTelemetry]:
+    """Figure 1's servers, synchronizing under rule IM, fully telemetered.
+
+    The plain :func:`run` isolates error *growth* (no policy), which makes
+    it useless as a telemetry acceptance target — zero rounds means every
+    counter reads zero.  This variant keeps the figure's clock population
+    (same claimed bounds and actual skews) but lets the servers
+    synchronize under rule IM on a tight LAN, so the telemetry plane has
+    real traffic to measure: poll rounds, adoptions, resets, and live
+    per-edge asynchronism against the Theorem 7 bound.
+
+    Args:
+        times: Sample times; the last one is the run horizon.
+        servers: ``(name, claimed δ, actual skew)`` triples.
+        initial_error: Starting ε shared by the servers.
+        tau: Poll period (seconds).
+        seed: Root RNG seed — identical seeds must yield byte-identical
+            telemetry artefacts.
+        sample_period: The telemetry sampler's gauge period (default τ:
+            one live gauge sample per poll round).
+        one_way: One-way delay bound; kept small so adoptions dominate
+            the (1+δ)ξ inflation and the reset counters are nonzero.
+        telemetry: A pre-built :class:`ServiceTelemetry` to attach; a
+            fresh fully-enabled one is created when None.
+
+    Returns:
+        ``(result, service, telemetry)`` — the figure data plus the live
+        service and its telemetry plane, ready for export or assertions.
+    """
+    if telemetry is None:
+        telemetry = ServiceTelemetry(sample_period=sample_period)
+    specs = [
+        ServerSpec(name=name, delta=delta, skew=skew, initial_error=initial_error)
+        for name, delta, skew in servers
+    ]
+    service = build_service(
+        full_mesh(len(servers)),
+        specs,
+        policy=IMPolicy(),
+        tau=tau,
+        seed=seed,
+        lan_delay=UniformDelay(one_way),
+        trace_enabled=True,
+        telemetry=telemetry,
+    )
+    snapshots = service.sample(list(times))
+    diagrams = [
+        render_intervals(snap.intervals(), true_time=snap.time)
+        for snap in snapshots
+    ]
+    all_correct = all(snap.all_correct for snap in snapshots)
+    result = Figure1Result(
+        snapshots=snapshots, diagrams=diagrams, all_correct=all_correct
+    )
+    return result, service, telemetry
 
 
 def main() -> None:

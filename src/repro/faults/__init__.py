@@ -82,6 +82,7 @@ def attach_chaos(
     monitor_grace: float = 2.0,
     monitor: bool = True,
     start: bool = True,
+    registry=None,
 ) -> Tuple[FaultInjector, Optional[InvariantMonitor]]:
     """Attach an injector (and optionally a monitor) to a built service.
 
@@ -93,10 +94,17 @@ def attach_chaos(
             :class:`~repro.faults.monitor.InvariantMonitor`).
         monitor: Attach the invariant monitor at all.
         start: Start both processes immediately.
+        registry: Telemetry registry for the monitor's
+            ``repro_invariant_checks_total`` counters.  None falls back
+            to the service's own telemetry registry when one is enabled.
 
     Returns:
         ``(injector, monitor)`` — monitor is None when disabled.
     """
+    if registry is None:
+        service_telemetry = getattr(service, "telemetry", None)
+        if service_telemetry is not None and service_telemetry.registry.enabled:
+            registry = service_telemetry.registry
     injector = FaultInjector(
         service.engine,
         service.network,
@@ -115,6 +123,7 @@ def attach_chaos(
             schedule,
             period=monitor_period,
             grace=monitor_grace,
+            registry=registry,
         )
     if start:
         injector.start()

@@ -40,6 +40,7 @@ from ..service.server import TimeServer
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
 from ..simulation.trace import TraceRecorder
+from ..telemetry.registry import NULL_REGISTRY
 from .schedule import FaultSchedule, FaultWindow
 
 
@@ -103,6 +104,11 @@ class InvariantMonitor(SimProcess):
             ``"sync-plane"`` violation is raised — the signature of
             client traffic starving rule MM-2/IM-2 rounds.  None (the
             default) disables the check.
+        registry: A telemetry registry; every invariant check then exports
+            as ``repro_invariant_checks_total{check, outcome}`` with
+            outcome ``checked``, ``violated`` or ``exempted`` — the
+            violation metrics the nightly soak artifacts archive.  None
+            records nothing.
     """
 
     def __init__(
@@ -116,8 +122,17 @@ class InvariantMonitor(SimProcess):
         grace: float = 2.0,
         sync_window: Optional[float] = None,
         name: str = "monitor",
+        registry=None,
     ) -> None:
         super().__init__(engine, name)
+        self._check_counter = (
+            registry if registry is not None else NULL_REGISTRY
+        ).counter(
+            "repro_invariant_checks_total",
+            "Invariant checks by kind and outcome (checked/violated/exempted)",
+            ("check", "outcome"),
+        )
+        self._check_children: Dict[Tuple[str, str], object] = {}
         self.servers = dict(servers)
         self.trace = trace
         self.period = period
@@ -150,6 +165,15 @@ class InvariantMonitor(SimProcess):
 
     def on_start(self) -> None:
         self.every(self.period, self.check_now, first_at=self.now + self.period)
+
+    def _count(self, check: str, outcome: str) -> None:
+        """Export one (check, outcome) observation (no-op without registry)."""
+        key = (check, outcome)
+        child = self._check_children.get(key)
+        if child is None:
+            child = self._check_counter.labels(check=check, outcome=outcome)
+            self._check_children[key] = child
+        child.inc()
 
     # -------------------------------------------------------- taint tracking
 
@@ -271,9 +295,11 @@ class InvariantMonitor(SimProcess):
                 or self._in_crash_window(name, t)
             ):
                 self.stats.exemptions += 1
+                self._count("correctness", "exempted")
                 continue
             value, error = server.report()
             clean[name] = TimeInterval.from_center_error(value, error)
+            self._count("correctness", "checked")
             if not (value - error <= t <= value + error):
                 self._violation(
                     "correctness",
@@ -284,6 +310,7 @@ class InvariantMonitor(SimProcess):
         names = sorted(clean)
         for i, a in enumerate(names):
             for b in names[i + 1 :]:
+                self._count("consistency", "checked")
                 if not clean[a].intersects(clean[b]):
                     self._violation(
                         "consistency",
@@ -292,8 +319,12 @@ class InvariantMonitor(SimProcess):
                     )
         for name in sorted(self.servers):
             server = self.servers[name]
-            if isinstance(server, HardenedTimeServer) and not server.departed:
-                self._check_starvation(name, server)
+            if isinstance(server, HardenedTimeServer):
+                if server.departed:
+                    self._count("starvation", "exempted")
+                else:
+                    self._count("starvation", "checked")
+                    self._check_starvation(name, server)
         if self.sync_window is not None:
             for name in sorted(self.servers):
                 self._check_sync_progress(name, self.servers[name], t)
@@ -316,8 +347,10 @@ class InvariantMonitor(SimProcess):
             or self._in_crash_window(name, t)
             or self._in_fault_window(name, t, padded=True)
         ):
+            self._count("sync-plane", "exempted")
             self._sync_progress.pop(name, None)
             return
+        self._count("sync-plane", "checked")
         previous = self._sync_progress.get(name)
         if previous is None or handled > previous[0]:
             self._sync_progress[name] = (handled, t)
@@ -364,6 +397,7 @@ class InvariantMonitor(SimProcess):
     def _violation(self, check: str, servers: Tuple[str, ...], detail: str) -> None:
         violation = Violation(self.now, check, servers, detail)
         self.violations.append(violation)
+        self._count(check, "violated")
         if check == "correctness":
             self.stats.correctness_violations += 1
         elif check == "consistency":

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..service.messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 from ..service.server import TimeServer
+from ..telemetry.registry import CounterBackedStats, CounterField
 from .admission import (
     OverloadConfig,
     OverloadDetector,
@@ -87,17 +88,25 @@ class LoadPolicy:
         )
 
 
-@dataclass
-class LoadStats:
-    """What the request path did, beyond the queue's own accounting."""
+class LoadStats(CounterBackedStats):
+    """What the request path did, beyond the queue's own accounting.
 
-    fresh_replies: int = 0  # client requests answered with a live report
-    degraded_replies: int = 0  # client requests answered from the cache
-    degraded_correct: int = 0  # ... whose interval contained true time (oracle)
-    busy_replies: int = 0  # BUSY replies sent (admission, shedding, eviction)
-    shed_silent: int = 0  # shed without the courtesy of a BUSY reply
-    sync_evictions: int = 0  # client entries evicted for sync-plane arrivals
-    sync_drops: int = 0  # sync-plane arrivals lost to a full queue
+    Registry-backed (see :class:`~repro.telemetry.registry.
+    CounterBackedStats`): attribute reads and ``+=`` behave exactly as
+    the old dataclass integers did, while the values export as
+    ``repro_load_*_total`` counter families when telemetry is on.
+    """
+
+    prefix = "repro_load_"
+
+    fresh_replies = CounterField("Client requests answered with a live report")
+    degraded_replies = CounterField("Client requests answered from the cache")
+    # ... whose interval contained true time (oracle).
+    degraded_correct = CounterField("Degraded replies that were correct")
+    busy_replies = CounterField("BUSY replies sent (admission, shedding, eviction)")
+    shed_silent = CounterField("Shed without the courtesy of a BUSY reply")
+    sync_evictions = CounterField("Client entries evicted for sync-plane arrivals")
+    sync_drops = CounterField("Sync-plane arrivals lost to a full queue")
 
 
 class LoadAwareServer(TimeServer):
@@ -137,7 +146,7 @@ class LoadAwareServer(TimeServer):
             if self.load_policy.overload is not None
             else None
         )
-        self.load_stats = LoadStats()
+        self.load_stats = LoadStats(self.telemetry.stats_registry())
         self._load_rng = load_rng
         self._cpu_busy = False
         # The degraded-mode cache: the last fresh ⟨C, E⟩ this server

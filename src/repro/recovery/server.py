@@ -171,6 +171,7 @@ class SelfStabilizingServer(RateTrackingServer):
             )
         )
         self._trace("checkpoint", clock_value=value, error=error)
+        self.telemetry.checkpoint(self.now)
 
     def _checkpoint_extras(self) -> dict:
         """Hook: extra :class:`Checkpoint` fields to persist.
@@ -253,6 +254,8 @@ class SelfStabilizingServer(RateTrackingServer):
             rebuilt_error=report.rebuilt_error,
             correct=report.correct,
         )
+        self.telemetry.restart(self.now, warm)
+        self.telemetry.epoch(self.epoch)
         return report
 
     # ------------------------------------------------------- census plumbing
@@ -304,5 +307,6 @@ class SelfStabilizingServer(RateTrackingServer):
         )
         self.epoch = max(self.epoch, peer_epoch) + 1
         self.last_merge_local = self.clock_value()
+        self.telemetry.merge(self.now, self.epoch)
         # A merge is a state the group must not lose to a crash.
         self._write_checkpoint()

@@ -32,6 +32,7 @@ from ..recovery.store import StableStore
 from ..simulation.engine import SimulationEngine
 from ..simulation.rng import RngRegistry
 from ..simulation.trace import TraceRecorder
+from ..telemetry.instruments import NULL_SERVICE_TELEMETRY, ServiceTelemetry
 from .client import TimeClient
 from .discipline import DiscipliningServer
 from .hardening import HardenedTimeServer, HardeningConfig
@@ -168,6 +169,7 @@ class SimulatedService:
         xi: float,
         tau: Optional[float],
         stable_store: Optional[StableStore] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         self.engine = engine
         self.network = network
@@ -177,6 +179,9 @@ class SimulatedService:
         self.xi = xi
         self.tau = tau
         self.stable_store = stable_store
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_SERVICE_TELEMETRY
+        )
         self.clients: List[TimeClient] = []
 
     # --------------------------------------------------------------- control
@@ -291,6 +296,7 @@ def build_service(
     byzantine: Optional[ByzantineConfig] = None,
     capacity: Optional[CapacityConfig] = None,
     load_policy: Optional[LoadPolicy] = None,
+    telemetry: Optional[ServiceTelemetry] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -336,6 +342,10 @@ def build_service(
             (admission bucket, shedding policy, degraded mode); None
             uses :class:`~repro.load.server.LoadPolicy` defaults
             (everything on).
+        telemetry: A :class:`~repro.telemetry.instruments.ServiceTelemetry`
+            bundle to wire through every layer (per-server counters and
+            spans, the engine observer, the periodic gauge sampler); None
+            disables telemetry at zero hot-path cost.
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -383,6 +393,9 @@ def build_service(
         for k, name in enumerate(sorted(polling_names)):
             phase[name] = tau * (k + 1) / (len(polling_names) + 1)
 
+    service_telemetry = (
+        telemetry if telemetry is not None else NULL_SERVICE_TELEMETRY
+    )
     servers: Dict[str, TimeServer] = {}
     stable_store: Optional[StableStore] = None
     if any(spec.self_stabilizing or spec.byzantine_tolerant for spec in specs):
@@ -395,6 +408,7 @@ def build_service(
                 network,
                 receiver_error=spec.initial_error,
                 trace=trace,
+                telemetry=service_telemetry.server(spec.name),
             )
         else:
             if spec.clock_factory is not None:
@@ -458,6 +472,7 @@ def build_service(
                 recovery=recovery,
                 trace=trace,
                 first_poll_at=phase.get(spec.name),
+                telemetry=service_telemetry.server(spec.name),
                 **extra,
             )
         network.register(server)
@@ -472,7 +487,9 @@ def build_service(
         xi=network.xi,
         tau=tau,
         stable_store=stable_store,
+        telemetry=service_telemetry,
     )
+    service_telemetry.attach(service)
     if start:
         service.start()
     return service

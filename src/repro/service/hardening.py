@@ -47,6 +47,7 @@ from ..core.sync import SynchronizationPolicy
 from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
 from ..simulation.trace import TraceRecorder
+from ..telemetry.registry import CounterBackedStats, CounterField
 from .messages import RequestKind, TimeReply, TimeRequest
 from .server import TimeServer, _PollRound
 
@@ -281,14 +282,23 @@ def quarantine_poll_filter(
     return active, readmitted
 
 
-@dataclass
-class HardeningStats:
-    """Counters the hardened server adds on top of ``ServerStats``."""
+class HardeningStats(CounterBackedStats):
+    """Counters the hardened server adds on top of ``ServerStats``.
 
-    retries_sent: int = 0
-    recovery_retries: int = 0
-    quarantines: int = 0
-    starvation_overrides: int = 0  # quarantined peers re-admitted by the guard
+    Registry-backed (see :class:`~repro.telemetry.registry.
+    CounterBackedStats`): the attributes still read and ``+=`` like the
+    plain integers they once were, but the values live in counter
+    families (``repro_hardening_*_total``) and appear in the service-wide
+    telemetry export when the server is built with telemetry enabled.
+    """
+
+    prefix = "repro_hardening_"
+
+    retries_sent = CounterField("Poll retransmissions sent")
+    recovery_retries = CounterField("Recovery request retransmissions sent")
+    quarantines = CounterField("Neighbour quarantines imposed")
+    # Quarantined peers re-admitted by the starvation guard.
+    starvation_overrides = CounterField("Quarantined peers re-admitted")
 
 
 class HardenedTimeServer(TimeServer):
@@ -318,6 +328,7 @@ class HardenedTimeServer(TimeServer):
         first_poll_at: Optional[float] = None,
         hardening: Optional[HardeningConfig] = None,
         hardening_rng: Optional[np.random.Generator] = None,
+        **kwargs,
     ) -> None:
         super().__init__(
             engine,
@@ -333,11 +344,12 @@ class HardenedTimeServer(TimeServer):
             trace=trace,
             poll_jitter=poll_jitter,
             first_poll_at=first_poll_at,
+            **kwargs,
         )
         self.hardening = hardening if hardening is not None else HardeningConfig()
         self._hrng = hardening_rng
         self.health: Dict[str, NeighbourHealth] = {}
-        self.hardening_stats = HardeningStats()
+        self.hardening_stats = HardeningStats(self.telemetry.stats_registry())
         self._rtt_ewma: Optional[float] = None
         self._rtt_dev = 0.0
         self._recovery_attempts = 0

@@ -42,6 +42,7 @@ class ReferenceServer(TimeServer):
         network: Network,
         receiver_error: float = 0.0,
         trace: Optional[TraceRecorder] = None,
+        **kwargs,
     ) -> None:
         super().__init__(
             engine,
@@ -53,4 +54,5 @@ class ReferenceServer(TimeServer):
             tau=None,
             initial_error=receiver_error,
             trace=trace,
+            **kwargs,
         )

@@ -43,6 +43,11 @@ from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
 from ..simulation.trace import TraceRecorder
+from ..telemetry.instruments import (
+    NULL_SERVER_TELEMETRY,
+    RoundTelemetry,
+    ServerTelemetry,
+)
 from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 
 
@@ -65,6 +70,7 @@ class _PollRound:
     pending: list[_PendingReply] = field(default_factory=list)
     timers: list = field(default_factory=list)  # events cancelled at close
     closed: bool = False
+    tele: Optional[RoundTelemetry] = None  # span context (None when disabled)
 
     def cancel_timers(self) -> None:
         """Drop the round's scheduled events so a completed round does not
@@ -124,6 +130,9 @@ class TimeServer(SimProcess):
         first_poll_at: Absolute time of the first synchronization round
             (defaults to one full period after start); the builder uses it
             to stagger the servers' round phases deterministically.
+        telemetry: Per-server telemetry handle (see
+            :class:`~repro.telemetry.instruments.ServerTelemetry`); None
+            uses the null handle, making every instrument call a no-op.
     """
 
     def __init__(
@@ -143,6 +152,7 @@ class TimeServer(SimProcess):
         trace: Optional[TraceRecorder] = None,
         poll_jitter=None,
         first_poll_at: Optional[float] = None,
+        telemetry: Optional[ServerTelemetry] = None,
     ) -> None:
         super().__init__(engine, name)
         if delta < 0:
@@ -160,6 +170,7 @@ class TimeServer(SimProcess):
         self.tau = tau
         self.recovery = recovery
         self.trace = trace
+        self.telemetry = telemetry if telemetry is not None else NULL_SERVER_TELEMETRY
         self.stats = ServerStats()
         self._poll_jitter = poll_jitter
         self._first_poll_at = first_poll_at
@@ -263,6 +274,10 @@ class TimeServer(SimProcess):
             task.cancel()
         self._periodic_tasks.clear()
         if self._round is not None:
+            if not self._round.closed:
+                self.telemetry.round_closed(
+                    self._round.tele, self.now, "abandoned"
+                )
             self._round.closed = True
             self._round.cancel_timers()
         if self._recovery_inflight is not None:
@@ -325,6 +340,7 @@ class TimeServer(SimProcess):
     def _answer(self, request: TimeRequest) -> None:
         value, error = self.report()
         self.stats.requests_answered += 1
+        self.telemetry.answered(request.kind)
         reply = TimeReply(
             request_id=request.request_id,
             server=self.name,
@@ -372,6 +388,7 @@ class TimeServer(SimProcess):
         round_ = _PollRound(round_id=self._round_counter)
         self._round = round_
         self.stats.rounds += 1
+        round_.tele = self.telemetry.round_started(self.now, round_.round_id)
         for destination in self._poll_targets():
             round_.sent_local[destination] = self.clock_value()
             accepted = self.network.send(
@@ -384,6 +401,7 @@ class TimeServer(SimProcess):
                     kind=RequestKind.POLL,
                 ),
             )
+            self.telemetry.poll_sent(round_.tele, self.now, destination, accepted)
             if accepted:
                 round_.outstanding.add(destination)
             else:
@@ -440,12 +458,17 @@ class TimeServer(SimProcess):
         if rejection is not None:
             self.stats.invalid_replies += 1
             self._trace("invalid_reply", server=reply.server, reason=rejection)
+            self.telemetry.reply_invalid(round_.tele, self.now, reply.server, rejection)
             if not round_.outstanding and not self._may_revive(round_):
                 self._complete_round(round_)
             return
         self.stats.replies_handled += 1
         local_now = self.clock_value()
         rtt_local = max(0.0, local_now - round_.sent_local[reply.server])
+        self.telemetry.reply_observed(
+            round_.tele, self.now, reply.server, rtt_local,
+            (1.0 + self.delta) * rtt_local,
+        )
         self._observe_reply(reply, rtt_local, local_now)
         policy_reply = Reply(
             server=reply.server,
@@ -457,13 +480,25 @@ class TimeServer(SimProcess):
         if self.policy.incremental:
             outcome = self.policy.on_reply(self.local_state(), policy_reply)
             if not outcome.consistent:
+                self.telemetry.reply_verdict(
+                    round_.tele, self.now, reply.server, "inconsistent"
+                )
                 self._note_inconsistency((reply.server,))
             elif outcome.decision is not None:
+                self.telemetry.reply_verdict(
+                    round_.tele, self.now, reply.server, "adopted"
+                )
                 self._apply_reset(outcome.decision, kind="sync")
             else:
                 self.stats.rejects += 1
                 self._trace("reject", server=reply.server)
+                self.telemetry.reply_verdict(
+                    round_.tele, self.now, reply.server, "rejected"
+                )
         else:
+            self.telemetry.reply_verdict(
+                round_.tele, self.now, reply.server, "received"
+            )
             round_.pending.append(
                 _PendingReply(reply=policy_reply, local_at_receipt=local_now)
             )
@@ -548,6 +583,7 @@ class TimeServer(SimProcess):
         self._on_round_closed(round_)
         assert self.policy is not None
         if self.policy.incremental:
+            self.telemetry.round_closed(round_.tele, self.now, "ok")
             return  # MM already acted reply-by-reply
         local_now = self.clock_value()
         aged: list[Reply] = []
@@ -565,10 +601,16 @@ class TimeServer(SimProcess):
         outcome = self.policy.on_round_complete(self.local_state(), aged)
         self._on_round_outcome(outcome)
         if not outcome.consistent:
+            self.telemetry.round_closed(round_.tele, self.now, "inconsistent")
             self._note_inconsistency(outcome.conflicting)
             return
         if outcome.decision is not None:
+            self.telemetry.round_closed(
+                round_.tele, self.now, "reset", source=outcome.decision.source
+            )
             self._apply_reset(outcome.decision, kind="sync")
+        else:
+            self.telemetry.round_closed(round_.tele, self.now, "no_reset")
 
     def _on_round_closed(self, round_: _PollRound) -> None:
         """Hook: called as a round closes, before the policy's round hook.
@@ -605,12 +647,17 @@ class TimeServer(SimProcess):
             new_error=decision.inherited_error,
             reset_kind=kind,
         )
+        ctx = self._round.tele if (kind == "sync" and self._round is not None) else None
+        self.telemetry.reset(
+            self.now, kind, decision.source, decision.inherited_error, ctx
+        )
 
     # ------------------------------------------------------------- recovery
 
     def _note_inconsistency(self, conflicting: tuple[str, ...]) -> None:
         self.stats.inconsistencies += 1
         self._trace("inconsistent", conflicting=",".join(conflicting))
+        self.telemetry.inconsistency(self.now, conflicting)
         self._round_inconsistent.update(conflicting)
         if self.recovery is None:
             return
@@ -644,6 +691,7 @@ class TimeServer(SimProcess):
         self._recovery_inflight = (request_id, arbiter, self.clock_value())
         self.recovery.note_started()
         self._trace("recovery_start", arbiter=arbiter)
+        self.telemetry.recovery(self.now, "started", arbiter)
         self.network.send(
             self.name,
             arbiter,
@@ -677,6 +725,7 @@ class TimeServer(SimProcess):
             if self.recovery is not None:
                 self.recovery.note_timed_out()
             self._trace("recovery_timeout")
+            self.telemetry.recovery(self.now, "timeout")
 
     def _handle_recovery_reply(self, reply: TimeReply) -> None:
         if self._recovery_inflight is None:
@@ -695,6 +744,7 @@ class TimeServer(SimProcess):
             if self.recovery is not None:
                 self.recovery.note_timed_out()
             self._trace("invalid_reply", server=reply.server, reason=rejection)
+            self.telemetry.recovery(self.now, "abandoned")
             return
         self._recovery_inflight = None
         self._cancel_recovery_timer()
@@ -713,6 +763,7 @@ class TimeServer(SimProcess):
         )
         if self.recovery is not None:
             self.recovery.note_completed()
+        self.telemetry.recovery(self.now, "completed")
 
     # ----------------------------------------------------------------- hooks
 

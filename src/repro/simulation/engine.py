@@ -51,6 +51,7 @@ class SimulationEngine:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._observer: Optional[Callable[["SimulationEngine", Event], None]] = None
 
     # ------------------------------------------------------------------ time
 
@@ -68,6 +69,22 @@ class SimulationEngine:
     def pending_events(self) -> int:
         """Number of events still in the heap, including cancelled ones."""
         return sum(1 for event in self._heap if event.active)
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size (cancelled events included) — O(1), for telemetry."""
+        return len(self._heap)
+
+    def set_observer(
+        self, observer: Optional[Callable[["SimulationEngine", Event], None]]
+    ) -> None:
+        """Install a per-event observer (or None to remove it).
+
+        The observer is called as ``observer(engine, event)`` after each
+        event's callback runs — the telemetry plane's engine hook.  At most
+        one observer is supported; it must not schedule or cancel events.
+        """
+        self._observer = observer
 
     # ------------------------------------------------------------ scheduling
 
@@ -154,6 +171,8 @@ class SimulationEngine:
             self._now = event.time
             event.callback()
             self._events_processed += 1
+            if self._observer is not None:
+                self._observer(self, event)
             return True
         return False
 

@@ -1,0 +1,169 @@
+"""``repro top`` — a terminal dashboard over the live metrics registry.
+
+Renders periodic frames while a simulated service runs: per-server sync
+counters and the live ``E_i`` gauge, per-edge asynchronism against the
+Theorem 7 bound, engine throughput, and (when present) queue depths.
+The renderer is a pure function over the registry, so tests can assert
+on frames without a terminal; the CLI loop just advances the simulation
+one refresh interval at a time and reprints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+__all__ = ["render_dashboard", "run_top"]
+
+
+def _render_table(headers, rows):
+    # Imported lazily: analysis pulls in service.builder, which pulls in
+    # the servers, which import this package — a cycle at import time.
+    from ..analysis.plots import render_table
+
+    return render_table(headers, rows)
+
+
+#: ANSI: move cursor home and clear the screen below (no scrollback spam).
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def _fmt(value: float, unit: str = "") -> str:
+    if value != value:  # NaN
+        return "-"
+    if unit == "s":
+        if abs(value) >= 1.0:
+            return f"{value:.3f}s"
+        return f"{value * 1e3:.3f}ms"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _server_rows(service, registry) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for name in sorted(service.servers):
+        server = service.servers[name]
+        stats = server.stats
+        rows.append(
+            [
+                name + ("†" if server.departed else ""),
+                _fmt(registry.value("repro_server_error_seconds", server=name), "s"),
+                stats.rounds,
+                int(registry.value("repro_sync_adoptions_total", server=name)),
+                stats.rejects,
+                stats.resets,
+                stats.inconsistencies,
+                stats.requests_answered,
+            ]
+        )
+    return rows
+
+
+def _edge_rows(registry) -> List[List[object]]:
+    asyn = registry.get("repro_edge_asynchronism_seconds")
+    bound = registry.get("repro_edge_asynchronism_bound_seconds")
+    if asyn is None:
+        return []
+    rows = []
+    for labelvalues, child in asyn.samples():
+        edge = labelvalues[0]
+        limit = (
+            bound.labels(edge=edge).value if bound is not None else math.nan
+        )
+        flag = "BREACH" if (limit == limit and child.value > limit) else ""
+        rows.append([edge, _fmt(child.value, "s"), _fmt(limit, "s"), flag])
+    return rows
+
+
+def render_dashboard(service, telemetry, *, clear: bool = False) -> str:
+    """One dashboard frame as a string.
+
+    Args:
+        service: The :class:`~repro.service.builder.SimulatedService`.
+        telemetry: Its :class:`~repro.telemetry.instruments.ServiceTelemetry`.
+        clear: Prefix the ANSI clear-screen sequence (interactive mode).
+    """
+    registry = telemetry.registry
+    t = service.engine.now
+    lines: List[str] = []
+    if clear:
+        lines.append(_CLEAR.rstrip("\n"))
+    events = service.engine.events_processed
+    eps = registry.value("repro_engine_events_per_second")
+    heap = registry.value("repro_engine_heap_depth")
+    lines.append(
+        f"repro top · t={t:.1f}s · events={events} "
+        f"({_fmt(eps)}/sim-s) · heap={int(heap)} · "
+        f"spans={len(telemetry.tracer)}"
+    )
+    lines.append("")
+    lines.append(
+        _render_table(
+            ["server", "E_i", "rounds", "adopt", "reject", "resets", "incons", "answered"],
+            _server_rows(service, registry),
+        )
+    )
+    edge_rows = _edge_rows(registry)
+    if edge_rows:
+        breaches = int(registry.value("repro_theorem7_breaches_total"))
+        lines.append("")
+        lines.append(f"asynchronism vs Theorem 7 bound (breaches: {breaches})")
+        lines.append(
+            _render_table(["edge", "|C_i-C_j|", "bound", ""], edge_rows)
+        )
+    depth = registry.get("repro_load_queue_depth")
+    if depth is not None and list(depth.samples()):
+        rows = [
+            [labelvalues[0], int(child.value)]
+            for labelvalues, child in depth.samples()
+        ]
+        lines.append("")
+        lines.append(_render_table(["queue", "depth"], rows))
+    violations = registry.get("repro_invariant_checks_total")
+    if violations is not None:
+        rows = [
+            [",".join(labelvalues), int(child.value)]
+            for labelvalues, child in violations.samples()
+        ]
+        if rows:
+            lines.append("")
+            lines.append(_render_table(["invariant check,outcome", "count"], rows))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    service,
+    telemetry,
+    *,
+    horizon: float,
+    refresh: float = 30.0,
+    interactive: bool = True,
+    emit: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Advance the simulation in refresh-sized steps, printing one frame each.
+
+    Args:
+        service: The running service.
+        telemetry: Its telemetry bundle.
+        horizon: Absolute simulated end time.
+        refresh: Simulated seconds between frames.
+        interactive: Clear the screen between frames.
+        emit: Frame sink (defaults to ``print``); tests pass a collector.
+
+    Returns:
+        The number of frames rendered.
+    """
+    if refresh <= 0:
+        raise ValueError(f"refresh must be positive, got {refresh}")
+    sink = emit if emit is not None else lambda frame: print(frame, end="")
+    frames = 0
+    t = service.engine.now
+    while t < horizon:
+        t = min(t + refresh, horizon)
+        service.run_until(t)
+        if telemetry.sampler is not None:
+            telemetry.sampler.sample_now()
+        sink(render_dashboard(service, telemetry, clear=interactive))
+        frames += 1
+    return frames

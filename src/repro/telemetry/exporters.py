@@ -1,0 +1,227 @@
+"""Exporters: Prometheus text exposition, JSONL events, summary snapshots.
+
+Three complementary formats for the same registry:
+
+* :func:`to_prometheus_text` — the standard text exposition format
+  (``# HELP`` / ``# TYPE`` / sample lines), suitable for scraping or for
+  diffing two runs byte-for-byte (families and label sets are sorted).
+* :class:`JsonlEventExporter` — an append-only event stream; experiments
+  subscribe it to a :class:`~repro.simulation.trace.TraceRecorder`-like
+  feed or write rows directly.
+* :func:`summary_snapshot` — a compact JSON dict of headline numbers
+  (totals per family, histogram p50/p99) for dashboards and CI artifacts.
+
+:func:`write_telemetry` bundles all three into an output directory:
+``metrics.prom``, ``spans.jsonl``, ``summary.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional
+
+from .registry import Histogram, MetricsRegistry
+from .tracing import SpanTracer
+
+__all__ = [
+    "to_prometheus_text",
+    "summary_snapshot",
+    "JsonlEventExporter",
+    "write_telemetry",
+    "METRICS_FILENAME",
+    "SPANS_FILENAME",
+    "SUMMARY_FILENAME",
+]
+
+METRICS_FILENAME = "metrics.prom"
+SPANS_FILENAME = "spans.jsonl"
+SUMMARY_FILENAME = "summary.json"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (+Inf, integers without .0)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames, labelvalues, extra: str = "") -> str:
+    parts = [
+        f'{name}="{value}"' for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Deterministic: families sort by name, children by label values, so
+    identical-seed runs render identical snapshots.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        if not list(family.samples()):
+            continue
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            labels = _format_labels(family.labelnames, labelvalues)
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative_buckets():
+                    le = _format_labels(
+                        family.labelnames,
+                        labelvalues,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summary_snapshot(
+    registry: MetricsRegistry,
+    tracer: Optional[SpanTracer] = None,
+    *,
+    time: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Headline numbers as a JSON-serialisable dict.
+
+    Scalars appear per label combination; histograms contribute count,
+    sum, and the sketch's p50/p99.  Span counts by name ride along when a
+    tracer is given.
+    """
+    metrics: Dict[str, Any] = {}
+    for family in registry.families():
+        rows = []
+        for labelvalues, child in family.samples():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if isinstance(child, Histogram):
+                row: Dict[str, Any] = {
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                }
+                for q, estimate in sorted(child.quantiles.items()):
+                    row[f"p{int(q * 100)}"] = (
+                        None if math.isnan(estimate) else estimate
+                    )
+            else:
+                row = {"labels": labels, "value": child.value}
+            rows.append(row)
+        if rows:
+            metrics[family.name] = rows
+    summary: Dict[str, Any] = {"metrics": metrics}
+    if time is not None:
+        summary["time"] = time
+    if tracer is not None:
+        by_name: Dict[str, int] = {}
+        for span in tracer:
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+        summary["spans"] = {
+            "total": len(tracer),
+            "by_name": dict(sorted(by_name.items())),
+            "open": len(tracer.open_spans()),
+        }
+    return summary
+
+
+class JsonlEventExporter:
+    """An append-only JSONL event stream with periodic summary frames.
+
+    Rows are arbitrary dicts stamped with the caller-provided simulation
+    time; :meth:`frame` appends a full :func:`summary_snapshot` as an
+    event of kind ``"summary"`` — the "periodic summary snapshots" the
+    soak jobs archive.
+    """
+
+    def __init__(self) -> None:
+        self._rows: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:
+        """Append one event row."""
+        row = {"time": time, "kind": kind}
+        row.update(data)
+        self._rows.append(row)
+
+    def frame(
+        self,
+        time: float,
+        registry: MetricsRegistry,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        """Append a summary frame of the registry's current state."""
+        self.emit(time, "summary", summary=summary_snapshot(registry, tracer))
+
+    def rows(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All rows, optionally filtered by kind."""
+        if kind is None:
+            return list(self._rows)
+        return [row for row in self._rows if row.get("kind") == kind]
+
+    def to_jsonl(self) -> str:
+        """Deterministic JSONL (sorted keys)."""
+        return "\n".join(
+            json.dumps(row, sort_keys=True) for row in self._rows
+        ) + ("\n" if self._rows else "")
+
+    def write_jsonl(self, path) -> int:
+        """Write the stream to ``path``; returns the row count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._rows)
+
+
+def write_telemetry(
+    directory,
+    registry: MetricsRegistry,
+    tracer: Optional[SpanTracer] = None,
+    *,
+    summary_extra: Optional[Dict[str, Any]] = None,
+    time: Optional[float] = None,
+) -> Dict[str, str]:
+    """Write the full telemetry artifact bundle into ``directory``.
+
+    Creates the directory if needed and writes ``metrics.prom`` (always),
+    ``spans.jsonl`` (when a tracer is given), and ``summary.json``.
+
+    Returns:
+        Mapping of artifact kind to the path written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: Dict[str, str] = {}
+    metrics_path = os.path.join(directory, METRICS_FILENAME)
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus_text(registry))
+    written["metrics"] = metrics_path
+    if tracer is not None:
+        spans_path = os.path.join(directory, SPANS_FILENAME)
+        tracer.write_jsonl(spans_path)
+        written["spans"] = spans_path
+    summary = summary_snapshot(registry, tracer, time=time)
+    if summary_extra:
+        summary.update(summary_extra)
+    summary_path = os.path.join(directory, SUMMARY_FILENAME)
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    written["summary"] = summary_path
+    return written

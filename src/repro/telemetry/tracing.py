@@ -1,0 +1,249 @@
+"""Structured spans for the synchronization plane.
+
+Rules MM-2/IM-2 are *round-shaped*: a server opens a poll round, fans a
+request out to each neighbour, and folds the replies back in — accepting,
+rejecting, or resetting.  The trace recorder keeps flat rows; spans keep
+the *shape*: a ``poll_round`` span parents one ``poll`` span per
+neighbour, each annotated with what the policy decided about that
+neighbour's reply and the ``(1+δ)·ξ^i_j`` round-trip inflation the rules
+applied.  Resets and recoveries hang off the round that caused them.
+
+Spans carry causal parent ids and serialize to JSONL, one object per
+line, sorted-key — so two identical-seed runs export byte-identical
+files (the determinism contract every experiment digest relies on).
+
+Schema (one JSON object per line)::
+
+    {"span_id": 7, "parent_id": 3, "name": "poll",
+     "source": "S1", "start": 120.0, "end": 120.104,
+     "status": "accepted", "attrs": {"neighbour": "S2", ...}}
+
+``span_id`` values are sequential per tracer; ``parent_id`` is null for
+roots.  ``status`` is ``"ok"`` until :meth:`SpanTracer.end` overrides it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One span: a named, attributed interval of simulated time.
+
+    A plain ``__slots__`` class rather than a dataclass: one is built per
+    poll leg, so construction cost is part of the telemetry overhead
+    budget.
+
+    Attributes:
+        span_id: Sequential id unique within the tracer.
+        parent_id: The causal parent's id, or None for a root span.
+        name: Span type, e.g. ``"poll_round"``, ``"poll"``, ``"recovery"``.
+        source: The process the span belongs to (server name).
+        start: Real time the span opened.
+        end: Real time it closed (None while open).
+        status: Outcome tag (``"ok"``, ``"accepted"``, ``"rejected"``,
+            ``"timeout"``, ``"reset"``...).
+        attrs: Free-form annotations (decision, rtt, inflation, ...).
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "source", "start", "end",
+        "status", "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        source: str,
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.source = source
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # debugging aid, never on the hot path
+        return (
+            f"Span(span_id={self.span_id}, parent_id={self.parent_id}, "
+            f"name={self.name!r}, source={self.source!r}, "
+            f"start={self.start}, end={self.end}, status={self.status!r}, "
+            f"attrs={self.attrs!r})"
+        )
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been ended yet."""
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Closed span's extent in real seconds (None while open)."""
+        return None if self.end is None else self.end - self.start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Merge annotations into the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_json(self) -> str:
+        """One deterministic JSONL line."""
+        return json.dumps(
+            {
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "name": self.name,
+                "source": self.source,
+                "start": self.start,
+                "end": self.end,
+                "status": self.status,
+                "attrs": self.attrs,
+            },
+            sort_keys=True,
+        )
+
+
+class SpanTracer:
+    """Append-only span store with filtered views and JSONL export.
+
+    Example:
+        >>> tracer = SpanTracer()
+        >>> round_ = tracer.start(0.0, "poll_round", "S1", round_id=1)
+        >>> leg = tracer.start(0.0, "poll", "S1", parent=round_, neighbour="S2")
+        >>> tracer.end(0.1, leg, status="accepted")
+        >>> tracer.end(0.2, round_)
+        >>> [s.name for s in tracer.children(round_)]
+        ['poll']
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: List[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------ recording
+
+    def start(
+        self,
+        time: float,
+        name: str,
+        source: str,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Open a span (returns None when the tracer is disabled)."""
+        if not self.enabled:
+            return None
+        # ``attrs`` is already a fresh dict (it is this call's kwargs), so
+        # hand it over without copying — start() runs once per poll.
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        span = Span(
+            span_id,
+            None if parent is None else parent.span_id,
+            name,
+            source,
+            time,
+            attrs,
+        )
+        self._spans.append(span)
+        return span
+
+    def end(
+        self, time: float, span: Optional[Span], status: Optional[str] = None, **attrs: Any
+    ) -> None:
+        """Close a span; idempotent and None-tolerant (disabled tracer)."""
+        if span is None or span.end is not None:
+            return
+        span.end = time
+        if status is not None:
+            span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(
+        self,
+        time: float,
+        name: str,
+        source: str,
+        parent: Optional[Span] = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """A zero-duration span (reset, violation, checkpoint...)."""
+        span = self.start(time, name, source, parent=parent, **attrs)
+        self.end(time, span, status=status)
+        return span
+
+    # ---------------------------------------------------------------- views
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def filter(
+        self, name: Optional[str] = None, source: Optional[str] = None
+    ) -> List[Span]:
+        """Spans matching the given criteria, in creation order."""
+        return [
+            span
+            for span in self._spans
+            if (name is None or span.name == name)
+            and (source is None or span.source == source)
+        ]
+
+    def count(self, name: str, status: Optional[str] = None) -> int:
+        """Number of spans of a given name (and optionally status)."""
+        return sum(
+            1
+            for span in self._spans
+            if span.name == name and (status is None or span.status == status)
+        )
+
+    def children(self, parent: Span) -> List[Span]:
+        """Direct children of ``parent``, in creation order."""
+        return [s for s in self._spans if s.parent_id == parent.span_id]
+
+    def open_spans(self) -> List[Span]:
+        """Spans not yet ended (should be empty after a clean run)."""
+        return [s for s in self._spans if s.open]
+
+    # --------------------------------------------------------------- export
+
+    def to_jsonl(self) -> str:
+        """All spans as JSONL, one deterministic line each."""
+        return "\n".join(span.to_json() for span in self._spans) + (
+            "\n" if self._spans else ""
+        )
+
+    def write_jsonl(self, path) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the span count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop all spans (the id sequence keeps advancing)."""
+        self._spans.clear()
+
+
+class NullTracer(SpanTracer):
+    """A tracer that records nothing; every ``start`` returns None and the
+    None flows harmlessly through ``end``/``event`` at the call sites."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+
+NULL_TRACER = NullTracer()

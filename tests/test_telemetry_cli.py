@@ -1,0 +1,112 @@
+"""CLI tests for the telemetry plane: figure1, top, --telemetry-out."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.telemetry
+
+
+def test_parser_accepts_telemetry_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(
+        ["figure1", "--telemetry-out", str(tmp_path), "--seed", "3"]
+    )
+    assert args.telemetry_out == str(tmp_path)
+    assert args.seed == 3
+    args = parser.parse_args(["simulate", "--telemetry-out", str(tmp_path)])
+    assert args.telemetry_out == str(tmp_path)
+    args = parser.parse_args(["chaos", "--telemetry-out", str(tmp_path)])
+    assert args.telemetry_out == str(tmp_path)
+    args = parser.parse_args(["top", "--horizon", "600", "--refresh", "120"])
+    assert args.horizon == 600.0
+    assert args.refresh == 120.0
+
+
+@pytest.mark.slow
+def test_figure1_command_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "telemetry"
+    code = main(["figure1", "--telemetry-out", str(out)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "Figure 1 servers under rule IM" in printed
+    assert "Theorem 7" in printed
+    assert (out / "metrics.prom").exists()
+    assert (out / "spans.jsonl").exists()
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["experiment"] == "figure1"
+    assert summary["seed"] == 7
+    metrics_text = (out / "metrics.prom").read_text()
+    assert "repro_sync_rounds_total" in metrics_text
+    assert "repro_edge_asynchronism_seconds" in metrics_text
+
+
+@pytest.mark.slow
+def test_top_command_renders_frames(capsys):
+    code = main(
+        [
+            "top",
+            "--servers",
+            "3",
+            "--horizon",
+            "300",
+            "--refresh",
+            "150",
+            "--no-clear",
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert printed.count("repro top ·") == 2
+    assert "2 frames over 300 simulated seconds." in printed
+
+
+@pytest.mark.slow
+def test_simulate_telemetry_out(tmp_path, capsys):
+    out = tmp_path / "telemetry"
+    code = main(
+        [
+            "simulate",
+            "--servers",
+            "3",
+            "--hours",
+            "0.1",
+            "--telemetry-out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert "wrote telemetry" in capsys.readouterr().out
+    assert (out / "metrics.prom").exists()
+    assert (out / "spans.jsonl").exists()
+    assert (out / "summary.json").exists()
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_chaos_telemetry_out(tmp_path, capsys):
+    out = tmp_path / "soak"
+    code = main(
+        [
+            "chaos",
+            "--seeds",
+            "1",
+            "--policies",
+            "mm",
+            "--horizon",
+            "600",
+            "--telemetry-out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    run_dir = out / "mm-seed0"
+    metrics_text = (run_dir / "metrics.prom").read_text()
+    assert "repro_invariant_checks_total" in metrics_text
+    summary = json.loads((run_dir / "summary.json").read_text())
+    assert summary["policy"] == "MM"
+    assert summary["violations"] == 0

@@ -1,0 +1,136 @@
+"""Tests for the exporters: Prometheus text, summaries, JSONL events."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import (
+    METRICS_FILENAME,
+    SPANS_FILENAME,
+    SUMMARY_FILENAME,
+    JsonlEventExporter,
+    summary_snapshot,
+    to_prometheus_text,
+    write_telemetry,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import SpanTracer
+
+pytestmark = pytest.mark.telemetry
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    rounds = reg.counter(
+        "repro_sync_rounds_total", "Rounds started", labelnames=("server",)
+    )
+    rounds.labels(server="S1").inc(3)
+    rounds.labels(server="S2").inc(1)
+    reg.gauge("repro_server_error_seconds", "Live E_i", labelnames=("server",)).labels(
+        server="S1"
+    ).set(0.25)
+    rtt = reg.histogram(
+        "repro_sync_rtt_local_seconds", "Local RTT", buckets=(0.01, 0.1)
+    )
+    rtt.observe(0.005)
+    rtt.observe(0.05)
+    rtt.observe(5.0)
+    return reg
+
+
+def test_prometheus_text_families_and_samples():
+    text = to_prometheus_text(_populated_registry())
+    assert "# HELP repro_sync_rounds_total Rounds started" in text
+    assert "# TYPE repro_sync_rounds_total counter" in text
+    assert 'repro_sync_rounds_total{server="S1"} 3' in text
+    assert 'repro_sync_rounds_total{server="S2"} 1' in text
+    assert "# TYPE repro_server_error_seconds gauge" in text
+    assert 'repro_server_error_seconds{server="S1"} 0.25' in text
+
+
+def test_prometheus_histogram_exposition_is_cumulative():
+    text = to_prometheus_text(_populated_registry())
+    assert 'repro_sync_rtt_local_seconds_bucket{le="0.01"} 1' in text
+    assert 'repro_sync_rtt_local_seconds_bucket{le="0.1"} 2' in text
+    assert 'repro_sync_rtt_local_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_sync_rtt_local_seconds_count 3" in text
+    assert "repro_sync_rtt_local_seconds_sum 5.055" in text
+
+
+def test_prometheus_text_skips_empty_families():
+    reg = MetricsRegistry()
+    reg.counter("repro_untouched_total", "never incremented", labelnames=("a",))
+    assert "repro_untouched_total" not in to_prometheus_text(reg)
+
+
+def test_prometheus_text_is_deterministic():
+    assert to_prometheus_text(_populated_registry()) == to_prometheus_text(
+        _populated_registry()
+    )
+
+
+def test_summary_snapshot_shape():
+    reg = _populated_registry()
+    tracer = SpanTracer()
+    root = tracer.start(1.0, "poll_round", "S1")
+    tracer.end(2.0, root, status="ok")
+    tracer.start(3.0, "poll_round", "S2")  # left open
+    summary = summary_snapshot(reg, tracer, time=3.0)
+    assert summary["time"] == 3.0
+    metrics = summary["metrics"]
+    rounds = metrics["repro_sync_rounds_total"]
+    assert {row["labels"]["server"]: row["value"] for row in rounds} == {
+        "S1": 3.0,
+        "S2": 1.0,
+    }
+    (histogram,) = metrics["repro_sync_rtt_local_seconds"]
+    assert histogram["count"] == 3
+    assert histogram["sum"] == pytest.approx(5.055)
+    assert "p50" in histogram and "p99" in histogram
+    spans = summary["spans"]
+    assert spans["total"] == 2
+    assert spans["open"] == 1
+    assert spans["by_name"] == {"poll_round": 2}
+
+
+def test_jsonl_event_exporter_frames():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "x").inc()
+    events = JsonlEventExporter()
+    events.emit(1.0, "sample", value=1.0)
+    events.frame(2.0, reg)
+    text = events.to_jsonl()
+    rows = [json.loads(line) for line in text.strip().splitlines()]
+    assert rows[0]["time"] == 1.0
+    assert rows[0]["kind"] == "sample"
+    assert rows[1]["time"] == 2.0
+    assert rows[1]["kind"] == "summary"
+    assert rows[1]["summary"]["metrics"]["repro_x_total"][0]["value"] == 1.0
+    assert events.rows(kind="summary") and len(events.rows()) == 2
+    # Deterministic: same content twice.
+    assert events.to_jsonl() == text
+
+
+def test_write_telemetry_creates_artifacts(tmp_path):
+    reg = _populated_registry()
+    tracer = SpanTracer()
+    tracer.event(1.0, "reset", "S1")
+    out = tmp_path / "telemetry"
+    paths = write_telemetry(
+        out, reg, tracer, summary_extra={"experiment": "unit"}, time=9.0
+    )
+    assert sorted(paths) == ["metrics", "spans", "summary"]
+    assert (out / METRICS_FILENAME).read_text() == to_prometheus_text(reg)
+    assert (out / SPANS_FILENAME).read_text() == tracer.to_jsonl()
+    summary = json.loads((out / SUMMARY_FILENAME).read_text())
+    assert summary["experiment"] == "unit"
+    assert summary["time"] == 9.0
+
+
+def test_write_telemetry_without_tracer_skips_spans(tmp_path):
+    out = tmp_path / "telemetry"
+    paths = write_telemetry(out, _populated_registry(), None)
+    assert sorted(paths) == ["metrics", "summary"]
+    assert not (out / SPANS_FILENAME).exists()

@@ -1,0 +1,115 @@
+"""Tests for poll-round span tracing: lifecycle, parenting, JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import NULL_TRACER, NullTracer, SpanTracer
+
+pytestmark = pytest.mark.telemetry
+
+
+def test_span_ids_are_sequential_and_causal():
+    tracer = SpanTracer()
+    parent = tracer.start(1.0, "poll_round", "S1", round_id=1)
+    child = tracer.start(1.0, "poll", "S1", parent=parent, neighbour="S2")
+    assert parent.span_id == 1
+    assert child.span_id == 2
+    assert child.parent_id == parent.span_id
+    assert [s.span_id for s in tracer.children(parent)] == [2]
+
+
+def test_span_lifecycle_and_status():
+    tracer = SpanTracer()
+    span = tracer.start(5.0, "poll_round", "S1")
+    assert span.open
+    assert tracer.open_spans() == [span]
+    tracer.end(7.5, span, status="reset", source="S2")
+    assert not span.open
+    assert span.duration == pytest.approx(2.5)
+    assert span.status == "reset"
+    assert span.attrs["source"] == "S2"
+    assert tracer.open_spans() == []
+
+
+def test_end_is_idempotent_and_none_tolerant():
+    tracer = SpanTracer()
+    span = tracer.start(1.0, "poll", "S1")
+    tracer.end(2.0, span, status="adopted")
+    tracer.end(9.0, span, status="rejected")  # second end: no-op
+    assert span.end == 2.0
+    assert span.status == "adopted"
+    tracer.end(3.0, None)  # closing a never-opened leg: no-op
+    assert len(tracer) == 1
+
+
+def test_event_records_zero_duration_span():
+    tracer = SpanTracer()
+    span = tracer.event(4.0, "reset", "S1", status="sync", origin="S2")
+    assert span is not None
+    assert span.start == span.end == 4.0
+    assert tracer.count("reset") == 1
+
+
+def test_filter_by_name_and_source():
+    tracer = SpanTracer()
+    tracer.event(1.0, "reset", "S1")
+    tracer.event(2.0, "reset", "S2")
+    tracer.event(3.0, "checkpoint", "S1")
+    assert len(tracer.filter(name="reset")) == 2
+    assert len(tracer.filter(source="S1")) == 2
+    assert len(tracer.filter(name="reset", source="S2")) == 1
+
+
+def test_jsonl_export_is_valid_and_deterministic():
+    def build() -> str:
+        tracer = SpanTracer()
+        root = tracer.start(1.0, "poll_round", "S1", round_id=1)
+        tracer.start(1.0, "poll", "S1", parent=root, neighbour="S2")
+        tracer.end(2.0, root, status="ok")
+        return tracer.to_jsonl()
+
+    a, b = build(), build()
+    assert a == b
+    rows = [json.loads(line) for line in a.strip().splitlines()]
+    assert [row["span_id"] for row in rows] == [1, 2]
+    assert rows[1]["parent_id"] == 1
+    assert rows[1]["attrs"]["neighbour"] == "S2"
+
+
+def test_write_jsonl_round_trips(tmp_path):
+    tracer = SpanTracer()
+    tracer.event(1.0, "reset", "S1")
+    path = tmp_path / "spans.jsonl"
+    tracer.write_jsonl(path)
+    assert path.read_text() == tracer.to_jsonl()
+
+
+def test_clear_drops_spans_but_keeps_id_sequence():
+    # Ids keep advancing across clear() so parent references held by
+    # still-open spans stay unique within a run.
+    tracer = SpanTracer()
+    tracer.event(1.0, "reset", "S1")
+    tracer.clear()
+    assert len(tracer) == 0
+    span = tracer.start(1.0, "poll_round", "S1")
+    assert span.span_id == 2
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    assert not null.enabled
+    assert null.start(1.0, "poll_round", "S1") is None
+    null.end(2.0, None, status="ok")
+    assert null.event(1.0, "reset", "S1") is None
+    assert len(null) == 0
+    assert null.to_jsonl() == ""
+    assert NULL_TRACER.start(0.0, "x", "y") is None
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = SpanTracer(enabled=False)
+    assert tracer.start(1.0, "poll_round", "S1") is None
+    assert len(tracer) == 0

@@ -1,0 +1,98 @@
+"""Edge-case tests for TraceRecorder's filtered views and numpy export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.trace import TraceRecord, TraceRecorder
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    t = TraceRecorder()
+    t.record(1.0, "reset", "S1", new_error=0.5)
+    t.record(2.0, "sample", "S1", value=10.0, error=0.1)
+    t.record(3.0, "reset", "S2", new_error=0.25)
+    t.record(4.0, "sample", "S2", value=11.0)  # no "error" key: mixed payloads
+    return t
+
+
+def test_empty_recorder_views():
+    t = TraceRecorder()
+    assert len(t) == 0
+    assert list(t) == []
+    assert t.kinds == []
+    assert t.count("reset") == 0
+    assert t.filter(kind="reset") == []
+    series = t.series("new_error")
+    assert series.shape == (0, 2)
+
+
+def test_unknown_kind_is_empty_not_error(trace):
+    assert trace.count("no-such-kind") == 0
+    assert trace.filter(kind="no-such-kind") == []
+    assert trace.series("value", kind="no-such-kind").shape == (0, 2)
+
+
+def test_filter_combines_kind_source_predicate(trace):
+    assert len(trace.filter(kind="reset")) == 2
+    assert len(trace.filter(source="S1")) == 2
+    assert len(trace.filter(kind="reset", source="S2")) == 1
+    late = trace.filter(predicate=lambda row: row.time > 2.5)
+    assert [row.time for row in late] == [3.0, 4.0]
+    none = trace.filter(kind="reset", predicate=lambda row: row.time > 10)
+    assert none == []
+
+
+def test_series_skips_rows_lacking_the_field(trace):
+    # Both "sample" rows match the kind but only one carries "error".
+    series = trace.series("error", kind="sample")
+    assert series.shape == (1, 2)
+    assert series[0].tolist() == [2.0, 0.1]
+
+
+def test_series_shape_dtype_and_order(trace):
+    series = trace.series("new_error", kind="reset")
+    assert isinstance(series, np.ndarray)
+    assert series.dtype == float
+    assert series.shape == (2, 2)
+    assert series[:, 0].tolist() == [1.0, 3.0]  # time order preserved
+    assert series[:, 1].tolist() == [0.5, 0.25]
+
+
+def test_series_unknown_field_is_empty(trace):
+    assert trace.series("nonexistent").shape == (0, 2)
+
+
+def test_kinds_and_counts_track_appends(trace):
+    assert trace.kinds == ["reset", "sample"]
+    assert trace.count("reset") == 2
+    trace.record(5.0, "reject", "S1", server="S2")
+    assert trace.kinds == ["reject", "reset", "sample"]
+    assert trace.count("reject") == 1
+
+
+def test_disabled_recorder_is_a_noop():
+    t = TraceRecorder(enabled=False)
+    t.record(1.0, "reset", "S1", new_error=0.5)
+    assert len(t) == 0
+    assert t.series("new_error").shape == (0, 2)
+
+
+def test_clear_resets_everything(trace):
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.kinds == []
+    assert trace.count("reset") == 0
+    trace.record(9.0, "reset", "S3", new_error=1.0)
+    assert trace.count("reset") == 1
+
+
+def test_record_rows_are_immutable(trace):
+    row = trace.filter(kind="reset")[0]
+    assert isinstance(row, TraceRecord)
+    with pytest.raises(AttributeError):
+        row.time = 99.0
