@@ -39,6 +39,7 @@ from .experiments import (
     delay_asymmetry,
     discipline,
     drift_recovery,
+    dynamic_gauntlet,
     failures,
     figure1,
     figure2,
@@ -98,6 +99,7 @@ EXPERIMENTS = {
     "asymmetry": delay_asymmetry.main,
     "ablations": ablations.main,
     "chaos-soak": chaos_soak.main,
+    "dynamic-gauntlet": dynamic_gauntlet.main,
 }
 
 
@@ -453,6 +455,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dynamic_gauntlet(args: argparse.Namespace) -> int:
+    """The ``dynamic-gauntlet`` subcommand: topology churn vs local skew."""
+    if not args.seeds:
+        print("dynamic-gauntlet: need at least one seed", file=sys.stderr)
+        return 2
+    if args.horizon <= 0:
+        print("dynamic-gauntlet: --horizon must be positive", file=sys.stderr)
+        return 2
+    ok = dynamic_gauntlet.main(
+        seeds=args.seeds,
+        horizon=args.horizon,
+        json_path=args.json,
+        telemetry_dir=args.telemetry_out,
+    )
+    return 0 if ok else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: map the steady-state response surface."""
     from .sweeps import ParameterGrid, mesh_steady_state, run_sweep
@@ -621,6 +640,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "summary into DIR/<policy>-seed<k>/ (the nightly "
                           "soak artefacts)")
     cha.set_defaults(func=cmd_chaos)
+
+    dyn = sub.add_parser(
+        "dynamic-gauntlet",
+        help="live topology mutation: MM/IM/gradient arms vs the "
+             "local-skew bound under edge churn and mobility",
+    )
+    dyn.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                     help="seeds to run (each runs every cell and arm)")
+    dyn.add_argument("--horizon", type=float, default=1800.0,
+                     help="simulated seconds per run")
+    dyn.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the JSON report here (CI artefact)")
+    dyn.add_argument("--telemetry-out", metavar="DIR",
+                     help="write each run's Prometheus snapshot and summary "
+                          "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
+                          "gauntlet artefacts)")
+    dyn.set_defaults(func=cmd_dynamic_gauntlet)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

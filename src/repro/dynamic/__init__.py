@@ -1,0 +1,27 @@
+"""Dynamic networks: live topology mutation, mobility, and local skew.
+
+The paper's graph is fixed between discrete failures; this package takes
+Section 1.1's unstable membership literally and makes the graph itself a
+first-class mutable object under test — seeded edge churn, node
+join/leave, waypoint mobility — plus the gradient (local-skew) policy arm
+and measurement the dynamic-network literature says is the right
+correctness lens for that regime.
+"""
+
+from .churn import EdgeChurnController, EdgeChurnStats
+from .gradient import GradientPolicy
+from .mobility import MobilityProcess, WaypointMobility
+from .skew import LocalSkewMonitor, LocalSkewStats
+from .topology import DynamicTopology, DynamicTopologyStats
+
+__all__ = [
+    "DynamicTopology",
+    "DynamicTopologyStats",
+    "EdgeChurnController",
+    "EdgeChurnStats",
+    "GradientPolicy",
+    "LocalSkewMonitor",
+    "LocalSkewStats",
+    "MobilityProcess",
+    "WaypointMobility",
+]

@@ -1,0 +1,101 @@
+"""Continuous edge churn: link-level membership noise as a process.
+
+Generalizes :class:`~repro.service.churn.ChurnController` (which churns
+*servers*) to the graph's edges: at exponentially distributed intervals a
+random live edge is removed — subject to the
+:class:`~repro.dynamic.topology.DynamicTopology` connectivity guard — and
+restored after an exponentially distributed downtime with its original
+delay class.  Unlike a :class:`~repro.faults.schedule.LinkFlap`, which
+only marks a link down, edge churn changes neighbour sets: servers stop
+polling across the removed edge and prune any poll already in flight on
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from .topology import DynamicTopology
+
+
+@dataclass
+class EdgeChurnStats:
+    """Counters for edge-churn activity.
+
+    Attributes:
+        removed: Edges taken out.
+        restored: Edges brought back.
+        refused: Removal attempts vetoed by the connectivity guard.
+        skipped: Ticks with no edge to churn.
+    """
+
+    removed: int = 0
+    restored: int = 0
+    refused: int = 0
+    skipped: int = 0
+
+
+class EdgeChurnController(SimProcess):
+    """Drives remove/restore churn over the live edge set.
+
+    Args:
+        engine: The simulation engine.
+        dynamic: The mutable topology layer (guard included).
+        rng: Random stream for edge choice and downtime sampling.
+        interval: Mean seconds between removal attempts (exponential).
+        mean_downtime: Mean downtime per removed edge (exponential).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        dynamic: DynamicTopology,
+        rng: np.random.Generator,
+        *,
+        interval: float = 60.0,
+        mean_downtime: float = 45.0,
+        name: str = "edge-churn",
+    ) -> None:
+        super().__init__(engine, name)
+        if interval <= 0 or mean_downtime <= 0:
+            raise ValueError("interval and mean_downtime must be positive")
+        self.dynamic = dynamic
+        self._rng = rng
+        self.interval = float(interval)
+        self.mean_downtime = float(mean_downtime)
+        self.stats = EdgeChurnStats()
+
+    def on_start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(self.interval))
+        self.call_after(max(gap, 1e-6), self._tick)
+
+    def _tick(self) -> None:
+        edges = self.dynamic.edges()
+        if not edges:
+            self.stats.skipped += 1
+        else:
+            a, b = edges[int(self._rng.integers(len(edges)))]
+            data = dict(self.dynamic.network.graph.edges[a, b])
+            if self.dynamic.remove_edge(a, b):
+                self.stats.removed += 1
+                downtime = float(self._rng.exponential(self.mean_downtime))
+                self.call_after(
+                    max(downtime, 1e-6),
+                    lambda a=a, b=b, data=data: self._restore(a, b, data),
+                )
+            else:
+                self.stats.refused += 1
+        self._schedule_next()
+
+    def _restore(self, a: str, b: str, data: dict) -> None:
+        # Mobility may have re-created (or a rewire re-removed) the edge
+        # in the meantime; add_edge is a no-op when it already exists.
+        if self.dynamic.add_edge(a, b, kind=data.get("kind")):
+            self.stats.restored += 1

@@ -1,0 +1,110 @@
+"""Gradient-aware interval selection: bounding *local* skew under churn.
+
+Kuhn/Lenzen/Locher/Oshman's "Optimal Gradient Clock Synchronization in
+Dynamic Networks" (PAPERS.md) makes the case that in a never-stable graph
+the meaningful guarantee is the **local skew** — the clock difference
+across currently existing edges — not the global error: applications
+coordinate with whoever is adjacent *right now*.
+
+:class:`GradientPolicy` transplants that lens onto the paper's interval
+machinery.  Rule IM-2's intersection ``[a, b]`` is computed exactly as in
+:class:`~repro.core.im.IMPolicy` — Theorem 5's correctness argument only
+needs the reset interval to contain the true time, which holds for *any*
+reset point ``c ∈ [a, b]`` with inherited error ``max(c - a, b - c)``.
+The midpoint is the choice that minimises the new global error; the
+gradient choice instead pulls ``c`` toward the median of the current
+neighbours' offset estimates (the centre ``(T_j + L_j)/2`` of each
+transformed reply interval), clamped so the inherited error never grows
+by more than a configured margin.  The selection privileges agreement
+with the present neighbour set, which is exactly what keeps the skew
+across live edges bounded while membership and edges churn underneath.
+
+The cost is explicit and small: with ``error_margin`` ``m``, the
+inherited error is at most ``(1 + m)·(b - a)/2`` versus the midpoint's
+``(b - a)/2``.  Inconsistent rounds (empty intersection) are delegated
+to the base IM policy unchanged, so the Section 3 recovery machinery
+behaves identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.im import IMPolicy
+from ..core.sync import (
+    LocalState,
+    Reply,
+    ResetDecision,
+    RoundOutcome,
+    SynchronizationPolicy,
+)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class GradientPolicy(SynchronizationPolicy):
+    """IM with neighbour-median reset selection inside the intersection.
+
+    Args:
+        error_margin: Fraction ``m`` of the intersection half-width the
+            reset point may stray from the midpoint while chasing the
+            neighbour median: ``c ∈ [mid - m·h, mid + m·h]`` where
+            ``h = (b - a)/2``.  ``0`` degenerates to plain IM; ``1``
+            allows any point of the intersection (inherited error up to
+            ``b - a``, the trailing-reset worst case).
+        base: The IM policy supplying transformation, intersection, and
+            the inconsistent-round behaviour; defaults to the paper's
+            configuration.
+    """
+
+    name = "gradient"
+    incremental = False
+
+    def __init__(
+        self,
+        *,
+        error_margin: float = 0.5,
+        base: Optional[IMPolicy] = None,
+    ) -> None:
+        if not 0.0 <= error_margin <= 1.0:
+            raise ValueError(
+                f"error_margin must be in [0, 1], got {error_margin}"
+            )
+        self.error_margin = float(error_margin)
+        self.base = base if base is not None else IMPolicy()
+
+    def on_round_complete(
+        self, state: LocalState, replies: Sequence[Reply]
+    ) -> RoundOutcome:
+        outcome = self.base.on_round_complete(state, replies)
+        if not outcome.consistent or outcome.decision is None or not replies:
+            # Inconsistency handling (and the degenerate no-reply round)
+            # is IM's, unchanged.
+            return outcome
+        a, b, source = self.base.intersection(state, replies)
+        mid = (a + b) / 2.0
+        half = (b - a) / 2.0
+        # Offset estimate per neighbour: the centre of its transformed
+        # interval, C_j - C_i + (1 + δ_i)·ξ^i_j / 2 — where the local
+        # clock thinks the neighbour sits.  The median is robust to one
+        # outlier neighbour dragging the service around.
+        centres = [
+            (tr.trailing + tr.leading) / 2.0
+            for tr in (self.base.transform(state, reply) for reply in replies)
+        ]
+        span = self.error_margin * half
+        target = _median(centres)
+        chosen = min(max(target, mid - span), mid + span)
+        error = max(chosen - a, b - chosen)
+        decision = ResetDecision(
+            clock_value=state.clock_value + chosen,
+            inherited_error=error,
+            source=source,
+        )
+        return RoundOutcome(consistent=True, decision=decision)

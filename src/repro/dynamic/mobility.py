@@ -1,0 +1,166 @@
+"""Waypoint mobility: proximity-driven topology for ad hoc time service.
+
+Pabico's "Synchronization of ad hoc Clock Networks" (PAPERS.md) motivates
+the workload: servers are mobile hosts, and a communication path exists
+exactly while two hosts are within radio range.  The classic random
+waypoint model drives the motion — each server walks at constant speed
+toward a uniformly drawn waypoint, draws a fresh one on arrival — and the
+induced topology is the proximity graph (an edge per pair within
+``radius``).
+
+:class:`WaypointMobility` is the pure model (positions, waypoints,
+proximity edges; deterministic given its RNG stream and the fixed sorted
+iteration order).  :class:`MobilityProcess` binds it to the simulation:
+every ``period`` it advances the motion and rewires the live graph
+through :class:`~repro.dynamic.topology.DynamicTopology`, whose
+connectivity guard retains a minimal backbone of stale edges whenever the
+proximity graph alone would disconnect the present servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..simulation.engine import SimulationEngine
+from ..simulation.process import SimProcess
+from .topology import DynamicTopology, Edge
+
+Position = Tuple[float, float]
+
+
+class WaypointMobility:
+    """Random-waypoint motion over the unit square (scaled by ``size``).
+
+    Args:
+        names: The mobile servers; iteration is always over the sorted
+            list, so draws are reproducible for a given RNG stream.
+        rng: Seeded generator for initial positions and waypoints.
+        radius: Radio range — pairs at most this far apart get an edge.
+        speed: Motion speed in plane units per simulated second.
+        size: Side length of the square arena.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        rng: np.random.Generator,
+        *,
+        radius: float = 0.45,
+        speed: float = 0.003,
+        size: float = 1.0,
+    ) -> None:
+        if radius <= 0 or speed < 0 or size <= 0:
+            raise ValueError("radius and size must be positive, speed >= 0")
+        self._names = sorted(str(name) for name in names)
+        self._rng = rng
+        self.radius = float(radius)
+        self.speed = float(speed)
+        self.size = float(size)
+        self._pos: Dict[str, Position] = {}
+        self._target: Dict[str, Position] = {}
+        for name in self._names:
+            self._pos[name] = self._draw_point()
+            self._target[name] = self._draw_point()
+
+    def _draw_point(self) -> Position:
+        return (
+            float(self._rng.uniform(0.0, self.size)),
+            float(self._rng.uniform(0.0, self.size)),
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pos
+
+    # -------------------------------------------------------------- motion
+
+    def position(self, name: str) -> Position:
+        """Current position of ``name``."""
+        return self._pos[name]
+
+    def place(self, name: str, position: Position) -> None:
+        """Pin ``name`` at ``position`` (trace replay); motion resumes
+        toward a freshly drawn waypoint on the next :meth:`step`."""
+        if name not in self._pos:
+            raise KeyError(f"{name!r} is not a mobile server")
+        self._pos[name] = (float(position[0]), float(position[1]))
+        self._target[name] = self._draw_point()
+
+    def step(self, dt: float) -> None:
+        """Advance every server ``dt`` seconds along its waypoint path."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        budget = self.speed * dt
+        for name in self._names:
+            remaining = budget
+            x, y = self._pos[name]
+            while remaining > 0:
+                tx, ty = self._target[name]
+                dx, dy = tx - x, ty - y
+                dist = (dx * dx + dy * dy) ** 0.5
+                if dist <= remaining:
+                    x, y = tx, ty
+                    remaining -= dist
+                    self._target[name] = self._draw_point()
+                    if dist == 0.0:
+                        break
+                else:
+                    x += dx * remaining / dist
+                    y += dy * remaining / dist
+                    remaining = 0.0
+            self._pos[name] = (x, y)
+
+    # ------------------------------------------------------------ topology
+
+    def desired_edges(self) -> List[Edge]:
+        """The proximity graph: every pair within ``radius``, sorted."""
+        edges: List[Edge] = []
+        names = self._names
+        for i in range(len(names)):
+            xi, yi = self._pos[names[i]]
+            for j in range(i + 1, len(names)):
+                xj, yj = self._pos[names[j]]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= self.radius**2:
+                    edges.append((names[i], names[j]))
+        return edges
+
+
+class MobilityProcess(SimProcess):
+    """Drives a :class:`WaypointMobility` model against the live graph.
+
+    Every ``period`` seconds the model advances and the proximity graph
+    replaces the live edge set via
+    :meth:`DynamicTopology.rewire` (guard-protected, trace-recorded).
+    Attaching the process also installs the model as
+    ``dynamic.mobility``, which is what lets
+    :class:`~repro.faults.schedule.MobilityTrace` events re-place servers
+    mid-run.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        dynamic: DynamicTopology,
+        model: WaypointMobility,
+        *,
+        period: float = 20.0,
+        name: str = "mobility",
+    ) -> None:
+        super().__init__(engine, name)
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.dynamic = dynamic
+        self.model = model
+        self.period = float(period)
+        dynamic.mobility = model
+
+    def on_start(self) -> None:
+        # Align the graph with the model's initial placement at once, then
+        # rewire on the period grid.
+        self.dynamic.rewire(self.model.desired_edges())
+        self.every(self.period, self._tick)
+
+    def _tick(self) -> None:
+        self.model.step(self.period)
+        self.dynamic.rewire(self.model.desired_edges())

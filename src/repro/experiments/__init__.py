@@ -15,6 +15,7 @@ from . import (
     delay_asymmetry,
     discipline,
     drift_recovery,
+    dynamic_gauntlet,
     failures,
     figure1,
     figure2,
@@ -43,6 +44,7 @@ __all__ = [
     "delay_asymmetry",
     "discipline",
     "drift_recovery",
+    "dynamic_gauntlet",
     "failures",
     "figure1",
     "figure2",

@@ -27,12 +27,14 @@ from .injector import FaultInjector, InjectorStats
 from .monitor import InvariantMonitor, MonitorStats, Violation
 from .schedule import (
     SERVER_FAULT_KINDS,
+    TOPOLOGY_FAULT_KINDS,
     ByzantineReplies,
     CheckpointCorruption,
     ClockFreeze,
     ClockRace,
     ClockStep,
     DelaySpike,
+    EdgeChurn,
     FaultEvent,
     FaultSchedule,
     FaultWindow,
@@ -41,19 +43,23 @@ from .schedule import (
     MessageCorruption,
     MessageDuplication,
     MessageReorder,
+    MobilityTrace,
     PartitionFault,
     ServerCrash,
+    TopologyRewire,
     TornCheckpoint,
 )
 
 __all__ = [
     "SERVER_FAULT_KINDS",
+    "TOPOLOGY_FAULT_KINDS",
     "ByzantineReplies",
     "CheckpointCorruption",
     "ClockFreeze",
     "ClockRace",
     "ClockStep",
     "DelaySpike",
+    "EdgeChurn",
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
@@ -65,9 +71,11 @@ __all__ = [
     "MessageCorruption",
     "MessageDuplication",
     "MessageReorder",
+    "MobilityTrace",
     "MonitorStats",
     "PartitionFault",
     "ServerCrash",
+    "TopologyRewire",
     "TornCheckpoint",
     "Violation",
     "attach_chaos",
@@ -83,6 +91,7 @@ def attach_chaos(
     monitor: bool = True,
     start: bool = True,
     registry=None,
+    dynamic=None,
 ) -> Tuple[FaultInjector, Optional[InvariantMonitor]]:
     """Attach an injector (and optionally a monitor) to a built service.
 
@@ -97,6 +106,9 @@ def attach_chaos(
         registry: Telemetry registry for the monitor's
             ``repro_invariant_checks_total`` counters.  None falls back
             to the service's own telemetry registry when one is enabled.
+        dynamic: A :class:`~repro.dynamic.topology.DynamicTopology` layer
+            for the schedule's topology events (``EdgeChurn`` etc.);
+            those events are skipped when None.
 
     Returns:
         ``(injector, monitor)`` — monitor is None when disabled.
@@ -113,6 +125,7 @@ def attach_chaos(
         rng=service.rng.stream("faults/injector"),
         trace=service.trace,
         store=getattr(service, "stable_store", None),
+        dynamic=dynamic,
     )
     watcher: Optional[InvariantMonitor] = None
     if monitor:

@@ -24,7 +24,7 @@ named RNG stream, keeping runs bit-reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from .schedule import (
     ClockRace,
     ClockStep,
     DelaySpike,
+    EdgeChurn,
     FaultEvent,
     FaultSchedule,
     LinkFlap,
@@ -49,10 +50,15 @@ from .schedule import (
     MessageCorruption,
     MessageDuplication,
     MessageReorder,
+    MobilityTrace,
     PartitionFault,
     ServerCrash,
+    TopologyRewire,
     TornCheckpoint,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..dynamic.topology import DynamicTopology
 
 
 @dataclass
@@ -82,6 +88,10 @@ class FaultInjector(SimProcess):
         trace: Optional trace recorder (fault applications are recorded).
         store: The service's stable store, if it has one — target of the
             checkpoint-corruption/torn-write events (skipped otherwise).
+        dynamic: The live :class:`~repro.dynamic.topology.DynamicTopology`
+            layer, if the run has one — target of the topology events
+            (``EdgeChurn``/``TopologyRewire``/``MobilityTrace``); those
+            events are skipped with a trace note otherwise.
         name: Process name (shows up in trace rows).
     """
 
@@ -95,6 +105,7 @@ class FaultInjector(SimProcess):
         rng: Optional[np.random.Generator] = None,
         trace: Optional[TraceRecorder] = None,
         store=None,
+        dynamic: Optional["DynamicTopology"] = None,
         name: str = "chaos",
     ) -> None:
         super().__init__(engine, name)
@@ -103,6 +114,7 @@ class FaultInjector(SimProcess):
         self.schedule = schedule
         self.trace = trace
         self.store = store
+        self.dynamic = dynamic
         self.stats = InjectorStats()
         self._rng = rng
         self._link_down_counts: Dict[Tuple[str, str], int] = {}
@@ -338,3 +350,36 @@ class FaultInjector(SimProcess):
             return [(lie, delay)]
 
         self._windowed_tap(tap, event.duration)
+
+    # ------------------------------------------------------ topology faults
+
+    def _apply_EdgeChurn(self, event: EdgeChurn) -> None:
+        if self.dynamic is None:
+            self._trace_fault(event, note="skipped: no dynamic topology")
+            return
+        if event.action == "add":
+            self.dynamic.add_edge(event.a, event.b)
+        elif event.action == "remove":
+            if not self.dynamic.remove_edge(event.a, event.b):
+                self._trace_fault(event, note="skipped: guard refused removal")
+        else:
+            self._trace_fault(
+                event, note=f"skipped: unknown action {event.action!r}"
+            )
+
+    def _apply_TopologyRewire(self, event: TopologyRewire) -> None:
+        if self.dynamic is None:
+            self._trace_fault(event, note="skipped: no dynamic topology")
+            return
+        self.dynamic.rewire(
+            tuple((str(a), str(b)) for a, b in event.edges)
+        )
+
+    def _apply_MobilityTrace(self, event: MobilityTrace) -> None:
+        if self.dynamic is None or self.dynamic.mobility is None:
+            self._trace_fault(event, note="skipped: no mobility model")
+            return
+        if event.server not in self.dynamic.mobility:
+            self._trace_fault(event, note="skipped: unknown server")
+            return
+        self.dynamic.move(event.server, (event.x, event.y))

@@ -41,7 +41,15 @@ pathologies the paper assumes away):
 :class:`ByzantineReplies` server's replies lie: offset added, error
                        underreported — the adversary of the Byzantine
                        clock-sync literature
+:class:`EdgeChurn`     an edge is added to / removed from the live graph
+:class:`TopologyRewire` the live edge set is replaced wholesale
+:class:`MobilityTrace` a server moves; the proximity graph rewires
 =====================  =====================================================
+
+The last three mutate the topology itself (Section 1.1's unstable
+membership taken literally); they require the injector to be attached to
+a :class:`~repro.dynamic.topology.DynamicTopology` and are skipped with a
+trace note otherwise.
 """
 
 from __future__ import annotations
@@ -234,8 +242,60 @@ class ByzantineReplies(FaultEvent):
     error_scale: float = 0.2
 
 
+# ----------------------------------------------------------- topology faults
+
+
+@dataclass(frozen=True)
+class EdgeChurn(FaultEvent):
+    """Edge ``(a, b)`` is added to (``action="add"``) or removed from
+    (``action="remove"``) the live topology.
+
+    Unlike :class:`LinkFlap` — which leaves the edge in place and marks
+    its link down — edge churn changes the *graph itself*: neighbour
+    sets, poll targets, and the connectivity assumption all shift.
+    Interpretation requires the injector to be attached to a
+    :class:`~repro.dynamic.topology.DynamicTopology`; it is skipped (with
+    a trace note) otherwise.
+    """
+
+    a: str = ""
+    b: str = ""
+    action: str = "remove"
+
+
+@dataclass(frozen=True)
+class TopologyRewire(FaultEvent):
+    """The live edge set is replaced wholesale by ``edges``.
+
+    Models a routing reconfiguration: edges in ``edges`` but not in the
+    graph are added, edges in the graph but not in ``edges`` are removed
+    (subject to the dynamic layer's connectivity guard, which retains a
+    minimal backbone of old edges rather than disconnect the service).
+    """
+
+    edges: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class MobilityTrace(FaultEvent):
+    """``server`` moves to position ``(x, y)`` in the mobility plane.
+
+    A waypoint pin for replaying recorded mobility traces: the dynamic
+    layer re-places the server and immediately rewires the proximity
+    graph around its new position.  Requires a mobility model attached to
+    the injector's :class:`~repro.dynamic.topology.DynamicTopology`.
+    """
+
+    server: str = ""
+    x: float = 0.0
+    y: float = 0.0
+
+
 #: Events that target a single server's clock or honesty.
 SERVER_FAULT_KINDS = (ClockStep, ClockFreeze, ClockRace, ByzantineReplies)
+
+#: Events that mutate the live topology graph (need a DynamicTopology).
+TOPOLOGY_FAULT_KINDS = (EdgeChurn, TopologyRewire, MobilityTrace)
 
 
 @dataclass(frozen=True)

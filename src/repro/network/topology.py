@@ -139,16 +139,41 @@ def two_level_internet(
     return graph
 
 
-def validate_topology(graph: nx.Graph) -> None:
+def validate_topology(
+    graph: nx.Graph, *, present: Optional[Sequence[str]] = None
+) -> None:
     """Check the paper's standing assumptions: non-empty and connected.
 
+    Safe to re-run on a live, mutated graph — the dynamic-topology
+    subsystem calls it after every edge or membership change.  When
+    ``present`` is given, the check is restricted to the induced subgraph
+    over those servers: departed members may be transiently unreachable
+    without violating the connectivity assumption for the servers still
+    in the service.
+
     Raises:
-        ValueError: If the graph is empty or disconnected.
+        ValueError: If the graph is empty or disconnected.  The
+            disconnection error names the smallest isolated component so
+            a failing churn schedule can be diagnosed from the message
+            alone.
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("topology has no servers")
-    if not nx.is_connected(graph):
-        raise ValueError("the paper assumes a connected service topology")
+    view = graph if present is None else graph.subgraph(present)
+    if present is not None and view.number_of_nodes() == 0:
+        raise ValueError("topology has no present servers")
+    if nx.is_connected(view):
+        return
+    components = sorted(
+        (sorted(component) for component in nx.connected_components(view)),
+        key=lambda names: (len(names), names),
+    )
+    isolated = components[0]
+    raise ValueError(
+        "the paper assumes a connected service topology; "
+        f"isolated component: {{{', '.join(isolated)}}} "
+        f"({len(isolated)} of {view.number_of_nodes()} servers)"
+    )
 
 
 def neighbours(graph: nx.Graph, name: str) -> list[str]:

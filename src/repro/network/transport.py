@@ -87,9 +87,11 @@ class Network:
         self._lan_delay = lan_delay
         self._wan_delay = wan_delay if wan_delay is not None else lan_delay
         self._long_haul = long_haul
+        self._loss_probability = float(loss_probability)
         self._processes: Dict[str, SimProcess] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._taps: List[MessageTap] = []
+        self._topology_version = 0
         self.stats = NetworkStats()
         for a, b, data in graph.edges(data=True):
             delay = self._wan_delay if data.get("kind") == "wan" else self._lan_delay
@@ -131,6 +133,67 @@ class Network:
     def neighbours(self, name: str) -> list[str]:
         """Sorted neighbour names of ``name``."""
         return sorted(self.graph.neighbors(name))
+
+    # ------------------------------------------------------- live mutation
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped on every live topology mutation.
+
+        Consumers that cache per-edge state (the telemetry sampler's
+        gauge rows, for instance) compare this against their last seen
+        value instead of re-scanning the edge set every sample.
+        """
+        return self._topology_version
+
+    def add_edge(self, a: str, b: str, *, kind: Optional[str] = None) -> None:
+        """Create a live edge between two existing nodes.
+
+        Idempotent: adding an existing edge is a no-op.  When the edge
+        existed before (was removed by churn), its old :class:`Link` is
+        reused — brought up, but keeping its delay model — so a restored
+        path behaves like the same physical link coming back.
+
+        Args:
+            a: One endpoint (must be a topology node).
+            b: The other endpoint.
+            kind: ``"lan"``/``"wan"`` delay class for a brand-new edge;
+                defaults to lan.  Ignored when reusing a prior link.
+
+        Raises:
+            KeyError: If either endpoint is not a node of the topology.
+            ValueError: If ``a == b``.
+        """
+        for name in (a, b):
+            if name not in self.graph:
+                raise KeyError(f"{name!r} is not a node of the topology")
+        if a == b:
+            raise ValueError(f"cannot add a self-edge on {a!r}")
+        if self.graph.has_edge(a, b):
+            return
+        self.graph.add_edge(a, b, kind=kind or "lan")
+        key = self._key(a, b)
+        link = self._links.get(key)
+        if link is None:
+            delay = self._wan_delay if kind == "wan" else self._lan_delay
+            self._links[key] = Link(
+                delay=delay, loss_probability=self._loss_probability
+            )
+        else:
+            link.bring_up()
+        self._topology_version += 1
+
+    def remove_edge(self, a: str, b: str) -> None:
+        """Remove a live edge; a no-op when the edge does not exist.
+
+        The underlying :class:`Link` object is kept (unreachable — sends
+        gate on the graph) so a later :meth:`add_edge` restores the same
+        link and its fault state stays attributable.
+        """
+        if not self.graph.has_edge(a, b):
+            return
+        self.graph.remove_edge(a, b)
+        self._topology_version += 1
 
     # ------------------------------------------------------------------ taps
 

@@ -63,6 +63,14 @@ class StabilizerConfig:
             checkpoint is considered stale and restart falls back to the
             cold-start bootstrap (the inflated interval would be useless
             anyway: wider than any operator-set error).
+        phase_limit: Herman-style phase clock bounding the hysteresis.
+            Under perpetual churn merges recur faster than ``merge_hold``
+            expires, so an unbounded hold can suppress a genuinely needed
+            repair indefinitely; after this many *consecutive* held
+            decisions the hold yields and the repair proceeds anyway,
+            guaranteeing transient faults are repaired within a bounded
+            number of inconsistent rounds regardless of churn.  0
+            disables the phase clock (the pre-dynamic behaviour).
     """
 
     merge_hold: float = 240.0
@@ -70,6 +78,7 @@ class StabilizerConfig:
     min_support: float = 0.5
     checkpoint_period: float = 30.0
     checkpoint_stale_after: float = 3600.0
+    phase_limit: int = 4
 
 
 @dataclass
@@ -77,6 +86,7 @@ class StabilizerStats:
     """What the vetting pipeline did (analysis and tests)."""
 
     held: int = 0  # decisions suppressed by merge hysteresis
+    phase_repairs: int = 0  # holds overridden by the phase clock
     vetoed_dissonant: int = 0  # candidates removed by the consonance veto
     vetoed_falseticker: int = 0  # candidates removed by the reputation veto
     vetoed_support: int = 0  # candidates removed by census-majority vetting
@@ -107,6 +117,7 @@ class SelfStabilizingRecovery(RecoveryStrategy):
         self.config = config if config is not None else StabilizerConfig()
         self.stabilizer_stats = StabilizerStats()
         self._server = None  # set by bind()
+        self._held_streak = 0  # consecutive holds, for the phase clock
 
     def bind(self, server) -> None:
         """Attach the strategy to its server (census, rates, epochs)."""
@@ -134,14 +145,26 @@ class SelfStabilizingRecovery(RecoveryStrategy):
         if server is None:
             return self._pick(candidates)
 
-        # Hysteresis: a freshly merged server lets the dust settle.
+        # Hysteresis: a freshly merged server lets the dust settle — but
+        # bounded by a Herman-style phase clock.  Under perpetual churn
+        # the hold window keeps restarting (merges never stop), so
+        # without the pulse a transient fault arriving just after a merge
+        # could go unrepaired for the whole window; after ``phase_limit``
+        # consecutive holds the repair proceeds anyway.
         now_local = server.clock_value()
         if (
             server.last_merge_local is not None
             and now_local - server.last_merge_local < self.config.merge_hold
         ):
-            self.stabilizer_stats.held += 1
-            return None
+            self._held_streak += 1
+            if (
+                self.config.phase_limit <= 0
+                or self._held_streak < self.config.phase_limit
+            ):
+                self.stabilizer_stats.held += 1
+                return None
+            self.stabilizer_stats.phase_repairs += 1
+        self._held_streak = 0
 
         # Consonance veto (covers remote arbiters the server's own
         # exclusion widening cannot reach).

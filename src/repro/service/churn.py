@@ -17,14 +17,17 @@ rejoining members reconverge within a few poll periods.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
 from .server import TimeServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotation only)
+    from ..faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -35,11 +38,14 @@ class ChurnStats:
         departures: Leave events executed.
         rejoins: Rejoin events executed.
         skipped: Ticks where no eligible server was available.
+        avoided_faulted: Candidates excluded because a scheduled
+            crash/clock-fault window was active on them at tick time.
     """
 
     departures: int = 0
     rejoins: int = 0
     skipped: int = 0
+    avoided_faulted: int = 0
 
 
 class ChurnController(SimProcess):
@@ -55,6 +61,15 @@ class ChurnController(SimProcess):
         rejoin_error: ε_i assigned on rejoin.
         min_alive: Never take the number of present servers below this
             (a service needs a quorum of neighbours to be worth measuring).
+        fault_schedule: When the run also has a chaos
+            :class:`~repro.faults.schedule.FaultSchedule`, pass it here so
+            churn never picks a server inside an active crash or
+            clock-fault window — a churn leave stacked on a scheduled
+            ``ServerCrash`` would double-count downtime and confuse the
+            invariant monitor's exemptions.
+        fault_margin: Extra seconds around each fault window during which
+            the server also stays off-limits (guards leaves landing just
+            before a scheduled crash fires).
     """
 
     def __init__(
@@ -67,18 +82,32 @@ class ChurnController(SimProcess):
         mean_downtime: float = 120.0,
         rejoin_error: float = 1.0,
         min_alive: int = 2,
+        fault_schedule: Optional["FaultSchedule"] = None,
+        fault_margin: float = 0.0,
     ) -> None:
         super().__init__(engine, "churn")
         if interval <= 0 or mean_downtime <= 0:
             raise ValueError("interval and mean_downtime must be positive")
         if rejoin_error < 0:
             raise ValueError(f"rejoin_error must be non-negative, got {rejoin_error}")
+        if fault_margin < 0:
+            raise ValueError(f"fault_margin must be non-negative, got {fault_margin}")
         self.servers: Dict[str, TimeServer] = {s.name: s for s in servers}
         self._rng = rng
         self.interval = float(interval)
         self.mean_downtime = float(mean_downtime)
         self.rejoin_error = float(rejoin_error)
         self.min_alive = int(min_alive)
+        self.fault_margin = float(fault_margin)
+        self._fault_windows: Tuple[Tuple[str, float, float], ...] = ()
+        if fault_schedule is not None:
+            self._fault_windows = tuple(
+                (window.server, window.start, window.end)
+                for window in (
+                    fault_schedule.crash_windows()
+                    + fault_schedule.server_fault_windows()
+                )
+            )
         self.stats = ChurnStats()
 
     def on_start(self) -> None:
@@ -91,12 +120,26 @@ class ChurnController(SimProcess):
     def _present(self) -> list[TimeServer]:
         return [s for s in self.servers.values() if not s.departed]
 
+    def _in_fault_window(self, name: str, time: float) -> bool:
+        """Whether a scheduled crash/clock fault owns ``name`` at ``time``."""
+        margin = self.fault_margin
+        return any(
+            server == name and start - margin <= time <= end + margin
+            for server, start, end in self._fault_windows
+        )
+
     def _tick(self) -> None:
         present = self._present()
-        if len(present) <= self.min_alive:
+        # Servers inside a scheduled fault window are not churnable: the
+        # injector owns their downtime.  With no schedule attached the
+        # eligible set equals the present set and victim draws are
+        # bit-identical to the pre-schedule behaviour.
+        eligible = [s for s in present if not self._in_fault_window(s.name, self.now)]
+        self.stats.avoided_faulted += len(present) - len(eligible)
+        if len(present) <= self.min_alive or not eligible:
             self.stats.skipped += 1
         else:
-            victim = present[int(self._rng.integers(len(present)))]
+            victim = eligible[int(self._rng.integers(len(eligible)))]
             victim.leave()
             self.stats.departures += 1
             downtime = float(self._rng.exponential(self.mean_downtime))

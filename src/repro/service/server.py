@@ -92,6 +92,7 @@ class ServerStats:
     recovery_resets: int = 0
     requests_answered: int = 0
     polls_unsent: int = 0  # poll requests the transport dropped at send time
+    polls_pruned: int = 0  # pending slots dropped on mid-round neighbour loss
     invalid_replies: int = 0  # replies rejected by _validate_reply
 
 
@@ -438,6 +439,33 @@ class TimeServer(SimProcess):
 
     def _round_timeout_fired(self, round_: _PollRound) -> None:
         if not round_.closed:
+            self._complete_round(round_)
+
+    def neighbour_detached(self, neighbour: str) -> None:
+        """Topology change: the edge to ``neighbour`` vanished mid-round.
+
+        The topology-driven twin of the send-failure pruning in
+        :meth:`_start_round`: once the edge is gone no reply (and no
+        retry) can arrive over it, so the pending slot is dropped instead
+        of waited out, and the round closes immediately when nothing else
+        is outstanding.  A reply already received from the neighbour this
+        round stays usable — it was gathered while the edge existed.
+        Called by the dynamic-topology layer on both endpoints of every
+        removed edge; a no-op when no round is open or the neighbour was
+        not being polled.
+        """
+        round_ = self._round
+        if round_ is None or round_.closed:
+            return
+        pruned = neighbour in round_.outstanding or neighbour in round_.unsent
+        if not pruned:
+            return
+        round_.outstanding.discard(neighbour)
+        round_.unsent.discard(neighbour)
+        self.stats.polls_pruned += 1
+        self._trace("poll_pruned", server=neighbour)
+        self.telemetry.reply_verdict(round_.tele, self.now, neighbour, "pruned")
+        if not round_.outstanding and not self._may_revive(round_):
             self._complete_round(round_)
 
     def _handle_reply(self, reply: TimeReply) -> None:

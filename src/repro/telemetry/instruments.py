@@ -566,6 +566,14 @@ class TelemetrySampler(SimProcess):
       ``ξ + (δ_i + δ_j)·τ`` — breaches increment
       ``repro_theorem7_breaches_total`` (expected only inside fault
       windows);
+    * when ``local_skew_bound`` is set, the same per-edge quantity as the
+      gradient literature's *local skew* (``repro_edge_local_skew_seconds``)
+      against that stated bound — breaches increment
+      ``repro_local_skew_breaches_total``.  Distinct from the Theorem 7
+      gauge in two ways: the bound is a single service-wide statement
+      (the dynamic gauntlet's acceptance criterion) rather than a
+      per-edge constant, and the edge set tracks live topology mutation
+      (the roster rebuilds whenever ``network.topology_version`` moves);
     * engine throughput (events/sec of simulated time);
     * run-queue depth for load-aware servers, reputation/budget for
       Byzantine servers, merge epochs for self-stabilizing ones.
@@ -582,6 +590,7 @@ class TelemetrySampler(SimProcess):
         events: Optional[JsonlEventExporter] = None,
         tracer: Optional[SpanTracer] = None,
         summary_every: int = 0,
+        local_skew_bound: Optional[float] = None,
         name: str = "telemetry",
     ) -> None:
         super().__init__(engine, name)
@@ -612,6 +621,8 @@ class TelemetrySampler(SimProcess):
         self._roster_keys: Optional[frozenset] = None
         self._server_rows: List[tuple] = []
         self._edge_rows: List[tuple] = []
+        self._edge_version: Optional[int] = None
+        self.local_skew_bound = local_skew_bound
         reg = registry
         self._error = reg.gauge(
             "repro_server_error_seconds",
@@ -637,6 +648,21 @@ class TelemetrySampler(SimProcess):
             "repro_theorem7_breaches_total",
             "Edge-samples where asynchronism exceeded the Theorem 7 bound",
         )
+        self._edge_skew = reg.gauge(
+            "repro_edge_local_skew_seconds",
+            "Oracle local skew |C_i - C_j| over currently live edges",
+            ("edge",),
+        )
+        self._skew_bound_gauge = reg.gauge(
+            "repro_local_skew_bound_seconds",
+            "Stated service-wide local-skew bound (dynamic gauntlet)",
+        )
+        self._skew_breaches = reg.counter(
+            "repro_local_skew_breaches_total",
+            "Edge-samples where local skew exceeded the stated bound",
+        )
+        if local_skew_bound is not None:
+            self._skew_bound_gauge.set(local_skew_bound)
         self._eps = reg.gauge(
             "repro_engine_events_per_second",
             "Events fired per simulated second, over the last sample window",
@@ -687,9 +713,14 @@ class TelemetrySampler(SimProcess):
         change.  Which subsystem gauges a server carries is fixed at
         construction (queue / reputation / budget / epoch are constructor
         attributes), and the Theorem 7 bound is constant per edge (δ, ξ,
-        τ are fixed at build time) — its gauge is set here, once.
+        τ are fixed at build time) — its gauge is set here, once.  The
+        rebuild also re-reads the (possibly mutated) edge set; live
+        topology changes re-trigger it via ``network.topology_version``.
         """
         self._roster_keys = frozenset(servers)
+        self._edge_version = getattr(
+            self.service.network, "topology_version", None
+        )
         oracle = self.oracle
         rows = []
         for name in sorted(servers):
@@ -745,7 +776,12 @@ class TelemetrySampler(SimProcess):
                 if tau is not None:
                     bound = xi + (sa.delta + sb.delta) * tau
                     self._child(self._edge_bound, edge=edge).set(bound)
-                edge_rows.append((a, b, asyn_set, bound))
+                skew_set = (
+                    self._child(self._edge_skew, edge=edge).set
+                    if self.local_skew_bound is not None
+                    else None
+                )
+                edge_rows.append((a, b, asyn_set, bound, skew_set))
         self._edge_rows = sorted(edge_rows, key=lambda row: row[:2])
 
     def _sample_reputation(self, name: str, server) -> None:
@@ -762,7 +798,8 @@ class TelemetrySampler(SimProcess):
             t = self.now
         self._samples += 1
         servers = self.service.servers
-        if servers.keys() != self._roster_keys:
+        version = getattr(self.service.network, "topology_version", None)
+        if servers.keys() != self._roster_keys or version != self._edge_version:
             self._rebuild_roster(servers)
         values: Dict[str, float] = {}
         for name, server, error_set, offset_set, extras in self._server_rows:
@@ -777,7 +814,9 @@ class TelemetrySampler(SimProcess):
                 extra()
         if self.oracle:
             breaches = 0
-            for a, b, asyn_set, bound in self._edge_rows:
+            skew_breaches = 0
+            skew_bound = self.local_skew_bound
+            for a, b, asyn_set, bound, skew_set in self._edge_rows:
                 va = values.get(a)
                 if va is None:
                     continue
@@ -790,8 +829,18 @@ class TelemetrySampler(SimProcess):
                 asyn_set(asyn)
                 if bound is not None and asyn > bound:
                     breaches += 1
+                if skew_set is not None:
+                    # Local skew is the same oracle quantity over the
+                    # *live* edge set, judged against the stated
+                    # service-wide bound instead of Theorem 7's per-edge
+                    # constant.
+                    skew_set(asyn)
+                    if skew_bound is not None and asyn > skew_bound:
+                        skew_breaches += 1
             if breaches:
                 self._breaches.inc(breaches)
+            if skew_breaches:
+                self._skew_breaches.inc(skew_breaches)
         engine_events = self.engine.events_processed
         if self._last_events is not None:
             last_t, last_count = self._last_events
@@ -824,6 +873,9 @@ class ServiceTelemetry:
         sample_period: Seconds of simulated time between gauge samples.
         summary_every: Append a JSONL summary frame every N samples
             (0 disables the periodic frames).
+        local_skew_bound: Stated service-wide local-skew bound; enables
+            the per-edge ``repro_edge_local_skew_seconds`` gauges and the
+            ``repro_local_skew_breaches_total`` counter (dynamic runs).
     """
 
     def __init__(
@@ -834,6 +886,7 @@ class ServiceTelemetry:
         oracle: bool = True,
         sample_period: float = 5.0,
         summary_every: int = 0,
+        local_skew_bound: Optional[float] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         record_spans = spans and self.registry.enabled
@@ -842,6 +895,7 @@ class ServiceTelemetry:
         self.oracle = oracle
         self.sample_period = sample_period
         self.summary_every = summary_every
+        self.local_skew_bound = local_skew_bound
         self.sampler: Optional[TelemetrySampler] = None
 
     @property
@@ -872,6 +926,7 @@ class ServiceTelemetry:
             events=self.events,
             tracer=self.tracer,
             summary_every=self.summary_every,
+            local_skew_bound=self.local_skew_bound,
         )
         if self.registry.enabled:
             instruments = EngineInstruments(self.registry)

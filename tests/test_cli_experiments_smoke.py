@@ -57,6 +57,7 @@ def test_registry_complete():
         "delay_asymmetry": "asymmetry",
         "churn": "churn",
         "chaos_soak": "chaos-soak",
+        "dynamic_gauntlet": "dynamic-gauntlet",
         "figure4_repair": "figure4-repair",
         "figure3_liars": "figure3-liars",
         "flash_crowd": "flash-crowd",
