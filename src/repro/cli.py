@@ -32,6 +32,7 @@ from .core.mm import MMPolicy
 from .core.recovery import ThirdServerRecovery
 from .experiments import (
     ablations,
+    blackout_gauntlet,
     chaos_soak,
     churn as churn_experiment,
     cold_start,
@@ -100,6 +101,7 @@ EXPERIMENTS = {
     "ablations": ablations.main,
     "chaos-soak": chaos_soak.main,
     "dynamic-gauntlet": dynamic_gauntlet.main,
+    "blackout-gauntlet": blackout_gauntlet.main,
 }
 
 
@@ -149,6 +151,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 discipline=args.discipline,
                 self_stabilizing=args.self_stabilizing,
                 byzantine_tolerant=args.byzantine_tolerant,
+                holdover=args.holdover,
             )
         )
     recovery_factory = None
@@ -455,6 +458,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_blackout_gauntlet(args: argparse.Namespace) -> int:
+    """The ``blackout-gauntlet`` subcommand: holdover vs free-running MM."""
+    if not args.seeds:
+        print("blackout-gauntlet: need at least one seed", file=sys.stderr)
+        return 2
+    ok = blackout_gauntlet.main(
+        seeds=args.seeds,
+        json_path=args.json,
+        telemetry_dir=args.telemetry_out,
+    )
+    return 0 if ok else 1
+
+
 def cmd_dynamic_gauntlet(args: argparse.Namespace) -> int:
     """The ``dynamic-gauntlet`` subcommand: topology churn vs local skew."""
     if not args.seeds:
@@ -546,6 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "capped so 2f < n)")
     sim.add_argument("--discipline", action="store_true",
                      help="enable frequency discipline (implies tracking)")
+    sim.add_argument("--holdover", action="store_true",
+                     help="enable holdover mode and the slew/step safety "
+                          "rails (implies --discipline and "
+                          "--self-stabilizing; clocks never step backward)")
     sim.add_argument("--report", action="store_true",
                      help="print the full operator report at the end")
     sim.add_argument("--churn", action="store_true",
@@ -657,6 +677,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
                           "gauntlet artefacts)")
     dyn.set_defaults(func=cmd_dynamic_gauntlet)
+
+    blk = sub.add_parser(
+        "blackout-gauntlet",
+        help="reference blackout: disciplined holdover vs free-running MM "
+             "on true error, monotonicity and reintegration",
+    )
+    blk.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                     help="seeds to run (each runs every cell and arm)")
+    blk.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the JSON report here (CI artefact)")
+    blk.add_argument("--telemetry-out", metavar="DIR",
+                     help="write each run's Prometheus snapshot and summary "
+                          "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
+                          "gauntlet artefacts)")
+    blk.set_defaults(func=cmd_blackout_gauntlet)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

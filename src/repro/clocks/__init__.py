@@ -21,6 +21,7 @@ from .monotonic import MonotonicClock
 from .perfect import PerfectClock
 from .quantized import QuantizedClock
 from .random_walk import RandomWalkClock
+from .slewing import SlewingClock
 
 __all__ = [
     "AgingClock",
@@ -37,6 +38,7 @@ __all__ = [
     "RateClock",
     "SegmentDriftClock",
     "SkewSampler",
+    "SlewingClock",
     "StoppedClock",
     "StuckOnResetClock",
     "biased_uniform_sampler",

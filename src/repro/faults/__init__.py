@@ -45,9 +45,11 @@ from .schedule import (
     MessageReorder,
     MobilityTrace,
     PartitionFault,
+    ReferenceBlackout,
     ServerCrash,
     TopologyRewire,
     TornCheckpoint,
+    TotalPartition,
 )
 
 __all__ = [
@@ -74,9 +76,11 @@ __all__ = [
     "MobilityTrace",
     "MonitorStats",
     "PartitionFault",
+    "ReferenceBlackout",
     "ServerCrash",
     "TopologyRewire",
     "TornCheckpoint",
+    "TotalPartition",
     "Violation",
     "attach_chaos",
 ]

@@ -52,9 +52,11 @@ from .schedule import (
     MessageReorder,
     MobilityTrace,
     PartitionFault,
+    ReferenceBlackout,
     ServerCrash,
     TopologyRewire,
     TornCheckpoint,
+    TotalPartition,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -211,6 +213,28 @@ class FaultInjector(SimProcess):
         self._partitions_active -= 1
         if self._partitions_active <= 0:
             self.network.heal()
+
+    def _apply_ReferenceBlackout(self, event: ReferenceBlackout) -> None:
+        targets = set(event.servers)
+        keys = [
+            key
+            for key in self.network._links
+            if key[0] in targets or key[1] in targets
+        ]
+        if not keys:
+            self._trace_fault(event, note="skipped: no adjacent links")
+            return
+        for key in keys:
+            self._link_down_counts[key] = self._link_down_counts.get(key, 0) + 1
+            self.network._links[key].take_down()
+        self.call_after(
+            event.duration, lambda: [self._link_up(key) for key in keys]
+        )
+
+    def _apply_TotalPartition(self, event: TotalPartition) -> None:
+        self.network.partition([[name] for name in sorted(self.servers)])
+        self._partitions_active += 1
+        self.call_after(event.duration, self._partition_heal)
 
     # ------------------------------------------------------- message faults
 

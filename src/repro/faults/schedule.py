@@ -29,6 +29,8 @@ pathologies the paper assumes away):
 :class:`DelaySpike`    one link's delays scaled/offset for a window
 :class:`LossBurst`     extra message loss on one link for a window
 :class:`PartitionFault` the network splits into groups, heals after a while
+:class:`ReferenceBlackout` every link touching the named servers goes dark
+:class:`TotalPartition`  every server isolated from every other (worst case)
 :class:`MessageCorruption` replies garbled in flight (NaN/garbage fields)
 :class:`MessageDuplication` messages delivered twice
 :class:`MessageReorder` messages randomly delayed so later ones overtake
@@ -120,6 +122,35 @@ class PartitionFault(FaultEvent):
     """The network splits into ``groups`` for ``duration`` seconds."""
 
     groups: Tuple[Tuple[str, ...], ...] = ()
+    duration: float = 120.0
+
+
+@dataclass(frozen=True)
+class ReferenceBlackout(FaultEvent):
+    """Every link adjacent to the named ``servers`` goes dark for
+    ``duration`` seconds.
+
+    The holdover scenario: the listed servers (typically the reference
+    masters) become unreachable while the rest of the topology stays
+    connected, so downstream servers lose their sources without any
+    partition of their own.  Link take-downs are reference-counted
+    against overlapping :class:`LinkFlap` windows.
+    """
+
+    duration: float = 120.0
+    servers: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TotalPartition(FaultEvent):
+    """Every server isolated from every other for ``duration`` seconds.
+
+    The worst-case blackout: no server has any source, so the whole
+    service must ride through on holdover.  Implemented as a partition
+    into singleton groups (shares :class:`PartitionFault`'s heal
+    refcount, so overlapping windows extend the outage).
+    """
+
     duration: float = 120.0
 
 

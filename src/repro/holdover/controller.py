@@ -1,0 +1,291 @@
+"""The holdover state machine: what a server *is* when its sources vanish.
+
+The paper is blunt about blackout: "a time service cannot remain correct
+with respect to the standard without some communication with it" — rule
+MM-1 keeps the *claimed* interval correct by growing ``E`` at the claimed
+``δ`` forever, but a production service must also know when its time has
+degraded past usefulness and say so.  This module models that judgement as
+an explicit four-state machine, driven entirely by local-clock time (no
+oracle access):
+
+``SYNCED``
+    Sources answered recently; the discipline servo runs.
+``HOLDOVER``
+    No valid source for at least ``no_source_window`` local seconds.  The
+    rate correction is frozen at its last disciplined value (the best
+    available oscillator model), claimed ``E`` keeps growing per MM-1, and
+    :meth:`HoldoverController.expected_error` tracks the *expected true*
+    error from the consonance-backed effective drift captured at entry
+    (floored at ``drift_floor`` — a disciplined oscillator is never
+    credited with being perfect).
+``DEGRADED``
+    Holdover age exceeded ``trust_horizon``: the watchdog no longer
+    trusts the oscillator model.  Client requests are refused (BUSY);
+    poll/recovery requests are still answered, because MM-1 keeps those
+    replies correct and an all-degraded neighbourhood must still be able
+    to bootstrap reintegration.
+``REINTEGRATING``
+    Sources are answering again, but after a blackout the first replies
+    are not trusted: ``reintegrate_rounds`` *consecutive consistent*
+    rounds must be observed (resets stay suppressed) before the server
+    returns to ``SYNCED`` and adopts a correction — which the slewing
+    clock then amortises without a monotonicity break.
+
+The controller is deliberately free of engine and clock dependencies —
+every method takes the caller's current local-clock reading — so it is
+unit-testable as a pure state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["HoldoverConfig", "HoldoverController", "HoldoverState"]
+
+
+class HoldoverState(enum.IntEnum):
+    """Discipline/trust state of one server's time value.
+
+    An ``IntEnum`` so the telemetry gauge ``repro_holdover_state`` can
+    export it directly (0 = SYNCED … 3 = REINTEGRATING).
+    """
+
+    SYNCED = 0
+    HOLDOVER = 1
+    DEGRADED = 2
+    REINTEGRATING = 3
+
+
+@dataclass(frozen=True)
+class HoldoverConfig:
+    """Knobs for the holdover machine and the slewing safety rails.
+
+    Attributes:
+        no_source_window: Local-clock seconds without a single valid poll
+            source before ``SYNCED`` gives way to ``HOLDOVER``.
+        trust_horizon: Holdover age (local seconds since entry) beyond
+            which the watchdog forces ``DEGRADED``.
+        reintegrate_rounds: Consecutive consistent rounds required in
+            ``REINTEGRATING`` before the server trusts its sources again.
+        drift_floor: Minimum effective drift credited to the disciplined
+            oscillator when projecting expected true error in holdover —
+            an uncertainty floor, since a finite estimation window can
+            never certify a zero residual.
+        slew_rate: The :class:`~repro.clocks.slewing.SlewingClock` drain
+            rate (seconds of correction per local second).
+        panic_threshold: Forward corrections beyond this are stepped
+            instantly instead of slewed.
+        sanity_bound: Corrections beyond this are refused outright and
+            counted as insane resets.
+        retry_after: Back-off hint attached to DEGRADED client refusals
+            (0 lets the server default to its poll period).
+    """
+
+    no_source_window: float = 150.0
+    trust_horizon: float = 1800.0
+    reintegrate_rounds: int = 3
+    drift_floor: float = 1e-6
+    slew_rate: float = 5e-3
+    panic_threshold: float = 0.5
+    sanity_bound: float = 1000.0
+    retry_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.no_source_window <= 0:
+            raise ValueError(
+                f"no_source_window must be positive, got {self.no_source_window}"
+            )
+        if self.trust_horizon <= 0:
+            raise ValueError(
+                f"trust_horizon must be positive, got {self.trust_horizon}"
+            )
+        if self.reintegrate_rounds < 1:
+            raise ValueError(
+                f"reintegrate_rounds must be >= 1, got {self.reintegrate_rounds}"
+            )
+        if self.drift_floor < 0:
+            raise ValueError(
+                f"drift_floor must be non-negative, got {self.drift_floor}"
+            )
+
+
+@dataclass
+class HoldoverController:
+    """The per-server holdover state machine (pure; local time in, state out).
+
+    Attributes:
+        config: The machine's thresholds.
+        state: Current :class:`HoldoverState`.
+        transitions: Every transition taken, as
+            ``(local_time, from_state, to_state, reason)`` — the server
+            traces these and tests assert on them.
+    """
+
+    config: HoldoverConfig
+    state: HoldoverState = HoldoverState.SYNCED
+    transitions: List[Tuple[float, HoldoverState, HoldoverState, str]] = field(
+        default_factory=list
+    )
+    _last_source_local: float = 0.0
+    _holdover_started_local: Optional[float] = None
+    _entry_error: float = 0.0
+    _effective_drift: float = 0.0
+    _streak: int = 0
+
+    # ------------------------------------------------------------- queries
+
+    def holdover_age(self, now_local: float) -> float:
+        """Local seconds since holdover began (0.0 while ``SYNCED``).
+
+        The clock keeps ticking through ``DEGRADED`` and
+        ``REINTEGRATING`` — the age measures time since sources were last
+        *trusted*, which only a return to ``SYNCED`` resets.
+        """
+        if self._holdover_started_local is None:
+            return 0.0
+        return max(0.0, now_local - self._holdover_started_local)
+
+    def since_last_source(self, now_local: float) -> float:
+        """Local seconds since a round last produced a valid source."""
+        return max(0.0, now_local - self._last_source_local)
+
+    @property
+    def effective_drift(self) -> float:
+        """The drift rate used to project expected true error in holdover."""
+        return self._effective_drift
+
+    @property
+    def reintegration_streak(self) -> int:
+        """Consecutive consistent rounds observed while ``REINTEGRATING``."""
+        return self._streak
+
+    def expected_error(self, now_local: float) -> float:
+        """Expected *true* error while off sources (not the claimed ``E``).
+
+        ``entry_error + effective_drift · holdover_age`` — the error the
+        disciplined oscillator is actually expected to have accumulated,
+        as opposed to the worst-case claimed-δ growth MM-1 advertises.
+        Returns the entry error while ``SYNCED`` (age 0).
+        """
+        return self._entry_error + self._effective_drift * self.holdover_age(
+            now_local
+        )
+
+    # --------------------------------------------------------- transitions
+
+    def _move(
+        self, now_local: float, to: HoldoverState, reason: str
+    ) -> None:
+        self.transitions.append((now_local, self.state, to, reason))
+        self.state = to
+
+    def reanchor(self, now_local: float) -> None:
+        """Restart/rejoin hook: the downtime gap is not a source blackout.
+
+        Re-bases the no-source window so a server reviving from a crash
+        is given a full window to hear its first round before holdover
+        triggers.
+        """
+        self._last_source_local = now_local
+
+    def enter_holdover(
+        self, now_local: float, *, error: float, drift: float, reason: str
+    ) -> None:
+        """Force entry into ``HOLDOVER`` (watchdog or round path).
+
+        Args:
+            now_local: Caller's local clock.
+            error: The server's error bound at entry — the base of the
+                expected-true-error projection.
+            drift: Consonance-backed effective drift estimate; floored at
+                ``config.drift_floor`` here so callers cannot under-claim.
+            reason: Trace tag.
+        """
+        if self.state in (HoldoverState.HOLDOVER, HoldoverState.DEGRADED):
+            return
+        if self._holdover_started_local is None:
+            # First entry (from SYNCED): capture the projection base.
+            self._holdover_started_local = now_local
+            self._entry_error = float(error)
+            self._effective_drift = max(self.config.drift_floor, float(drift))
+        # From REINTEGRATING the original entry point (and projection) is
+        # kept: sources flickering on and off never resets the age.
+        self._streak = 0
+        self._move(now_local, HoldoverState.HOLDOVER, reason)
+
+    def note_round(
+        self,
+        now_local: float,
+        *,
+        sources: int,
+        consistent: bool,
+        error: float = 0.0,
+        drift: float = 0.0,
+    ) -> None:
+        """One poll round closed.
+
+        Args:
+            now_local: Caller's local clock at round close.
+            sources: Valid replies the round produced (after validation).
+            consistent: Whether the round saw no inconsistency (only
+                meaningful when ``sources > 0``).
+            error: Current error bound (used if this round triggers
+                holdover entry).
+            drift: Current effective-drift estimate (ditto).
+        """
+        if sources > 0:
+            self._last_source_local = now_local
+            if self.state in (HoldoverState.HOLDOVER, HoldoverState.DEGRADED):
+                self._streak = 1 if consistent else 0
+                self._move(now_local, HoldoverState.REINTEGRATING, "sources_back")
+            elif self.state is HoldoverState.REINTEGRATING:
+                self._streak = self._streak + 1 if consistent else 0
+            if (
+                self.state is HoldoverState.REINTEGRATING
+                and self._streak >= self.config.reintegrate_rounds
+            ):
+                self._holdover_started_local = None
+                self._entry_error = 0.0
+                self._effective_drift = 0.0
+                self._streak = 0
+                self._move(now_local, HoldoverState.SYNCED, "revalidated")
+            return
+        # A round with no sources at all.
+        if self.state is HoldoverState.REINTEGRATING:
+            # Sources vanished again mid-revalidation: straight back.
+            self.enter_holdover(
+                now_local, error=error, drift=drift, reason="sources_lost"
+            )
+        elif (
+            self.state is HoldoverState.SYNCED
+            and self.since_last_source(now_local) >= self.config.no_source_window
+        ):
+            self.enter_holdover(
+                now_local, error=error, drift=drift, reason="no_source_window"
+            )
+
+    def tick(
+        self, now_local: float, *, error: float = 0.0, drift: float = 0.0
+    ) -> None:
+        """Periodic watchdog, independent of round cadence.
+
+        Catches the two hazards rounds alone cannot: a server whose
+        rounds stop *closing* entirely (nothing to drive
+        :meth:`note_round`) still enters holdover once the no-source
+        window expires, and a holdover that outlives ``trust_horizon``
+        is forced ``DEGRADED`` even between rounds.
+        """
+        if (
+            self.state is HoldoverState.SYNCED
+            and self.since_last_source(now_local) >= self.config.no_source_window
+        ):
+            self.enter_holdover(
+                now_local, error=error, drift=drift, reason="watchdog"
+            )
+        if (
+            self.state is HoldoverState.HOLDOVER
+            and self.holdover_age(now_local) > self.config.trust_horizon
+        ):
+            self._move(now_local, HoldoverState.DEGRADED, "trust_horizon")

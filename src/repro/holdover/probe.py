@@ -1,0 +1,105 @@
+"""A monotonicity oracle: fine-grained clock sampling across a service.
+
+The safety rails' headline promise is that a server's *served* time never
+runs backward — backward corrections are slewed, never stepped.  The
+gauntlet (and the property tests) verify the promise with this probe: a
+simulation process that reads every server's clock on a grid much finer
+than the poll period and counts strict decreases.
+
+The probe reads through :meth:`~repro.service.server.TimeServer.
+clock_value`, i.e. exactly what a request would be answered with, so a
+violation here is a violation a client could observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..simulation.process import SimProcess
+
+__all__ = ["MonotonicityProbe"]
+
+
+@dataclass
+class MonotonicityViolation:
+    """One observed backward step of a served clock."""
+
+    server: str
+    at: float
+    before: float
+    after: float
+
+
+@dataclass
+class _Track:
+    last: float
+    violations: List[MonotonicityViolation] = field(default_factory=list)
+
+
+class MonotonicityProbe(SimProcess):
+    """Samples every server's served clock on a fine grid.
+
+    Args:
+        engine: The simulation engine.
+        servers: Name → server mapping (the service's ``servers`` dict).
+        period: Sampling period; make it much smaller than τ so resets
+            between polls cannot hide a dip.
+    """
+
+    def __init__(self, engine, servers, *, period: float = 1.0) -> None:
+        super().__init__(engine, "monotonicity-probe")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.servers = servers
+        self.period = period
+        self._tracks: Dict[str, _Track] = {}
+
+    def on_start(self) -> None:
+        self.every(self.period, self._sample, first_at=self.now + self.period)
+
+    def _sample(self) -> None:
+        for name, server in self.servers.items():
+            if server.departed:
+                # A departed clock is unserved; re-baseline on return so
+                # the crash window itself is never scored.
+                self._tracks.pop(name, None)
+                continue
+            value = server.clock_value()
+            track = self._tracks.get(name)
+            if track is None:
+                self._tracks[name] = _Track(last=value)
+                continue
+            if value < track.last:
+                track.violations.append(
+                    MonotonicityViolation(
+                        server=name, at=self.now, before=track.last, after=value
+                    )
+                )
+            track.last = value
+
+    # -------------------------------------------------------------- results
+
+    @property
+    def violations(self) -> List[MonotonicityViolation]:
+        """Every backward step seen, across all servers, in sample order."""
+        out: List[MonotonicityViolation] = []
+        for name in sorted(self._tracks):
+            out.extend(self._tracks[name].violations)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Violations per server (servers with zero included)."""
+        return {
+            name: len(track.violations)
+            for name, track in sorted(self._tracks.items())
+        }
+
+    def total(self) -> int:
+        """Total violations across the service (the gauntlet's must-be-0)."""
+        return sum(len(track.violations) for track in self._tracks.values())
+
+
+def summarize(probe: MonotonicityProbe) -> Tuple[int, Dict[str, int]]:
+    """(total, per-server) convenience for reports."""
+    return probe.total(), probe.counts()

@@ -55,6 +55,12 @@ class Checkpoint:
             restart does not re-trust a known liar.
         fault_budget: The adaptive fault budget at write time (0 when the
             server runs no budget controller).
+        discipline: The clock-discipline servo's serialised state (rate
+            correction plus the per-neighbour rate-estimator windows; see
+            :meth:`~repro.holdover.server.HoldoverServer.
+            _checkpoint_extras`); empty for servers without one.  Carried
+            so a warm restart resumes holdover-quality timekeeping
+            instead of relearning the oscillator from scratch.
     """
 
     server: str
@@ -65,6 +71,7 @@ class Checkpoint:
     sequence: int
     reputation: str = ""
     fault_budget: int = 0
+    discipline: str = ""
 
     def encode(self) -> str:
         """Canonical payload the checksum is computed over."""
@@ -78,6 +85,7 @@ class Checkpoint:
                 repr(self.sequence),
                 self.reputation,
                 repr(self.fault_budget),
+                self.discipline,
             ]
         )
 
@@ -88,9 +96,12 @@ class Checkpoint:
         Raises:
             ValueError: If the payload does not parse (a torn or corrupted
                 record that happens to still checksum is caught here).
+
+        Accepts both the current 9-field layout and the legacy 8-field one
+        (pre-discipline checkpoints survive an upgrade as warm restarts).
         """
         parts = payload.split("|")
-        if len(parts) != 8:
+        if len(parts) not in (8, 9):
             raise ValueError(f"malformed checkpoint payload: {payload!r}")
         return cls(
             server=parts[0],
@@ -101,6 +112,7 @@ class Checkpoint:
             sequence=int(parts[5]),
             reputation=parts[6],
             fault_budget=int(parts[7]),
+            discipline=parts[8] if len(parts) == 9 else "",
         )
 
 

@@ -18,9 +18,12 @@ from ..byzantine.server import ByzantineConfig, ByzantineTolerantServer
 from ..clocks.base import Clock
 from ..clocks.disciplined import DisciplinedClock
 from ..clocks.drift import DriftingClock
+from ..clocks.slewing import SlewingClock
 from ..core.intervals import TimeInterval, intersect_all
 from ..core.recovery import RecoveryStrategy
 from ..core.sync import SynchronizationPolicy
+from ..holdover.controller import HoldoverConfig
+from ..holdover.server import HoldoverServer
 from ..load.capacity import CapacityConfig
 from ..load.client import ResilienceConfig, ResilientTimeClient
 from ..load.server import LoadAwareServer, LoadPolicy
@@ -84,6 +87,12 @@ class ServerSpec:
             (implies ``self_stabilizing``); pair it with an
             :class:`~repro.core.ft_im.FTIMPolicy` via ``policy_factory``
             to get classification-driven reputation.
+        holdover: Build a :class:`~repro.holdover.server.HoldoverServer`
+            (implies ``discipline`` and ``self_stabilizing``): the clock
+            is stacked as a :class:`~repro.clocks.slewing.SlewingClock`
+            over a :class:`DisciplinedClock`, and the server runs the
+            SYNCED → HOLDOVER → DEGRADED → REINTEGRATING machine.  Knobs
+            come from ``build_service``'s ``holdover`` config.
     """
 
     name: str
@@ -97,6 +106,7 @@ class ServerSpec:
     discipline: bool = False
     self_stabilizing: bool = False
     byzantine_tolerant: bool = False
+    holdover: bool = False
 
 
 @dataclass(frozen=True)
@@ -297,6 +307,7 @@ def build_service(
     capacity: Optional[CapacityConfig] = None,
     load_policy: Optional[LoadPolicy] = None,
     telemetry: Optional[ServiceTelemetry] = None,
+    holdover: Optional[HoldoverConfig] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -346,6 +357,11 @@ def build_service(
             bundle to wire through every layer (per-server counters and
             spans, the engine observer, the periodic gauge sampler); None
             disables telemetry at zero hot-path cost.
+        holdover: Holdover/safety-rail knobs for servers with
+            ``holdover=True`` (no-source window, trust horizon,
+            reintegration rounds, slew rate, panic/sanity bounds); None
+            uses :class:`~repro.holdover.controller.HoldoverConfig`
+            defaults.
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -398,8 +414,12 @@ def build_service(
     )
     servers: Dict[str, TimeServer] = {}
     stable_store: Optional[StableStore] = None
-    if any(spec.self_stabilizing or spec.byzantine_tolerant for spec in specs):
+    if any(
+        spec.self_stabilizing or spec.byzantine_tolerant or spec.holdover
+        for spec in specs
+    ):
         stable_store = StableStore()
+    holdover_cfg = holdover if holdover is not None else HoldoverConfig()
     for spec in specs:
         if spec.reference:
             server: TimeServer = ReferenceServer(
@@ -418,7 +438,20 @@ def build_service(
             server_policy = policies[spec.name]
             recovery = recovery_factory(spec.name) if recovery_factory else None
             extra = {}
-            if spec.discipline:
+            if spec.holdover:
+                clock = SlewingClock(
+                    DisciplinedClock(clock),
+                    slew_rate=holdover_cfg.slew_rate,
+                    panic_threshold=holdover_cfg.panic_threshold,
+                    sanity_bound=holdover_cfg.sanity_bound,
+                )
+                server_class = HoldoverServer
+                extra = {
+                    "store": stable_store,
+                    "stabilizer_config": stabilizer,
+                    "holdover": holdover_cfg,
+                }
+            elif spec.discipline:
                 clock = DisciplinedClock(clock)
                 server_class = DiscipliningServer
             elif spec.byzantine_tolerant:

@@ -52,10 +52,12 @@ class DiscipliningServer(RateTrackingServer):
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
-        if not isinstance(self.clock, DisciplinedClock):
+        # Duck-typed: a DisciplinedClock, or any adapter (e.g. a
+        # SlewingClock over one) that forwards the rate-servo surface.
+        if not hasattr(self.clock, "adjust_rate"):
             raise TypeError(
-                "DiscipliningServer requires a DisciplinedClock "
-                f"(got {type(self.clock).__name__})"
+                "DiscipliningServer requires a rate-adjustable clock "
+                f"such as DisciplinedClock (got {type(self.clock).__name__})"
             )
         if not 0.0 < gain <= 1.0:
             raise ValueError(f"gain must be in (0, 1], got {gain}")
@@ -94,7 +96,7 @@ class DiscipliningServer(RateTrackingServer):
         if abs(median_rate) <= deadband:
             return  # indistinguishable from measurement noise
         # Neighbours separating at +r means we run slow by ~r: speed up.
-        clock: DisciplinedClock = self.clock  # type: ignore[assignment]
+        clock = self.clock  # duck-typed: DisciplinedClock or an adapter
         applied = clock.adjust_rate(
             self.now, clock.correction + self.gain * median_rate
         )

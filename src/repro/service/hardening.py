@@ -433,10 +433,25 @@ class HardenedTimeServer(TimeServer):
                 )
             )
 
+    def _pollable_unsent(self, round_: _PollRound) -> List[str]:
+        """Unsent destinations a retry could still usefully reach."""
+        quarantine = self.hardening.quarantine
+        if quarantine is None:
+            return sorted(round_.unsent)
+        return [
+            name
+            for name in sorted(round_.unsent)
+            if not self._health(name).is_quarantined(self.now)
+        ]
+
     def _may_revive(self, round_: _PollRound) -> bool:
-        return (
-            bool(round_.unsent) and self.hardening.retry.max_attempts > 1
-        )
+        if self.hardening.retry.max_attempts <= 1:
+            return False
+        # Reference-loss edge case: when every unsent destination is
+        # benched (or the set is empty), no retry can produce a source —
+        # holding the round open for the full timeout would just delay
+        # the "no sources" verdict the round close reports upstream.
+        return bool(self._pollable_unsent(round_))
 
     def _retry_round(self, round_: _PollRound, attempt: int) -> None:
         if round_.closed or self._departed:
@@ -444,9 +459,16 @@ class HardenedTimeServer(TimeServer):
         if not round_.outstanding and not round_.unsent:
             return
         retry = self.hardening.retry
+        quarantine = self.hardening.quarantine
         for destination in sorted(round_.outstanding | round_.unsent):
-            self.hardening_stats.retries_sent += 1
             revived = destination in round_.unsent
+            if (
+                revived
+                and quarantine is not None
+                and self._health(destination).is_quarantined(self.now)
+            ):
+                continue  # a benched peer's request never left; don't revive it
+            self.hardening_stats.retries_sent += 1
             if revived:
                 # The original request never left; RTT is measured from
                 # this (first successful) transmission instead.
@@ -473,6 +495,12 @@ class HardenedTimeServer(TimeServer):
                     lambda: self._retry_round(round_, attempt=attempt + 1),
                 )
             )
+        elif not round_.outstanding:
+            # The schedule is exhausted and nothing is in flight: every
+            # transmission was refused at send time, so no reply can ever
+            # arrive.  End the round now instead of waiting out the
+            # timeout; the close path reports the empty source set.
+            self._complete_round(round_)
 
     # ----------------------------------------------------- adaptive timeout
 

@@ -87,7 +87,16 @@ class RateTrackingServer(TimeServer):
     @property
     def raw_clock_value(self) -> float:
         """The free-running timescale: clock reading minus all adjustments."""
-        return self.clock_value() - self._cumulative_adjustment
+        return self.clock_value() - self._raw_adjustment()
+
+    def _raw_adjustment(self) -> float:
+        """Total correction to subtract when recovering the raw timescale.
+
+        Subclasses whose clocks apply corrections *outside* resets (a
+        slewing adapter bleeding an offset into the reading between
+        polls) add that contribution here.
+        """
+        return self._cumulative_adjustment
 
     def _apply_reset(self, decision, kind: str) -> None:
         before = self.clock.read(self.now)
@@ -98,7 +107,7 @@ class RateTrackingServer(TimeServer):
     # ------------------------------------------------------------- tracking
 
     def _observe_reply(self, reply: TimeReply, rtt_local: float, local_now: float) -> None:
-        raw_local = local_now - self._cumulative_adjustment
+        raw_local = local_now - self._raw_adjustment()
         estimator = self._estimators.get(reply.server)
         if estimator is None:
             estimator = RateEstimator(

@@ -112,6 +112,33 @@ def render_dashboard(service, telemetry, *, clear: bool = False) -> str:
         lines.append(
             _render_table(["edge", "|C_i-C_j|", "bound", ""], edge_rows)
         )
+    state = registry.get("repro_holdover_state")
+    if state is not None and list(state.samples()):
+        state_names = {0: "SYNCED", 1: "HOLDOVER", 2: "DEGRADED", 3: "REINTEGRATING"}
+        rows = []
+        for labelvalues, child in state.samples():
+            name = labelvalues[0]
+            age = registry.value("repro_holdover_age_seconds", server=name)
+            slew = registry.value("repro_slew_remaining_seconds", server=name)
+            rows.append(
+                [
+                    name,
+                    state_names.get(int(child.value), str(int(child.value))),
+                    _fmt(age, "s") if age == age else "-",
+                    _fmt(slew, "s") if slew == slew else "-",
+                    int(
+                        registry.value(
+                            "repro_insane_resets_total", server=name
+                        )
+                    ),
+                ]
+            )
+        lines.append("")
+        lines.append(
+            _render_table(
+                ["server", "holdover", "age", "slew left", "insane"], rows
+            )
+        )
     depth = registry.get("repro_load_queue_depth")
     if depth is not None and list(depth.samples()):
         rows = [

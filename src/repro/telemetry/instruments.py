@@ -683,6 +683,22 @@ class TelemetrySampler(SimProcess):
         self._epoch = reg.gauge(
             "repro_recovery_epoch", "Current merge epoch", ("server",)
         )
+        self._holdover_state = reg.gauge(
+            "repro_holdover_state",
+            "Holdover machine state (0 SYNCED, 1 HOLDOVER, 2 DEGRADED, "
+            "3 REINTEGRATING)",
+            ("server",),
+        )
+        self._holdover_age = reg.gauge(
+            "repro_holdover_age_seconds",
+            "Local seconds since sources were last trusted (0 while SYNCED)",
+            ("server",),
+        )
+        self._slew_remaining = reg.gauge(
+            "repro_slew_remaining_seconds",
+            "Signed correction still to be amortised by the slewing clock",
+            ("server",),
+        )
 
     # ------------------------------------------------------------ lifecycle
 
@@ -746,6 +762,24 @@ class TelemetrySampler(SimProcess):
                 epoch_set = self._child(self._epoch, server=name).set
                 extras.append(
                     lambda s=server, set_=epoch_set: set_(s.epoch)
+                )
+            if getattr(server, "holdover", None) is not None:
+                state_set = self._child(self._holdover_state, server=name).set
+                age_set = self._child(self._holdover_age, server=name).set
+                extras.append(
+                    lambda s=server, st=state_set, ag=age_set: (
+                        st(int(s.holdover_state)),
+                        ag(s.holdover_age_now()),
+                    )
+                )
+            if hasattr(getattr(server, "clock", None), "slew_remaining"):
+                slew_set = self._child(self._slew_remaining, server=name).set
+                # getattr at sample time: the injector may have swapped a
+                # failure wrapper over the slewing clock mid-window.
+                extras.append(
+                    lambda s=server, set_=slew_set: set_(
+                        getattr(s.clock, "slew_remaining", 0.0)
+                    )
                 )
             rows.append(
                 (
