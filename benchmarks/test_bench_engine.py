@@ -1,0 +1,191 @@
+"""Engine-throughput trajectory benchmark (``BENCH_engine.json``).
+
+Times fixed workloads under the three defense postures (plain, hardened,
+authenticated) and records events/sec for each, so speedups and
+regressions are tracked PR over PR (ROADMAP item 2).  The committed
+``BENCH_engine.json`` at the repo root is the trajectory file; re-run
+this benchmark to refresh it.
+
+Two workloads, two numbers:
+
+* ``service`` — the deployed shape: a figure-1-class MM mesh plus an
+  open-loop client population querying it (serving clients is what the
+  service exists to do).  The client plane is anonymous by default
+  (``SecurityConfig.authenticate_clients``): no MAC on the query, none
+  on the answer (the client shares no cluster key to check one with),
+  so the auth layer's cost lands only on the sync plane it protects.
+  This is the headline ``auth_overhead_pct`` and must stay **under
+  20 %**.
+* ``sync_mesh`` — the adversarial worst case: sync traffic only, every
+  event a signed+verified peer message.  Tracked as
+  ``sync_overhead_pct`` so the per-message cost of the auth layer
+  (canonical encoding + keyed BLAKE2b + replay/delay guards) has its
+  own trajectory; a pure-Python MAC pipeline cannot hide here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.mm import MMPolicy
+from repro.network.delay import UniformDelay
+from repro.network.topology import full_mesh
+from repro.security import Keyring, SecurityConfig
+from repro.service.builder import ServerSpec, build_service
+from repro.service.client import QueryStrategy
+from repro.service.hardening import HardeningConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_engine.json"
+
+ARMS = ("plain", "hardened", "authenticated")
+N_SERVERS = 8
+DELTA = 1e-5
+TAU = 10.0
+ONE_WAY = 0.01
+SEED = 0
+OVERHEAD_BUDGET_PCT = 20.0
+REPEATS = 2  # best-of, to shave scheduler noise off the trajectory file
+
+SYNC_HORIZON = 3600.0
+SERVICE_HORIZON = 600.0
+N_CLIENTS = 8
+QUERY_PERIOD = 0.25  # per client: 4 queries/s, two servers each
+
+
+def _build(arm: str, *, clients: bool):
+    skews = [((-1) ** k) * DELTA * 0.8 * (k + 1) / N_SERVERS for k in range(N_SERVERS)]
+    specs = [
+        ServerSpec(name=f"S{k + 1}", delta=DELTA, skew=skews[k])
+        for k in range(N_SERVERS)
+    ]
+    graph = full_mesh(N_SERVERS)
+    if clients:
+        for k in range(N_CLIENTS):
+            hub = f"C{k + 1}"
+            graph.add_node(hub)
+            graph.add_edge(hub, f"S{k % N_SERVERS + 1}")
+            graph.add_edge(hub, f"S{(k + 1) % N_SERVERS + 1}")
+    extra = {}
+    if arm == "hardened":
+        extra["hardening"] = HardeningConfig()
+    elif arm == "authenticated":
+        extra["hardening"] = HardeningConfig()
+        extra["security"] = SecurityConfig(keyring=Keyring.from_secret("bench-engine"))
+    service = build_service(
+        graph,
+        specs,
+        policy=MMPolicy(),
+        tau=TAU,
+        seed=SEED,
+        lan_delay=UniformDelay(ONE_WAY),
+        **extra,
+    )
+    if clients:
+        for k in range(N_CLIENTS):
+            targets = [f"S{k % N_SERVERS + 1}", f"S{(k + 1) % N_SERVERS + 1}"]
+            client = service.add_client(f"C{k + 1}")
+            client.start()  # the service started before the clients joined
+            _drive(client, targets, offset=QUERY_PERIOD * (k + 1) / N_CLIENTS)
+    return service
+
+
+def _drive(client, targets, offset: float) -> None:
+    def tick() -> None:
+        client.ask(targets, strategy=QueryStrategy.FIRST_REPLY)
+        client.call_after(QUERY_PERIOD, tick)
+
+    client.engine.schedule_after(offset, tick)
+
+
+def _time_arm(arm: str, *, clients: bool, horizon: float) -> dict:
+    best = None
+    for _ in range(REPEATS):
+        service = _build(arm, clients=clients)
+        start = time.perf_counter()
+        service.run_until(horizon)
+        wall = time.perf_counter() - start
+        events = service.engine.events_processed
+        assert service.snapshot().all_correct, f"{arm}: mesh diverged"
+        if clients:
+            served = sum(len(c.results) for c in service.clients)
+            assert served > 0.9 * horizon / QUERY_PERIOD * N_CLIENTS
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "wall_seconds": round(wall, 6),
+                "events": events,
+                "events_per_sec": round(events / wall, 1),
+            }
+    return best
+
+
+def _overhead_pct(arms: dict) -> float:
+    plain = arms["plain"]["events_per_sec"]
+    return round((plain - arms["authenticated"]["events_per_sec"]) / plain * 100.0, 2)
+
+
+def test_bench_engine_defense_postures(benchmark):
+    """Events/sec per posture on the service and sync-mesh workloads."""
+
+    def run_all():
+        return {
+            "service": {
+                arm: _time_arm(arm, clients=True, horizon=SERVICE_HORIZON)
+                for arm in ARMS
+            },
+            "sync_mesh": {
+                arm: _time_arm(arm, clients=False, horizon=SYNC_HORIZON)
+                for arm in ARMS
+            },
+        }
+
+    workloads = benchmark.pedantic(run_all, rounds=1)
+    overhead = _overhead_pct(workloads["service"])
+    sync_overhead = _overhead_pct(workloads["sync_mesh"])
+
+    report = {
+        "benchmark": "engine-throughput",
+        "workloads": {
+            "service": {
+                "topology": f"full_mesh({N_SERVERS}) + {N_CLIENTS} client hubs",
+                "policy": "mm",
+                "tau": TAU,
+                "delta": DELTA,
+                "one_way": ONE_WAY,
+                "horizon": SERVICE_HORIZON,
+                "query_period": QUERY_PERIOD,
+                "seed": SEED,
+                "arms": workloads["service"],
+            },
+            "sync_mesh": {
+                "topology": f"full_mesh({N_SERVERS})",
+                "policy": "mm",
+                "tau": TAU,
+                "delta": DELTA,
+                "one_way": ONE_WAY,
+                "horizon": SYNC_HORIZON,
+                "seed": SEED,
+                "arms": workloads["sync_mesh"],
+            },
+        },
+        "auth_overhead_pct": overhead,
+        "sync_overhead_pct": sync_overhead,
+        "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench-engine] wrote {BENCH_PATH}")
+    for workload, arms in workloads.items():
+        for arm, row in arms.items():
+            print(
+                f"[bench-engine] {workload:>9}/{arm:<13}:"
+                f" {row['events_per_sec']:>10} events/s"
+            )
+    print(f"[bench-engine] service overhead: {overhead:.1f}%"
+          f"   sync-mesh overhead: {sync_overhead:.1f}%")
+
+    assert overhead < OVERHEAD_BUDGET_PCT, (
+        f"authenticated service path costs {overhead:.1f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT}%)"
+    )

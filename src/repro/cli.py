@@ -49,6 +49,7 @@ from .experiments import (
     figure4,
     figure4_repair,
     flash_crowd,
+    mitm_gauntlet,
     overhead,
     partition,
     quantization,
@@ -61,6 +62,7 @@ from .experiments import (
 from .network.delay import UniformDelay
 from .network.topology import full_mesh, line, random_connected, ring, star, two_level_internet
 from .recovery import SelfStabilizingRecovery
+from .security import SecurityConfig
 from .service.builder import ServerSpec, build_service
 from .service.churn import ChurnController
 from .simulation.rng import RngRegistry
@@ -102,6 +104,7 @@ EXPERIMENTS = {
     "chaos-soak": chaos_soak.main,
     "dynamic-gauntlet": dynamic_gauntlet.main,
     "blackout-gauntlet": blackout_gauntlet.main,
+    "mitm-gauntlet": mitm_gauntlet.main,
 }
 
 
@@ -184,6 +187,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         recovery_factory=recovery_factory,
         trace_enabled=True,
         telemetry=telemetry,
+        security=SecurityConfig() if args.authenticated else None,
     )
     if args.churn:
         controller = ChurnController(
@@ -471,6 +475,19 @@ def cmd_blackout_gauntlet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_mitm_gauntlet(args: argparse.Namespace) -> int:
+    """The ``mitm-gauntlet`` subcommand: on-path adversary vs defenses."""
+    if not args.seeds:
+        print("mitm-gauntlet: need at least one seed", file=sys.stderr)
+        return 2
+    ok = mitm_gauntlet.main(
+        seeds=args.seeds,
+        json_path=args.json,
+        telemetry_dir=args.telemetry_out,
+    )
+    return 0 if ok else 1
+
+
 def cmd_dynamic_gauntlet(args: argparse.Namespace) -> int:
     """The ``dynamic-gauntlet`` subcommand: topology churn vs local skew."""
     if not args.seeds:
@@ -562,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "capped so 2f < n)")
     sim.add_argument("--discipline", action="store_true",
                      help="enable frequency discipline (implies tracking)")
+    sim.add_argument("--authenticated", action="store_true",
+                     help="authenticate sync-plane messages: keyed MACs "
+                          "over a canonical encoding, per-request nonces, "
+                          "an anti-replay window, and the delay guard "
+                          "(composes with --byzantine-tolerant)")
     sim.add_argument("--holdover", action="store_true",
                      help="enable holdover mode and the slew/step safety "
                           "rails (implies --discipline and "
@@ -692,6 +714,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
                           "gauntlet artefacts)")
     blk.set_defaults(func=cmd_blackout_gauntlet)
+
+    mitm = sub.add_parser(
+        "mitm-gauntlet",
+        help="on-path adversary: tamper/replay/delay-attack/spoof cells "
+             "vs plain, hardened, and authenticated arms under the "
+             "strict invariant oracle",
+    )
+    mitm.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                      help="seeds to run (each runs every cell and arm)")
+    mitm.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the JSON report here (CI artefact)")
+    mitm.add_argument("--telemetry-out", metavar="DIR",
+                      help="write each run's Prometheus snapshot and summary "
+                           "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
+                           "gauntlet artefacts)")
+    mitm.set_defaults(func=cmd_mitm_gauntlet)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from .injector import FaultInjector, InjectorStats
+from .injector import FaultInjector, InjectorStats, taint_key
 from .monitor import InvariantMonitor, MonitorStats, Violation
 from .schedule import (
+    ADVERSARY_FAULT_KINDS,
     SERVER_FAULT_KINDS,
     TOPOLOGY_FAULT_KINDS,
     ByzantineReplies,
@@ -33,6 +34,7 @@ from .schedule import (
     ClockFreeze,
     ClockRace,
     ClockStep,
+    DelayAttack,
     DelaySpike,
     EdgeChurn,
     FaultEvent,
@@ -43,16 +45,20 @@ from .schedule import (
     MessageCorruption,
     MessageDuplication,
     MessageReorder,
+    MessageReplay,
+    MessageTamper,
     MobilityTrace,
     PartitionFault,
     ReferenceBlackout,
     ServerCrash,
+    SpoofedReply,
     TopologyRewire,
     TornCheckpoint,
     TotalPartition,
 )
 
 __all__ = [
+    "ADVERSARY_FAULT_KINDS",
     "SERVER_FAULT_KINDS",
     "TOPOLOGY_FAULT_KINDS",
     "ByzantineReplies",
@@ -60,6 +66,7 @@ __all__ = [
     "ClockFreeze",
     "ClockRace",
     "ClockStep",
+    "DelayAttack",
     "DelaySpike",
     "EdgeChurn",
     "FaultEvent",
@@ -73,16 +80,20 @@ __all__ = [
     "MessageCorruption",
     "MessageDuplication",
     "MessageReorder",
+    "MessageReplay",
+    "MessageTamper",
     "MobilityTrace",
     "MonitorStats",
     "PartitionFault",
     "ReferenceBlackout",
     "ServerCrash",
+    "SpoofedReply",
     "TopologyRewire",
     "TornCheckpoint",
     "TotalPartition",
     "Violation",
     "attach_chaos",
+    "taint_key",
 ]
 
 

@@ -13,7 +13,14 @@ when it fires:
   processes, step their clocks behind the algorithm's back, or wrap them
   in the Section 1.1 failure wrappers for the fault window;
 * Byzantine faults install a tap that rewrites the liar's outgoing
-  replies (offset added, error underreported).
+  replies (offset added, error underreported);
+* adversary faults emulate a deterministic on-path attacker: tampering
+  with replies in flight, replaying recorded replies, substituting
+  held-back stale data for fresh replies (the delay attack), and
+  racing spoofed replies to a victim.  Every poisoned delivery is
+  remembered in :attr:`FaultInjector.taint_keys` (see
+  :func:`taint_key`) so an experiment can count exactly which poisoned
+  messages a server *accepted*.
 
 Every application is recorded into the trace (kind ``"fault"``) so a run's
 fault timeline is part of its replayable artefact.  All randomness (which
@@ -30,7 +37,7 @@ import numpy as np
 
 from ..clocks.failures import RacingClock, StoppedClock, _FailureWrapper
 from ..network.transport import Network
-from ..service.messages import TimeReply
+from ..service.messages import RequestKind, TimeReply, TimeRequest
 from ..service.server import TimeServer
 from ..simulation.engine import SimulationEngine
 from ..simulation.process import SimProcess
@@ -41,6 +48,7 @@ from .schedule import (
     ClockFreeze,
     ClockRace,
     ClockStep,
+    DelayAttack,
     DelaySpike,
     EdgeChurn,
     FaultEvent,
@@ -50,10 +58,13 @@ from .schedule import (
     MessageCorruption,
     MessageDuplication,
     MessageReorder,
+    MessageReplay,
+    MessageTamper,
     MobilityTrace,
     PartitionFault,
     ReferenceBlackout,
     ServerCrash,
+    SpoofedReply,
     TopologyRewire,
     TornCheckpoint,
     TotalPartition,
@@ -72,6 +83,27 @@ class InjectorStats:
     messages_duplicated: int = 0
     messages_reordered: int = 0
     lies_told: int = 0
+    messages_tampered: int = 0  # on-path rewrites (MessageTamper)
+    messages_replayed: int = 0  # extra verbatim deliveries (MessageReplay)
+    replies_delayed: int = 0  # genuine replies swallowed/held (DelayAttack)
+    replies_spoofed: int = 0  # forged replies raced to a victim (SpoofedReply)
+
+
+def taint_key(reply: TimeReply) -> tuple:
+    """The identity under which a forged/replayed reply is remembered.
+
+    The adversary handlers register every poisoned delivery here and the
+    gauntlet's oracle checks accepted replies against the set — counting
+    exactly the poisoned messages a server *accepted*, not merely saw.
+    """
+    return (
+        reply.server,
+        reply.destination,
+        reply.request_id,
+        reply.nonce,
+        reply.clock_value,
+        reply.error,
+    )
 
 
 class FaultInjector(SimProcess):
@@ -123,6 +155,10 @@ class FaultInjector(SimProcess):
         self._loss_bursts: Dict[Tuple[str, str], List[float]] = {}
         self._partitions_active = 0
         self._wrapped: Dict[str, _FailureWrapper] = {}
+        #: Identities (see :func:`taint_key`) of every poisoned reply the
+        #: adversary handlers delivered — the gauntlet's acceptance oracle.
+        self.taint_keys: set = set()
+        self._delay_cache: Dict[Tuple[str, str], TimeReply] = {}
 
     # ------------------------------------------------------------ lifecycle
 
@@ -372,6 +408,149 @@ class FaultInjector(SimProcess):
                 error=message.error * event.error_scale,
             )
             return [(lie, delay)]
+
+        self._windowed_tap(tap, event.duration)
+
+    # ----------------------------------------------------- adversary faults
+
+    def _send_direct(
+        self, source: str, destination: str, message, delay: float
+    ) -> None:
+        """Deliver a message bypassing link physics, loss, and taps.
+
+        This is how an on-path adversary injects traffic: the forged
+        message materialises at the victim's doorstep after ``delay``
+        seconds regardless of what the real link would have allowed.
+        """
+        target = self.network._processes.get(destination)
+        if target is None:
+            return
+        sender = self.network._processes.get(source)
+        self.engine.schedule_after(
+            delay,
+            lambda: self.network._deliver(target, message, sender),
+            label=f"adversary:{source}->{destination}",
+        )
+
+    @staticmethod
+    def _edge_filter(a: str, b: str):
+        """Matcher for a (bidirectional) edge; empty names match all."""
+        edge = frozenset((a, b)) if a and b else None
+
+        def matches(source: str, destination: str) -> bool:
+            return edge is None or frozenset((source, destination)) == edge
+
+        return matches
+
+    def _apply_MessageTamper(self, event: MessageTamper) -> None:
+        on_edge = self._edge_filter(event.a, event.b)
+
+        def tap(source, destination, message, delay):
+            if not isinstance(message, TimeReply):
+                return None
+            if not on_edge(source, destination):
+                return None
+            if not self._chance(event.probability):
+                return None
+            self.stats.messages_tampered += 1
+            # The auth tag (if any) is carried over unchanged: the MAC
+            # no longer matches the rewritten payload, which is the point.
+            forged = replace(
+                message, clock_value=message.clock_value + event.offset
+            )
+            self.taint_keys.add(taint_key(forged))
+            return [(forged, delay)]
+
+        self._windowed_tap(tap, event.duration)
+
+    def _apply_MessageReplay(self, event: MessageReplay) -> None:
+        on_edge = self._edge_filter(event.a, event.b)
+
+        def tap(source, destination, message, delay):
+            if not isinstance(message, (TimeReply, TimeRequest)):
+                return None
+            if not on_edge(source, destination):
+                return None
+            if not self._chance(event.probability):
+                return None
+
+            def redeliver(msg=message, src=source, dst=destination):
+                self.stats.messages_replayed += 1
+                # Tainted only now: the genuine copy accepted `hold`
+                # seconds ago was legitimate; this delivery is the attack.
+                if isinstance(msg, TimeReply):
+                    self.taint_keys.add(taint_key(msg))
+                self._send_direct(src, dst, msg, 0.0)
+
+            self.call_after(delay + event.hold, redeliver)
+            return None  # the original delivery is untouched
+
+        self._windowed_tap(tap, event.duration)
+
+    def _apply_DelayAttack(self, event: DelayAttack) -> None:
+        victim, upstream = event.a, event.b
+
+        def tap(source, destination, message, delay):
+            # Reply leg upstream -> victim: capture and swallow.
+            if (
+                source == upstream
+                and destination == victim
+                and isinstance(message, TimeReply)
+                and message.kind is RequestKind.POLL
+            ):
+                self._delay_cache[(upstream, victim)] = message
+                self.stats.replies_delayed += 1
+                return []  # the victim never sees the genuine reply
+            # Request leg victim -> upstream: answer from the cache,
+            # re-labelled fresh and implausibly fast.  The request still
+            # travels on (its genuine reply will be swallowed above).
+            if (
+                source == victim
+                and destination == upstream
+                and isinstance(message, TimeRequest)
+                and message.kind is RequestKind.POLL
+            ):
+                cached = self._delay_cache.get((upstream, victim))
+                if cached is not None:
+                    forged = replace(
+                        cached,
+                        request_id=message.request_id,
+                        nonce=message.nonce,
+                    )
+                    # A same-round retry gets the byte-identical held-back
+                    # reply — that is the genuine message delivered late,
+                    # not a forgery, so it earns no taint.
+                    if forged != cached:
+                        self.taint_keys.add(taint_key(forged))
+                    self._send_direct(upstream, victim, forged, event.fast_delay)
+            return None
+
+        self._windowed_tap(tap, event.duration)
+
+    def _apply_SpoofedReply(self, event: SpoofedReply) -> None:
+        def tap(source, destination, message, delay):
+            if (
+                source != event.victim
+                or destination != event.server
+                or not isinstance(message, TimeRequest)
+                or message.kind is not RequestKind.POLL
+            ):
+                return None
+            impersonated = self.servers.get(event.server)
+            forged = TimeReply(
+                request_id=message.request_id,
+                server=event.server,
+                destination=event.victim,
+                clock_value=self.now + event.offset,
+                error=event.claimed_error,
+                kind=RequestKind.POLL,
+                delta=impersonated.delta if impersonated is not None else 0.0,
+                nonce=message.nonce,
+            )
+            self.stats.replies_spoofed += 1
+            self.taint_keys.add(taint_key(forged))
+            self._send_direct(event.server, event.victim, forged, event.fast_delay)
+            return None  # the genuine exchange proceeds — and lands late
 
         self._windowed_tap(tap, event.duration)
 

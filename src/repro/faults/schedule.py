@@ -46,6 +46,11 @@ pathologies the paper assumes away):
 :class:`EdgeChurn`     an edge is added to / removed from the live graph
 :class:`TopologyRewire` the live edge set is replaced wholesale
 :class:`MobilityTrace` a server moves; the proximity graph rewires
+:class:`MessageTamper` on-path adversary rewrites reply clock values
+:class:`MessageReplay` on-path adversary re-delivers captured replies later
+:class:`DelayAttack`   on-path adversary substitutes held-back stale data
+                       for fresh replies, delivered implausibly fast
+:class:`SpoofedReply`  off-link adversary races forged replies to a victim
 =====================  =====================================================
 
 The last three mutate the topology itself (Section 1.1's unstable
@@ -322,8 +327,103 @@ class MobilityTrace(FaultEvent):
     y: float = 0.0
 
 
+# ---------------------------------------------------------- on-path faults
+
+
+@dataclass(frozen=True)
+class MessageTamper(FaultEvent):
+    """An on-path adversary rewrites poll replies crossing edge ``(a, b)``.
+
+    Each :class:`~repro.service.messages.TimeReply` crossing the edge
+    (either direction; every edge when ``a``/``b`` are empty) has its
+    reported clock value shifted by ``offset`` with ``probability``, for
+    ``duration`` seconds.  The authentication tag — if any — is left
+    as-is, so on an authenticated cluster the tamper is exactly what a
+    MAC exists to catch; on a plain cluster the forged value sails
+    through any validation it can stay plausible against.
+    """
+
+    a: str = ""
+    b: str = ""
+    offset: float = 0.3
+    probability: float = 1.0
+    duration: float = 120.0
+
+
+@dataclass(frozen=True)
+class MessageReplay(FaultEvent):
+    """An on-path adversary records traffic on edge ``(a, b)`` and
+    re-delivers verbatim copies ``hold`` seconds later.
+
+    Each captured message — requests and replies alike, with
+    ``probability``, for ``duration`` seconds — still reaches its
+    destination normally; the attack is the *extra* delivery.  A
+    replayed reply carries an earlier round's (staler, smaller-error)
+    claim; a replayed request makes the server do work (and emit a
+    signed reply) for an exchange the peer never initiated.  Defended
+    by per-request nonces, strictly increasing round ids, and the
+    per-peer anti-replay sequence window.
+    """
+
+    a: str = ""
+    b: str = ""
+    probability: float = 1.0
+    hold: float = 12.0
+    duration: float = 120.0
+
+
+@dataclass(frozen=True)
+class DelayAttack(FaultEvent):
+    """The classic delay attack, on edge victim ``a`` ← server ``b``.
+
+    The adversary swallows each genuine poll reply ``b → a`` and instead
+    answers ``a``'s *next* poll of ``b`` with the held-back data: the
+    captured reply's claim re-labelled with the fresh request id and
+    nonce, delivered only ``fast_delay`` seconds after the request — far
+    quicker than the link allows.  The served data is one full poll
+    period old, but the victim's measured RTT (which rule MM-2 inflates
+    into the adopted error) no longer covers that age — exactly the
+    asymmetric-delay shift the paper's ξ bound assumes away.  On an
+    unauthenticated cluster whose inherited error exceeds the staleness
+    (a cold-start victim), the victim adopts a tiny claimed error around
+    a clock a whole period wrong.  Defended by the MAC (the re-labelled
+    header no longer verifies) and, independently, by the delay guard
+    (the RTT is below the link's physical floor).
+    """
+
+    a: str = ""
+    b: str = ""
+    fast_delay: float = 0.0005
+    duration: float = 120.0
+
+
+@dataclass(frozen=True)
+class SpoofedReply(FaultEvent):
+    """An adversary impersonates ``server`` towards ``victim``.
+
+    For ``duration`` seconds, each poll request ``victim → server`` is
+    observed in flight and raced: a forged reply claiming ``server``'s
+    identity — current true time shifted by ``offset``, a flattering
+    ``claimed_error`` — arrives after only ``fast_delay`` seconds, while
+    the genuine reply (arriving later) then lands on an already-consumed
+    round slot.  Defended by the MAC (the forger holds no key) and the
+    delay guard (the race is faster than the link floor).
+    """
+
+    server: str = ""
+    victim: str = ""
+    offset: float = 0.3
+    claimed_error: float = 0.01
+    fast_delay: float = 0.0005
+    duration: float = 120.0
+
+
 #: Events that target a single server's clock or honesty.
 SERVER_FAULT_KINDS = (ClockStep, ClockFreeze, ClockRace, ByzantineReplies)
+
+#: Events interpreted as a deterministic on-path (or spoofing) adversary
+#: tap over the transport.
+ADVERSARY_FAULT_KINDS = (MessageTamper, MessageReplay, DelayAttack, SpoofedReply)
 
 #: Events that mutate the live topology graph (need a DynamicTopology).
 TOPOLOGY_FAULT_KINDS = (EdgeChurn, TopologyRewire, MobilityTrace)

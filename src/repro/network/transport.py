@@ -92,6 +92,7 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._taps: List[MessageTap] = []
         self._topology_version = 0
+        self._xi_cache: Optional[Tuple[int, float]] = None
         self.stats = NetworkStats()
         for a, b, data in graph.edges(data=True):
             delay = self._wan_delay if data.get("kind") == "wan" else self._lan_delay
@@ -218,8 +219,13 @@ class Network:
         """The service-wide round-trip bound ξ implied by the delay models.
 
         The worst case over the link classes *actually present* in the
-        topology, plus long-haul when configured.
+        topology, plus long-haul when configured.  Cached per topology
+        version: validators consult ξ on every reply, and rescanning the
+        edge set each time dominated the hardened hot path.
         """
+        cached = self._xi_cache
+        if cached is not None and cached[0] == self._topology_version:
+            return cached[1]
         bounds = [self._lan_delay.round_trip_bound]
         if any(
             data.get("kind") == "wan" for _a, _b, data in self.graph.edges(data=True)
@@ -227,7 +233,9 @@ class Network:
             bounds.append(self._wan_delay.round_trip_bound)
         if self._long_haul is not None:
             bounds.append(self._long_haul.round_trip_bound)
-        return max(bounds)
+        value = max(bounds)
+        self._xi_cache = (self._topology_version, value)
+        return value
 
     # -------------------------------------------------------------- sending
 

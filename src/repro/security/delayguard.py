@@ -1,0 +1,128 @@
+"""Delay-attack detection from the link's declared delay physics.
+
+The paper's Section 2.2 bounds every one-way delay: a link's
+:class:`~repro.network.delay.DelayModel` declares a ``minimum`` and a
+``bound``, and the requester *measures* the round trip on its own clock
+(``ξ^i_j``).  Those three numbers give a defender two checks no
+cryptography provides:
+
+* **Too fast.**  A reply whose measured RTT is below the physical
+  floor ``minimum_out + minimum_in`` cannot have crossed the link both
+  ways — it was forged near the victim or pre-played by an on-path
+  adversary substituting cached (stale) data for the real reply.  The
+  substitution hides the data's age from the RTT measurement, which is
+  exactly the delay attack that breaks the MM-2 correctness argument,
+  so a too-fast reply is always rejected.
+* **Beyond bound.**  A reply slower than ``(1+δ)·(bound_out +
+  bound_in)`` violates the declared ξ bound.  The interval arithmetic
+  already inflates the adopted error by ``(1+δ)·rtt`` (an *honest* slow
+  reply stays correct), so the guard can either reject it or tolerate
+  it with the excess added to the adopted error — belt and braces for a
+  residual shift the bound was supposed to exclude.
+
+Both checks leave a configured ``slack`` for clock-rate skew on the
+measurement (the RTT is read on the local clock, which runs within
+``1 ± δ`` of real time) plus quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..network.delay import DelayModel
+
+__all__ = ["DelayGuard", "DelayVerdict"]
+
+
+@dataclass(frozen=True)
+class DelayVerdict:
+    """The guard's judgement of one measured round trip.
+
+    Attributes:
+        verdict: ``"ok"``, ``"too-fast"``, or ``"beyond-bound"``.
+        widen: Extra seconds of error the caller must add to the adopted
+            interval when it tolerates the reply anyway (0 when ``ok``
+            or when the reply should be rejected outright).
+    """
+
+    verdict: str
+    widen: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "ok"
+
+
+#: Shared no-widen verdicts — judged once per reply on the hot path.
+_OK = DelayVerdict("ok")
+_TOO_FAST = DelayVerdict("too-fast")
+_BEYOND_BOUND = DelayVerdict("beyond-bound")
+
+
+class DelayGuard:
+    """Judges measured RTTs against declared link delay models.
+
+    Args:
+        delta: The local clock's claimed maximum drift rate δ_i (the
+            RTT is measured on that clock).
+        mode: What to do with a beyond-bound reply: ``"widen"`` keeps it
+            with the excess transit added to the adopted error,
+            ``"reject"`` drops it.  Too-fast replies are always
+            rejected — there is no error inflation that makes data
+            *younger*.
+        slack: Absolute measurement slack in seconds applied to both
+            comparisons.
+    """
+
+    def __init__(
+        self, delta: float, *, mode: str = "widen", slack: float = 1e-4
+    ) -> None:
+        if mode not in ("widen", "reject"):
+            raise ValueError(f"mode must be 'widen' or 'reject', got {mode!r}")
+        if slack < 0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        self.delta = float(delta)
+        self.mode = mode
+        self.slack = float(slack)
+        # (outbound, inbound) → (floor - slack, ceiling + slack): the
+        # thresholds are pure functions of the model pair, and the guard
+        # judges every reply of a conversation against the same pair.
+        self._thresholds: dict = {}
+
+    def judge(
+        self,
+        rtt_local: float,
+        outbound: Optional[DelayModel],
+        inbound: Optional[DelayModel],
+    ) -> DelayVerdict:
+        """Judge one reply's locally measured round trip.
+
+        Args:
+            rtt_local: The round trip measured on the local clock.
+            outbound: Declared delay model of the request leg (None when
+                the link's physics are unknown — the guard then passes).
+            inbound: Declared delay model of the reply leg.
+        """
+        if outbound is None or inbound is None:
+            return _OK
+        pair = (outbound, inbound)
+        thresholds = self._thresholds.get(pair)
+        if thresholds is None:
+            floor = (outbound.minimum + inbound.minimum) * (1.0 - self.delta)
+            ceiling = (outbound.bound + inbound.bound) * (1.0 + self.delta)
+            thresholds = (floor - self.slack, ceiling + self.slack, ceiling)
+            self._thresholds[pair] = thresholds
+        low, high, ceiling = thresholds
+        if rtt_local < low:
+            return _TOO_FAST
+        if rtt_local > high:
+            if self.mode == "reject":
+                return _BEYOND_BOUND
+            # Tolerate, but charge the unexplained transit to the error
+            # budget: the (1+δ)·rtt inflation already covers the measured
+            # trip, so the *excess* over the declared bound is added once
+            # more — a residual asymmetric shift up to the excess cannot
+            # take truth outside the adopted interval.
+            return DelayVerdict("ok", widen=rtt_local - ceiling)
+        return _OK

@@ -308,6 +308,7 @@ def build_service(
     load_policy: Optional[LoadPolicy] = None,
     telemetry: Optional[ServiceTelemetry] = None,
     holdover: Optional[HoldoverConfig] = None,
+    security: Optional["SecurityConfig"] = None,
 ) -> SimulatedService:
     """Assemble a :class:`SimulatedService`.
 
@@ -362,6 +363,15 @@ def build_service(
             reintegration rounds, slew rate, panic/sanity bounds); None
             uses :class:`~repro.holdover.controller.HoldoverConfig`
             defaults.
+        security: When set, polling servers are built authenticated
+            (:class:`~repro.security.server.AuthenticatedTimeServer`, or
+            :class:`~repro.security.server.AuthenticatedByzantineServer`
+            for ``byzantine_tolerant`` specs) sharing this config's
+            keyring: signed requests/replies, per-peer replay windows,
+            and the delay guard.  Composable with hardening and the
+            Byzantine layer; not yet with holdover/discipline/
+            rate-tracking/capacity servers or reference servers (their
+            replies would be unsigned and refused).
 
     Returns:
         The wired service (engine at ``t = 0``).
@@ -461,6 +471,11 @@ def build_service(
                     "stabilizer_config": stabilizer,
                     "byzantine": byzantine,
                 }
+                if security is not None:
+                    from ..security.server import AuthenticatedByzantineServer
+
+                    server_class = AuthenticatedByzantineServer
+                    extra["security"] = security
             elif spec.self_stabilizing:
                 server_class = SelfStabilizingServer
                 extra = {
@@ -469,6 +484,15 @@ def build_service(
                 }
             elif spec.rate_tracking:
                 server_class = RateTrackingServer
+            elif security is not None and server_policy is not None:
+                from ..security.server import AuthenticatedTimeServer
+
+                server_class = AuthenticatedTimeServer
+                extra = {
+                    "hardening": hardening if hardening is not None else HardeningConfig(),
+                    "hardening_rng": rng.stream(f"hardening/{spec.name}"),
+                    "security": security,
+                }
             elif hardening is not None and server_policy is not None:
                 server_class = HardenedTimeServer
                 extra = {

@@ -476,11 +476,18 @@ class HardenedTimeServer(TimeServer):
             accepted = self.network.send(
                 self.name,
                 destination,
-                TimeRequest(
-                    request_id=round_.round_id,
-                    origin=self.name,
-                    destination=destination,
-                    kind=RequestKind.POLL,
+                self._prepare_request(
+                    TimeRequest(
+                        request_id=round_.round_id,
+                        origin=self.name,
+                        destination=destination,
+                        kind=RequestKind.POLL,
+                        # A retransmission re-asks the same question: it
+                        # reuses the round's recorded nonce so whichever
+                        # copy answers first is accepted, and the other is
+                        # a duplicate on an already-consumed slot.
+                        nonce=round_.nonces.get(destination, 0),
+                    )
                 ),
             )
             if revived and accepted:
@@ -573,7 +580,7 @@ class HardenedTimeServer(TimeServer):
         if inflight is None or inflight[0] != request_id:
             return
         retry = self.hardening.retry
-        _request_id, arbiter, _sent_local = inflight
+        _request_id, arbiter, _sent_local, recovery_nonce = inflight
         quarantine = self.hardening.quarantine
         if quarantine is not None and self._health(arbiter).is_quarantined(
             self.now
@@ -590,11 +597,14 @@ class HardenedTimeServer(TimeServer):
             self.network.send(
                 self.name,
                 arbiter,
-                TimeRequest(
-                    request_id=request_id,
-                    origin=self.name,
-                    destination=arbiter,
-                    kind=RequestKind.RECOVERY,
+                self._prepare_request(
+                    TimeRequest(
+                        request_id=request_id,
+                        origin=self.name,
+                        destination=arbiter,
+                        kind=RequestKind.RECOVERY,
+                        nonce=recovery_nonce,
+                    )
                 ),
             )
             self._recovery_timeout_event = self.call_after(

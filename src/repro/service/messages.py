@@ -62,12 +62,23 @@ class TimeRequest:
         destination: Name of the server being asked (lets one broadcast
             build per-destination copies).
         kind: Purpose of the request.
+        nonce: Per-request freshness token drawn by the requester and
+            echoed verbatim in the reply.  Reply acceptance is keyed on
+            it (not just the round id), so a recorded or re-delivered
+            reply from an earlier exchange can never be double-counted
+            even if its ``request_id`` happens to collide.  ``0`` means
+            "no nonce" (client queries, legacy tests).
+        auth: Authentication tag ``(key_id, seq, mac)`` attached by the
+            security layer (:mod:`repro.security.auth`); empty when the
+            cluster runs unauthenticated.
     """
 
     request_id: int
     origin: str
     destination: str
     kind: RequestKind = RequestKind.POLL
+    nonce: int = 0
+    auth: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,10 @@ class TimeReply:
         retry_after: For ``BUSY`` replies: the server's hint, in seconds,
             of how long the requester should back off before retrying
             (0 when the server has no estimate).
+        nonce: Echo of the request's freshness nonce (0 when the request
+            carried none).
+        auth: Authentication tag ``(key_id, seq, mac)`` attached by the
+            security layer; empty when the cluster runs unauthenticated.
     """
 
     request_id: int
@@ -110,6 +125,8 @@ class TimeReply:
     verdicts: tuple = ()
     status: ReplyStatus = ReplyStatus.OK
     retry_after: float = 0.0
+    nonce: int = 0
+    auth: tuple = ()
 
     @property
     def interval(self) -> TimeInterval:

@@ -65,6 +65,7 @@ class _PollRound:
 
     round_id: int
     sent_local: Dict[str, float] = field(default_factory=dict)
+    nonces: Dict[str, int] = field(default_factory=dict)
     outstanding: set[str] = field(default_factory=set)
     unsent: set[str] = field(default_factory=set)  # transport-dropped at send
     pending: list[_PendingReply] = field(default_factory=list)
@@ -94,6 +95,7 @@ class ServerStats:
     polls_unsent: int = 0  # poll requests the transport dropped at send time
     polls_pruned: int = 0  # pending slots dropped on mid-round neighbour loss
     invalid_replies: int = 0  # replies rejected by _validate_reply
+    requests_refused: int = 0  # inbound requests rejected by _admit_request
 
 
 class TimeServer(SimProcess):
@@ -184,9 +186,13 @@ class TimeServer(SimProcess):
         self._round_counter = 0
         self._round_inconsistent: set[str] = set()
         self._prev_round_inconsistent: set[str] = set()
-        self._recovery_inflight: Optional[tuple[int, str, float]] = None
+        self._recovery_inflight: Optional[tuple[int, str, float, int]] = None
         self._recovery_timeout_event = None
         self._recovery_counter = 10_000_000  # distinct id space from rounds
+        # Per-request freshness nonces: name-salted so two servers never
+        # draw the same sequence, counting so one server never reuses one.
+        self._nonce_base = (zlib.crc32(name.encode("utf-8")) & 0xFFFF) << 32
+        self._nonce_counter = 0
         self._departed = False
         self._rejoin_count = 0
         self._error_physics = bool(error_physics)
@@ -339,6 +345,13 @@ class TimeServer(SimProcess):
             self._handle_reply(message)
 
     def _answer(self, request: TimeRequest) -> None:
+        refusal = self._admit_request(request)
+        if refusal is not None:
+            self.stats.requests_refused += 1
+            self._trace(
+                "request_refused", origin=request.origin, reason=refusal
+            )
+            return
         value, error = self.report()
         self.stats.requests_answered += 1
         self.telemetry.answered(request.kind)
@@ -350,9 +363,10 @@ class TimeServer(SimProcess):
             error=error,
             kind=request.kind,
             delta=self.delta,
+            nonce=request.nonce,
             **self._reply_extras(),
         )
-        self.network.send(self.name, request.origin, reply)
+        self.network.send(self.name, request.origin, self._prepare_reply(reply))
 
     def _reply_extras(self) -> dict:
         """Hook: extra :class:`TimeReply` fields for outgoing answers.
@@ -362,6 +376,45 @@ class TimeServer(SimProcess):
         its merge epoch and census gossip here.
         """
         return {}
+
+    # ------------------------------------------------------------- security
+
+    def _next_nonce(self) -> int:
+        """A fresh per-request nonce (name-salted counter, never reused)."""
+        self._nonce_counter += 1
+        return self._nonce_base | self._nonce_counter
+
+    def _prepare_request(self, request: TimeRequest) -> TimeRequest:
+        """Hook: last touch on an outgoing request (the security layer
+        signs it here).  The base server sends requests as built."""
+        return request
+
+    def _prepare_reply(self, reply: TimeReply) -> TimeReply:
+        """Hook: last touch on an outgoing reply (the security layer
+        signs it here).  The base server sends replies as built."""
+        return reply
+
+    def _admit_request(self, request: TimeRequest) -> Optional[str]:
+        """Hook: gate an inbound request before it is answered.
+
+        Return None to serve it or a short reason string to refuse.  The
+        base server answers everything (the paper's servers are open);
+        the security layer refuses unauthenticated or replayed requests.
+        """
+        return None
+
+    def _admit_reply(
+        self, reply: TimeReply, rtt_local: float
+    ) -> tuple[Optional[str], float]:
+        """Hook: gate an accepted-looking reply once its RTT is known.
+
+        Runs after :meth:`_validate_reply` (which has no RTT) and before
+        the reply reaches the policy.  Returns ``(rejection, widen)``:
+        ``rejection`` None to accept, else a short reason; ``widen`` is
+        extra error (seconds) to add to the adopted interval — the delay
+        guard's compensation for a plausible-but-suspect transit.
+        """
+        return None, 0.0
 
     # -------------------------------------------------------------- polling
 
@@ -392,14 +445,19 @@ class TimeServer(SimProcess):
         round_.tele = self.telemetry.round_started(self.now, round_.round_id)
         for destination in self._poll_targets():
             round_.sent_local[destination] = self.clock_value()
+            nonce = self._next_nonce()
+            round_.nonces[destination] = nonce
             accepted = self.network.send(
                 self.name,
                 destination,
-                TimeRequest(
-                    request_id=round_.round_id,
-                    origin=self.name,
-                    destination=destination,
-                    kind=RequestKind.POLL,
+                self._prepare_request(
+                    TimeRequest(
+                        request_id=round_.round_id,
+                        origin=self.name,
+                        destination=destination,
+                        kind=RequestKind.POLL,
+                        nonce=nonce,
+                    )
                 ),
             )
             self.telemetry.poll_sent(round_.tele, self.now, destination, accepted)
@@ -478,8 +536,9 @@ class TimeServer(SimProcess):
             or round_.closed
             or reply.request_id != round_.round_id
             or reply.server not in round_.outstanding
+            or reply.nonce != round_.nonces.get(reply.server)
         ):
-            return  # late, duplicate, or stale reply
+            return  # late, duplicate, stale, or wrong-nonce reply
         round_.outstanding.discard(reply.server)
         rejection = self._validate_reply(reply)
         self._note_report(reply)
@@ -490,9 +549,17 @@ class TimeServer(SimProcess):
             if not round_.outstanding and not self._may_revive(round_):
                 self._complete_round(round_)
             return
-        self.stats.replies_handled += 1
         local_now = self.clock_value()
         rtt_local = max(0.0, local_now - round_.sent_local[reply.server])
+        rejection, widen = self._admit_reply(reply, rtt_local)
+        if rejection is not None:
+            self.stats.invalid_replies += 1
+            self._trace("invalid_reply", server=reply.server, reason=rejection)
+            self.telemetry.reply_invalid(round_.tele, self.now, reply.server, rejection)
+            if not round_.outstanding and not self._may_revive(round_):
+                self._complete_round(round_)
+            return
+        self.stats.replies_handled += 1
         self.telemetry.reply_observed(
             round_.tele, self.now, reply.server, rtt_local,
             (1.0 + self.delta) * rtt_local,
@@ -501,7 +568,7 @@ class TimeServer(SimProcess):
         policy_reply = Reply(
             server=reply.server,
             clock_value=reply.clock_value,
-            error=reply.error,
+            error=reply.error + widen,
             rtt_local=rtt_local,
         )
         assert self.policy is not None
@@ -716,18 +783,22 @@ class TimeServer(SimProcess):
             return
         self._recovery_counter += 1
         request_id = self._recovery_counter
-        self._recovery_inflight = (request_id, arbiter, self.clock_value())
+        nonce = self._next_nonce()
+        self._recovery_inflight = (request_id, arbiter, self.clock_value(), nonce)
         self.recovery.note_started()
         self._trace("recovery_start", arbiter=arbiter)
         self.telemetry.recovery(self.now, "started", arbiter)
         self.network.send(
             self.name,
             arbiter,
-            TimeRequest(
-                request_id=request_id,
-                origin=self.name,
-                destination=arbiter,
-                kind=RequestKind.RECOVERY,
+            self._prepare_request(
+                TimeRequest(
+                    request_id=request_id,
+                    origin=self.name,
+                    destination=arbiter,
+                    kind=RequestKind.RECOVERY,
+                    nonce=nonce,
+                )
             ),
         )
         # Give up on a lost recovery reply after the round timeout.
@@ -758,11 +829,19 @@ class TimeServer(SimProcess):
     def _handle_recovery_reply(self, reply: TimeReply) -> None:
         if self._recovery_inflight is None:
             return
-        request_id, arbiter, sent_local = self._recovery_inflight
-        if reply.request_id != request_id or reply.server != arbiter:
+        request_id, arbiter, sent_local, nonce = self._recovery_inflight
+        if (
+            reply.request_id != request_id
+            or reply.server != arbiter
+            or reply.nonce != nonce
+        ):
             return
         rejection = self._validate_reply(reply)
         self._note_report(reply)
+        rtt_local = max(0.0, self.clock_value() - sent_local)
+        widen = 0.0
+        if rejection is None:
+            rejection, widen = self._admit_reply(reply, rtt_local)
         if rejection is not None:
             # A poisoned arbiter reply must not become an unconditional
             # reset; abandon the recovery attempt instead.
@@ -776,8 +855,7 @@ class TimeServer(SimProcess):
             return
         self._recovery_inflight = None
         self._cancel_recovery_timer()
-        rtt_local = max(0.0, self.clock_value() - sent_local)
-        inherited = reply.error + (1.0 + self.delta) * rtt_local
+        inherited = reply.error + widen + (1.0 + self.delta) * rtt_local
         # The paper's rule: reset *unconditionally* to the third server.
         from ..core.sync import ResetDecision
 

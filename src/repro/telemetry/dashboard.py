@@ -139,6 +139,40 @@ def render_dashboard(service, telemetry, *, clear: bool = False) -> str:
                 ["server", "holdover", "age", "slew left", "insane"], rows
             )
         )
+    auth = registry.get("repro_auth_failures_total")
+    if auth is not None and list(auth.samples()):
+        rows = []
+        for labelvalues, child in auth.samples():
+            name = labelvalues[0]
+            epoch = registry.value("repro_security_key_epoch", server=name)
+            rows.append(
+                [
+                    name,
+                    int(child.value),
+                    int(registry.value("repro_replay_drops_total", server=name)),
+                    int(
+                        registry.value(
+                            "repro_delay_attack_detections_total", server=name
+                        )
+                    ),
+                    int(registry.value("repro_delay_widens_total", server=name)),
+                    int(epoch) if epoch == epoch else "-",
+                ]
+            )
+        lines.append("")
+        lines.append(
+            _render_table(
+                [
+                    "server",
+                    "mac fail",
+                    "replay drop",
+                    "delay det",
+                    "widened",
+                    "key epoch",
+                ],
+                rows,
+            )
+        )
     depth = registry.get("repro_load_queue_depth")
     if depth is not None and list(depth.samples()):
         rows = [

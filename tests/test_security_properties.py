@@ -1,0 +1,181 @@
+"""Property tests for the on-path security layer.
+
+Four machine-checked claims back the threat-model table in
+``docs/security.md``:
+
+* the canonical encoding is a bijection on honest messages (signing is
+  well-defined);
+* a MAC over the canonical bytes detects **every** single-byte tamper;
+* the anti-replay window accepts exactly the fresh, in-window sequence
+  numbers — checked against an unbounded-memory oracle, so a pruning
+  bug in the windowed seen-set cannot hide;
+* the delay guard never rejects an *honest* reply: any transit drawn
+  within the links' declared ``[minimum, bound]`` legs, measured on a
+  local clock running within ``1 ± δ``, is judged ``ok`` with no
+  widening.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.delay import UniformDelay
+from repro.security import (
+    DelayGuard,
+    Keyring,
+    MessageAuthenticator,
+    ReplayGuard,
+    canonical_decode,
+    canonical_encode,
+)
+from repro.service.messages import (
+    ReplyStatus,
+    RequestKind,
+    TimeReply,
+    TimeRequest,
+)
+
+pytestmark = pytest.mark.security
+
+# repr() round-trips every finite float; honest messages never carry
+# nan/inf (the hardened validators reject them long before signing).
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+names = st.text(
+    st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=8
+)
+ids = st.integers(min_value=0, max_value=2**62)
+
+
+requests = st.builds(
+    TimeRequest,
+    request_id=ids,
+    origin=names,
+    destination=names,
+    kind=st.sampled_from(RequestKind),
+    nonce=ids,
+)
+
+replies = st.builds(
+    TimeReply,
+    request_id=ids,
+    server=names,
+    destination=names,
+    clock_value=finite,
+    error=finite,
+    kind=st.sampled_from(RequestKind),
+    delta=finite,
+    epoch=ids,
+    verdicts=st.tuples(),
+    status=st.sampled_from(ReplyStatus),
+    retry_after=finite,
+    nonce=ids,
+)
+
+messages = st.one_of(requests, replies)
+
+
+class TestCanonicalEncodingProperties:
+    @given(message=messages)
+    @settings(max_examples=200)
+    def test_round_trip(self, message):
+        assert canonical_decode(canonical_encode(message)) == message
+
+    @given(message=messages)
+    @settings(max_examples=100)
+    def test_encoding_deterministic(self, message):
+        assert canonical_encode(message) == canonical_encode(message)
+
+
+class TestTamperDetectionProperties:
+    @given(message=messages, data=st.data())
+    @settings(max_examples=200)
+    def test_any_single_byte_tamper_detected(self, message, data):
+        ring = Keyring.from_secret("property")
+        auth = MessageAuthenticator(ring)
+        signed = auth.sign(message)
+        key_id, seq, mac = signed.auth
+        payload = canonical_encode(message)
+        index = data.draw(st.integers(0, len(payload) - 1), label="index")
+        flip = data.draw(st.integers(1, 255), label="flip")
+        tampered = (
+            payload[:index]
+            + bytes([payload[index] ^ flip])
+            + payload[index + 1 :]
+        )
+        assert auth._mac(key_id, seq, tampered) != mac
+
+    @given(message=messages)
+    @settings(max_examples=100)
+    def test_untampered_always_verifies(self, message):
+        auth = MessageAuthenticator(Keyring.from_secret("property"))
+        assert auth.verify(auth.sign(message)) == "ok"
+
+
+class _ReplayOracle:
+    """Unbounded-memory reference for the windowed replay guard."""
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.highest: dict = {}
+        self.seen: dict = {}
+
+    def admit(self, peer: str, seq: int) -> str:
+        if peer not in self.highest:
+            self.highest[peer] = seq
+            self.seen[peer] = {seq}
+            return "ok"
+        if seq <= self.highest[peer] - self.window:
+            return "stale"
+        if seq in self.seen[peer]:
+            return "replay"
+        self.seen[peer].add(seq)
+        self.highest[peer] = max(self.highest[peer], seq)
+        return "ok"
+
+
+class TestReplayWindowProperties:
+    @given(
+        window=st.integers(1, 32),
+        events=st.lists(
+            st.tuples(
+                st.sampled_from(["S1", "S2", "S3"]),
+                st.integers(0, 200),
+            ),
+            max_size=120,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_matches_unbounded_oracle(self, window, events):
+        guard = ReplayGuard(window=window)
+        oracle = _ReplayOracle(window)
+        for peer, seq in events:
+            assert guard.admit(peer, seq) == oracle.admit(peer, seq)
+
+
+class TestDelayGuardProperties:
+    @given(
+        data=st.data(),
+        delta=st.floats(0.0, 1e-3),
+        mode=st.sampled_from(["widen", "reject"]),
+    )
+    @settings(max_examples=300)
+    def test_never_rejects_honest_transit(self, data, delta, mode):
+        def leg(label):
+            minimum = data.draw(st.floats(0.0, 0.05), label=f"{label}-min")
+            span = data.draw(st.floats(0.0, 0.05), label=f"{label}-span")
+            return UniformDelay(minimum + span, minimum=minimum)
+
+        outbound, inbound = leg("out"), leg("in")
+        # An honest exchange: each leg inside its declared range, the
+        # sum measured on a clock running within 1 ± δ of real time.
+        frac1 = data.draw(st.floats(0.0, 1.0), label="frac1")
+        frac2 = data.draw(st.floats(0.0, 1.0), label="frac2")
+        d1 = outbound.minimum + frac1 * (outbound.bound - outbound.minimum)
+        d2 = inbound.minimum + frac2 * (inbound.bound - inbound.minimum)
+        rate = 1.0 + data.draw(st.floats(-delta, delta), label="rate")
+        guard = DelayGuard(delta, mode=mode)
+        verdict = guard.judge((d1 + d2) * rate, outbound, inbound)
+        assert verdict.ok
+        assert verdict.widen == 0.0

@@ -269,6 +269,7 @@ class TestReplyHygiene:
             error=0.05,
             kind=RequestKind.POLL,
             delta=1e-5,
+            nonce=server._round.nonces.get(origin, 0),
         )
 
     def test_duplicate_reply_counted_once(self):
