@@ -21,10 +21,18 @@ Two workloads, two numbers:
   ``sync_overhead_pct`` so the per-message cost of the auth layer
   (canonical encoding + keyed BLAKE2b + replay/delay guards) has its
   own trajectory; a pure-Python MAC pipeline cannot hide here.
+
+A third workload, ``live_loopback``, times the *runtime plane*: an
+in-process UDP mesh on :class:`~repro.runtime.engine.WallClockEngine`
+instances — real datagrams, real ``time.monotonic()`` deadlines.  Its
+events/sec is not comparable to the simulated workloads (a wall-clock
+engine *waits* for τ instead of skipping over it), so it carries its
+own absolute trajectory rather than an overhead percentage.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import time
 from pathlib import Path
@@ -189,3 +197,101 @@ def test_bench_engine_defense_postures(benchmark):
         f"authenticated service path costs {overhead:.1f}% "
         f"(budget {OVERHEAD_BUDGET_PCT}%)"
     )
+
+
+# --------------------------------------------------------------------------
+# Live loopback: the runtime plane's absolute trajectory.
+
+LIVE_NODES = 3
+LIVE_TAU = 0.25
+LIVE_DURATION = 3.0  # wall seconds of real traffic per measurement
+
+
+def _live_configs():
+    from repro.experiments.live_gauntlet import _free_ports
+
+    names = [f"S{k + 1}" for k in range(LIVE_NODES)]
+    ports = _free_ports(len(names))
+    peers = {name: ["127.0.0.1", port] for name, port in zip(names, ports)}
+    edges = [[a, b] for i, a in enumerate(names) for b in names[i + 1:]]
+    epoch = time.monotonic()
+    return {
+        name: dict(
+            name=name,
+            host="127.0.0.1",
+            port=peers[name][1],
+            peers=peers,
+            edges=edges,
+            epoch=epoch,
+            kind="plain",
+            tau=LIVE_TAU,
+            delta=1e-4,
+            skew=(-1) ** index * 5e-5,
+            initial_offset=0.001 * index,
+            initial_error=0.05,
+            one_way_bound=0.05,
+            poll_phase=0.1 + 0.05 * index,
+            probe_period=0.05,
+            seed=index,
+        )
+        for index, name in enumerate(names)
+    }
+
+
+async def _run_live_mesh() -> dict:
+    from repro.runtime.node import build_node
+
+    configs = _live_configs()
+    nodes = [build_node(configs[name]) for name in configs]
+    runners = []
+    try:
+        for node in nodes:
+            await node.transport.start((node.config["host"], node.config["port"]))
+            node.server.start()
+            node.probe.start()
+            runners.append(asyncio.ensure_future(node.engine.run()))
+        start = time.perf_counter()
+        await asyncio.sleep(LIVE_DURATION)
+        wall = time.perf_counter() - start
+        events = sum(node.engine.events_processed for node in nodes)
+        rounds = sum(node.server.stats.rounds for node in nodes)
+        assert rounds >= LIVE_NODES, "live mesh never completed a poll round"
+        assert all(node.probe.mm1_violations == 0 for node in nodes)
+        return {
+            "wall_seconds": round(wall, 6),
+            "events": events,
+            "events_per_sec": round(events / wall, 1),
+            "poll_rounds": rounds,
+        }
+    finally:
+        for node in nodes:
+            node.engine.stop()
+        for runner in runners:
+            try:
+                await asyncio.wait_for(runner, timeout=2.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                runner.cancel()
+        for node in nodes:
+            node.transport.close()
+
+
+def test_bench_engine_live_loopback(benchmark):
+    """Events/sec of an in-process UDP mesh on wall-clock engines."""
+
+    result = benchmark.pedantic(lambda: asyncio.run(_run_live_mesh()), rounds=1)
+
+    report = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
+        "benchmark": "engine-throughput",
+        "workloads": {},
+    }
+    report.setdefault("workloads", {})["live_loopback"] = {
+        "topology": f"full_mesh({LIVE_NODES}) on UDP loopback (in-process)",
+        "policy": "mm",
+        "tau": LIVE_TAU,
+        "duration": LIVE_DURATION,
+        "arms": {"plain": result},
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench-engine] live_loopback/plain: "
+          f"{result['events_per_sec']} events/s "
+          f"({result['poll_rounds']} poll rounds in {result['wall_seconds']:.2f}s)")

@@ -49,6 +49,7 @@ from .experiments import (
     figure4,
     figure4_repair,
     flash_crowd,
+    live_gauntlet,
     mitm_gauntlet,
     overhead,
     partition,
@@ -105,6 +106,7 @@ EXPERIMENTS = {
     "dynamic-gauntlet": dynamic_gauntlet.main,
     "blackout-gauntlet": blackout_gauntlet.main,
     "mitm-gauntlet": mitm_gauntlet.main,
+    "live-gauntlet": live_gauntlet.main,
 }
 
 
@@ -488,6 +490,23 @@ def cmd_mitm_gauntlet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_live_gauntlet(args: argparse.Namespace) -> int:
+    """The ``live-gauntlet`` subcommand: real-socket cluster under chaos."""
+    if not args.seeds:
+        print("live-gauntlet: need at least one seed", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("live-gauntlet: --duration must be positive", file=sys.stderr)
+        return 2
+    ok = live_gauntlet.main(
+        seeds=args.seeds,
+        json_path=args.json,
+        telemetry_dir=args.telemetry_out,
+        duration=args.duration,
+    )
+    return 0 if ok else 1
+
+
 def cmd_dynamic_gauntlet(args: argparse.Namespace) -> int:
     """The ``dynamic-gauntlet`` subcommand: topology churn vs local skew."""
     if not args.seeds:
@@ -730,6 +749,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "into DIR/<cell>-<arm>-seed<k>/ (the nightly "
                            "gauntlet artefacts)")
     mitm.set_defaults(func=cmd_mitm_gauntlet)
+
+    live = sub.add_parser(
+        "live-gauntlet",
+        help="real-socket runtime plane: a supervised 5-process loopback "
+             "UDP cluster behind a fault-injecting proxy (10%% loss, delay "
+             "spike, on-path tamper, SIGKILL crash/restart) — plain vs "
+             "hardened+authenticated arms under live MM-1 probes",
+    )
+    live.add_argument("--seeds", type=int, nargs="+", default=[0],
+                      help="seeds to run (each runs both arms sequentially)")
+    live.add_argument("--duration", type=float, default=12.0,
+                      help="measurement window per arm, seconds of wall time")
+    live.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the JSON report here (CI artefact)")
+    live.add_argument("--telemetry-out", metavar="DIR",
+                      help="write each node's Prometheus snapshot into "
+                           "DIR/<arm>/<node>.prom (the nightly soak artefact)")
+    live.set_defaults(func=cmd_live_gauntlet)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from ..service.client import ClientResult, QueryStrategy, TimeClient
+from ..service.idspace import ATTEMPT_ID_SPACE, RequestIdAllocator
 from ..service.messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 from ..simulation.events import Event
 
@@ -289,8 +290,9 @@ class ResilientTimeClient(TimeClient):
         self._rqueries: Dict[int, _ResilientQuery] = {}
         self._attempts: Dict[int, _Attempt] = {}
         # Attempt ids live in their own space so a reply to an attempt can
-        # never be routed to a base-client query and vice versa.
-        self._attempt_counter = 500_000_000
+        # never be routed to a base-client query and vice versa (shared
+        # bookkeeping: repro.service.idspace).
+        self._attempt_ids = RequestIdAllocator(ATTEMPT_ID_SPACE)
 
     # --------------------------------------------------------------- queries
 
@@ -303,9 +305,8 @@ class ResilientTimeClient(TimeClient):
     ) -> int:
         if not servers:
             raise ValueError("a query needs at least one server")
-        self._counter += 1
         rquery = _ResilientQuery(
-            query_id=self._counter,
+            query_id=self._query_ids.allocate(),
             servers=tuple(servers),
             callback=callback if callback is not None else (lambda result: None),
             started=self.now,
@@ -360,9 +361,8 @@ class ResilientTimeClient(TimeClient):
         if hedge:
             self.load_stats.hedges += 1
         server = self._choose_server(rquery)
-        self._attempt_counter += 1
         attempt = _Attempt(
-            request_id=self._attempt_counter,
+            request_id=self._attempt_ids.allocate(),
             query=rquery,
             server=server,
             sent_local=self.clock.read(self.now),

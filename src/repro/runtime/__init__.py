@@ -1,0 +1,45 @@
+"""The live runtime plane: real processes, real sockets, real time.
+
+Everything under this package realises the simulator's contracts on the
+wall clock so the *untouched* policy core — MM/IM/FT-IM, hardening,
+admission control, the security hooks — runs as live UDP processes:
+
+* :mod:`repro.runtime.timeouts` — :class:`TimeoutManager`, the
+  wall-clock deadline heap (``time.monotonic()``) behind every retry,
+  adaptive EWMA timeout, and round deadline;
+* :mod:`repro.runtime.engine` — :class:`WallClockEngine`, the live
+  implementation of the :class:`~repro.simulation.scheduler.Scheduler`
+  seam;
+* :mod:`repro.runtime.wire` — the UDP packet codec over the security
+  layer's canonical message encoding;
+* :mod:`repro.runtime.transport` — :class:`UdpTransport`, the
+  asyncio/UDP implementation of the transport-facing contract of
+  :class:`~repro.network.transport.Network`;
+* :mod:`repro.runtime.node` — one server process (``python -m
+  repro.runtime.node config.json``) with live invariant probes and a
+  control plane;
+* :mod:`repro.runtime.supervisor` — :class:`ClusterSupervisor`: spawn,
+  crash detection, exponential-backoff restart, liveness watchdogs,
+  graceful drain;
+* :mod:`repro.runtime.proxy` — :class:`ChaosProxy`, the netem-style UDP
+  relay interpreting the fault-schedule DSL against real packets.
+
+See ``docs/runtime.md`` for the architecture and the sim-vs-live parity
+table.
+"""
+
+from .engine import WallClockEngine
+from .proxy import ChaosProxy
+from .supervisor import ClusterSupervisor, NodeSpec, RestartPolicy
+from .timeouts import TimeoutManager
+from .transport import UdpTransport
+
+__all__ = [
+    "ChaosProxy",
+    "ClusterSupervisor",
+    "NodeSpec",
+    "RestartPolicy",
+    "TimeoutManager",
+    "UdpTransport",
+    "WallClockEngine",
+]

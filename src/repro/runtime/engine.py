@@ -1,0 +1,176 @@
+"""The wall-clock engine: the live implementation of the Scheduler seam.
+
+:class:`WallClockEngine` exposes the exact scheduling surface of
+:class:`~repro.simulation.engine.SimulationEngine` — ``now``,
+``schedule_at`` / ``schedule_after`` / ``schedule_periodic``, ``stop``,
+the observer hook, and the telemetry counters — but its time axis is
+``time.monotonic()`` anchored at a shared *epoch*, and its events fire
+from a :class:`~repro.runtime.timeouts.TimeoutManager` pumped by an
+asyncio task instead of a virtual-time loop.
+
+Because every node process of one cluster is handed the *same* epoch
+(Linux ``CLOCK_MONOTONIC`` is system-wide), all their engines agree on
+the axis: ``engine.now`` is the cluster's shared true-time oracle, which
+is what lets the live invariant probes check rule MM-1 exactly as the
+simulator's oracle does.
+
+Two deliberate semantic deltas from the simulated engine, both inherent
+to a physical clock:
+
+* ``schedule_at`` with a time already past **clamps to now** (fires as
+  soon as the pump runs) instead of raising — on a wall axis, time moves
+  between computing a deadline and arming it, so "in the past" is a
+  race, not a sign bug.  ``schedule_after`` still raises on a *negative
+  delay*, which is the actual sign-bug class.
+* ``run`` is a coroutine: the engine shares its event loop with the UDP
+  transports, so firing and packet delivery interleave on one thread.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..simulation.engine import PeriodicTask, SchedulingError
+from ..simulation.events import Event, EventCallback
+from .timeouts import TimeoutManager
+
+__all__ = ["WallClockEngine"]
+
+
+class WallClockEngine:
+    """A live engine over ``time.monotonic()``.
+
+    Args:
+        epoch: The ``time.monotonic()`` reading that is axis time zero.
+            Pass one shared value to every process of a cluster so all
+            engines agree on the axis; defaults to "now" (a fresh,
+            process-local axis).
+    """
+
+    def __init__(self, *, epoch: Optional[float] = None) -> None:
+        self._epoch = time.monotonic() if epoch is None else float(epoch)
+        self.timeouts = TimeoutManager(self._wall_now)
+        self._observer: Optional[Callable[["WallClockEngine", Event], None]] = None
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+
+    def _wall_now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    @property
+    def epoch(self) -> float:
+        """The ``time.monotonic()`` origin of this engine's axis."""
+        return self._epoch
+
+    @property
+    def now(self) -> float:
+        """Seconds since the epoch, read from the monotonic clock."""
+        return time.monotonic() - self._epoch
+
+    @property
+    def events_processed(self) -> int:
+        """Callbacks fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Active deadlines still armed."""
+        return self.timeouts.pending
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw deadline-heap size (cancelled included) — for telemetry."""
+        return self.timeouts.heap_depth
+
+    def set_observer(
+        self, observer: Optional[Callable[["WallClockEngine", Event], None]]
+    ) -> None:
+        """Install a per-event observer (same contract as the simulator)."""
+        self._observer = observer
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Arm ``callback`` at absolute axis time ``time`` (past ⇒ asap)."""
+        when = max(float(time), self._wall_now())
+        return self.timeouts.schedule(when, callback, label)
+
+    def schedule_after(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Arm ``callback`` ``delay`` seconds from now.
+
+        Raises:
+            SchedulingError: If ``delay`` is negative (a sign bug; wall
+                racing is handled by the clamp in :meth:`schedule_at`).
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self.timeouts.schedule(
+            self._wall_now() + delay, callback, label
+        )
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        *,
+        first_at: Optional[float] = None,
+        label: str = "",
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> PeriodicTask:
+        """Arm a recurring callback (the simulator's own
+        :class:`~repro.simulation.engine.PeriodicTask` drives it — each
+        firing schedules the next through this engine, so the chain is
+        identical in both planes)."""
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        task = PeriodicTask(self, period, callback, label=label, jitter=jitter)
+        start = self._wall_now() + period if first_at is None else first_at
+        task.start(start)
+        return task
+
+    # --------------------------------------------------------------- running
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to exit after the current event."""
+        self._stopped = True
+        self.timeouts._notify()
+
+    async def run(self, until: Optional[float] = None) -> None:
+        """Pump deadlines until :meth:`stop` (or the ``until`` horizon).
+
+        Unlike the simulator, an empty heap does **not** end the run —
+        a live node idles, waiting for packets to schedule new work.
+        """
+        self._stopped = False
+        self._running = True
+        observer = None
+        if self._observer is not None:
+            observer = lambda event: self._note_fired(event)  # noqa: E731
+        try:
+            while not self._stopped:
+                fired = self.timeouts.fire_due(observer)
+                if observer is None:
+                    self._events_processed += fired
+                # Re-check before sleeping: a fired callback calling
+                # stop() sets the wake flag, which sleep_until_due would
+                # otherwise clear and then wait on forever.
+                if self._stopped:
+                    break
+                if until is not None and self._wall_now() >= until:
+                    break
+                await self.timeouts.sleep_until_due(horizon=until)
+        finally:
+            self._running = False
+
+    def _note_fired(self, event: Event) -> None:
+        self._events_processed += 1
+        if self._observer is not None:
+            self._observer(self, event)

@@ -1,0 +1,278 @@
+"""The netem-style fault-injecting UDP relay.
+
+:class:`ChaosProxy` sits on-path between the live nodes: every *data*
+packet of the cluster is addressed to the proxy (the transports' ``via``
+option), which decodes the wire frame, consults the fault plan active at
+the current axis time, and forwards — or delays, duplicates, reorders,
+corrupts, tampers with, or drops — the real datagram.
+
+The plan speaks the repo's existing fault-schedule DSL
+(:mod:`repro.faults.schedule`): the same frozen event dataclasses the
+simulated chaos injector interprets against message taps are here
+interpreted against sockets, so one experiment description drives both
+planes.  Events the live relay cannot realise (clock faults, checkpoint
+corruption — those live *inside* a node) are ignored; ``ServerCrash``
+belongs to the supervisor's :meth:`kill`.
+
+Determinism: all randomness comes from one seeded numpy generator, and
+the *decision sequence* per packet is fixed; given the same packet
+arrival order the same packets are dropped.  (Arrival order itself is
+real — this is a live plane, not a simulation.)
+
+The packet-level logic is pure (:meth:`plan`): given bytes, endpoints,
+and a time, it returns the ``(payload, extra_delay)`` deliveries to
+make, so the whole fault matrix is unit-testable without opening a
+socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..faults.schedule import (
+    DelaySpike,
+    FaultEvent,
+    LinkFlap,
+    LossBurst,
+    MessageCorruption,
+    MessageDuplication,
+    MessageReorder,
+    MessageTamper,
+    PartitionFault,
+)
+from ..service.messages import TimeReply, TimeRequest
+from . import wire
+
+__all__ = ["ChaosProxy", "ProxyStats"]
+
+Address = Tuple[str, int]
+
+
+@dataclasses.dataclass
+class ProxyStats:
+    """What the relay did to the traffic."""
+
+    relayed: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_flap: int = 0
+    dropped_unroutable: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    tampered: int = 0
+
+
+def _window(event: FaultEvent) -> float:
+    """The active duration of an event (``downtime`` for flaps)."""
+    if isinstance(event, LinkFlap):
+        return event.downtime
+    return getattr(event, "duration", 0.0)
+
+
+def _matches(event: Any, source: str, destination: str) -> bool:
+    """Unordered pair match; empty endpoint strings are wildcards."""
+    a = getattr(event, "a", "")
+    b = getattr(event, "b", "")
+    if not a and not b:
+        return True
+    pair = {source, destination}
+    if a and b:
+        return {a, b} == pair
+    return (a or b) in pair
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, proxy: "ChaosProxy") -> None:
+        self._owner = proxy
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._datagram_received(data, addr)
+
+
+class ChaosProxy:
+    """A fault-injecting UDP relay for one cluster.
+
+    Args:
+        addresses: Name → ``(host, port)`` of every node's data socket.
+        events: Fault-schedule events to realise on-path.
+        loss: Steady-state per-packet loss probability (the gauntlet's
+            "10% injected loss"), applied on top of any ``LossBurst``.
+        seed: Seed for the relay's random stream.
+        epoch: ``time.monotonic()`` value that is axis time zero —
+            share the cluster's so event ``at`` times line up with the
+            nodes' axis.
+        nominal_one_way: The delay a ``DelaySpike``'s multiplicative
+            ``scale`` applies to (live loopback has no sampled nominal
+            delay, so the spike's held delay is
+            ``extra + (scale − 1) × nominal_one_way``).
+    """
+
+    def __init__(
+        self,
+        *,
+        addresses: Dict[str, Address],
+        events: Iterable[FaultEvent] = (),
+        loss: float = 0.0,
+        seed: int = 0,
+        epoch: Optional[float] = None,
+        nominal_one_way: float = 0.005,
+    ) -> None:
+        self._addresses = {name: (host, int(port)) for name, (host, port) in addresses.items()}
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.at)
+        self.loss = float(loss)
+        self._rng = np.random.default_rng(seed)
+        self._epoch = time.monotonic() if epoch is None else float(epoch)
+        self._nominal = float(nominal_one_way)
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.address: Optional[Address] = None
+        self.stats = ProxyStats()
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(host, port)
+        )
+        sock = self._transport.get_extra_info("sockname")
+        self.address = (sock[0], sock[1])
+        return self.address
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # ------------------------------------------------------------- planning
+
+    def _active(self, now: float) -> List[FaultEvent]:
+        return [e for e in self.events if e.at <= now < e.at + _window(e)]
+
+    def plan(
+        self, source: str, destination: str, data: bytes, now: float
+    ) -> List[Tuple[bytes, float]]:
+        """Decide the fate of one packet: ``(payload, extra_delay)`` list.
+
+        Empty list = dropped.  Pure given the RNG state: no sockets, no
+        clock reads — fully unit-testable.
+        """
+        active = self._active(now)
+        # Hard gates first: a partitioned or down path loses the packet
+        # regardless of anything else.
+        for event in active:
+            if isinstance(event, PartitionFault):
+                membership: Dict[str, int] = {}
+                for index, group in enumerate(event.groups):
+                    for name in group:
+                        membership[name] = index
+                same = (
+                    source in membership
+                    and destination in membership
+                    and membership[source] == membership[destination]
+                )
+                if not same:
+                    self.stats.dropped_partition += 1
+                    return []
+            elif isinstance(event, LinkFlap) and _matches(event, source, destination):
+                self.stats.dropped_flap += 1
+                return []
+        # Probabilistic loss: steady-state plus any active burst.
+        loss = self.loss
+        for event in active:
+            if isinstance(event, LossBurst) and _matches(event, source, destination):
+                loss = max(loss, event.probability)
+        if loss > 0 and self._rng.uniform() < loss:
+            self.stats.dropped_loss += 1
+            return []
+        payload = data
+        delay = 0.0
+        for event in active:
+            if isinstance(event, MessageTamper) and _matches(event, source, destination):
+                if self._rng.uniform() < event.probability:
+                    tampered = self._tamper(payload, event.offset)
+                    if tampered is not None:
+                        payload = tampered
+                        self.stats.tampered += 1
+            elif isinstance(event, MessageCorruption):
+                if self._rng.uniform() < event.probability:
+                    payload = self._corrupt(payload)
+                    self.stats.corrupted += 1
+            elif isinstance(event, DelaySpike) and _matches(event, source, destination):
+                delay += event.extra + max(0.0, event.scale - 1.0) * self._nominal
+            elif isinstance(event, MessageReorder):
+                if self._rng.uniform() < event.probability:
+                    delay += float(self._rng.uniform(0.0, event.max_extra))
+                    self.stats.reordered += 1
+        deliveries = [(payload, delay)]
+        for event in active:
+            if isinstance(event, MessageDuplication):
+                if self._rng.uniform() < event.probability:
+                    deliveries.append((payload, delay + event.extra_delay))
+                    self.stats.duplicated += 1
+        return deliveries
+
+    def _tamper(self, data: bytes, offset: float) -> Optional[bytes]:
+        """Shift a reply's claimed clock value, keeping its (now stale) MAC.
+
+        The semantic on-path attack: decode, edit the signed field,
+        re-encode with the *original* auth header.  A plain node adopts
+        the shifted value; an authenticated node's MAC check fails.
+        Requests and undecodable packets pass through untouched.
+        """
+        try:
+            message = wire.decode_message(data)
+        except ValueError:
+            return None
+        if not isinstance(message, TimeReply):
+            return None
+        shifted = dataclasses.replace(message, clock_value=message.clock_value + offset)
+        return wire.encode_message(shifted)
+
+    def _corrupt(self, data: bytes) -> bytes:
+        """Flip one byte of the tail (the packed floats): the decoder
+        rejects the frame, or a packed value turns to garbage that the
+        receiver's validation / rule MM-2 consistency check discards."""
+        if not data:
+            return data
+        index = len(data) - 1 - int(self._rng.integers(0, min(8, len(data))))
+        flipped = data[index] ^ 0xFF
+        return data[:index] + bytes([flipped]) + data[index + 1 :]
+
+    # ------------------------------------------------------------- relaying
+
+    def _datagram_received(self, data: bytes, addr: Address) -> None:
+        try:
+            message = wire.decode_message(data)
+        except ValueError:
+            self.stats.dropped_unroutable += 1
+            return
+        source = message.origin if isinstance(message, TimeRequest) else message.server
+        destination = message.destination
+        target = self._addresses.get(destination)
+        if target is None:
+            self.stats.dropped_unroutable += 1
+            return
+        for payload, delay in self.plan(source, destination, data, self.now):
+            self.stats.relayed += 1
+            if delay > 0:
+                self.stats.delayed += 1
+                asyncio.get_running_loop().call_later(
+                    delay, self._forward, payload, target
+                )
+            else:
+                self._forward(payload, target)
+
+    def _forward(self, payload: bytes, target: Address) -> None:
+        if self._transport is not None:
+            self._transport.sendto(payload, target)

@@ -1,0 +1,371 @@
+"""Process supervision for a live cluster.
+
+:class:`ClusterSupervisor` owns N node processes (``python -m
+repro.runtime.node``): it writes their config files, spawns them,
+detects crashes (process exit *and* liveness-watchdog silence), restarts
+with exponential backoff, scrapes their control planes, and drains them
+gracefully at the end of a run.
+
+The supervisor's control socket is plain JSON-over-UDP on loopback; the
+request/response plumbing matches replies to requests by a token, so a
+slow node cannot satisfy another node's probe.
+
+Crash injection in the gauntlet goes through :meth:`kill` — a raw
+``SIGKILL`` with **no** internal bookkeeping shortcut: recovery runs
+through the same crash-detection + backoff-restart path as a real fault,
+so the experiment exercises the machinery end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+
+from . import wire
+
+__all__ = ["ClusterSupervisor", "NodeSpec", "RestartPolicy"]
+
+Address = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Exponential backoff between restarts of one node.
+
+    Attributes:
+        base: Delay before the first restart (seconds).
+        factor: Multiplier applied per consecutive restart.
+        max_delay: Backoff ceiling.
+        max_restarts: Give up on a node after this many restarts
+            (``None`` = never give up; the gauntlet's default).
+    """
+
+    base: float = 0.2
+    factor: float = 2.0
+    max_delay: float = 5.0
+    max_restarts: Optional[int] = None
+
+    def delay(self, restarts: int) -> float:
+        """Backoff before restart number ``restarts + 1``."""
+        return min(self.max_delay, self.base * self.factor ** restarts)
+
+
+@dataclass
+class NodeSpec:
+    """One node's launch description (becomes its config JSON)."""
+
+    name: str
+    config: Dict[str, Any]
+    restarts: int = 0
+    watchdog_restarts: int = 0
+    missed_pings: int = 0
+    process: Optional[subprocess.Popen] = None
+    config_path: Optional[Path] = None
+    restart_at: Optional[float] = None  # wall monotonic; None = running
+    gave_up: bool = False
+    ready: bool = False  # heard from since the last (re)spawn
+    spawned_at: float = field(default_factory=time.monotonic)
+    last_seen: float = field(default_factory=time.monotonic)
+
+
+class _ControlProtocol(asyncio.DatagramProtocol):
+    def __init__(self, supervisor: "ClusterSupervisor") -> None:
+        self._owner = supervisor
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        try:
+            payload = wire.decode_control(data)
+        except ValueError:
+            return
+        self._owner._on_control(payload, addr)
+
+
+class ClusterSupervisor:
+    """Spawn and babysit the node processes of one live cluster.
+
+    Args:
+        specs: The nodes to run.
+        restart: Backoff policy applied to crash *and* watchdog restarts.
+        ping_period: Liveness probe interval (seconds).
+        ping_misses: Consecutive unanswered pings before a node is
+            declared wedged and killed (its exit then follows the normal
+            crash-restart path).
+        startup_grace: How long a freshly (re)spawned node may stay
+            silent before the watchdog counts it as wedged.  Interpreter
+            start-up is seconds-slow under the contention of a whole
+            cluster booting at once — pinging a node that is still
+            importing numpy and killing it for not answering just
+            compounds the contention with a restart storm.
+        workdir: Where node config files are written (a temp dir when
+            omitted).
+        host: Loopback interface everything binds to.
+    """
+
+    def __init__(
+        self,
+        specs: List[NodeSpec],
+        *,
+        restart: Optional[RestartPolicy] = None,
+        ping_period: float = 0.5,
+        ping_misses: int = 4,
+        startup_grace: float = 15.0,
+        workdir: Optional[Path] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.specs: Dict[str, NodeSpec] = {spec.name: spec for spec in specs}
+        self.restart_policy = restart if restart is not None else RestartPolicy()
+        self.ping_period = ping_period
+        self.ping_misses = ping_misses
+        self.startup_grace = startup_grace
+        self.host = host
+        self._workdir = workdir
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.address: Optional[Address] = None
+        self._tokens = itertools.count(1)
+        self._waiters: Dict[Any, asyncio.Future] = {}
+        self._monitor: Optional[asyncio.Task] = None
+        self.crash_restarts = 0
+        self.hellos = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the control socket and spawn every node."""
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _ControlProtocol(self), local_addr=(self.host, 0)
+        )
+        sock = self._transport.get_extra_info("sockname")
+        self.address = (sock[0], sock[1])
+        if self._workdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-live-")
+            self._workdir = Path(self._tmpdir.name)
+        for spec in self.specs.values():
+            spec.config["control"] = list(self.address)
+            self._spawn(spec)
+        self._monitor = asyncio.ensure_future(self._monitor_loop())
+
+    def _spawn(self, spec: NodeSpec) -> None:
+        assert self._workdir is not None
+        spec.config_path = self._workdir / f"{spec.name}.json"
+        spec.config_path.write_text(json.dumps(spec.config, indent=1))
+        src_root = Path(repro.__file__).resolve().parents[1]
+        spec.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.node", str(spec.config_path)],
+            cwd=str(self._workdir),
+            env=self._env(src_root),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        spec.restart_at = None
+        spec.missed_pings = 0
+        spec.ready = False
+        spec.spawned_at = time.monotonic()
+        spec.last_seen = time.monotonic()
+
+    @staticmethod
+    def _env(src_root: Path) -> Dict[str, str]:
+        import os
+
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
+        )
+        return env
+
+    # -------------------------------------------------------------- monitor
+
+    async def _monitor_loop(self) -> None:
+        try:
+            while True:
+                self._check_exits()
+                await self._ping_round()
+                await asyncio.sleep(self.ping_period)
+        except asyncio.CancelledError:
+            pass
+
+    def _check_exits(self) -> None:
+        now = time.monotonic()
+        for spec in self.specs.values():
+            if spec.gave_up:
+                continue
+            proc = spec.process
+            if proc is not None and proc.poll() is not None and spec.restart_at is None:
+                limit = self.restart_policy.max_restarts
+                if limit is not None and spec.restarts >= limit:
+                    spec.gave_up = True
+                    continue
+                spec.restart_at = now + self.restart_policy.delay(spec.restarts)
+                spec.restarts += 1
+                spec.ready = False  # don't let the dead incarnation's
+                self.crash_restarts += 1  # liveness linger through backoff
+            if spec.restart_at is not None and now >= spec.restart_at:
+                self._spawn(spec)
+
+    async def _ping_round(self) -> None:
+        for spec in list(self.specs.values()):
+            if spec.gave_up or spec.restart_at is not None or spec.process is None:
+                continue
+            if spec.process.poll() is not None:
+                continue
+            if not spec.ready and time.monotonic() - spec.spawned_at < self.startup_grace:
+                # Still booting: don't burn ping budget (or patience) on
+                # a node that hasn't finished importing its interpreter.
+                continue
+            reply = await self.request(spec.name, {"op": "ping"}, timeout=self.ping_period)
+            if reply is None:
+                spec.missed_pings += 1
+                if spec.missed_pings >= self.ping_misses:
+                    # Wedged: kill it; the exit check above restarts it
+                    # through the ordinary backoff path.
+                    spec.watchdog_restarts += 1
+                    spec.missed_pings = 0
+                    spec.process.kill()
+            else:
+                spec.missed_pings = 0
+                spec.ready = True
+                spec.last_seen = time.monotonic()
+
+    async def wait_ready(self, *, timeout: float = 30.0) -> bool:
+        """Wait until every node has been heard from since its spawn.
+
+        Experiments call this before opening their measurement window so
+        interpreter start-up time is not mistaken for cluster downtime.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(spec.ready or spec.gave_up for spec in self.specs.values()):
+                return True
+            await asyncio.sleep(0.1)
+        return all(spec.ready or spec.gave_up for spec in self.specs.values())
+
+    # ----------------------------------------------------------- control ops
+
+    def _node_address(self, name: str) -> Address:
+        host, port = self.specs[name].config["host"], self.specs[name].config["port"]
+        return (host, int(port))
+
+    def _on_control(self, payload: Dict[str, Any], addr: Address) -> None:
+        name = payload.get("name")
+        if name in self.specs:
+            spec = self.specs[name]
+            spec.ready = True
+            spec.last_seen = time.monotonic()
+        if payload.get("op") == "hello":
+            self.hellos += 1
+            return
+        token = payload.get("token")
+        waiter = self._waiters.pop(token, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(payload)
+
+    async def request(
+        self, name: str, payload: Dict[str, Any], *, timeout: float = 1.0
+    ) -> Optional[Dict[str, Any]]:
+        """One control round trip to a node; None on timeout."""
+        if self._transport is None:
+            return None
+        token = next(self._tokens)
+        message = dict(payload)
+        message["token"] = token
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[token] = future
+        self._transport.sendto(wire.encode_control(message), self._node_address(name))
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._waiters.pop(token, None)
+            return None
+
+    async def scrape(self, *, timeout: float = 1.0) -> Dict[str, Optional[Dict[str, Any]]]:
+        """A stats snapshot from every node (None where unreachable)."""
+        results: Dict[str, Optional[Dict[str, Any]]] = {}
+        for name in self.specs:
+            results[name] = await self.request(name, {"op": "stats"}, timeout=timeout)
+        return results
+
+    async def metrics(self, *, timeout: float = 1.0) -> Dict[str, Optional[str]]:
+        """Prometheus text from every node's registry."""
+        results: Dict[str, Optional[str]] = {}
+        for name in self.specs:
+            reply = await self.request(name, {"op": "metrics"}, timeout=timeout)
+            results[name] = reply.get("text") if reply else None
+        return results
+
+    def kill(self, name: str) -> bool:
+        """Crash a node (SIGKILL); the monitor restarts it with backoff."""
+        spec = self.specs[name]
+        if spec.process is None or spec.process.poll() is not None:
+            return False
+        spec.process.send_signal(signal.SIGKILL)
+        return True
+
+    # ------------------------------------------------------------- shutdown
+
+    async def drain(self, *, grace: float = 2.0) -> Dict[str, bool]:
+        """Graceful shutdown: drain every node, then reap stragglers.
+
+        Returns per-node ``True`` when the node acknowledged the drain
+        and exited within the grace period on its own.
+        """
+        if self._monitor is not None:
+            self._monitor.cancel()
+            try:
+                await self._monitor
+            except asyncio.CancelledError:
+                pass
+            self._monitor = None
+        acked: Dict[str, bool] = {}
+        for name, spec in self.specs.items():
+            if spec.process is None or spec.process.poll() is not None:
+                acked[name] = False
+                continue
+            reply = await self.request(name, {"op": "drain"}, timeout=grace)
+            acked[name] = reply is not None
+        deadline = time.monotonic() + grace
+        for name, spec in self.specs.items():
+            proc = spec.process
+            if proc is None:
+                continue
+            while proc.poll() is None and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            if proc.poll() is None:
+                acked[name] = False
+                proc.terminate()
+                try:
+                    proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self.close()
+        return acked
+
+    def close(self) -> None:
+        """Tear down sockets and any stragglers (idempotent)."""
+        if self._monitor is not None:
+            self._monitor.cancel()
+            self._monitor = None
+        for spec in self.specs.values():
+            proc = spec.process
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

@@ -1,0 +1,142 @@
+"""The wall-clock deadline plane.
+
+:class:`TimeoutManager` is the live counterpart of the simulation
+engine's event heap: the same :class:`~repro.simulation.events.Event`
+objects (so cancellation semantics are identical), ordered by
+``(time, seq)``, but *fired by the wall clock* — deadlines are armed
+against ``time.monotonic()`` and an asyncio wait wakes the pump either
+when the nearest deadline arrives or when a new, earlier deadline is
+scheduled mid-sleep.
+
+Every per-neighbour retry, adaptive EWMA timeout, and round deadline the
+hardened server computes lands here (via
+:class:`~repro.runtime.engine.WallClockEngine`), so the durations the
+policy layer reasons about are measured against real round trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Callable, List, Optional
+
+from ..simulation.events import Event, EventCallback, EventSequencer
+
+__all__ = ["TimeoutManager"]
+
+
+class TimeoutManager:
+    """A monotonic-clock deadline heap with an asyncio wake-up.
+
+    Args:
+        time_source: Zero-argument callable returning the current time on
+            the axis deadlines are expressed in (seconds).  The engine
+            passes its epoch-anchored ``time.monotonic()`` reading.
+    """
+
+    def __init__(self, time_source: Callable[[], float]) -> None:
+        self._time = time_source
+        self._heap: List[Event] = []
+        self._sequencer = EventSequencer()
+        # Created lazily inside the running loop (asyncio primitives are
+        # loop-bound); before the pump runs, scheduling just heaps.
+        self._wakeup: Optional[asyncio.Event] = None
+        self.fired = 0
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(
+        self, when: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Arm ``callback`` at absolute axis time ``when``.
+
+        Returns the :class:`~repro.simulation.events.Event`, which the
+        caller may ``cancel()`` exactly as in the simulator.
+        """
+        event = Event(float(when), self._sequencer.next(), callback, label)
+        heapq.heappush(self._heap, event)
+        self._notify()
+        return event
+
+    def _notify(self) -> None:
+        """Wake a pump sleeping past the (possibly new) nearest deadline."""
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def pending(self) -> int:
+        """Active (non-cancelled) deadlines still armed."""
+        return sum(1 for event in self._heap if event.active)
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size, cancelled entries included — O(1), telemetry."""
+        return len(self._heap)
+
+    def next_deadline(self) -> Optional[float]:
+        """Axis time of the nearest active deadline, or None when idle.
+
+        Cancelled heap heads are dropped on the way (lazy cancellation,
+        same as the simulator's engine).
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # ---------------------------------------------------------------- firing
+
+    def fire_due(self, observer=None) -> int:
+        """Fire every deadline at or before the current axis time.
+
+        Args:
+            observer: Optional ``(event) -> None`` called after each
+                callback (the engine threads its telemetry observer
+                through here).
+
+        Returns:
+            How many callbacks ran.
+        """
+        count = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > self._time():
+                break
+            heapq.heappop(self._heap)
+            head.callback()
+            self.fired += 1
+            count += 1
+            if observer is not None:
+                observer(head)
+        return count
+
+    async def sleep_until_due(self, horizon: Optional[float] = None) -> None:
+        """Sleep until the nearest deadline, a new earlier one, or ``horizon``.
+
+        Args:
+            horizon: Optional absolute axis time to wake by regardless of
+                deadlines (the engine's ``run(until=...)``).
+        """
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        self._wakeup.clear()
+        deadline = self.next_deadline()
+        if horizon is not None:
+            deadline = horizon if deadline is None else min(deadline, horizon)
+        if deadline is None:
+            await self._wakeup.wait()
+            return
+        timeout = deadline - self._time()
+        if timeout <= 0:
+            # Already due; yield once so transports/subprocess futures can
+            # make progress even under a saturated deadline stream.
+            await asyncio.sleep(0)
+            return
+        try:
+            await asyncio.wait_for(self._wakeup.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass

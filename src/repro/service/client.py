@@ -34,6 +34,7 @@ from ..network.transport import Network
 from ..simulation.engine import SimulationEngine
 from ..simulation.events import Event
 from ..simulation.process import SimProcess
+from .idspace import QUERY_ID_SPACE, RequestIdAllocator
 from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 
 
@@ -135,7 +136,7 @@ class TimeClient(SimProcess):
         self.delta = float(delta)
         self.timeout = float(timeout)
         self._queries: Dict[int, _Query] = {}
-        self._counter = 0
+        self._query_ids = RequestIdAllocator(QUERY_ID_SPACE)
         self.results: List[ClientResult] = []
         self.failures: List[ClientResult] = []
 
@@ -172,9 +173,8 @@ class TimeClient(SimProcess):
             raise ValueError("a query needs at least one server")
         if faults < 0:
             raise ValueError(f"faults must be non-negative, got {faults}")
-        self._counter += 1
         query = _Query(
-            query_id=self._counter,
+            query_id=self._query_ids.allocate(),
             strategy=strategy,
             sent_local={},
             outstanding=set(servers),

@@ -1,0 +1,97 @@
+"""Request-id and nonce allocation shared by every wire endpoint.
+
+Three independent id spaces keep the reply-routing invariant the clients
+rely on — a reply can only ever match the bookkeeping that issued its
+request — without any coordination:
+
+* **query ids** (from :data:`QUERY_ID_SPACE`) — the base client's
+  one-id-per-query space;
+* **recovery ids** (from :data:`RECOVERY_ID_SPACE`) — a server's
+  Section 3 third-server fetches, kept clear of its round bookkeeping;
+* **attempt ids** (from :data:`ATTEMPT_ID_SPACE`) — the resilient
+  client's one-id-per-attempt space, far above the query space so a
+  late reply to an attempt can never be routed to a base-client query.
+
+:class:`RequestIdAllocator` is the one implementation behind all three
+(the sim clients, the load client, and the live runtime client all
+instantiate it rather than growing private counters), and
+:class:`NonceSequence` is the name-salted per-request freshness nonce
+the servers stamp on polls — salted so two servers never draw the same
+sequence, counting so one server never reuses a value.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = [
+    "ATTEMPT_ID_SPACE",
+    "QUERY_ID_SPACE",
+    "RECOVERY_ID_SPACE",
+    "NonceSequence",
+    "RequestIdAllocator",
+]
+
+#: Base of the ordinary client-query id space (ids start at base + 1).
+QUERY_ID_SPACE = 0
+
+#: Base of the server-side recovery-fetch id space.
+RECOVERY_ID_SPACE = 10_000_000
+
+#: Base of the resilient client's per-attempt id space.
+ATTEMPT_ID_SPACE = 500_000_000
+
+
+class RequestIdAllocator:
+    """A strictly increasing request-id counter rooted at a space base.
+
+    Args:
+        base: First id issued is ``base + 1``.  Use the ``*_ID_SPACE``
+            constants so distinct consumers can never collide.
+    """
+
+    def __init__(self, base: int = QUERY_ID_SPACE) -> None:
+        self._base = int(base)
+        self._last = int(base)
+
+    def allocate(self) -> int:
+        """The next unused id (never repeats, never returns the base)."""
+        self._last += 1
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued id (the base before any allocation)."""
+        return self._last
+
+    @property
+    def issued(self) -> int:
+        """How many ids have been handed out."""
+        return self._last - self._base
+
+
+class NonceSequence:
+    """Per-request freshness nonces: a name-salted, never-reused counter.
+
+    The salt (CRC32 of the owner's name, folded to 16 bits and shifted
+    above the counter) makes two *servers'* sequences disjoint; the
+    counter makes one server's values unique.  The same construction
+    serves simulated and live servers — determinism matters for the
+    replay-guard tests, and a live process restart starting the counter
+    over is harmless because round bookkeeping (which checks nonces)
+    does not survive the restart either.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._base = (zlib.crc32(name.encode("utf-8")) & 0xFFFF) << 32
+        self._counter = 0
+
+    def next(self) -> int:
+        """A fresh nonce."""
+        self._counter += 1
+        return self._base | self._counter
+
+    @property
+    def issued(self) -> int:
+        """How many nonces have been drawn."""
+        return self._counter

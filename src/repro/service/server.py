@@ -48,6 +48,7 @@ from ..telemetry.instruments import (
     RoundTelemetry,
     ServerTelemetry,
 )
+from .idspace import RECOVERY_ID_SPACE, NonceSequence, RequestIdAllocator
 from .messages import ReplyStatus, RequestKind, TimeReply, TimeRequest
 
 
@@ -188,11 +189,11 @@ class TimeServer(SimProcess):
         self._prev_round_inconsistent: set[str] = set()
         self._recovery_inflight: Optional[tuple[int, str, float, int]] = None
         self._recovery_timeout_event = None
-        self._recovery_counter = 10_000_000  # distinct id space from rounds
+        # Distinct id space from rounds (see repro.service.idspace).
+        self._recovery_ids = RequestIdAllocator(RECOVERY_ID_SPACE)
         # Per-request freshness nonces: name-salted so two servers never
         # draw the same sequence, counting so one server never reuses one.
-        self._nonce_base = (zlib.crc32(name.encode("utf-8")) & 0xFFFF) << 32
-        self._nonce_counter = 0
+        self._nonces = NonceSequence(name)
         self._departed = False
         self._rejoin_count = 0
         self._error_physics = bool(error_physics)
@@ -381,8 +382,7 @@ class TimeServer(SimProcess):
 
     def _next_nonce(self) -> int:
         """A fresh per-request nonce (name-salted counter, never reused)."""
-        self._nonce_counter += 1
-        return self._nonce_base | self._nonce_counter
+        return self._nonces.next()
 
     def _prepare_request(self, request: TimeRequest) -> TimeRequest:
         """Hook: last touch on an outgoing request (the security layer
@@ -781,8 +781,7 @@ class TimeServer(SimProcess):
             )
         if arbiter is None:
             return
-        self._recovery_counter += 1
-        request_id = self._recovery_counter
+        request_id = self._recovery_ids.allocate()
         nonce = self._next_nonce()
         self._recovery_inflight = (request_id, arbiter, self.clock_value(), nonce)
         self.recovery.note_started()

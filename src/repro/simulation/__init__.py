@@ -10,6 +10,7 @@ from .engine import PeriodicTask, SchedulingError, SimulationEngine
 from .events import Event, EventSequencer
 from .process import SimProcess
 from .rng import RngRegistry
+from .scheduler import Scheduler
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "EventSequencer",
     "PeriodicTask",
     "RngRegistry",
+    "Scheduler",
     "SchedulingError",
     "SimProcess",
     "SimulationEngine",

@@ -9,14 +9,22 @@ Time servers, clients, and reference sources are all ``SimProcess``
 subclasses.  The base class deliberately stays minimal: the paper's
 algorithms are reactive (poll timers and reply handlers), so a callback
 style fits better than coroutine-based processes.
+
+The engine is addressed through the :class:`~repro.simulation.scheduler.
+Scheduler` seam only (``now`` plus the ``schedule_*`` verbs), so the
+same process — and everything layered on it, up to the hardened and
+authenticated servers — runs unmodified on the discrete-event
+:class:`~repro.simulation.engine.SimulationEngine` or on the live
+wall-clock :class:`~repro.runtime.engine.WallClockEngine`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-from .engine import PeriodicTask, SimulationEngine
+from .engine import PeriodicTask
 from .events import Event, EventCallback
+from .scheduler import Scheduler
 
 
 class SimProcess:
@@ -24,10 +32,11 @@ class SimProcess:
 
     Attributes:
         name: Unique human-readable identifier (e.g. ``"S1"``).
-        engine: The engine driving this process.
+        engine: The engine driving this process — anything satisfying
+            the :class:`~repro.simulation.scheduler.Scheduler` seam.
     """
 
-    def __init__(self, engine: SimulationEngine, name: str) -> None:
+    def __init__(self, engine: Scheduler, name: str) -> None:
         self.engine = engine
         self.name = name
         self._started = False

@@ -1,0 +1,76 @@
+"""The clock-source seam shared by the simulator and the live runtime.
+
+Every duration the policy layers compute — poll periods, round
+deadlines, retry backoffs, quarantine cooldowns, holdover horizons,
+client attempt timeouts — flows through exactly one surface: the
+engine's ``now`` / ``schedule_*`` methods, reached via
+:class:`~repro.simulation.process.SimProcess`.  This module names that
+surface so both time axes implement it:
+
+* :class:`~repro.simulation.engine.SimulationEngine` — the discrete-event
+  axis, where ``now`` is the heap's virtual time;
+* :class:`~repro.runtime.engine.WallClockEngine` — the live axis, where
+  ``now`` is ``time.monotonic()`` against a shared epoch and deadlines
+  are armed on a wall-clock :class:`~repro.runtime.timeouts.TimeoutManager`.
+
+The audit contract (ISSUE 9, satellite 1): policy code must never read
+wall time directly, never assume ``now`` is virtual, and never do
+duration arithmetic on anything but values obtained from this seam (or
+from local clocks read *at* seam times).  ``service/hardening.py``,
+``load/client.py``, and ``holdover/controller.py`` all satisfy this —
+hardening and the resilient client take ``now`` as an argument or use
+``SimProcess.now`` / ``call_after``, and the holdover controller is a
+pure state machine fed the caller's clock readings — which is what lets
+the runtime plane run the policy core unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from .events import Event, EventCallback
+
+__all__ = ["Scheduler"]
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """What a process needs from its engine: one time axis, four verbs.
+
+    Structural (duck-typed) — both engines satisfy it without inheriting
+    from it, and ``isinstance(engine, Scheduler)`` works for seam checks
+    in tests.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time on this engine's axis, in seconds."""
+        ...
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Arm ``callback`` at absolute axis time ``time``."""
+        ...
+
+    def schedule_after(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Arm ``callback`` ``delay`` seconds from ``now``."""
+        ...
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        *,
+        first_at: Optional[float] = None,
+        label: str = "",
+        jitter: Optional[Callable[[], float]] = None,
+    ):
+        """Arm a recurring callback; returns a cancellable task handle."""
+        ...
+
+    def stop(self) -> None:
+        """Request that a running engine loop exit."""
+        ...

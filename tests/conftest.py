@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.im import IMPolicy
@@ -10,6 +12,26 @@ from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngRegistry
 
 from tests.helpers import make_mesh_service
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep the live-socket suite out of the default (tier-1) run.
+
+    ``runtime``-marked tests bind real UDP sockets and spawn node
+    subprocesses — seconds each, and sensitive to a loaded CI host.
+    They only run when asked for explicitly: ``-m runtime`` (or any
+    ``-m`` expression naming the marker) or ``REPRO_RUNTIME_TESTS=1``.
+    """
+    if os.environ.get("REPRO_RUNTIME_TESTS"):
+        return
+    if "runtime" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="runtime tests need -m runtime or REPRO_RUNTIME_TESTS=1"
+    )
+    for item in items:
+        if "runtime" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture
