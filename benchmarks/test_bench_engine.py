@@ -63,6 +63,33 @@ N_CLIENTS = 8
 QUERY_PERIOD = 0.25  # per client: 4 queries/s, two servers each
 
 
+def _merge_report(updates: dict) -> dict:
+    """Deep-merge ``updates`` into ``BENCH_engine.json`` and rewrite it.
+
+    Dict values merge recursively, anything else overwrites — so each
+    benchmark refreshes only its own workloads/keys and per-arm
+    trajectories accumulate across PRs instead of being clobbered by
+    whichever test ran last.
+    """
+
+    def merge(base: dict, extra: dict) -> dict:
+        for key, value in extra.items():
+            if isinstance(value, dict) and isinstance(base.get(key), dict):
+                merge(base[key], value)
+            else:
+                base[key] = value
+        return base
+
+    report = (
+        json.loads(BENCH_PATH.read_text())
+        if BENCH_PATH.exists()
+        else {"benchmark": "engine-throughput", "workloads": {}}
+    )
+    merge(report, updates)
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _build(arm: str, *, clients: bool):
     skews = [((-1) ** k) * DELTA * 0.8 * (k + 1) / N_SERVERS for k in range(N_SERVERS)]
     specs = [
@@ -154,7 +181,6 @@ def test_bench_engine_defense_postures(benchmark):
     sync_overhead = _overhead_pct(workloads["sync_mesh"])
 
     report = {
-        "benchmark": "engine-throughput",
         "workloads": {
             "service": {
                 "topology": f"full_mesh({N_SERVERS}) + {N_CLIENTS} client hubs",
@@ -182,7 +208,7 @@ def test_bench_engine_defense_postures(benchmark):
         "sync_overhead_pct": sync_overhead,
         "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
     }
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_report(report)
     print(f"\n[bench-engine] wrote {BENCH_PATH}")
     for workload, arms in workloads.items():
         for arm, row in arms.items():
@@ -280,18 +306,121 @@ def test_bench_engine_live_loopback(benchmark):
 
     result = benchmark.pedantic(lambda: asyncio.run(_run_live_mesh()), rounds=1)
 
-    report = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
-        "benchmark": "engine-throughput",
-        "workloads": {},
-    }
-    report.setdefault("workloads", {})["live_loopback"] = {
-        "topology": f"full_mesh({LIVE_NODES}) on UDP loopback (in-process)",
-        "policy": "mm",
-        "tau": LIVE_TAU,
-        "duration": LIVE_DURATION,
-        "arms": {"plain": result},
-    }
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_report(
+        {
+            "workloads": {
+                "live_loopback": {
+                    "topology": f"full_mesh({LIVE_NODES}) on UDP loopback (in-process)",
+                    "policy": "mm",
+                    "tau": LIVE_TAU,
+                    "duration": LIVE_DURATION,
+                    "arms": {"plain": result},
+                }
+            }
+        }
+    )
     print(f"\n[bench-engine] live_loopback/plain: "
           f"{result['events_per_sec']} events/s "
           f"({result['poll_rounds']} poll rounds in {result['wall_seconds']:.2f}s)")
+
+
+# --------------------------------------------------------------------------
+# Vectorized kernel: bulk mode on the sync_mesh workload.
+
+KERNEL_SPEEDUP_FLOOR = 10.0
+
+
+def test_bench_engine_scale_kernel(benchmark):
+    """Bulk-kernel events/sec on the sync-mesh workload (>= 10x scalar).
+
+    Same topology, specs, policy and per-horizon event ledger as the
+    ``sync_mesh``/plain arm — only the engine differs — so the ratio is a
+    pure engine speedup, tracked as ``workloads.scale_kernel``.  Two noise
+    defenses: the scalar arm is re-timed here, interleaved with the kernel
+    runs, so the ratio is a same-instant comparison immune to session
+    load; and the kernel leg runs a 10x horizon so both legs are ~1 s+ of
+    wall clock — a single scheduler preemption cannot swing the ratio.
+    """
+    from repro.kernel import build_kernel_service
+
+    kernel_horizon = 10.0 * SYNC_HORIZON
+    skews = [((-1) ** k) * DELTA * 0.8 * (k + 1) / N_SERVERS for k in range(N_SERVERS)]
+    specs = [
+        ServerSpec(name=f"S{k + 1}", delta=DELTA, skew=skews[k])
+        for k in range(N_SERVERS)
+    ]
+
+    def kernel_run():
+        return build_kernel_service(
+            full_mesh(N_SERVERS),
+            specs,
+            policy=MMPolicy(),
+            tau=TAU,
+            seed=SEED,
+            lan_delay=UniformDelay(ONE_WAY),
+            mode="bulk",
+            trace_enabled=False,
+        )
+
+    def run_best() -> dict:
+        best = {}
+        for _ in range(REPEATS):
+            legs = {
+                "scalar_plain": (_build("plain", clients=False), SYNC_HORIZON),
+                "bulk": (kernel_run(), kernel_horizon),
+            }
+            for leg, (service, horizon) in legs.items():
+                start = time.perf_counter()
+                service.run_until(horizon)
+                wall = time.perf_counter() - start
+                events = getattr(
+                    service, "engine", service
+                ).events_processed
+                assert service.snapshot().all_correct, f"{leg}: mesh diverged"
+                if leg not in best or wall < best[leg]["wall_seconds"]:
+                    best[leg] = {
+                        "wall_seconds": round(wall, 6),
+                        "events": events,
+                        "horizon": horizon,
+                        "events_per_sec": round(events / wall, 1),
+                    }
+        return best
+
+    arms = benchmark.pedantic(run_best, rounds=1)
+    bulk, scalar = arms["bulk"], arms["scalar_plain"]
+    speedup = bulk["events_per_sec"] / scalar["events_per_sec"]
+
+    # Ledger parity on the *matched* horizon: same rounds, same deliveries.
+    short = kernel_run()
+    short.run_until(SYNC_HORIZON)
+    assert short.events_processed == scalar["events"], (
+        f"kernel event ledger diverged: "
+        f"{short.events_processed} != {scalar['events']}"
+    )
+
+    _merge_report(
+        {
+            "workloads": {
+                "scale_kernel": {
+                    "topology": f"full_mesh({N_SERVERS})",
+                    "policy": "mm",
+                    "engine": "kernel-bulk",
+                    "tau": TAU,
+                    "delta": DELTA,
+                    "one_way": ONE_WAY,
+                    "seed": SEED,
+                    "arms": arms,
+                    "speedup_vs_scalar": round(speedup, 2),
+                }
+            }
+        }
+    )
+    print(
+        f"\n[bench-engine] scale_kernel/bulk: {bulk['events_per_sec']} "
+        f"events/s ({speedup:.1f}x the scalar plain arm's "
+        f"{scalar['events_per_sec']} events/s, same instant)"
+    )
+    assert speedup >= KERNEL_SPEEDUP_FLOOR, (
+        f"bulk kernel is only {speedup:.1f}x the scalar engine "
+        f"(floor {KERNEL_SPEEDUP_FLOOR}x)"
+    )

@@ -54,6 +54,7 @@ from .experiments import (
     overhead,
     partition,
     quantization,
+    scale_gauntlet,
     tenfold,
     theorem4,
     topology_study,
@@ -107,6 +108,7 @@ EXPERIMENTS = {
     "blackout-gauntlet": blackout_gauntlet.main,
     "mitm-gauntlet": mitm_gauntlet.main,
     "live-gauntlet": live_gauntlet.main,
+    "scale-gauntlet": scale_gauntlet.main,
 }
 
 
@@ -524,6 +526,137 @@ def cmd_dynamic_gauntlet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_scale_gauntlet(args: argparse.Namespace) -> int:
+    """The ``scale-gauntlet`` subcommand: MM vs IM at 1k–50k servers."""
+    if not args.sizes or any(size < 1 for size in args.sizes):
+        print("scale-gauntlet: --sizes must be positive", file=sys.stderr)
+        return 2
+    if args.shards < 1 or args.processes < 0:
+        print(
+            "scale-gauntlet: --shards must be >= 1 and --processes >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    ok = scale_gauntlet.main(
+        sizes=args.sizes,
+        seeds=args.seeds,
+        shards=args.shards,
+        processes=args.processes,
+        tau=args.tau,
+        cycles=args.cycles,
+        json_path=args.json,
+    )
+    return 0 if ok else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: cProfile a seeded figure-1 workload.
+
+    Runs the scalar engine on the benchmark mesh so kernel speedups are
+    attributable function by function; prints the top-N hot functions and
+    optionally writes them as JSON.
+    """
+    import cProfile
+    import json as json_module
+    import pstats
+
+    if args.servers < 2 or args.horizon <= 0 or args.tau <= 0:
+        print(
+            "profile: need --servers >= 2 and positive --horizon/--tau",
+            file=sys.stderr,
+        )
+        return 2
+    policy = POLICIES[args.policy]()
+    specs = [
+        ServerSpec(
+            name=f"S{k + 1}",
+            delta=1e-5,
+            skew=((-1) ** k) * 1e-5 * 0.8 * (k + 1) / args.servers,
+            initial_error=0.002 + 0.001 * k,
+        )
+        for k in range(args.servers)
+    ]
+    service = build_service(
+        full_mesh(args.servers),
+        specs,
+        policy=policy,
+        tau=args.tau,
+        seed=args.seed,
+        lan_delay=UniformDelay(0.01),
+        trace_enabled=False,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    service.run_until(args.horizon)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    total_time = sum(row[2] for row in stats.stats.values())
+    rows = []
+    for (filename, lineno, funcname), (
+        ncalls,
+        _primitive,
+        tottime,
+        cumtime,
+        _callers,
+    ) in sorted(stats.stats.items(), key=lambda item: -item[1][2]):
+        rows.append(
+            {
+                "function": funcname,
+                "location": f"{os.path.basename(filename)}:{lineno}",
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+                "tottime_pct": round(100.0 * tottime / total_time, 2)
+                if total_time
+                else 0.0,
+            }
+        )
+        if len(rows) >= args.top:
+            break
+    events = service.engine.events_processed
+    print(
+        f"profile: {args.policy.upper()} full_mesh({args.servers}), "
+        f"τ={args.tau:g}s, horizon {args.horizon:g}s, seed {args.seed} — "
+        f"{events} events, {total_time:.3f}s profiled"
+    )
+    print(
+        render_table(
+            ["function", "location", "ncalls", "tottime", "cumtime", "tot%"],
+            [
+                [
+                    row["function"],
+                    row["location"],
+                    row["ncalls"],
+                    f"{row['tottime']:.4f}",
+                    f"{row['cumtime']:.4f}",
+                    f"{row['tottime_pct']:.1f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    if args.json:
+        report = {
+            "workload": {
+                "policy": args.policy.upper(),
+                "servers": args.servers,
+                "tau": args.tau,
+                "horizon": args.horizon,
+                "seed": args.seed,
+                "events": events,
+            },
+            "total_profiled_seconds": round(total_time, 6),
+            "hot_functions": rows,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: map the steady-state response surface."""
     from .sweeps import ParameterGrid, mesh_steady_state, run_sweep
@@ -767,6 +900,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write each node's Prometheus snapshot into "
                            "DIR/<arm>/<node>.prom (the nightly soak artefact)")
     live.set_defaults(func=cmd_live_gauntlet)
+
+    scl = sub.add_parser(
+        "scale-gauntlet",
+        help="vectorized kernel at scale: MM vs IM stratum hierarchies at "
+             "1k-50k servers, per-stratum Lemma 1 growth, Theorem 8 "
+             "comparison, neighbour-interval census",
+    )
+    scl.add_argument("--sizes", type=int, nargs="+", default=[1000, 10000],
+                     help="stratum-hierarchy server counts to run")
+    scl.add_argument("--seeds", type=int, nargs="+", default=[0],
+                     help="seeds to run (each runs MM and IM per size)")
+    scl.add_argument("--shards", type=int, default=4,
+                     help="topology shards for the bulk kernel")
+    scl.add_argument("--processes", type=int, default=0,
+                     help="worker processes (0 = advance shards in-process)")
+    scl.add_argument("--tau", type=float, default=60.0,
+                     help="poll period, simulated seconds")
+    scl.add_argument("--cycles", type=int, default=8,
+                     help="poll cycles to simulate per run")
+    scl.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the JSON report here (CI artefact)")
+    scl.set_defaults(func=cmd_scale_gauntlet)
+
+    prf = sub.add_parser(
+        "profile",
+        help="cProfile a seeded figure-1 workload on the scalar engine and "
+             "report the top-N hot functions (JSON optional)",
+    )
+    prf.add_argument("--servers", type=int, default=8,
+                     help="full-mesh size (the benchmark workload)")
+    prf.add_argument("--policy", default="mm", choices=sorted(POLICIES),
+                     help="synchronization policy to profile")
+    prf.add_argument("--tau", type=float, default=10.0,
+                     help="poll period, simulated seconds")
+    prf.add_argument("--horizon", type=float, default=3600.0,
+                     help="simulated seconds to run under the profiler")
+    prf.add_argument("--seed", type=int, default=0,
+                     help="RNG registry seed")
+    prf.add_argument("--top", type=int, default=15,
+                     help="number of hot functions to report")
+    prf.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the profile report here")
+    prf.set_defaults(func=cmd_profile)
 
     swp = sub.add_parser("sweep", help="steady-state parameter sweep")
     swp.add_argument("--policies", nargs="+", default=["MM", "IM"],

@@ -27,6 +27,7 @@ from . import (
     overhead,
     partition,
     quantization,
+    scale_gauntlet,
     scenarios,
     tenfold,
     theorem4,
@@ -56,6 +57,7 @@ __all__ = [
     "overhead",
     "partition",
     "quantization",
+    "scale_gauntlet",
     "scenarios",
     "tenfold",
     "theorem4",

@@ -1,0 +1,204 @@
+"""Vectorized Marzullo endpoint sweep over stacked interval rows.
+
+The scalar sweep in :mod:`repro.core.marzullo` processes one list of
+:class:`~repro.core.intervals.TimeInterval` at a time; at 10k+ servers the
+per-round "which neighbour intervals overlap" questions become thousands of
+independent sweeps, which is exactly the shape numpy wants: a dense
+``(rows, k)`` batch of interval edges, one sweep per row, all rows at once.
+
+Bit-equivalence with the scalar oracle is a hard requirement (the
+differential suite in ``tests/test_kernel_equivalence.py`` enforces it), so
+the kernel replays the scalar algorithm's decisions exactly:
+
+* events are the ``2k`` endpoints per row, kind 0 for an opening (trailing)
+  edge and kind 1 for a closing (leading) edge;
+* ``np.lexsort((kinds, offsets))`` reproduces Python's tuple sort of
+  ``(offset, kind)`` — opens before closes at equal offsets, so touching
+  intervals count as overlapping, matching the paper's ``<=`` consistency;
+* the best region starts at the *first* opening event whose running count
+  reaches the row's maximum (``np.argmax`` returns the first hit, exactly
+  the scalar loop's "update only on ``count > best``" behaviour) and ends at
+  the next sorted event.
+
+Ragged rows (servers with different degrees) cannot be handled by padding —
+a padded open at ``+inf`` re-raises the running count after every real
+interval has closed and can beat the true best region.  The ragged wrapper
+therefore buckets rows by their valid count and runs the dense kernel once
+per bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.intervals import TimeInterval
+
+__all__ = [
+    "MarzulloBatch",
+    "marzullo_vec",
+    "intersect_tolerating_vec",
+    "stack_intervals",
+]
+
+
+@dataclass(frozen=True)
+class MarzulloBatch:
+    """Per-row sweep results for a batch of interval rows.
+
+    Attributes:
+        lo: ``(rows,)`` trailing edge of each row's best region.
+        hi: ``(rows,)`` leading edge of each row's best region.
+        count: ``(rows,)`` maximum number of source intervals sharing a
+            point, per row.
+        ok: ``(rows,)`` tolerance verdicts — all True from
+            :func:`marzullo_vec`, thresholded by
+            :func:`intersect_tolerating_vec`.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    count: np.ndarray
+    ok: np.ndarray
+
+    def interval(self, row: int) -> TimeInterval:
+        """Row ``row``'s best region as a :class:`TimeInterval`."""
+        return TimeInterval(float(self.lo[row]), float(self.hi[row]))
+
+
+def _validate_edges(lo: np.ndarray, hi: np.ndarray, valid: Optional[np.ndarray]) -> None:
+    mask = np.ones(lo.shape, dtype=bool) if valid is None else valid
+    if np.isnan(lo[mask]).any() or np.isnan(hi[mask]).any():
+        raise ValueError("interval edges must not be NaN")
+    if (lo[mask] > hi[mask]).any():
+        raise ValueError("interval trailing edge exceeds leading edge")
+
+
+def _sweep_dense(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The endpoint sweep over a dense ``(rows, k)`` batch, ``k >= 1``."""
+    rows, k = lo.shape
+    offsets = np.concatenate([lo, hi], axis=1)
+    kinds = np.concatenate(
+        [np.zeros((rows, k), dtype=np.int8), np.ones((rows, k), dtype=np.int8)],
+        axis=1,
+    )
+    # Primary key offsets, secondary key kind: the tuple sort of the scalar
+    # sweep.  lexsort is stable, and fully-tied events are interchangeable.
+    order = np.lexsort((kinds, offsets))
+    srt_off = np.take_along_axis(offsets, order, axis=1)
+    srt_kind = np.take_along_axis(kinds, order, axis=1)
+    counts = np.cumsum(1 - 2 * srt_kind.astype(np.int64), axis=1)
+    open_counts = np.where(srt_kind == 0, counts, -1)
+    best = open_counts.max(axis=1)
+    pos = np.argmax(open_counts == best[:, None], axis=1)
+    rows_idx = np.arange(rows)
+    best_lo = srt_off[rows_idx, pos]
+    # The last sorted event is always a close (the maximum offset belongs to
+    # some leading edge, and ties sort opens first), so pos + 1 is in range.
+    best_hi = srt_off[rows_idx, pos + 1]
+    return best_lo, best_hi, best
+
+
+def marzullo_vec(
+    lo: np.ndarray, hi: np.ndarray, valid: Optional[np.ndarray] = None
+) -> MarzulloBatch:
+    """Batched endpoint sweep: one scalar-``marzullo()`` per row.
+
+    Args:
+        lo: ``(rows, k)`` trailing edges.
+        hi: ``(rows, k)`` leading edges.
+        valid: Optional ``(rows, k)`` bool mask for ragged rows; every row
+            must keep at least one valid interval.
+
+    Returns:
+        A :class:`MarzulloBatch` with the per-row best region and count.
+
+    Raises:
+        ValueError: On empty input, NaN edges, an inverted interval, or a
+            row with no valid interval — mirroring the scalar oracle's
+            :class:`TimeInterval` construction and empty-input errors.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if lo.ndim != 2 or lo.shape != hi.shape or lo.shape[1] == 0:
+        raise ValueError("marzullo_vec() needs matching (rows, k>=1) edge arrays")
+    if valid is not None:
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != lo.shape:
+            raise ValueError("valid mask shape must match the edge arrays")
+        if not valid.any(axis=1).all():
+            raise ValueError("marzullo_vec() row with no valid interval")
+    _validate_edges(lo, hi, valid)
+
+    rows, k = lo.shape
+    best_lo = np.empty(rows)
+    best_hi = np.empty(rows)
+    count = np.empty(rows, dtype=np.int64)
+    if valid is None or valid.all():
+        best_lo, best_hi, count = _sweep_dense(lo, hi)
+    else:
+        # Bucket rows by valid count; padding cannot express "absent".
+        per_row = valid.sum(axis=1)
+        for c in np.unique(per_row):
+            rows_c = np.flatnonzero(per_row == c)
+            sel = valid[rows_c]
+            sub_lo = lo[rows_c][sel].reshape(len(rows_c), int(c))
+            sub_hi = hi[rows_c][sel].reshape(len(rows_c), int(c))
+            b_lo, b_hi, b_n = _sweep_dense(sub_lo, sub_hi)
+            best_lo[rows_c] = b_lo
+            best_hi[rows_c] = b_hi
+            count[rows_c] = b_n
+    return MarzulloBatch(best_lo, best_hi, count, np.ones(rows, dtype=bool))
+
+
+def intersect_tolerating_vec(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    faults: int,
+    valid: Optional[np.ndarray] = None,
+) -> MarzulloBatch:
+    """Batched ``f``-fault-tolerant intersection.
+
+    Per row: the sweep result with ``ok = count >= k_valid - faults`` — the
+    vector twin of :func:`repro.core.marzullo.intersect_tolerating`, whose
+    ``None`` return corresponds to ``ok == False`` here.
+
+    Raises:
+        ValueError: If ``faults`` is negative, or on any condition
+            :func:`marzullo_vec` rejects.
+    """
+    if faults < 0:
+        raise ValueError(f"faults must be non-negative, got {faults}")
+    batch = marzullo_vec(lo, hi, valid)
+    k = lo.shape[1] if valid is None else None
+    per_row = (
+        np.full(batch.count.shape, k, dtype=np.int64)
+        if valid is None
+        else np.asarray(valid, dtype=bool).sum(axis=1)
+    )
+    ok = batch.count >= per_row - faults
+    return MarzulloBatch(batch.lo, batch.hi, batch.count, ok)
+
+
+def stack_intervals(
+    rows: Sequence[Sequence[TimeInterval]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad a ragged list of interval lists into ``(lo, hi, valid)`` arrays.
+
+    Padded slots carry inert zero edges and ``valid=False``; feed the mask
+    to :func:`marzullo_vec` / :func:`intersect_tolerating_vec`.
+    """
+    if not rows or any(not row for row in rows):
+        raise ValueError("stack_intervals() needs non-empty interval rows")
+    k = max(len(row) for row in rows)
+    lo = np.zeros((len(rows), k))
+    hi = np.zeros((len(rows), k))
+    valid = np.zeros((len(rows), k), dtype=bool)
+    for i, row in enumerate(rows):
+        for j, interval in enumerate(row):
+            lo[i, j] = interval.lo
+            hi[i, j] = interval.hi
+            valid[i, j] = True
+    return lo, hi, valid

@@ -1,0 +1,793 @@
+"""Bulk mode: vectorized per-cycle shards with conservative-lookahead sync.
+
+This is the scale arm of the kernel.  The topology's servers (sorted by
+name) are split into contiguous shards; each shard advances one full poll
+cycle at a time as numpy array phases over all of its servers, and shards
+exchange boundary state at cycle barriers.
+
+**Round semantics (Jacobi).**  Within a cycle, every answer a server gives
+is computed from the answering server's *cycle-start* committed state.  The
+heap engine interleaves rounds (an answerer that reset milliseconds ago
+answers with its new state); bulk mode freezes the answer basis at the
+cycle barrier so all ``n`` rounds of a cycle are data-parallel.  The
+polling server's own round is still processed faithfully: MM replies apply
+in arrival order with each accepted reset visible to later replies of the
+same round, IM rounds age and intersect exactly as rule IM-2 prescribes
+(via :func:`repro.kernel.batch.im2_round`).  Answers lag by at most one
+round — bounded by the same ``(1 + δ)·ξ`` slack rule MM-2 already charges —
+so correctness properties are preserved while exactness is mode
+``"exact"``'s job (see ``docs/kernel.md``).
+
+**Lookahead safety.**  A cycle-``c`` round polls at ``phase + c·τ`` and
+closes by ``phase + c·τ + 2·bound``.  A shard may therefore advance its
+cycle ``c`` independently once it holds neighbours' cycle-start state: no
+message generated in cycle ``c`` can influence another cycle-``c`` answer
+basis, and the barrier exchanges exactly the state the next cycle needs.
+This is the classic conservative-lookahead argument with the minimum link
+delay ξ as the safe horizon, specialised to the round structure: the
+lookahead window is a whole cycle, not just ``ξ``.
+
+**Determinism across shard counts.**  Each server draws its cycle delays
+from its own ``kernel/{name}`` stream (2·deg uniforms per cycle: request
+legs to sorted neighbours, then reply legs), so the draw sequence is a
+function of (seed, name, degree) only — never of the partition.  Combined
+with the Jacobi answer basis and blockwise trace merging
+(:func:`repro.kernel.sync.merge_rows`), a 1-shard and an N-shard run of the
+same seed produce identical traces and state digests; the regression suite
+asserts it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..service.builder import ServiceSnapshot
+from ..service.server import ServerStats
+from ..simulation.rng import RngRegistry
+from ..simulation.trace import TraceRecord
+from .batch import SELF_SLOT, im2_round
+from .engine import KernelConfig, KernelPlan, plan_kernel
+from .sync import TaggedRow, merge_rows, state_digest
+
+__all__ = [
+    "partition_names",
+    "ShardedKernelService",
+]
+
+_STAT_FIELDS = (
+    "rounds",
+    "replies_handled",
+    "resets",
+    "rejects",
+    "inconsistencies",
+    "requests_answered",
+)
+
+
+def partition_names(names: Sequence[str], shards: int) -> List[List[str]]:
+    """Split sorted server names into ``shards`` contiguous blocks."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, len(names))
+    bounds = np.linspace(0, len(names), shards + 1).astype(int)
+    return [list(names[bounds[s] : bounds[s + 1]]) for s in range(shards)]
+
+
+def _shard_metadata(plan: KernelPlan, shards: int):
+    """Per-shard (local, halo, border) name lists, identical in parent and
+    workers (both derive it from the plan)."""
+    blocks = partition_names(plan.names, shards)
+    halos: List[List[str]] = []
+    borders: List[List[str]] = []
+    for block in blocks:
+        local = set(block)
+        halo = set()
+        border = set()
+        for name in block:
+            for nbr in plan.neighbours[plan.index[name]]:
+                if nbr not in local:
+                    halo.add(nbr)
+                    border.add(name)
+        halos.append(sorted(halo))
+        borders.append(sorted(border))
+    return blocks, halos, borders
+
+
+class _BulkShard:
+    """One shard's state and per-cycle vectorized round processing."""
+
+    def __init__(self, plan: KernelPlan, shard_index: int, shards: int) -> None:
+        self.plan = plan
+        blocks, halos, borders = _shard_metadata(plan, shards)
+        self.local_names = blocks[shard_index]
+        self.halo_names = halos[shard_index]
+        local_pos = {name: i for i, name in enumerate(self.local_names)}
+        self._border_local_idx = np.array(
+            [local_pos[name] for name in borders[shard_index]], dtype=np.int64
+        )
+        m = len(self.local_names)
+        self._m = m
+        rank = plan.index
+        self._ranks = np.array([rank[name] for name in self.local_names], dtype=np.int64)
+        comb_names = self.local_names + self.halo_names
+        comb_pos = {name: i for i, name in enumerate(comb_names)}
+        self._nbr_names: List[List[str]] = [
+            plan.neighbours[rank[name]] for name in self.local_names
+        ]
+        self.deg = np.array([len(nbrs) for nbrs in self._nbr_names], dtype=np.int64)
+        self._max_deg = int(self.deg.max()) if m else 0
+        D = self._max_deg
+        self._nbr_idx = np.zeros((m, D), dtype=np.int64)
+        self._valid = np.zeros((m, D), dtype=bool)
+        for i, nbrs in enumerate(self._nbr_names):
+            for q, nbr in enumerate(nbrs):
+                self._nbr_idx[i, q] = comb_pos[nbr]
+                self._valid[i, q] = True
+        # Per-cycle invariants, hoisted: row indices for gather-by-arrival
+        # (``arr[rows, order]``), slot validity in arrival-rank order (the
+        # first deg[i] ranks of a row are real replies), and drift factors.
+        self._row_idx = np.arange(m)[:, None]
+        self._valid_rank = np.arange(D)[None, :] < self.deg[:, None]
+        self._invalid_rank = ~self._valid_rank
+        # Per-slot outcome buffers: stats arithmetic runs once per cycle
+        # over (D, m) instead of five int ops per slot.
+        self._cons_buf = np.zeros((D, m), dtype=bool)
+        self._acc_buf = np.zeros((D, m), dtype=bool)
+        self._empty_border = np.zeros((4, 0))
+        # Static per-server rates (local view and combined answer-table view).
+        self.skew = np.array([plan.skews[rank[n]] for n in self.local_names])
+        self.delta = np.array([plan.deltas[rank[n]] for n in self.local_names])
+        self._one_skew = 1.0 + self.skew
+        self._one_delta = 1.0 + self.delta
+        self._comb_skew = np.array([plan.skews[rank[n]] for n in comb_names])
+        self._comb_delta = np.array([plan.deltas[rank[n]] for n in comb_names])
+        # Mutable clock/error state (DriftingClock segments + MM-1 terms).
+        self.seg_start = np.zeros(m)
+        self.seg_value = np.zeros(m)
+        self.eps = np.array([plan.initial_errors[rank[n]] for n in self.local_names])
+        self.r = np.zeros(m)
+        self.poll_t = np.array([plan.phases[rank[n]] for n in self.local_names])
+        self.stats = np.zeros((len(_STAT_FIELDS), m), dtype=np.int64)
+        self.cycle = 0
+        # Per-server delay streams, block-prefetched: row c of a block is
+        # cycle c's 2·deg draws (request legs to sorted neighbours first,
+        # then reply legs) — shard-count-invariant by construction.
+        registry = RngRegistry(seed=plan.seed)
+        self._gens = [
+            registry.stream(f"kernel/{name}") for name in self.local_names
+        ]
+        self._block_len = plan.prefetch_cycles
+        self._blocks: List[Optional[np.ndarray]] = [None] * m
+        # Uniform-degree fast path: stack the per-server blocks into one
+        # (block_len, m, 2D) array at refill so the per-cycle draw is two
+        # slices instead of an m-iteration Python loop.  The draws (and
+        # their per-server stream order) are identical either way.
+        self._uniform_deg = bool(m) and D > 0 and bool((self.deg == D).all())
+        self._stacked_block: Optional[np.ndarray] = None
+        self._cursor = self._block_len  # force refill on first cycle
+        lo, hi = plan.delay_min, plan.delay_bound
+        self._delay_args = (lo, hi)
+
+    # ---------------------------------------------------------------- drawing
+
+    def _draw_cycle(self) -> Tuple[np.ndarray, np.ndarray]:
+        m, D = self._m, self._max_deg
+        if self._cursor >= self._block_len:
+            lo, hi = self._delay_args
+            if self._uniform_deg:
+                block = np.empty((self._block_len, m, 2 * D))
+                for i in range(m):
+                    block[:, i, :] = self._gens[i].uniform(
+                        lo, hi, size=(self._block_len, 2 * D)
+                    )
+                self._stacked_block = block
+            else:
+                for i in range(m):
+                    d = int(self.deg[i])
+                    if d:
+                        self._blocks[i] = self._gens[i].uniform(
+                            lo, hi, size=(self._block_len, 2 * d)
+                        )
+            self._cursor = 0
+        if self._uniform_deg:
+            row = self._stacked_block[self._cursor]
+            self._cursor += 1
+            return row[:, :D], row[:, D:]
+        d1 = np.zeros((m, D))
+        d2 = np.zeros((m, D))
+        for i in range(m):
+            d = int(self.deg[i])
+            if d:
+                row = self._blocks[i][self._cursor]
+                d1[i, :d] = row[:d]
+                d2[i, :d] = row[d:]
+        self._cursor += 1
+        return d1, d2
+
+    # -------------------------------------------------------------- answering
+
+    def _answers(
+        self, snap: Tuple[np.ndarray, ...], idx: np.ndarray, at: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rule MM-1 ``<C_j, E_j>`` from the cycle-start snapshot table."""
+        seg_start, seg_value, eps, r = snap
+        value = seg_value[idx] + (at - seg_start[idx]) * (1.0 + self._comb_skew[idx])
+        error = eps[idx] + np.maximum(0.0, value - r[idx]) * self._comb_delta[idx]
+        return value, error
+
+    def _read_local(self, rows: np.ndarray, at: np.ndarray) -> np.ndarray:
+        return self.seg_value[rows] + (at - self.seg_start[rows]) * (
+            1.0 + self.skew[rows]
+        )
+
+    # ------------------------------------------------------------- round math
+
+    def step_cycle(
+        self, halo_state: np.ndarray
+    ) -> Tuple[np.ndarray, List[TaggedRow], int]:
+        """Advance every local server one poll round.
+
+        Args:
+            halo_state: ``(4, n_halo)`` cycle-start state of halo servers
+                (seg_start, seg_value, eps, r rows).
+
+        Returns:
+            ``(border_state, tagged_rows, events)`` where ``border_state``
+            holds the *whole local block*'s post-cycle state ``(4, m)`` —
+            the parent selects border columns — actually only border
+            columns, see :meth:`border_state`; events counts one poll plus
+            two deliveries per reply, matching the heap engine's ledger.
+        """
+        plan = self.plan
+        m, D = self._m, self._max_deg
+        if halo_state.shape[1]:
+            snap = (
+                np.concatenate([self.seg_start, halo_state[0]]),
+                np.concatenate([self.seg_value, halo_state[1]]),
+                np.concatenate([self.eps, halo_state[2]]),
+                np.concatenate([self.r, halo_state[3]]),
+            )
+        else:
+            # Copies, not views: rounds mutate the live arrays in place and
+            # answers must come from the cycle-start snapshot.
+            snap = (
+                self.seg_start.copy(),
+                self.seg_value.copy(),
+                self.eps.copy(),
+                self.r.copy(),
+            )
+        d1, d2 = self._draw_cycle()
+        ta = self.poll_t[:, None] + d1
+        tb = ta + d2
+        tb_key = np.where(self._valid, tb, np.inf)
+        sent_local = self.seg_value + (self.poll_t - self.seg_start) * (1.0 + self.skew)
+        rows_out: List[TaggedRow] = []
+        self.stats[0] += 1  # rounds
+        self.stats[1] += self.deg  # replies_handled
+        self.stats[5] += self.deg  # requests_answered (each neighbour polls once)
+        events = int(m + 2 * self.deg.sum())
+        if D:
+            order = np.argsort(tb_key, axis=1, kind="stable")
+            if plan.flags.kind == "mm":
+                self._step_mm(snap, ta, tb_key, order, sent_local, rows_out)
+            else:
+                self._step_im(snap, ta, tb_key, order, sent_local, rows_out)
+        if plan.flags.kind == "im":
+            self._step_im_isolated(sent_local, rows_out)
+        self.poll_t = self.poll_t + plan.tau  # repeated addition, like PeriodicTask
+        self.cycle += 1
+        return self.border_state(), rows_out, events
+
+    def _step_mm(
+        self,
+        snap: Tuple[np.ndarray, ...],
+        ta: np.ndarray,
+        tb_key: np.ndarray,
+        order: np.ndarray,
+        sent_local: np.ndarray,
+        rows_out: List[TaggedRow],
+    ) -> None:
+        """Rule MM-2 in arrival order, one arrival rank per pass.
+
+        Resets land in-place, so later arrivals of the same round see them —
+        the only intra-round sequencing MM needs.  Everything that does not
+        depend on mid-round resets (the answers, the arrival ordering) is
+        computed for all slots up front; the per-slot pass touches whole
+        ``(m,)`` columns with no fancy indexing, which is what keeps the
+        per-cycle Python overhead flat in the server count.
+        """
+        flags = self.plan.flags
+        trace = self.plan.trace_enabled
+        cycle = self.cycle
+        m, D = self._m, self._max_deg
+        rows2 = self._row_idx
+        ta_o = ta[rows2, order]
+        tb_o = tb_key[rows2, order]
+        np.copyto(tb_o, self.poll_t[:, None], where=self._invalid_rank)
+        idx_o = self._nbr_idx[rows2, order]
+        flat_v, flat_e = self._answers(snap, idx_o.reshape(-1), ta_o.reshape(-1))
+        vj_o = flat_v.reshape(m, D)
+        ej_o = flat_e.reshape(m, D)
+        # Snapshot-only quantities are slot-independent; hoist them.  The
+        # transit leading edge stays ``(C_j + E_j) + (1+δ)·ξ`` left-assoc.
+        vj_hi_o = vj_o + ej_o
+        vj_lo_o = vj_o - ej_o
+        valid_o = self._valid_rank
+        one_skew = self._one_skew
+        one_delta = self._one_delta
+        inflate = flags.inflate_rtt
+        strict = flags.strict_improvement
+        names_o = None
+        if trace:
+            names_o = [
+                [self._nbr_names[i][order[i, s]] for s in range(int(self.deg[i]))]
+                for i in range(m)
+            ]
+        for s in range(D):
+            active = valid_o[:, s]
+            tb_s = tb_o[:, s]
+            vj = vj_o[:, s]
+            ej = ej_o[:, s]
+            local_now = self.seg_value + (tb_s - self.seg_start) * one_skew
+            rtt = np.maximum(0.0, local_now - sent_local)
+            state_err = self.eps + np.maximum(0.0, local_now - self.r) * self.delta
+            infl = one_delta * rtt
+            transit_hi = vj_hi_o[:, s] + infl
+            consistent = ((local_now - state_err) <= transit_hi) & (
+                vj_lo_o[:, s] <= (local_now + state_err)
+            )
+            candidate = ej + (infl if inflate else rtt)
+            if strict:
+                improves = candidate < state_err
+            else:
+                improves = candidate <= state_err
+            cons_active = np.logical_and(active, consistent, out=self._cons_buf[s])
+            accepted = np.logical_and(cons_active, improves, out=self._acc_buf[s])
+            np.copyto(self.seg_start, tb_s, where=accepted)
+            np.copyto(self.seg_value, vj, where=accepted)
+            np.copyto(self.r, vj, where=accepted)
+            np.copyto(self.eps, candidate, where=accepted)
+            if trace:
+                for i in np.flatnonzero(active):
+                    name = self.local_names[i]
+                    dest = names_o[i][s]
+                    rank = int(self._ranks[i])
+                    t = float(tb_s[i])
+                    if not consistent[i]:
+                        record = TraceRecord(t, "inconsistent", name, {"conflicting": dest})
+                    elif accepted[i]:
+                        record = TraceRecord(
+                            t,
+                            "reset",
+                            name,
+                            {
+                                "from_server": dest,
+                                "new_value": float(vj[i]),
+                                "new_error": float(candidate[i]),
+                                "reset_kind": "sync",
+                            },
+                        )
+                    else:
+                        record = TraceRecord(t, "reject", name, {"server": dest})
+                    rows_out.append((cycle, rank, s, record))
+        acc_sum = self._acc_buf.sum(axis=0)
+        cons_sum = self._cons_buf.sum(axis=0)
+        self.stats[2] += acc_sum  # resets
+        self.stats[3] += cons_sum - acc_sum  # rejects (consistent, no gain)
+        self.stats[4] += self.deg - cons_sum  # inconsistencies
+
+    def _step_im(
+        self,
+        snap: Tuple[np.ndarray, ...],
+        ta: np.ndarray,
+        tb_key: np.ndarray,
+        order: np.ndarray,
+        sent_local: np.ndarray,
+        rows_out: List[TaggedRow],
+    ) -> None:
+        """Rule IM-2: collect the round, age to its close, intersect."""
+        flags = self.plan.flags
+        rp = np.flatnonzero(self.deg > 0)
+        if not rp.size:
+            return
+        deg_rp = self.deg[rp]
+        rp_col = rp[:, None]
+        order_rp = order[rp]
+        ta_o = ta[rp_col, order_rp]
+        tb_o = tb_key[rp_col, order_rp]
+        idx_o = self._nbr_idx[rp_col, order_rp]
+        D = self._max_deg
+        valid_o = self._valid_rank[rp]
+        tb_o = np.where(valid_o, tb_o, self.poll_t[rp][:, None])  # keep finite
+        k_rows = np.arange(rp.size)
+        value_j, error_j = self._answers(
+            snap, idx_o.reshape(-1), ta_o.reshape(-1)
+        )
+        value_j = value_j.reshape(rp.size, D)
+        error_j = error_j.reshape(rp.size, D)
+        local_at = self.seg_value[rp][:, None] + (
+            tb_o - self.seg_start[rp][:, None]
+        ) * (1.0 + self.skew[rp][:, None])
+        rtt = np.maximum(0.0, local_at - sent_local[rp][:, None])
+        t_close = tb_o[k_rows, deg_rp - 1]
+        local_close = self._read_local(rp, t_close)
+        elapsed = np.maximum(0.0, local_close[:, None] - local_at)
+        aged_value = value_j + elapsed
+        aged_error = error_j + self.delta[rp][:, None] * elapsed
+        state_err = self.eps[rp] + np.maximum(
+            0.0, local_close - self.r[rp]
+        ) * self.delta[rp]
+        outcome = im2_round(
+            local_close,
+            state_err,
+            self.delta[rp],
+            aged_value,
+            aged_error,
+            rtt,
+            valid_o,
+            include_self=flags.include_self,
+            widen_both_edges=flags.widen_both_edges,
+            reset_to=flags.reset_to,
+            allow_point_intersection=flags.allow_point_intersection,
+        )
+        good = outcome.consistent
+        hit = rp[good]
+        self.seg_start[hit] = t_close[good]
+        self.seg_value[hit] = outcome.new_value[good]
+        self.r[hit] = outcome.new_value[good]
+        self.eps[hit] = outcome.new_error[good]
+        self.stats[2, hit] += 1
+        self.stats[4, rp[~good]] += 1
+        if self.plan.trace_enabled:
+            cycle = self.cycle
+            arrival_names = [
+                [self._nbr_names[i][order[i, s]] for s in range(int(self.deg[i]))]
+                for i in rp
+            ]
+
+            def slot_name(k: int, slot: int) -> str:
+                return "self" if slot == SELF_SLOT else arrival_names[k][slot]
+
+            for k, i in enumerate(rp):
+                name = self.local_names[i]
+                rank = int(self._ranks[i])
+                a_name = slot_name(k, int(outcome.a_slot[k]))
+                b_name = slot_name(k, int(outcome.b_slot[k]))
+                source = a_name if a_name == b_name else f"{a_name}∩{b_name}"
+                t = float(t_close[k])
+                if good[k]:
+                    record = TraceRecord(
+                        t,
+                        "reset",
+                        name,
+                        {
+                            "from_server": source,
+                            "new_value": float(outcome.new_value[k]),
+                            "new_error": float(outcome.new_error[k]),
+                            "reset_kind": "sync",
+                        },
+                    )
+                else:
+                    conflicting = ",".join(
+                        n for n in source.split("∩") if n != "self"
+                    )
+                    record = TraceRecord(
+                        t, "inconsistent", name, {"conflicting": conflicting}
+                    )
+                rows_out.append((cycle, rank, 0, record))
+
+    def _step_im_isolated(
+        self, sent_local: np.ndarray, rows_out: List[TaggedRow]
+    ) -> None:
+        """Degree-0 IM rounds: the self interval is the whole intersection."""
+        flags = self.plan.flags
+        if not flags.include_self:
+            return  # scalar: empty round, no self -> consistent no-op
+        iso = np.flatnonzero(self.deg == 0)
+        for i in iso:
+            t = float(self.poll_t[i])
+            local_now = float(sent_local[i])
+            state_err = float(
+                self.eps[i] + max(0.0, local_now - self.r[i]) * self.delta[i]
+            )
+            a, b = -state_err, state_err
+            consistent = (b >= a) if flags.allow_point_intersection else (b > a)
+            name = self.local_names[i]
+            rank = int(self._ranks[i])
+            if not consistent:
+                self.stats[4, i] += 1
+                if self.plan.trace_enabled:
+                    rows_out.append(
+                        (
+                            self.cycle,
+                            rank,
+                            0,
+                            TraceRecord(t, "inconsistent", name, {"conflicting": ""}),
+                        )
+                    )
+                continue
+            if flags.reset_to == "midpoint":
+                offset, new_error = (a + b) / 2.0, (b - a) / 2.0
+            else:
+                offset, new_error = a, b - a
+            new_value = local_now + offset
+            self.seg_start[i] = t
+            self.seg_value[i] = new_value
+            self.r[i] = new_value
+            self.eps[i] = new_error
+            self.stats[2, i] += 1
+            if self.plan.trace_enabled:
+                rows_out.append(
+                    (
+                        self.cycle,
+                        rank,
+                        0,
+                        TraceRecord(
+                            t,
+                            "reset",
+                            name,
+                            {
+                                "from_server": "self",
+                                "new_value": float(new_value),
+                                "new_error": float(new_error),
+                                "reset_kind": "sync",
+                            },
+                        ),
+                    )
+                )
+
+    # ------------------------------------------------------------- reporting
+
+    def border_state(self) -> np.ndarray:
+        """Post-cycle ``(4, n_border)`` state of this shard's border servers."""
+        idx = self._border_local_idx
+        if not idx.size:
+            return self._empty_border
+        return np.stack(
+            [self.seg_start[idx], self.seg_value[idx], self.eps[idx], self.r[idx]]
+        )
+
+    def collect(self) -> Dict[str, np.ndarray]:
+        return {
+            "ranks": self._ranks,
+            "seg_start": self.seg_start.copy(),
+            "seg_value": self.seg_value.copy(),
+            "eps": self.eps.copy(),
+            "r": self.r.copy(),
+            "stats": self.stats.copy(),
+        }
+
+
+def _shard_worker(conn, plan: KernelPlan, shard_index: int, shards: int) -> None:
+    """Child-process loop: build the shard, serve step/collect commands."""
+    shard = _BulkShard(plan, shard_index, shards)
+    while True:
+        msg = conn.recv()
+        if msg[0] == "step":
+            conn.send(shard.step_cycle(msg[1]))
+        elif msg[0] == "collect":
+            conn.send(shard.collect())
+        elif msg[0] == "close":
+            conn.close()
+            return
+
+
+class ShardedKernelService:
+    """The bulk-mode service: N shards, cycle barriers, merged reporting.
+
+    With ``processes == 0`` shards advance serially in-process (fastest for
+    small N; no pickling); with ``processes > 0`` shards are spread over
+    forked worker processes and the barrier exchange rides ``Pipe``s.
+    Either way the results are identical — the exchange protocol and RNG
+    streams do not depend on the execution vehicle.
+    """
+
+    def __init__(self, config: KernelConfig, *, shards: int = 1, processes: int = 0) -> None:
+        self.plan = plan_kernel(config)
+        n = len(self.plan.names)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        shards = min(shards, n)
+        self._shards_n = shards
+        blocks, halos, borders = _shard_metadata(self.plan, shards)
+        self._halo_names = halos
+        # Concatenated border table: shard s's border names occupy a
+        # contiguous slice; halo gathers index into the concatenation.
+        concat: List[str] = []
+        self._border_slices: List[slice] = []
+        for border in borders:
+            self._border_slices.append(slice(len(concat), len(concat) + len(border)))
+            concat.extend(border)
+        pos = {name: i for i, name in enumerate(concat)}
+        self._halo_src = [
+            np.array([pos[name] for name in halo], dtype=np.int64) for halo in halos
+        ]
+        self._border_table = np.zeros((4, len(concat)))
+        for i, name in enumerate(concat):
+            self._border_table[2, i] = self.plan.initial_errors[self.plan.index[name]]
+        self._phase_max = max(self.plan.phases) if self.plan.phases else 0.0
+        self._now = 0.0
+        self._cycles_done = 0
+        self._events = 0
+        self._rows: List[TaggedRow] = []
+        self._trace_cache: Optional[List[TraceRecord]] = None
+        self._collected: Optional[Dict[str, np.ndarray]] = None
+        self._procs: List = []
+        self._conns: List = []
+        self._local: List[_BulkShard] = []
+        if processes:
+            ctx = multiprocessing.get_context("fork")
+            for s in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, self.plan, s, shards),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        else:
+            for s in range(shards):
+                self._local.append(_BulkShard(self.plan, s, shards))
+
+    # ---------------------------------------------------------------- control
+
+    def _cycle_close_bound(self, cycle: int) -> float:
+        """Latest possible close of any cycle-``cycle`` round."""
+        return (
+            self._phase_max + cycle * self.plan.tau + 2.0 * self.plan.delay_bound
+        )
+
+    def _step_cycle(self) -> None:
+        halos = [
+            self._border_table[:, src] if src.size else np.zeros((4, 0))
+            for src in self._halo_src
+        ]
+        if self._conns:
+            for conn, halo in zip(self._conns, halos):
+                conn.send(("step", halo))
+            results = [conn.recv() for conn in self._conns]
+        else:
+            results = [
+                shard.step_cycle(halo) for shard, halo in zip(self._local, halos)
+            ]
+        for s, (border, rows, events) in enumerate(results):
+            self._border_table[:, self._border_slices[s]] = border
+            self._rows.extend(rows)
+            self._events += events
+        self._cycles_done += 1
+        self._trace_cache = None
+        self._collected = None
+
+    def run_until(self, time: float) -> None:
+        """Advance to real time ``time``, whole cycles at a time.
+
+        A cycle is processed once every round in it is guaranteed closed
+        (``phase_max + c·τ + 2·bound <= time``) — an analytic, draw- and
+        shard-independent criterion, so every execution shape processes the
+        same cycle set for a given ``time``.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run backwards to {time} from {self._now}")
+        while self._cycle_close_bound(self._cycles_done) <= time:
+            self._step_cycle()
+        self._now = time
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op in-process)."""
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ShardedKernelService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- reporting
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events
+
+    @property
+    def cycles_done(self) -> int:
+        return self._cycles_done
+
+    def _collect(self) -> Dict[str, np.ndarray]:
+        if self._collected is None:
+            if self._conns:
+                for conn in self._conns:
+                    conn.send(("collect",))
+                parts = [conn.recv() for conn in self._conns]
+            else:
+                parts = [shard.collect() for shard in self._local]
+            n = len(self.plan.names)
+            merged = {
+                key: np.zeros(n) for key in ("seg_start", "seg_value", "eps", "r")
+            }
+            stats = np.zeros((len(_STAT_FIELDS), n), dtype=np.int64)
+            for part in parts:
+                ranks = part["ranks"]
+                for key in ("seg_start", "seg_value", "eps", "r"):
+                    merged[key][ranks] = part[key]
+                stats[:, ranks] = part["stats"]
+            merged["stats"] = stats
+            self._collected = merged
+        return self._collected
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        """The deterministically merged cross-shard trace."""
+        if self._trace_cache is None:
+            self._trace_cache = merge_rows([self._rows])
+        return self._trace_cache
+
+    @property
+    def stats(self) -> Dict[str, ServerStats]:
+        table = self._collect()["stats"]
+        out: Dict[str, ServerStats] = {}
+        for i, name in enumerate(self.plan.names):
+            out[name] = ServerStats(
+                **{field: int(table[f, i]) for f, field in enumerate(_STAT_FIELDS)}
+            )
+        return out
+
+    def state_digest(self) -> int:
+        """CRC32 over the merged post-run state arrays (shard-invariant)."""
+        state = self._collect()
+        return state_digest(
+            self.plan.names,
+            state["seg_start"],
+            state["seg_value"],
+            state["eps"],
+            state["r"],
+        )
+
+    def snapshot(self) -> ServiceSnapshot:
+        state = self._collect()
+        t = self._now
+        skews = np.array(self.plan.skews)
+        deltas = np.array(self.plan.deltas)
+        value = state["seg_value"] + (t - state["seg_start"]) * (1.0 + skews)
+        error = state["eps"] + np.maximum(0.0, value - state["r"]) * deltas
+        values: Dict[str, float] = {}
+        errors: Dict[str, float] = {}
+        offsets: Dict[str, float] = {}
+        correct: Dict[str, bool] = {}
+        for i, name in enumerate(self.plan.names):
+            v = float(value[i])
+            e = float(error[i])
+            values[name] = v
+            errors[name] = e
+            offsets[name] = v - t
+            correct[name] = (v - e) <= t <= (v + e)
+        return ServiceSnapshot(
+            time=t, values=values, errors=errors, offsets=offsets, correct=correct
+        )
+
+    def sample(self, times: Sequence[float]) -> List[ServiceSnapshot]:
+        snapshots = []
+        for t in times:
+            self.run_until(t)
+            snapshots.append(self.snapshot())
+        return snapshots

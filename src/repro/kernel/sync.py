@@ -1,0 +1,81 @@
+"""Shard synchronization helpers: digests and deterministic trace merging.
+
+The shard driver's correctness story rests on two reproducibility
+primitives:
+
+* :func:`trace_digest` — a CRC32 over a canonical rendering of trace rows,
+  byte-compatible with ``repro.experiments.chaos_soak.trace_digest`` (it is
+  re-implemented here rather than imported so the kernel package does not
+  drag in the whole experiments tree).  Equal digests mean equal traces,
+  row for row and field for field.
+* :func:`state_digest` — a CRC32 over the raw float64 state arrays plus the
+  server-name ordering, for cheap "did two runs end in the same state"
+  checks when traces are disabled.
+
+Trace ordering across shards: each shard emits rows tagged with the cycle
+index and the emitting server's global phase rank, and :func:`merge_rows`
+sorts on that pair.  Within one server's round the shard already emits rows
+in processing order, so the merged trace is a deterministic function of
+(seed, topology, policy) — *independent of the shard count* — which is what
+the 1-shard-vs-N-shard regression asserts.  Note this is per-round order,
+not global timestamp order: two rounds of the same cycle interleave in time
+but are merged blockwise (see ``docs/kernel.md``, "Known divergences").
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..simulation.trace import TraceRecord
+
+__all__ = [
+    "trace_digest",
+    "state_digest",
+    "TaggedRow",
+    "merge_rows",
+]
+
+#: A trace row tagged for deterministic cross-shard merging:
+#: ``(cycle, phase_rank, seq, record)`` where ``seq`` is the row's index
+#: within its server's round.
+TaggedRow = Tuple[int, int, int, TraceRecord]
+
+
+def trace_digest(trace: Iterable[TraceRecord]) -> int:
+    """CRC32 digest of a trace, canonical-rendering-compatible with
+    ``repro.experiments.chaos_soak.trace_digest``."""
+    crc = 0
+    for row in trace:
+        rendered = "%r|%s|%s|%s" % (
+            row.time,
+            row.kind,
+            row.source,
+            ",".join(f"{key}={row.data[key]!r}" for key in sorted(row.data)),
+        )
+        crc = zlib.crc32(rendered.encode("utf-8"), crc)
+    return crc
+
+
+def state_digest(names: Sequence[str], *arrays: np.ndarray) -> int:
+    """CRC32 over the name ordering and raw float64 state arrays."""
+    crc = zlib.crc32("|".join(names).encode("utf-8"), 0)
+    for array in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(array, dtype=np.float64).tobytes(), crc)
+    return crc
+
+
+def merge_rows(shard_rows: Sequence[List[TaggedRow]]) -> List[TraceRecord]:
+    """Merge per-shard tagged rows into one deterministic trace.
+
+    Sort key ``(cycle, phase_rank, seq)`` is a total order — each (cycle,
+    server) round belongs to exactly one shard — so the result does not
+    depend on how the topology was partitioned.
+    """
+    merged: List[TaggedRow] = []
+    for rows in shard_rows:
+        merged.extend(rows)
+    merged.sort(key=lambda tagged: (tagged[0], tagged[1], tagged[2]))
+    return [record for _, _, _, record in merged]

@@ -139,6 +139,72 @@ def two_level_internet(
     return graph
 
 
+def stratum_hierarchy(
+    total: int,
+    *,
+    core: int = 4,
+    fanout: int = 8,
+    prefix: str = "T",
+) -> nx.Graph:
+    """An N-level stratum hierarchy for planet-scale experiments.
+
+    Stratum 1 is a full mesh of ``core`` servers; each further stratum
+    grows by up to ``fanout`` children per parent until ``total`` servers
+    exist.  Every child polls its parent (edge kind ``"uplink"``) and its
+    adjacent siblings under the same parent (kind ``"lateral"``), so
+    degrees stay bounded (≈ ``fanout + 3``) while errors propagate down
+    the strata exactly as Lemma 1 / Theorem 8 describe: stratum ``s``
+    inherits stratum ``s−1``'s error plus per-hop round-trip slack.
+
+    Node names are ``{prefix}{stratum}-{index:06d}``; recover the stratum
+    with :func:`stratum_of`.  The geometric growth keeps the level count
+    below 10 for any ``total`` this codebase runs, so lexicographic name
+    order groups servers by stratum.
+
+    Args:
+        total: Total server count (>= 1).
+        core: Stratum-1 mesh size (clamped to ``total``).
+        fanout: Maximum children per parent (>= 1).
+    """
+    if total < 1:
+        raise ValueError(f"need at least one server, got {total}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    core = min(core, total)
+    graph = nx.Graph()
+    core_names = [f"{prefix}1-{i:06d}" for i in range(core)]
+    graph.add_nodes_from(core_names)
+    for i in range(core):
+        for j in range(i + 1, core):
+            graph.add_edge(core_names[i], core_names[j], kind="core")
+    levels = [core_names]
+    count = core
+    stratum = 1
+    while count < total:
+        stratum += 1
+        parents = levels[-1]
+        size = min(total - count, len(parents) * fanout)
+        names = [f"{prefix}{stratum}-{i:06d}" for i in range(size)]
+        graph.add_nodes_from(names)
+        groups: dict[str, list[str]] = {}
+        for i, name in enumerate(names):
+            parent = parents[i % len(parents)]
+            graph.add_edge(name, parent, kind="uplink")
+            groups.setdefault(parent, []).append(name)
+        for group in groups.values():
+            for a, b in zip(group, group[1:]):
+                graph.add_edge(a, b, kind="lateral")
+        levels.append(names)
+        count += size
+    return graph
+
+
+def stratum_of(name: str, prefix: str = "T") -> int:
+    """The stratum encoded in a :func:`stratum_hierarchy` node name."""
+    head = name[len(prefix) :]
+    return int(head.split("-", 1)[0])
+
+
 def validate_topology(
     graph: nx.Graph, *, present: Optional[Sequence[str]] = None
 ) -> None:

@@ -61,6 +61,7 @@ def test_registry_complete():
         "figure4_repair": "figure4-repair",
         "figure3_liars": "figure3-liars",
         "flash_crowd": "flash-crowd",
+        "scale_gauntlet": "scale-gauntlet",
     }
     registered = set(EXPERIMENTS)
     for module_name in expected:

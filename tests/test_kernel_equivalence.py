@@ -1,0 +1,422 @@
+"""Differential suite: vectorized kernels vs the scalar core oracles.
+
+The batched engine's determinism story rests on the claim that every
+vectorized decision in :mod:`repro.kernel` is *bit-equivalent* to the scalar
+code it replaces — not approximately equal, byte-for-byte equal, because the
+trace digests of scalar and batched runs are compared directly.  This suite
+enforces the claim with Hypothesis:
+
+* :func:`repro.kernel.marzullo_vec` / :func:`intersect_tolerating_vec` vs
+  ``core/marzullo.py``'s endpoint sweep, on free floats and a small integer
+  grid (degenerate points, exact-touch ties at sweep boundaries), dense and
+  ragged;
+* :func:`repro.kernel.mm2_eval` vs ``MMPolicy.on_reply`` across the
+  ``inflate_rtt`` × ``strict_improvement`` flag grid;
+* :func:`repro.kernel.im2_round` vs ``IMPolicy`` across the
+  ``include_self`` × ``widen_both_edges`` × ``reset_to`` ×
+  ``allow_point_intersection`` grid, including edge attribution (the
+  ``"S2∩S3"`` trace source) and first-candidate tie-breaking;
+* rejection parity: NaN edges, negative errors, and inverted transit
+  intervals raise ``ValueError`` in the kernel exactly where the scalar
+  :class:`~repro.core.intervals.TimeInterval` constructor would have raised.
+
+Equality assertions use ``==`` on floats deliberately: the kernels promise
+identical IEEE 754 evaluation order, so any drift is a bug.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.im import IMPolicy
+from repro.core.intervals import TimeInterval
+from repro.core.marzullo import intersect_tolerating, marzullo
+from repro.core.mm import MMPolicy
+from repro.core.sync import LocalState, Reply
+from repro.kernel import (
+    SELF_SLOT,
+    im2_round,
+    intersect_tolerating_vec,
+    interval_edges,
+    marzullo_vec,
+    mm2_eval,
+    stack_intervals,
+    transit_edges,
+)
+
+pytestmark = pytest.mark.kernel
+
+# Free floats exercise arithmetic; the integer grid forces zero-width
+# intervals and exact ties (the cases sweeps and argmax/argmin hide in).
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+rtt_values = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+drift_rates = st.floats(min_value=0.0, max_value=0.01, allow_nan=False)
+
+grid_coords = st.integers(-4, 4).map(float)
+grid_widths = st.integers(0, 3).map(float)
+grid_rtts = st.sampled_from([0.0, 1.0])
+
+
+# --------------------------------------------------------------- strategies
+
+
+@st.composite
+def interval_rows(draw, max_rows=5, max_k=6):
+    """A ragged batch: list of rows, each a non-empty list of intervals."""
+    gridded = draw(st.booleans())
+    lo_s = grid_coords if gridded else coords
+    w_s = grid_widths if gridded else widths
+    rows = []
+    for _ in range(draw(st.integers(1, max_rows))):
+        row = []
+        for _ in range(draw(st.integers(1, max_k))):
+            lo = draw(lo_s)
+            row.append(TimeInterval(lo, lo + draw(w_s)))
+        rows.append(row)
+    return rows
+
+
+@st.composite
+def sync_rounds(draw, max_rows=4, max_k=5):
+    """Stacked poll rounds: per-row LocalState + k replies, dense ``(n, k)``."""
+    gridded = draw(st.booleans())
+    c_s = grid_coords if gridded else coords
+    e_s = grid_widths if gridded else widths
+    r_s = grid_rtts if gridded else rtt_values
+    d_s = st.just(0.0) if gridded else drift_rates
+    n = draw(st.integers(1, max_rows))
+    k = draw(st.integers(1, max_k))
+    states = [LocalState(draw(c_s), draw(e_s), draw(d_s)) for _ in range(n)]
+    replies = [
+        [Reply(f"R{j}", draw(c_s), draw(e_s), draw(r_s)) for j in range(k)]
+        for _ in range(n)
+    ]
+    return states, replies
+
+
+def _stack_rounds(states, replies):
+    sv = np.array([s.clock_value for s in states])
+    se = np.array([s.error for s in states])
+    sd = np.array([s.delta for s in states])
+    rv = np.array([[r.clock_value for r in row] for row in replies])
+    re = np.array([[r.error for r in row] for row in replies])
+    rx = np.array([[r.rtt_local for r in row] for row in replies])
+    return sv, se, sd, rv, re, rx
+
+
+# ------------------------------------------------------------ Marzullo sweep
+
+
+class TestMarzulloVecDifferential:
+    @settings(max_examples=300, deadline=None)
+    @given(interval_rows())
+    def test_ragged_batch_matches_scalar_sweep(self, rows):
+        lo, hi, valid = stack_intervals(rows)
+        batch = marzullo_vec(lo, hi, valid)
+        for i, row in enumerate(rows):
+            oracle = marzullo(row)
+            assert batch.lo[i] == oracle.interval.lo
+            assert batch.hi[i] == oracle.interval.hi
+            assert batch.count[i] == oracle.count
+
+    @settings(max_examples=200, deadline=None)
+    @given(interval_rows(max_rows=3, max_k=4), st.integers(0, 5))
+    def test_tolerating_gate_matches_scalar(self, rows, faults):
+        lo, hi, valid = stack_intervals(rows)
+        batch = intersect_tolerating_vec(lo, hi, faults, valid)
+        for i, row in enumerate(rows):
+            oracle = intersect_tolerating(row, faults)
+            if oracle is None:
+                assert not batch.ok[i]
+            else:
+                assert batch.ok[i]
+                assert batch.lo[i] == oracle.interval.lo
+                assert batch.hi[i] == oracle.interval.hi
+                assert batch.count[i] == oracle.count
+
+    def test_dense_path_matches_scalar_sweep(self):
+        # No mask at all: the dense fast path, including exact-touch ties.
+        rows = [
+            [TimeInterval(0.0, 1.0), TimeInterval(1.0, 2.0)],
+            [TimeInterval(3.0, 3.0), TimeInterval(3.0, 3.0)],
+            [TimeInterval(-1.0, 4.0), TimeInterval(0.0, 0.0)],
+        ]
+        lo = np.array([[iv.lo for iv in row] for row in rows])
+        hi = np.array([[iv.hi for iv in row] for row in rows])
+        batch = marzullo_vec(lo, hi)
+        for i, row in enumerate(rows):
+            oracle = marzullo(row)
+            assert batch.interval(i) == oracle.interval
+            assert batch.count[i] == oracle.count
+
+    def test_infinite_edges_match_scalar(self):
+        # ±inf edges are legal intervals in both implementations.
+        rows = [[TimeInterval(-math.inf, math.inf), TimeInterval(0.0, 1.0)]]
+        lo, hi, valid = stack_intervals(rows)
+        batch = marzullo_vec(lo, hi, valid)
+        oracle = marzullo(rows[0])
+        assert batch.interval(0) == oracle.interval
+        assert batch.count[0] == oracle.count == 2
+
+    def test_nan_rejected_like_timeinterval(self):
+        with pytest.raises(ValueError, match="NaN"):
+            marzullo_vec(np.array([[0.0, np.nan]]), np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError, match="NaN"):
+            TimeInterval(np.nan, 2.0)
+
+    def test_inverted_interval_rejected_like_timeinterval(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            marzullo_vec(np.array([[2.0]]), np.array([[1.0]]))
+        with pytest.raises(ValueError, match="exceeds"):
+            TimeInterval(2.0, 1.0)
+
+    def test_masked_slots_do_not_leak_into_sweep(self):
+        # A padded slot with garbage edges must be invisible under the mask.
+        lo = np.array([[0.0, 999.0], [0.0, 1.0]])
+        hi = np.array([[1.0, 999.0], [1.0, 2.0]])
+        valid = np.array([[True, False], [True, True]])
+        batch = marzullo_vec(lo, hi, valid)
+        assert batch.count[0] == 1
+        assert batch.interval(0) == TimeInterval(0.0, 1.0)
+        assert batch.count[1] == 2
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            marzullo_vec(np.zeros((2, 0)), np.zeros((2, 0)))
+        with pytest.raises(ValueError):
+            stack_intervals([])
+        with pytest.raises(ValueError):
+            stack_intervals([[]])
+        with pytest.raises(ValueError):
+            marzullo_vec(
+                np.zeros((1, 2)),
+                np.ones((1, 2)),
+                np.array([[False, False]]),
+            )
+        with pytest.raises(ValueError):
+            intersect_tolerating_vec(np.zeros((1, 1)), np.ones((1, 1)), -1)
+
+
+# ------------------------------------------------------------------ rule MM-2
+
+
+class TestMM2Differential:
+    @settings(max_examples=300, deadline=None)
+    @given(sync_rounds(), st.booleans(), st.booleans())
+    def test_verdicts_match_on_reply(self, round_, inflate, strict):
+        states, replies = round_
+        policy = MMPolicy(inflate_rtt=inflate, strict_improvement=strict)
+        sv, se, sd, rv, re, rx = _stack_rounds(states, replies)
+        verdicts = mm2_eval(
+            sv, se, sd, rv, re, rx,
+            inflate_rtt=inflate, strict_improvement=strict,
+        )
+        for i, state in enumerate(states):
+            for j, reply in enumerate(replies[i]):
+                outcome = policy.on_reply(state, reply)
+                assert bool(verdicts.consistent[i, j]) == outcome.consistent
+                assert verdicts.candidate[i, j] == policy.adoption_error(
+                    state, reply
+                )
+                accepted = outcome.decision is not None
+                assert bool(verdicts.accepts[i, j]) == accepted
+                if accepted:
+                    # Adopting resets to <C_j, candidate> exactly.
+                    assert outcome.decision.clock_value == rv[i, j]
+                    assert (
+                        outcome.decision.inherited_error
+                        == verdicts.candidate[i, j]
+                    )
+
+    def test_tie_at_equal_error_follows_flag(self):
+        # candidate == E_i: the paper's <= accepts, the strict ablation not.
+        state = LocalState(clock_value=10.0, error=2.0, delta=0.0)
+        reply = Reply("R0", clock_value=10.0, error=2.0, rtt_local=0.0)
+        sv, se, sd, rv, re, rx = _stack_rounds([state], [[reply]])
+        lax = mm2_eval(sv, se, sd, rv, re, rx)
+        strict = mm2_eval(sv, se, sd, rv, re, rx, strict_improvement=True)
+        assert bool(lax.accepts[0, 0])
+        assert not bool(strict.accepts[0, 0])
+        assert MMPolicy().on_reply(state, reply).decision is not None
+        assert (
+            MMPolicy(strict_improvement=True).on_reply(state, reply).decision
+            is None
+        )
+
+    def test_negative_state_error_rejected_like_scalar(self):
+        state = LocalState(clock_value=0.0, error=-1.0, delta=0.0)
+        reply = Reply("R0", clock_value=0.0, error=0.0, rtt_local=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            MMPolicy().on_reply(state, reply)
+        with pytest.raises(ValueError, match="non-negative"):
+            interval_edges(np.array([0.0]), np.array([-1.0]))
+
+    def test_inverted_transit_rejected_like_scalar(self):
+        # A reply claiming a negative error inverts the transit interval.
+        state = LocalState(clock_value=0.0, error=1.0, delta=0.0)
+        reply = Reply("R0", clock_value=0.0, error=-5.0, rtt_local=0.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            MMPolicy().on_reply(state, reply)
+        with pytest.raises(ValueError, match="exceeds"):
+            transit_edges(
+                np.array([[0.0]]),
+                np.array([[-5.0]]),
+                np.array([[0.0]]),
+                np.array([0.0]),
+            )
+
+    def test_nan_reply_rejected_like_scalar(self):
+        state = LocalState(clock_value=0.0, error=1.0, delta=0.0)
+        reply = Reply("R0", clock_value=math.nan, error=0.0, rtt_local=0.0)
+        with pytest.raises(ValueError, match="NaN"):
+            MMPolicy().on_reply(state, reply)
+        with pytest.raises(ValueError, match="NaN"):
+            transit_edges(
+                np.array([[math.nan]]),
+                np.array([[0.0]]),
+                np.array([[0.0]]),
+                np.array([0.0]),
+            )
+
+
+# ------------------------------------------------------------------ rule IM-2
+
+IM_FLAG_GRID = [
+    dict(
+        include_self=inc, widen_both_edges=wide,
+        reset_to=reset, allow_point_intersection=point,
+    )
+    for inc in (True, False)
+    for wide in (True, False)
+    for reset in ("midpoint", "trailing")
+    for point in (True, False)
+]
+
+
+def _slot_name(slot: int, names) -> str:
+    return "self" if slot == SELF_SLOT else names[slot]
+
+
+class TestIM2Differential:
+    @settings(max_examples=200, deadline=None)
+    @given(sync_rounds(max_rows=3, max_k=4), st.sampled_from(IM_FLAG_GRID))
+    def test_round_matches_policy(self, round_, flags):
+        states, replies = round_
+        policy = IMPolicy(**flags)
+        sv, se, sd, rv, re, rx = _stack_rounds(states, replies)
+        result = im2_round(sv, se, sd, rv, re, rx, **flags)
+        names = [r.server for r in replies[0]]
+        for i, state in enumerate(states):
+            a, b, source = policy.intersection(state, replies[i])
+            assert result.a[i] == a
+            assert result.b[i] == b
+            a_name = _slot_name(int(result.a_slot[i]), names)
+            b_name = _slot_name(int(result.b_slot[i]), names)
+            vec_source = (
+                a_name if a_name == b_name else f"{a_name}∩{b_name}"
+            )
+            assert vec_source == source
+            outcome = policy.on_round_complete(state, replies[i])
+            assert bool(result.consistent[i]) == outcome.consistent
+            if outcome.decision is not None:
+                assert result.new_value[i] == outcome.decision.clock_value
+                assert (
+                    result.new_error[i] == outcome.decision.inherited_error
+                )
+
+    @settings(max_examples=200, deadline=None)
+    @given(sync_rounds(max_rows=3, max_k=4), st.data())
+    def test_ragged_rows_match_policy_on_present_replies(self, round_, data):
+        # Mask some slots out; the oracle sees only the surviving replies in
+        # the same arrival order.
+        states, replies = round_
+        n, k = len(replies), len(replies[0])
+        mask = np.array(
+            [
+                [data.draw(st.booleans(), label=f"valid[{i}][{j}]") for j in range(k)]
+                for i in range(n)
+            ]
+        )
+        policy = IMPolicy()
+        sv, se, sd, rv, re, rx = _stack_rounds(states, replies)
+        result = im2_round(sv, se, sd, rv, re, rx, valid=mask)
+        for i, state in enumerate(states):
+            kept = [r for j, r in enumerate(replies[i]) if mask[i, j]]
+            a, b, _ = policy.intersection(state, kept)
+            assert result.a[i] == a
+            assert result.b[i] == b
+            outcome = policy.on_round_complete(state, kept)
+            assert bool(result.consistent[i]) == outcome.consistent
+
+    def test_self_is_last_tiebreak_candidate(self):
+        # A reply tying the self interval on both edges must win both
+        # attributions: arrival order beats the self candidate.
+        state = LocalState(clock_value=5.0, error=1.0, delta=0.0)
+        reply = Reply("R0", clock_value=5.0, error=1.0, rtt_local=0.0)
+        policy = IMPolicy()
+        _, _, source = policy.intersection(state, [reply])
+        assert source == "R0"
+        sv, se, sd, rv, re, rx = _stack_rounds([state], [[reply]])
+        result = im2_round(sv, se, sd, rv, re, rx)
+        assert int(result.a_slot[0]) == 0
+        assert int(result.b_slot[0]) == 0
+
+    def test_empty_round_with_self_matches_policy(self):
+        # Zero replies, include_self=True: intersect with [-E, +E] alone.
+        state = LocalState(clock_value=7.0, error=3.0, delta=0.0)
+        a, b, source = IMPolicy().intersection(state, [])
+        result = im2_round(
+            np.array([7.0]), np.array([3.0]), np.array([0.0]),
+            np.zeros((1, 0)), np.zeros((1, 0)), np.zeros((1, 0)),
+        )
+        assert result.a[0] == a == -3.0
+        assert result.b[0] == b == 3.0
+        assert source == "self"
+        assert int(result.a_slot[0]) == SELF_SLOT
+
+    def test_empty_round_without_self_raises_like_policy(self):
+        state = LocalState(clock_value=0.0, error=1.0, delta=0.0)
+        with pytest.raises(ValueError, match="no replies"):
+            IMPolicy(include_self=False).intersection(state, [])
+        with pytest.raises(ValueError, match="no replies"):
+            im2_round(
+                np.array([0.0]), np.array([1.0]), np.array([0.0]),
+                np.zeros((1, 0)), np.zeros((1, 0)), np.zeros((1, 0)),
+                include_self=False,
+            )
+
+    def test_point_intersection_verdict_follows_flag(self):
+        # Two replies touching at exactly one offset: b == a.
+        state = LocalState(clock_value=0.0, error=10.0, delta=0.0)
+        replies = [
+            Reply("R0", clock_value=-1.0, error=1.0, rtt_local=0.0),
+            Reply("R1", clock_value=1.0, error=1.0, rtt_local=0.0),
+        ]
+        sv, se, sd, rv, re, rx = _stack_rounds([state], [replies])
+        lax = im2_round(sv, se, sd, rv, re, rx)
+        strict = im2_round(
+            sv, se, sd, rv, re, rx, allow_point_intersection=False
+        )
+        assert lax.a[0] == lax.b[0] == 0.0
+        assert bool(lax.consistent[0])
+        assert not bool(strict.consistent[0])
+        assert IMPolicy().on_round_complete(state, replies).consistent
+        assert not IMPolicy(
+            allow_point_intersection=False
+        ).on_round_complete(state, replies).consistent
+
+    def test_bad_reset_to_rejected_like_policy(self):
+        with pytest.raises(ValueError, match="reset_to"):
+            IMPolicy(reset_to="leading")
+        with pytest.raises(ValueError, match="reset_to"):
+            im2_round(
+                np.array([0.0]), np.array([1.0]), np.array([0.0]),
+                np.zeros((1, 1)), np.zeros((1, 1)), np.zeros((1, 1)),
+                reset_to="leading",
+            )
